@@ -1,0 +1,138 @@
+"""Substrate experiment: maximal answers under access patterns ([15], intro).
+
+The introduction recalls that for any conjunctive query a linear-time
+Datalog translation computes the maximal answers obtainable under the
+access restrictions.  This benchmark exercises that substrate:
+
+* the Datalog program and the direct accessible-part fixedpoint agree on
+  every scenario and hidden-instance size;
+* the fraction of the hidden instance that is accessible — and the fraction
+  of true answers that are obtainable — is reported as the hidden instance
+  grows, reproducing the qualitative story of the introduction (the Jones
+  query is never fully answerable, the Smith query always is).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.access.answerability import (
+    accessible_fraction,
+    accessible_part,
+    accessible_part_program,
+    maximal_answers,
+    true_answers,
+)
+from repro.datalog.evaluation import evaluate_program
+from repro.relational.instance import Instance
+from repro.workloads.directory import (
+    directory_access_schema,
+    directory_hidden_instance,
+    jones_address_query,
+    smith_phone_query,
+)
+from repro.workloads.scenarios import standard_scenarios
+
+
+def test_answerability_program_agrees_with_fixedpoint(benchmark, report_table):
+    """The [15]-style Datalog program equals the direct fixedpoint everywhere."""
+    scenarios = standard_scenarios()
+
+    def run():
+        rows = []
+        for scenario in scenarios:
+            program = accessible_part_program(scenario.access_schema, scenario.query_one)
+            database = Instance(program.edb_schema)
+            for name, tup in scenario.hidden_instance.facts():
+                database.add(name, tup)
+            for value in scenario.initial_values:
+                database.add("Init", (value,))
+            fixedpoint = evaluate_program(program, database)
+            direct = maximal_answers(
+                scenario.access_schema,
+                scenario.query_one,
+                scenario.hidden_instance,
+                scenario.initial_values,
+            )
+            rows.append(
+                [
+                    scenario.name,
+                    len(program.rules),
+                    len(fixedpoint.tuples("Goal")),
+                    len(direct),
+                    fixedpoint.tuples("Goal") == direct,
+                ]
+            )
+        return rows
+
+    rows = benchmark(run)
+    report_table(
+        "Maximal answers: Datalog program vs direct fixedpoint",
+        ["scenario", "program rules", "program answers", "direct answers", "agree"],
+        rows,
+    )
+    for row in rows:
+        assert row[4]
+
+
+def test_answerability_vs_instance_size(benchmark, report_table):
+    """Accessible fraction and answer coverage as the directory grows."""
+    schema = directory_access_schema()
+    jones = jones_address_query()
+    smith = smith_phone_query()
+    seed = ["Smith"]
+
+    def run():
+        rows = []
+        for size in ("small", "medium", "large"):
+            hidden = directory_hidden_instance(size)
+            fraction = accessible_fraction(schema, hidden, seed)
+            jones_max = maximal_answers(schema, jones, hidden, seed)
+            jones_truth = true_answers(jones, hidden)
+            smith_max = maximal_answers(schema, smith, hidden, seed)
+            smith_truth = true_answers(smith, hidden)
+            rows.append(
+                [
+                    size,
+                    hidden.size(),
+                    round(fraction, 3),
+                    f"{len(jones_max)}/{len(jones_truth)}",
+                    f"{len(smith_max)}/{len(smith_truth)}",
+                ]
+            )
+        return rows
+
+    rows = benchmark(run)
+    report_table(
+        "Accessible fraction and answer coverage (seed: Smith)",
+        ["hidden size", "facts", "accessible fraction", "Jones query", "Smith query"],
+        rows,
+    )
+    for row in rows:
+        jones_cov = row[3].split("/")
+        smith_cov = row[4].split("/")
+        # The Jones query is never fully answerable (the Hidden Lane tuple is
+        # unreachable); the Smith query always is.
+        assert int(jones_cov[0]) < int(jones_cov[1])
+        assert smith_cov[0] == smith_cov[1]
+
+
+def test_accessible_part_monotone_in_seed(benchmark, report_table):
+    """More initially-known values can only enlarge the accessible part."""
+    schema = directory_access_schema()
+    hidden = directory_hidden_instance("medium")
+    seeds = [[], ["Smith"], ["Smith", "Jones"], ["Smith", "Jones", "Person1"]]
+
+    def run():
+        return [
+            (len(seed), accessible_part(schema, hidden, seed).size()) for seed in seeds
+        ]
+
+    sizes = benchmark(run)
+    report_table(
+        "Accessible-part size vs number of seed values",
+        ["seed values", "accessible facts"],
+        [[count, size] for count, size in sizes],
+    )
+    for (_, smaller), (_, larger) in zip(sizes, sizes[1:]):
+        assert smaller <= larger

@@ -1,0 +1,183 @@
+"""Example 2.4 / Proposition 4.4: analyses under integrity constraints.
+
+Disjointness constraints and functional dependencies change which accesses
+are relevant and which containments hold.  This benchmark measures, across
+the scenarios, how many relevance verdicts flip when the scenario's
+constraints are imposed — via the constraint-aware A-automata of
+Proposition 4.4 (disjointness) and the inequality-based FD formulas of
+Example 2.4 (checked with the bounded reference procedure, since that
+fragment is undecidable in general).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.emptiness import automaton_emptiness
+from repro.automata.library import containment_automaton, ltr_automaton
+from repro.core import properties
+from repro.core.fragments import Fragment, classify
+from repro.core.solver import AccLTLSolver
+from repro.queries.parser import parse_cq
+from repro.relational.dependencies import DisjointnessConstraint
+from repro.workloads.directory import directory_access_schema, join_query
+from repro.workloads.scenarios import standard_scenarios
+
+
+def test_disjointness_flips_relevance(benchmark, report_table):
+    """A disjointness constraint can make a relevant access irrelevant."""
+    schema = directory_access_schema()
+    solver = AccLTLSolver(schema)
+    vocabulary = solver.vocabulary
+    probe = schema.access("AcM1", ("Smith",))
+    name_join_query = parse_cq("Q :- Mobile(n, pc, s, p), Address(s2, pc2, n, h)")
+    constraint = DisjointnessConstraint("Mobile", 0, "Address", 2)
+
+    def run():
+        unconstrained = automaton_emptiness(
+            ltr_automaton(vocabulary, probe, name_join_query), vocabulary
+        )
+        constrained = automaton_emptiness(
+            ltr_automaton(
+                vocabulary, probe, name_join_query, disjointness=[constraint]
+            ),
+            vocabulary,
+            max_paths=20000,
+        )
+        return unconstrained, constrained
+
+    unconstrained, constrained = benchmark(run)
+    report_table(
+        "Prop 4.4: relevance of AcM1('Smith') for the name-join query",
+        ["constraints", "automaton empty", "relevant"],
+        [
+            ["none", unconstrained.empty, not unconstrained.empty],
+            [str(constraint), constrained.empty, not constrained.empty],
+        ],
+    )
+    assert not unconstrained.empty
+    assert constrained.empty
+
+
+def test_constraint_sweep_over_scenarios(benchmark, report_table):
+    """Scenario sweep: relevance with and without each scenario's constraints."""
+    scenarios = standard_scenarios()
+
+    def run():
+        rows = []
+        for scenario in scenarios:
+            solver = AccLTLSolver(scenario.access_schema)
+            vocabulary = solver.vocabulary
+            base = automaton_emptiness(
+                ltr_automaton(vocabulary, scenario.probe_access, scenario.query_one),
+                vocabulary,
+                max_paths=20000,
+            )
+            constrained = automaton_emptiness(
+                ltr_automaton(
+                    vocabulary,
+                    scenario.probe_access,
+                    scenario.query_one,
+                    disjointness=scenario.disjointness,
+                ),
+                vocabulary,
+                max_paths=20000,
+            )
+            rows.append(
+                [
+                    scenario.name,
+                    not base.empty,
+                    not constrained.empty,
+                    "flipped" if base.empty != constrained.empty else "unchanged",
+                ]
+            )
+        return rows
+
+    rows = benchmark(run)
+    report_table(
+        "Relevance with and without the scenario's disjointness constraints",
+        ["scenario", "relevant (no constraints)", "relevant (with constraints)", "effect"],
+        rows,
+    )
+    # Constraints can only remove witnesses, never add them.
+    for row in rows:
+        if not row[1]:
+            assert not row[2]
+
+
+def test_fd_constraints_use_inequalities(benchmark, report_table):
+    """Example 2.4: FD-constrained relevance needs inequalities (Table 1 FD column)."""
+    scenarios = standard_scenarios()
+
+    def run():
+        rows = []
+        for scenario in scenarios:
+            solver = AccLTLSolver(scenario.access_schema)
+            formula = properties.ltr_under_fds_formula(
+                solver.vocabulary,
+                scenario.probe_access,
+                scenario.query_one,
+                scenario.fds,
+            )
+            report = classify(formula)
+            verdict = solver.satisfiable(formula, bounded_path_length=2, max_paths=4000)
+            rows.append(
+                [
+                    scenario.name,
+                    report.fragment.value,
+                    report.decidable,
+                    verdict.satisfiable,
+                    verdict.certain,
+                ]
+            )
+        return rows
+
+    rows = benchmark(run)
+    report_table(
+        "Example 2.4: LTR under functional dependencies",
+        ["scenario", "fragment", "decidable", "bounded verdict", "certain"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] in (
+            Fragment.ACCLTL_FULL_INEQ.value,
+            Fragment.ACCLTL_ZEROARY_INEQ.value,
+        )
+
+
+def test_constrained_containment(benchmark, report_table):
+    """Containment counterexample automata with disjointness constraints."""
+    schema = directory_access_schema()
+    solver = AccLTLSolver(schema)
+    vocabulary = solver.vocabulary
+    q1 = parse_cq("Q :- Mobile(n, pc, s, p), Address(s2, pc2, n, h)")
+    q2 = parse_cq("Q :- Address(s, pc, n, h)")
+    constraint = DisjointnessConstraint("Mobile", 0, "Address", 2)
+
+    def run():
+        unconstrained = automaton_emptiness(
+            containment_automaton(vocabulary, q1, q2, grounded=False),
+            vocabulary,
+            max_paths=20000,
+        )
+        constrained = automaton_emptiness(
+            containment_automaton(
+                vocabulary, q1, q2, disjointness=[constraint], grounded=False
+            ),
+            vocabulary,
+            max_paths=20000,
+        )
+        return unconstrained, constrained
+
+    unconstrained, constrained = benchmark(run)
+    report_table(
+        "Containment of the name-join query in the residents query",
+        ["constraints", "counterexample automaton empty", "contained"],
+        [
+            ["none", unconstrained.empty, unconstrained.empty],
+            [str(constraint), constrained.empty, constrained.empty],
+        ],
+    )
+    # Without constraints the containment already holds (the join contains an
+    # Address atom); the constraint keeps it that way.
+    assert unconstrained.empty and constrained.empty

@@ -1,0 +1,101 @@
+"""Figure 1: the tree of possible paths associated with a schema.
+
+The paper's Figure 1 sketches a fragment of the LTS of the Mobile#/Address
+schema: from the empty "Known Facts" node, an access ``Mobile#("Smith",?,?,?)``
+leads to a node knowing Smith's tuple, an access
+``Address("Parks Rd", OX13QD, ?, ?)`` then reveals the residents of Parks
+Road, and so on, with many alternative responses branching off every access.
+
+The benchmark regenerates that artefact: it explores the LTS of the
+directory schema against the hidden instance, prints the tree rooted at the
+empty instance (the same shape as Figure 1), and reports how the explored
+fragment grows with the depth bound and with the hidden-instance size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.access.lts import explore
+from repro.workloads.directory import directory_access_schema, directory_hidden_instance
+
+VALUE_POOL = ["Smith", "Jones", "Parks Rd", "Banbury Rd", "OX13QD", "OX26NN"]
+
+
+def _explore(size: str, depth: int, grounded: bool = False):
+    schema = directory_access_schema()
+    hidden = directory_hidden_instance(size)
+    return explore(
+        schema,
+        hidden_instance=hidden,
+        value_pool=VALUE_POOL,
+        max_depth=depth,
+        grounded_only=grounded,
+        max_nodes=4000,
+    )
+
+
+def test_figure1_tree(benchmark, report_table):
+    """Print the Figure 1 path tree for the paper's example schema."""
+    lts = benchmark(_explore, "small", 2)
+    nodes, transitions = lts.size()
+    print("\n== Figure 1: tree of possible paths (explored fragment) ==")
+    print(lts.render_tree(max_depth=2, max_children=3))
+    report_table(
+        "Figure 1 fragment statistics",
+        ["hidden size", "depth", "nodes", "transitions"],
+        [["small", 2, nodes, transitions]],
+    )
+    assert nodes > 1
+    # The access of Figure 1's first edge is present.
+    assert any(
+        t.access.method.name == "AcM1" and t.access.binding == ("Smith",)
+        for t in lts.transitions
+    )
+
+
+def test_figure1_growth_with_depth(benchmark, report_table):
+    """The explored tree grows with the depth bound (branching structure)."""
+
+    def sweep():
+        return {depth: _explore("small", depth).size() for depth in (1, 2, 3)}
+
+    sizes = benchmark(sweep)
+    rows = [[depth, *size] for depth, size in sorted(sizes.items())]
+    report_table(
+        "Figure 1: fragment size vs exploration depth",
+        ["depth", "nodes", "transitions"],
+        rows,
+    )
+    assert sizes[1][0] < sizes[2][0] <= sizes[3][0]
+
+
+def test_figure1_grounded_restriction(benchmark, report_table):
+    """Grounded exploration prunes the tree (dataflow-restricted Figure 1)."""
+
+    def compare():
+        free = _explore("small", 2).size()
+        seeded_schema = directory_access_schema()
+        hidden = directory_hidden_instance("small")
+        from repro.relational.instance import Instance
+
+        initial = Instance(seeded_schema.schema)
+        initial.add("Address", ("Parks Rd", "OX13QD", "Smith", 13))
+        grounded = explore(
+            seeded_schema,
+            initial=initial,
+            hidden_instance=hidden,
+            value_pool=VALUE_POOL,
+            max_depth=2,
+            grounded_only=True,
+            max_nodes=4000,
+        ).size()
+        return free, grounded
+
+    free, grounded = benchmark(compare)
+    report_table(
+        "Figure 1: free vs grounded exploration (depth 2)",
+        ["mode", "nodes", "transitions"],
+        [["all accesses", *free], ["grounded accesses only", *grounded]],
+    )
+    assert grounded[1] < free[1]

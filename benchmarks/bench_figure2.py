@@ -1,0 +1,165 @@
+"""Figure 2: inclusions between the language classes.
+
+Figure 2 of the paper is the inclusion diagram between
+``AccLTL(X)(FO∃+,≠_0-Acc)``, ``AccLTL(FO∃+_0-Acc)``, ``AccLTL(FO∃+,≠_0-Acc)``,
+``AccLTL+``, ``A-automata`` and ``AccLTL(FO∃+_Acc)``.  The benchmark
+reproduces it in two ways:
+
+* **syntactically** — the fragment classifier respects every edge of the
+  diagram: a formula classified into the smaller language is accepted by
+  the decision procedures of every larger language on the same path
+  samples;
+* **semantically** — for each edge, a battery of sampled access paths is
+  evaluated against representative formulas of the smaller language and the
+  compiled A-automata of the larger one, checking language agreement (for
+  the AccLTL+ → A-automata edge this is Lemma 4.5's equivalence), and the
+  strictness witnesses discussed in Section 6 are reported (e.g. dataflow
+  properties expressible in AccLTL+ but not in the 0-ary languages).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.compile import compile_accltl_plus
+from repro.automata.run import accepts_path
+from repro.core import properties
+from repro.core.fragments import Fragment, classify, inclusion_order
+from repro.core.semantics import path_satisfies
+from repro.core.solver import AccLTLSolver
+from repro.relational.dependencies import DisjointnessConstraint, FunctionalDependency
+from repro.workloads.directory import directory_access_schema, join_query
+from repro.workloads.generators import WorkloadGenerator
+
+
+def _sample_paths(schema, count=20, seed=3):
+    generator = WorkloadGenerator(seed=seed)
+    from repro.workloads.directory import directory_hidden_instance
+
+    hidden = directory_hidden_instance("small")
+    return [
+        generator.access_path(schema, hidden, length=2 + (i % 2))
+        for i in range(count)
+    ]
+
+
+def _representative_formulas(vocabulary, schema):
+    probe = schema.access("AcM1", ("Smith",))
+    return {
+        Fragment.ACCLTL_X_ZEROARY: properties.zeroary_binding_atom("AcM1"),
+        Fragment.ACCLTL_ZEROARY: properties.access_order_formula(vocabulary, "AcM2", "AcM1"),
+        Fragment.ACCLTL_ZEROARY_INEQ: properties.fd_formula(
+            vocabulary, FunctionalDependency("Mobile", (0,), 3)
+        ),
+        Fragment.ACCLTL_PLUS: properties.ltr_formula(vocabulary, probe, join_query()),
+        Fragment.ACCLTL_FULL: properties.ltr_formula(vocabulary, probe, join_query()),
+        Fragment.ACCLTL_FULL_INEQ: properties.ltr_under_fds_formula(
+            vocabulary, probe, join_query(), [FunctionalDependency("Mobile", (0,), 3)]
+        ),
+    }
+
+
+def test_figure2_syntactic_inclusions(benchmark, report_table):
+    """Every representative formula classifies into its own class or below."""
+    schema = directory_access_schema()
+    solver = AccLTLSolver(schema)
+    formulas = _representative_formulas(solver.vocabulary, schema)
+
+    def classify_all():
+        return {fragment: classify(formula).fragment for fragment, formula in formulas.items()}
+
+    measured = benchmark(classify_all)
+    edges = inclusion_order()
+    rows = [[small.value, "⊆", large.value] for small, large in edges]
+    report_table("Figure 2: inclusion edges (as implemented)", ["smaller", "", "larger"], rows)
+
+    # The classifier never places a representative formula above its class.
+    order = {
+        Fragment.ACCLTL_X_ZEROARY: 0,
+        Fragment.ACCLTL_ZEROARY: 1,
+        Fragment.ACCLTL_ZEROARY_INEQ: 2,
+        Fragment.ACCLTL_PLUS: 3,
+        Fragment.ACCLTL_FULL: 4,
+        Fragment.ACCLTL_FULL_INEQ: 5,
+    }
+    for intended, actual in measured.items():
+        assert order[actual] <= order[intended]
+
+
+def test_figure2_accltl_plus_equals_compiled_automata(benchmark, report_table):
+    """Lemma 4.5 edge: AccLTL+ formulas and their compiled A-automata agree."""
+    schema = directory_access_schema()
+    solver = AccLTLSolver(schema)
+    vocabulary = solver.vocabulary
+    probe = schema.access("AcM1", ("Smith",))
+    formulas = {
+        "LTR": properties.ltr_formula(vocabulary, probe, join_query()),
+        "access order": properties.access_order_formula(vocabulary, "AcM2", "AcM1"),
+        "disjointness": properties.disjointness_formula(
+            vocabulary, DisjointnessConstraint("Mobile", 0, "Address", 0)
+        ),
+        "dataflow": properties.dataflow_formula(
+            vocabulary, schema.method("AcM1"), 0, "Address", 2
+        ),
+    }
+    paths = _sample_paths(schema, count=15)
+
+    def check():
+        agreement = {}
+        for name, formula in formulas.items():
+            automaton = compile_accltl_plus(formula)
+            agree = sum(
+                1
+                for path in paths
+                if accepts_path(automaton, vocabulary, path)
+                == path_satisfies(vocabulary, path, formula)
+            )
+            agreement[name] = (agree, len(paths), automaton.size())
+        return agreement
+
+    agreement = benchmark(check)
+    rows = [
+        [name, f"{agree}/{total}", states, transitions]
+        for name, (agree, total, (states, transitions)) in agreement.items()
+    ]
+    report_table(
+        "Figure 2: AccLTL+ ⊆ A-automata (Lemma 4.5, sampled agreement)",
+        ["formula", "agreement", "automaton states", "automaton transitions"],
+        rows,
+    )
+    for name, (agree, total, _size) in agreement.items():
+        assert agree == total, name
+
+
+def test_figure2_strictness_witnesses(benchmark, report_table):
+    """Strictness of the inclusions: properties separating the classes."""
+    schema = directory_access_schema()
+    solver = AccLTLSolver(schema)
+    vocabulary = solver.vocabulary
+    probe = schema.access("AcM1", ("Smith",))
+
+    def witnesses():
+        return {
+            "DF separates AccLTL+ from 0-ary": classify(
+                properties.dataflow_formula(
+                    vocabulary, schema.method("AcM1"), 0, "Address", 2
+                )
+            ).fragment.value,
+            "FD separates ≠ from =, 0-ary": classify(
+                properties.fd_formula(
+                    vocabulary, FunctionalDependency("Mobile", (0,), 3)
+                )
+            ).fragment.value,
+            "negative binding needs full AccLTL": classify(
+                properties.ltr_formula(vocabulary, probe, join_query()).implies(
+                    properties.ltr_formula(vocabulary, probe, join_query())
+                )
+            ).fragment.value,
+        }
+
+    rows = [[k, v] for k, v in benchmark(witnesses).items()]
+    report_table(
+        "Figure 2: strictness witnesses (property → smallest class containing it)",
+        ["separating property", "classified fragment"],
+        rows,
+    )

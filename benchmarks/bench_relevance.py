@@ -1,0 +1,135 @@
+"""Example 2.3: long-term relevance of an access.
+
+For every scenario the benchmark decides long-term relevance of the
+scenario's probe access three ways — the direct small-witness search (the
+algorithm of [3]), the AccLTL formula through the dispatching solver, and
+the A-automaton of Proposition 4.4 — and checks the verdicts agree.  It
+also sweeps the number of candidate accesses to show how relevance-based
+pruning scales with the hidden-instance size (the optimisation use case of
+the introduction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.access.methods import Access
+from repro.access.relevance import long_term_relevant, relevant_accesses
+from repro.automata.emptiness import automaton_emptiness
+from repro.automata.library import ltr_automaton
+from repro.core import properties
+from repro.core.solver import AccLTLSolver
+from repro.workloads.directory import (
+    directory_access_schema,
+    directory_hidden_instance,
+    join_query,
+)
+from repro.workloads.scenarios import standard_scenarios
+
+
+def test_relevance_three_routes_agree(benchmark, report_table):
+    """Direct search, AccLTL formula and A-automaton agree on every scenario."""
+    scenarios = standard_scenarios()
+
+    def run():
+        rows = []
+        disagreements = []
+        for scenario in scenarios:
+            solver = AccLTLSolver(scenario.access_schema)
+            direct = long_term_relevant(
+                scenario.access_schema, scenario.probe_access, scenario.query_one
+            )
+            formula = properties.ltr_formula(
+                solver.vocabulary, scenario.probe_access, scenario.query_one
+            )
+            via_formula = solver.satisfiable(formula, max_paths=30000)
+            automaton = ltr_automaton(
+                solver.vocabulary, scenario.probe_access, scenario.query_one
+            )
+            via_automaton = automaton_emptiness(
+                automaton, solver.vocabulary, max_paths=30000
+            )
+            rows.append(
+                [
+                    scenario.name,
+                    direct.relevant,
+                    via_formula.satisfiable,
+                    not via_automaton.empty,
+                    automaton.size()[0],
+                ]
+            )
+            if direct.relevant and via_formula.certain and not via_formula.satisfiable:
+                disagreements.append(scenario.name)
+            if via_formula.satisfiable != (not via_automaton.empty):
+                disagreements.append(scenario.name)
+        return rows, disagreements
+
+    rows, disagreements = benchmark(run)
+    report_table(
+        "Example 2.3: long-term relevance (direct / AccLTL / A-automaton)",
+        ["scenario", "direct", "AccLTL formula", "automaton non-empty", "aut. states"],
+        rows,
+    )
+    assert not disagreements, disagreements
+
+
+def test_relevance_pruning_sweep(benchmark, report_table):
+    """Relevance-based pruning of candidate accesses vs hidden-instance size."""
+    schema = directory_access_schema()
+    schema.add("MobileProbe", "Mobile", (0, 1, 2, 3))
+    query = join_query()
+
+    def run():
+        rows = []
+        for size in ("small", "medium", "large"):
+            hidden = directory_hidden_instance(size)
+            candidates = [
+                schema.access("MobileProbe", tup)
+                for tup in sorted(hidden.tuples("Mobile"), key=repr)
+            ]
+            relevant = relevant_accesses(schema, query, candidates)
+            rows.append([size, hidden.size(), len(candidates), len(relevant)])
+        return rows
+
+    rows = benchmark(run)
+    report_table(
+        "Relevance-based pruning of boolean probe accesses",
+        ["hidden size", "facts", "candidate accesses", "relevant accesses"],
+        rows,
+    )
+    for row in rows:
+        assert row[3] <= row[2]
+        assert row[3] >= 1
+
+
+def test_relevance_witness_lengths(benchmark, report_table):
+    """Witness paths found by the solver are short (the small-path property)."""
+    scenarios = standard_scenarios()
+
+    def run():
+        lengths = {}
+        for scenario in scenarios:
+            solver = AccLTLSolver(scenario.access_schema)
+            formula = properties.ltr_formula(
+                solver.vocabulary, scenario.probe_access, scenario.query_one
+            )
+            result = solver.satisfiable(formula, max_paths=30000)
+            lengths[scenario.name] = (
+                len(result.witness) if result.witness is not None else None,
+                scenario.query_one.size(),
+            )
+        return lengths
+
+    lengths = benchmark(run)
+    rows = [
+        [name, witness_length, query_size]
+        for name, (witness_length, query_size) in lengths.items()
+    ]
+    report_table(
+        "LTR witness length vs query size (the |Q| small-path bound)",
+        ["scenario", "witness length", "query size"],
+        rows,
+    )
+    for _name, (witness_length, query_size) in lengths.items():
+        if witness_length is not None:
+            assert witness_length <= query_size + 1

@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark prints the rows/series it reproduces (with the scenario
+name, seed and parameters), so running ``pytest benchmarks/ --benchmark-only``
+regenerates the content of the paper's Table 1 and Figures 1-2 plus the
+application experiments of DESIGN.md's per-experiment index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render a small fixed-width table to stdout (captured by pytest -s)."""
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    line = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    separator = "-+-".join("-" * w for w in widths)
+    print(f"\n== {title} ==")
+    print(line)
+    print(separator)
+    for row in rows:
+        print(" | ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture
+def report_table():
+    """Fixture exposing the table printer to benchmarks."""
+    return print_table

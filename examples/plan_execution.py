@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Recursive access plans: canonical vs relevance-pruned execution.
+
+The query-optimisation setting that motivates the paper: a mediator answers
+a query over a hidden, binding-restricted source by running a *recursive
+plan* — repeatedly feeding values it has learned into the access methods.
+This example builds the canonical plan (which computes the accessible part,
+i.e. the maximal answers), prunes it with the long-term-relevance analysis,
+adds a dataflow annotation, and compares the work the three plans perform.
+
+Run with ``python examples/plan_execution.py``.
+"""
+
+from repro.access.plans import AccessStep, Plan, canonical_plan, relevance_pruned_plan
+from repro.workloads.directory import (
+    directory_access_schema,
+    directory_hidden_instance,
+    smith_phone_query,
+    join_query,
+)
+
+
+def report(label, trace):
+    print(f"  {label:28s} accesses={trace.num_accesses:3d} rounds={trace.rounds} "
+          f"revealed={trace.revealed.size():3d} answers={sorted(trace.answers)}")
+
+
+def main() -> None:
+    schema = directory_access_schema()
+    hidden = directory_hidden_instance("medium")
+    seed = ["Smith", "Person1"]
+
+    for query, name in [(smith_phone_query(), "Smith's phone number"),
+                        (join_query(), "name join")]:
+        print(f"\nQuery: {name}  ({query})")
+        canonical = canonical_plan(schema, query)
+        pruned, dropped = relevance_pruned_plan(schema, query)
+        print(f"  pruned plan drops methods: {dropped or 'none'}")
+        report("canonical plan", canonical.execute(hidden, seed))
+        report("relevance-pruned plan", pruned.execute(hidden, seed))
+
+    # A dataflow-annotated plan: names fed to AcM1 must come from the
+    # resident column of Address (the restriction of Example 2.3).
+    print("\nDataflow-annotated plan (AcM1 names from Address.resident):")
+    annotated = Plan(
+        schema=schema,
+        steps=(AccessStep("AcM2"), AccessStep("AcM1", (("Address", 2),))),
+        query=join_query(),
+    )
+    print(annotated.describe())
+    report("annotated plan", annotated.execute(hidden, ["Parks Rd", "OX13QD", "Street1", "OX1AA"]))
+
+
+if __name__ == "__main__":
+    main()

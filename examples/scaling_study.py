@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""A miniature scaling study over the synthetic workload families.
+
+The paper's results are complexity bounds; the natural empirical question
+for this reproduction (called out in DESIGN.md) is how the implemented
+procedures behave as schemas grow.  This example runs a small sweep over the
+chain / star / wide-directory families of :mod:`repro.workloads.scaling` and
+prints a table per family:
+
+* maximal answers via the accessible-part Datalog program [15],
+* exact answerability (maximal = true answers),
+* containment of the workload query in its single-atom relaxation under
+  grounded access patterns,
+* the 0-ary LTR satisfiability check of Theorem 4.12.
+
+The full parameter sweep lives in ``benchmarks/bench_scaling.py``; this
+example keeps sizes small so it finishes in a few seconds.
+
+Run with ``python examples/scaling_study.py``.
+"""
+
+import time
+
+from repro.access.answerability import is_answerable_exactly, maximal_answers
+from repro.access.containment_ap import contained_under_access_patterns
+from repro.core import properties
+from repro.core.sat_zeroary import zeroary_satisfiable
+from repro.core.vocabulary import AccessVocabulary
+from repro.io.reports import Table
+from repro.queries.cq import ConjunctiveQuery
+from repro.workloads.scaling import chain_suite, star_suite, wide_directory_suite
+
+
+def relax(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Drop the last atom of a query (a strictly weaker query)."""
+    return ConjunctiveQuery(
+        atoms=query.atoms[:-1], head=(query.head[0],), name=f"{query.name}_relaxed"
+    )
+
+
+def study(title: str, workloads) -> None:
+    table = Table(
+        headers=(
+            "workload",
+            "hidden facts",
+            "maximal answers",
+            "answerable exactly",
+            "Q ⊆ relaxed(Q)",
+            "LTR sat (0-ary)",
+            "time",
+        ),
+        title=title,
+    )
+    for workload in workloads:
+        start = time.perf_counter()
+        answers = maximal_answers(
+            workload.access_schema,
+            workload.query,
+            workload.hidden_instance,
+            workload.initial_values,
+        )
+        exact = is_answerable_exactly(
+            workload.access_schema,
+            workload.query,
+            workload.hidden_instance,
+            workload.initial_values,
+        )
+        contained = contained_under_access_patterns(
+            workload.access_schema, workload.query, relax(workload.query)
+        ).contained
+        vocabulary = AccessVocabulary.of(workload.access_schema)
+        first_method = next(iter(workload.access_schema)).name
+        ltr = zeroary_satisfiable(
+            vocabulary,
+            properties.ltr_formula_zeroary(vocabulary, first_method, workload.query),
+            max_paths=20000,
+        ).satisfiable
+        elapsed = (time.perf_counter() - start) * 1000
+        table.add_row(
+            workload.name,
+            workload.hidden_instance.size(),
+            len(answers),
+            exact,
+            contained,
+            ltr,
+            f"{elapsed:.1f} ms",
+        )
+    print(table.render())
+    print()
+
+
+def main() -> None:
+    study("Chain cascades (web-form chains of increasing length)", chain_suite((2, 4, 6)))
+    study("Star schemas (hub + satellites of increasing width)", star_suite((2, 3)))
+    study(
+        "Wide directories (federations of Mobile/Address source pairs)",
+        wide_directory_suite((1, 2)),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Package metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments where the ``wheel``
+package (needed by PEP 660 editable installs) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — a reproduction of "Querying Schemas With Access Restrictions" (VLDB 2012).
+
+The library implements the paper's framework end to end:
+
+* relational substrate (schemas, instances, constraints) — :mod:`repro.relational`;
+* query languages and containment — :mod:`repro.queries`;
+* a Datalog engine with containment in positive queries — :mod:`repro.datalog`;
+* access methods, access paths, the induced LTS, and the classical
+  static-analysis problems (maximal answers, relevance, containment under
+  access patterns) — :mod:`repro.access`;
+* propositional LTL over finite words — :mod:`repro.ltl`;
+* the AccLTL languages, their semantics, fragments and decision procedures —
+  :mod:`repro.core`;
+* A-automata, compilation from AccLTL+, and emptiness — :mod:`repro.automata`;
+* the branching-time extension — :mod:`repro.branching`;
+* workloads for examples and benchmarks — :mod:`repro.workloads`.
+
+Quickstart::
+
+    from repro import AccLTLSolver, directory_access_schema
+    from repro.core import properties
+
+    schema = directory_access_schema()
+    solver = AccLTLSolver(schema)
+    formula = properties.access_order_formula(solver.vocabulary, "AcM2", "AcM1")
+    print(solver.classify(formula).fragment)
+    print(solver.satisfiable(formula).satisfiable)
+"""
+
+from repro.access.methods import Access, AccessMethod, AccessSchema
+from repro.access.path import AccessPath, PathStep, conf, is_grounded
+from repro.core.formulas import (
+    AccFormula,
+    atom,
+    eventually,
+    globally,
+    land,
+    lnext,
+    lnot,
+    lor,
+    until,
+)
+from repro.core.formula_parser import format_formula, parse_formula
+from repro.core.fragments import Fragment, classify
+from repro.core.solver import AccLTLSolver, SatResult
+from repro.core.vocabulary import AccessVocabulary
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.instance import Instance
+from repro.relational.schema import Relation, Schema
+from repro.workloads.directory import (
+    directory_access_schema,
+    directory_hidden_instance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Access",
+    "AccessMethod",
+    "AccessSchema",
+    "AccessPath",
+    "PathStep",
+    "conf",
+    "is_grounded",
+    "AccFormula",
+    "atom",
+    "eventually",
+    "globally",
+    "land",
+    "lnext",
+    "lnot",
+    "lor",
+    "until",
+    "Fragment",
+    "classify",
+    "format_formula",
+    "parse_formula",
+    "AccLTLSolver",
+    "SatResult",
+    "AccessVocabulary",
+    "ConjunctiveQuery",
+    "parse_cq",
+    "parse_ucq",
+    "UnionOfConjunctiveQueries",
+    "Instance",
+    "Relation",
+    "Schema",
+    "directory_access_schema",
+    "directory_hidden_instance",
+    "__version__",
+]

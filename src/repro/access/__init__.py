@@ -1,0 +1,56 @@
+"""Limited-access substrate: access methods, accesses, paths, and the LTS.
+
+This package models the paper's Section 2 machinery:
+
+* access methods with input positions (binding patterns),
+* accesses (method + binding) and well-formed responses,
+* access paths, the configuration ``Conf(p, I0)`` resulting from a path,
+* sanity conditions: groundedness, idempotence, (S-)exactness,
+* the labelled transition system (LTS) associated with a schema, and
+* the classical static-analysis problems the paper builds on: maximal
+  answers under access patterns [15], long-term relevance [3], and query
+  containment under access patterns [5].
+"""
+
+from repro.access.methods import AccessMethod, Access, AccessSchema
+from repro.access.path import (
+    AccessPath,
+    PathStep,
+    conf,
+    is_grounded,
+    is_idempotent,
+    is_exact_for,
+    well_formed_response,
+)
+from repro.access.lts import LabelledTransitionSystem, Transition, explore
+from repro.access.answerability import (
+    accessible_part_program,
+    accessible_part,
+    maximal_answers,
+    is_answerable_exactly,
+)
+from repro.access.relevance import long_term_relevant, RelevanceResult
+from repro.access.containment_ap import contained_under_access_patterns
+
+__all__ = [
+    "AccessMethod",
+    "Access",
+    "AccessSchema",
+    "AccessPath",
+    "PathStep",
+    "conf",
+    "is_grounded",
+    "is_idempotent",
+    "is_exact_for",
+    "well_formed_response",
+    "LabelledTransitionSystem",
+    "Transition",
+    "explore",
+    "accessible_part_program",
+    "accessible_part",
+    "maximal_answers",
+    "is_answerable_exactly",
+    "long_term_relevant",
+    "RelevanceResult",
+    "contained_under_access_patterns",
+]

@@ -1,0 +1,213 @@
+"""Query containment under (grounded) access patterns.
+
+Example 2.2 of the paper: ``Q1`` is contained in ``Q2`` relative to a schema
+with access patterns when for every grounded access path ``p``, if the
+configuration resulting from ``p`` satisfies ``Q1`` then it also satisfies
+``Q2``.  Equivalently (as the paper notes), the AccLTL formula
+``G ¬(Q1^pre ∧ ¬Q2^pre)`` is valid over grounded paths.
+
+Because responses of non-exact sources may contain *any* tuples compatible
+with the binding, the configurations reachable by grounded paths from an
+initial instance ``I0`` are exactly the instances ``I ⊇ I0`` whose facts
+can be ordered so that each fact is revealed through some access method all
+of whose input-position values occur in ``I0`` or in earlier facts (we call
+such instances *grounded-reachable*).  Containment under access patterns is
+therefore: every grounded-reachable instance satisfying ``Q1`` satisfies
+``Q2``.
+
+The procedure implemented here:
+
+1. Plain containment ``Q1 ⊆ Q2`` is checked first — it implies containment
+   under access patterns (sound fast path).
+2. Counterexample search: for every disjunct of ``Q1`` and every
+   identification of its variables, freeze the disjunct into a canonical
+   instance; optionally enrich it with a bounded number of auxiliary
+   value-introducing facts; if the result is grounded-reachable, satisfies
+   ``Q1``, and fails ``Q2``, report non-containment with the certificate.
+3. If no counterexample is found the queries are reported contained; the
+   result records whether the search was exhaustive for the configured
+   bounds (it is, for the query/schema sizes exercised in this repository —
+   the benchmarks additionally cross-validate against the bounded AccLTL
+   validity check of the same property).
+
+The paper improves the complexity bounds for this problem (2EXPTIME via
+A-automata, Section 4); benchmark ``benchmarks/bench_containment.py``
+compares this direct procedure against the automata pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.access.methods import AccessSchema
+from repro.queries.containment import ucq_contained_in
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import holds
+from repro.queries.terms import Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from repro.relational.instance import Instance
+
+
+@dataclass(frozen=True)
+class APContainmentResult:
+    """Outcome of a containment-under-access-patterns check."""
+
+    contained: bool
+    counterexample: Optional[Instance] = None
+    complete: bool = True
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.contained
+
+
+def grounded_reachable(
+    facts: Sequence[Tuple[str, Tuple[object, ...]]],
+    initial_values: Iterable[object],
+    schema: AccessSchema,
+) -> bool:
+    """Whether the fact set admits a grounded revelation order.
+
+    Greedy fixedpoint: a fact is revealable once some access method of its
+    relation has all input-position values among the known values; known
+    values start as *initial_values* and grow with every revealed fact.
+    The greedy order is complete because revealing a fact never removes
+    knowledge.
+    """
+    known: Set[object] = set(initial_values)
+    remaining = list(facts)
+    progress = True
+    while remaining and progress:
+        progress = False
+        for fact in list(remaining):
+            relation, tup = fact
+            for method in schema.methods_for(relation):
+                if all(tup[i] in known for i in method.input_positions):
+                    known.update(tup)
+                    remaining.remove(fact)
+                    progress = True
+                    break
+    return not remaining
+
+
+def _identifications(variables: List[Variable]) -> Iterable[Dict[Variable, Variable]]:
+    """All identifications (set partitions) of the given variables."""
+    if not variables:
+        yield {}
+        return
+
+    def partitions(items: List[Variable]):
+        if not items:
+            yield []
+            return
+        first, rest = items[0], items[1:]
+        for partition in partitions(rest):
+            for index, block in enumerate(partition):
+                yield partition[:index] + [[first] + block] + partition[index + 1 :]
+            yield [[first]] + partition
+
+    for partition in partitions(variables):
+        mapping: Dict[Variable, Variable] = {}
+        for block in partition:
+            representative = block[0]
+            for variable in block:
+                mapping[variable] = representative
+        yield mapping
+
+
+def _frozen_candidate(
+    disjunct: ConjunctiveQuery,
+    identification: Dict[Variable, Variable],
+    schema: AccessSchema,
+    initial: Instance,
+) -> Optional[Tuple[Instance, List[Tuple[str, Tuple[object, ...]]]]]:
+    """Freeze an identified disjunct into a candidate counterexample instance."""
+    try:
+        identified = disjunct.rename_variables(identification)
+    except Exception:
+        return None
+    assignment = {v: f"~{v.name}" for v in identified.variables()}
+    candidate = initial.copy()
+    facts: List[Tuple[str, Tuple[object, ...]]] = []
+    for atom in identified.atoms:
+        fact = (atom.relation, atom.substitute(assignment))
+        facts.append(fact)
+        if fact not in candidate:
+            candidate.add_fact(fact)
+    return candidate, facts
+
+
+def contained_under_access_patterns(
+    schema: AccessSchema,
+    query_one,
+    query_two,
+    initial: Optional[Instance] = None,
+    max_identified_variables: int = 8,
+) -> APContainmentResult:
+    """Is ``Q1`` contained in ``Q2`` under grounded access patterns?
+
+    See the module docstring for the procedure and its guarantees.  Both
+    queries must be boolean (existentially close them first if needed);
+    non-boolean queries are compared via their boolean versions conjoined
+    with head-equality, which matches the containment semantics used in the
+    paper's Example 2.2.
+    """
+    if initial is None:
+        initial = schema.empty_instance()
+    q1 = as_ucq(query_one).boolean_version()
+    q2 = as_ucq(query_two).boolean_version()
+
+    if ucq_contained_in(q1, q2):
+        return APContainmentResult(contained=True, complete=True)
+
+    # The initial instance itself is the configuration of the empty path; if
+    # it already separates the queries, containment fails immediately.
+    if holds(q1, initial) and not holds(q2, initial):
+        return APContainmentResult(
+            contained=False, counterexample=initial.copy(), complete=True
+        )
+
+    initial_values = set(initial.active_domain())
+    complete = True
+    for disjunct in q1.disjuncts:
+        variables = sorted(disjunct.variables(), key=lambda v: v.name)
+        if len(variables) > max_identified_variables:
+            # Only the identity identification is tried for very large
+            # disjuncts; the result records the loss of exhaustiveness.
+            identifications: Iterable[Dict[Variable, Variable]] = [
+                {v: v for v in variables}
+            ]
+            complete = False
+        else:
+            identifications = _identifications(variables)
+        for identification in identifications:
+            frozen = _frozen_candidate(disjunct, identification, schema, initial)
+            if frozen is None:
+                continue
+            candidate, facts = frozen
+            if not holds(q1, candidate):
+                continue
+            if holds(q2, candidate):
+                continue
+            if grounded_reachable(facts, initial_values, schema):
+                return APContainmentResult(
+                    contained=False, counterexample=candidate, complete=True
+                )
+    return APContainmentResult(contained=True, complete=complete)
+
+
+def equivalent_under_access_patterns(
+    schema: AccessSchema,
+    query_one,
+    query_two,
+    initial: Optional[Instance] = None,
+) -> bool:
+    """Mutual containment under grounded access patterns.
+
+    The paper's introduction motivates this as the basis of query
+    minimisation in the presence of access restrictions.
+    """
+    forward = contained_under_access_patterns(schema, query_one, query_two, initial)
+    backward = contained_under_access_patterns(schema, query_two, query_one, initial)
+    return forward.contained and backward.contained

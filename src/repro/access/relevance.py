@@ -1,0 +1,311 @@
+"""Long-term relevance (LTR) of an access to a query.
+
+Example 2.3 of the paper (following Benedikt–Gottlob–Senellart [3]): a
+boolean access ``AC1`` is *long-term relevant* for a query ``Q`` on an
+initial instance ``I0`` if there is an access path ``p = AC1, r1, AC2, r2,
+...`` such that the configuration resulting from ``p`` satisfies ``Q``,
+while the configuration resulting from ``p`` with ``AC1`` dropped does not.
+Under *grounded* accesses ("dependent accesses" in [3]) the witnessing path
+must additionally be grounded.
+
+The paper observes (Section 4.2) that over general ("independent")
+accesses, ``Q`` is LTR iff it is LTR over paths of length ``|Q|`` — a
+counterexample has only polynomial length.  Our procedure exploits the same
+small-witness structure:
+
+1. For each disjunct ``D`` of ``Q`` and each body atom of ``D`` over the
+   accessed relation, try to unify the atom with the accessed tuple.  The
+   homomorphic image of ``D`` under that unification (plus the initial
+   instance) is a candidate witness configuration.
+2. Check that ``Q`` fails on the witness with the accessed tuple removed
+   (so the first access is genuinely needed).
+3. Check that the remaining facts of the witness are *revealable*: over
+   general accesses it suffices that each relation has some access method;
+   over grounded accesses we run the accessible-part fixedpoint starting
+   from the values of ``I0`` plus the accessed tuple, optionally allowing a
+   bounded number of auxiliary "value revealing" accesses.
+
+The procedure is sound (a reported witness really is one — this is checked
+by construction and revalidated with the AccLTL semantics in the tests) and
+complete for the independent-access case; for grounded accesses it is
+complete up to the auxiliary-access bound, which the result object reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.access.answerability import accessible_part
+from repro.access.methods import Access, AccessSchema
+from repro.access.path import AccessPath, PathStep, conf, is_grounded
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import evaluate_ucq, holds
+from repro.queries.terms import Constant, Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from repro.relational.instance import Instance
+
+
+@dataclass(frozen=True)
+class RelevanceResult:
+    """Outcome of a long-term-relevance check.
+
+    Attributes
+    ----------
+    relevant:
+        The verdict.
+    witness_path:
+        For positive verdicts, an access path witnessing relevance (it
+        starts with the checked access, its configuration satisfies the
+        query, and dropping the first access loses the query).
+    grounded:
+        Whether the witness path is grounded in the initial instance.
+    complete:
+        Whether the search was exhaustive for the requested mode (always
+        true for independent accesses; for grounded accesses it is true
+        unless the auxiliary-access bound was reached).
+    """
+
+    relevant: bool
+    witness_path: Optional[AccessPath] = None
+    #: Whether the witness path is grounded *given* the checked access: the
+    #: probed access is supplied by the caller (its binding values count as
+    #: known, as in [3] where the candidate access is part of the problem
+    #: instance), and every later binding value must occur in the initial
+    #: instance or in an earlier response.
+    grounded: bool = False
+    complete: bool = True
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.relevant
+
+
+def _unifications(
+    disjunct: ConjunctiveQuery,
+    relation: str,
+    accessed_tuple: Tuple[object, ...],
+) -> Iterable[Dict[Variable, object]]:
+    """Partial assignments unifying some body atom with the accessed tuple."""
+    for atom in disjunct.atoms:
+        if atom.relation != relation or len(atom.terms) != len(accessed_tuple):
+            continue
+        assignment: Dict[Variable, object] = {}
+        ok = True
+        for term, value in zip(atom.terms, accessed_tuple):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    ok = False
+                    break
+            else:
+                if term in assignment and assignment[term] != value:
+                    ok = False
+                    break
+                assignment[term] = value
+        if ok:
+            yield dict(assignment)
+
+
+def _witness_instance(
+    disjunct: ConjunctiveQuery,
+    assignment: Dict[Variable, object],
+    schema: AccessSchema,
+    initial: Instance,
+) -> Tuple[Instance, List[Tuple[str, Tuple[object, ...]]], Dict[Variable, object]]:
+    """Freeze the disjunct under *assignment*.
+
+    Returns the witness instance (initial facts plus the frozen image), the
+    frozen facts, and the complete frozen assignment (used to read off the
+    answer tuple the witness produces).
+    """
+    frozen_assignment = dict(assignment)
+    for variable in disjunct.variables():
+        if variable not in frozen_assignment:
+            frozen_assignment[variable] = f"~{variable.name}"
+    witness = initial.copy()
+    facts: List[Tuple[str, Tuple[object, ...]]] = []
+    for atom in disjunct.atoms:
+        fact = (atom.relation, atom.substitute(frozen_assignment))
+        facts.append(fact)
+        if fact not in witness:
+            witness.add_fact(fact)
+    return witness, facts, frozen_assignment
+
+
+def _revealing_path(
+    schema: AccessSchema,
+    first_step: PathStep,
+    facts_to_reveal: List[Tuple[str, Tuple[object, ...]]],
+    initial: Instance,
+    grounded: bool,
+) -> Optional[AccessPath]:
+    """Build a path starting with *first_step* revealing the remaining facts.
+
+    Over general accesses any binding may be guessed, so any relation with
+    at least one access method can be revealed.  Over grounded accesses we
+    greedily reveal facts whose required binding values are already known,
+    iterating to a fixedpoint.
+    """
+    steps: List[PathStep] = [first_step]
+    known: Set[object] = set(initial.active_domain()) | set(
+        first_step.returned_values()
+    ) | set(first_step.access.binding)
+    remaining = [
+        fact
+        for fact in facts_to_reveal
+        if fact not in conf(AccessPath(tuple(steps)), initial)
+    ]
+    progress = True
+    while remaining and progress:
+        progress = False
+        for fact in list(remaining):
+            relation, tup = fact
+            for method in schema.methods_for(relation):
+                binding = tuple(tup[i] for i in method.input_positions)
+                if grounded and not all(value in known for value in binding):
+                    continue
+                access = Access(method, binding)
+                steps.append(PathStep(access, frozenset({tup})))
+                known.update(tup)
+                known.update(binding)
+                remaining.remove(fact)
+                progress = True
+                break
+    if remaining:
+        return None
+    return AccessPath(tuple(steps))
+
+
+def long_term_relevant(
+    schema: AccessSchema,
+    access: Access,
+    query,
+    initial: Optional[Instance] = None,
+    grounded: bool = False,
+    require_boolean_access: bool = True,
+) -> RelevanceResult:
+    """Is *access* long-term relevant for *query*?
+
+    The access is expected to be boolean (every position bound), matching
+    the definition in Example 2.3; set ``require_boolean_access=False`` to
+    check a non-boolean access by treating its single returned tuple as the
+    full binding extension (the witness search then fixes the free
+    positions with fresh values).
+    """
+    if initial is None:
+        initial = schema.empty_instance()
+    target = as_ucq(query)
+    relation = access.relation
+    arity = schema.schema.arity(relation)
+
+    if require_boolean_access and access.method.num_inputs != arity:
+        raise ValueError(
+            "long_term_relevant expects a boolean access; pass "
+            "require_boolean_access=False to allow partial bindings"
+        )
+
+    binding_map = access.binding_map()
+    free_positions = [i for i in range(arity) if i not in binding_map]
+
+    complete = True
+    for disjunct in target.disjuncts:
+        candidate_tuples: List[Tuple[object, ...]] = []
+        if not free_positions:
+            candidate_tuples.append(
+                tuple(binding_map[i] for i in range(arity))
+            )
+        else:
+            values: List[object] = [None] * arity
+            for position, value in binding_map.items():
+                values[position] = value
+            for index, position in enumerate(free_positions):
+                values[position] = f"~fresh_{index}"
+            candidate_tuples.append(tuple(values))
+        for accessed_tuple in candidate_tuples:
+            for assignment in _unifications(disjunct, relation, accessed_tuple):
+                witness, facts, frozen_assignment = _witness_instance(
+                    disjunct, assignment, schema, initial
+                )
+                witness_with_access = witness.copy()
+                if (relation, accessed_tuple) not in witness_with_access:
+                    witness_with_access.add(relation, accessed_tuple)
+                # The answer tuple this witness uncovers (the empty tuple for
+                # boolean queries).  The access is relevant if this answer is
+                # produced with the access and lost without it.
+                answer = tuple(frozen_assignment[v] for v in disjunct.head)
+                if answer not in evaluate_ucq(target, witness_with_access):
+                    continue
+                # Without the accessed tuple the new answer must be lost.
+                dropped = initial.copy()
+                for fact in facts:
+                    if fact != (relation, accessed_tuple) and fact not in dropped:
+                        dropped.add_fact(fact)
+                if answer in evaluate_ucq(target, dropped):
+                    continue
+                first_step = PathStep(access, frozenset({accessed_tuple}))
+                remaining_facts = [
+                    fact for fact in facts if fact != (relation, accessed_tuple)
+                ]
+                path = _revealing_path(
+                    schema, first_step, remaining_facts, initial, grounded
+                )
+                if path is None:
+                    if grounded:
+                        complete = False
+                    continue
+                final = conf(path, initial)
+                if answer not in evaluate_ucq(target, final):
+                    continue
+                without_first = conf(path.drop_first(), initial)
+                if answer in evaluate_ucq(target, without_first):
+                    continue
+                return RelevanceResult(
+                    relevant=True,
+                    witness_path=path,
+                    grounded=_grounded_given_first_access(path, initial),
+                    complete=True,
+                )
+    return RelevanceResult(relevant=False, complete=complete)
+
+
+def _grounded_given_first_access(path: AccessPath, initial: Instance) -> bool:
+    """Groundedness of the path, treating the first access as given.
+
+    The candidate access's binding is part of the problem instance (the
+    query planner is asking about *this* access), so its values count as
+    known; all later bindings must be grounded in the usual sense.
+    """
+    if len(path) == 0:
+        return True
+    known = set(initial.active_domain())
+    known.update(path[0].access.binding)
+    known.update(path[0].returned_values())
+    for step in path.steps[1:]:
+        if not all(value in known for value in step.access.binding):
+            return False
+        known.update(step.access.binding)
+        known.update(step.returned_values())
+    return True
+
+
+def relevant_accesses(
+    schema: AccessSchema,
+    query,
+    candidate_accesses: Sequence[Access],
+    initial: Optional[Instance] = None,
+    grounded: bool = False,
+) -> List[Access]:
+    """Filter *candidate_accesses* down to the long-term relevant ones.
+
+    This is the optimisation loop sketched in the paper's introduction:
+    a query processor inspects candidate accesses and skips those that
+    cannot contribute to a new query answer.
+    """
+    relevant: List[Access] = []
+    for access in candidate_accesses:
+        result = long_term_relevant(
+            schema, access, query, initial=initial, grounded=grounded
+        )
+        if result.relevant:
+            relevant.append(access)
+    return relevant

@@ -1,0 +1,224 @@
+"""A-automata (Definition 4.3).
+
+An A-automaton over ``(Sch, C)`` is ``(S, s0, F, δ)`` where each transition
+``(s, ψ⁻ ∧ ψ⁺, s')`` carries a guard consisting of
+
+* ``ψ⁻`` — a positive boolean combination of *negated* ``FO∃+_Acc``
+  sentences that must not mention ``IsBind`` predicates, and
+* ``ψ⁺`` — an ``FO∃+_Acc`` sentence (which may mention ``IsBind``).
+
+We represent ``ψ⁻`` as a conjunction of negated sentences; a disjunction of
+negations ``¬a ∨ ¬b`` can always be written as the single negated sentence
+``¬(a ∧ b)`` because positive queries are closed under conjunction, so this
+loses no expressiveness.  Guards may use constants (the set ``C``), which
+simply appear as constants inside the embedded queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.formulas import EmbeddedSentence
+from repro.core.transition import TransitionStructure
+from repro.core.vocabulary import AccessVocabulary
+from repro.queries.evaluation import holds
+from repro.queries.ucq import as_ucq, true_query
+
+
+class AutomatonError(ValueError):
+    """Raised for malformed A-automata."""
+
+
+@dataclass(frozen=True)
+class Guard:
+    """A transition guard ``ψ⁻ ∧ ψ⁺``.
+
+    Attributes
+    ----------
+    positives:
+        Sentences whose conjunction is ``ψ⁺``.  Positive queries are closed
+        under conjunction, so storing the conjuncts separately (instead of
+        distributing them into one normalised UCQ) loses no generality while
+        avoiding an exponential blow-up of the guard representation.
+    negated:
+        Sentences whose *negations* are conjoined into ``ψ⁻``.  None of
+        them may mention an n-ary binding predicate (checked at
+        construction, Definition 4.3).  The 0-ary ``IsBind0`` propositions
+        are permitted: the paper handles their negations by rewriting into
+        a positive disjunction over the other methods (Section 6); keeping
+        them directly in ``ψ⁻`` is an equivalent engineering shortcut since
+        exactly one of them holds on every transition.
+    """
+
+    positives: Tuple[EmbeddedSentence, ...] = ()
+    negated: Tuple[EmbeddedSentence, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "positives", tuple(self.positives))
+        object.__setattr__(self, "negated", tuple(self.negated))
+        for sentence in self.negated:
+            if sentence.mentions_nary_binding():
+                raise AutomatonError(
+                    "negated guard components must not mention IsBind predicates "
+                    f"(Definition 4.3); offending sentence: {sentence}"
+                )
+
+    def satisfied_by(self, structure: TransitionStructure) -> bool:
+        """Whether the guard holds on a transition structure."""
+        for sentence in self.positives:
+            if not holds(sentence.query, structure.structure):
+                return False
+        for sentence in self.negated:
+            if holds(sentence.query, structure.structure):
+                return False
+        return True
+
+    def sentences(self) -> Tuple[EmbeddedSentence, ...]:
+        """All embedded sentences of the guard (positive conjuncts first)."""
+        return self.positives + self.negated
+
+    def mentions_binding(self) -> bool:
+        """Whether the positive part mentions a binding predicate."""
+        return any(sentence.mentions_binding() for sentence in self.positives)
+
+    def is_trivially_true(self) -> bool:
+        """Whether the guard imposes no condition."""
+        return not self.positives and not self.negated
+
+    def __str__(self) -> str:
+        parts = [str(sentence) for sentence in self.positives]
+        parts.extend(f"¬{sentence}" for sentence in self.negated)
+        return " ∧ ".join(parts) if parts else "true"
+
+
+@dataclass(frozen=True)
+class ATransition:
+    """A transition ``(source, guard, target)`` of an A-automaton."""
+
+    source: str
+    guard: Guard
+    target: str
+
+    def __str__(self) -> str:
+        return f"{self.source} --[{self.guard}]--> {self.target}"
+
+
+@dataclass
+class AAutomaton:
+    """An Access-automaton."""
+
+    states: List[str]
+    initial: str
+    accepting: FrozenSet[str]
+    transitions: List[ATransition]
+    name: Optional[str] = None
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        initial: str,
+        accepting: Iterable[str],
+        transitions: Iterable[ATransition],
+        name: Optional[str] = None,
+    ) -> None:
+        self.states = list(states)
+        self.initial = initial
+        self.accepting = frozenset(accepting)
+        self.transitions = list(transitions)
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        state_set = set(self.states)
+        if self.initial not in state_set:
+            raise AutomatonError(f"initial state {self.initial!r} not in state set")
+        if not self.accepting <= state_set:
+            raise AutomatonError("accepting states must be a subset of the state set")
+        for transition in self.transitions:
+            if transition.source not in state_set or transition.target not in state_set:
+                raise AutomatonError(f"transition {transition} uses unknown states")
+
+    # ------------------------------------------------------------------
+    def transitions_from(self, state: str) -> List[ATransition]:
+        """Transitions leaving *state*."""
+        return [t for t in self.transitions if t.source == state]
+
+    def transitions_into(self, state: str) -> List[ATransition]:
+        """Transitions entering *state*."""
+        return [t for t in self.transitions if t.target == state]
+
+    def successors(self, state: str) -> FrozenSet[str]:
+        """States reachable in one step from *state*."""
+        return frozenset(t.target for t in self.transitions_from(state))
+
+    def size(self) -> Tuple[int, int]:
+        """``(number of states, number of transitions)``."""
+        return (len(self.states), len(self.transitions))
+
+    def guard_sentences(self) -> List[EmbeddedSentence]:
+        """All distinct embedded sentences used by any guard."""
+        seen: List[EmbeddedSentence] = []
+        for transition in self.transitions:
+            for sentence in transition.guard.sentences():
+                if sentence not in seen:
+                    seen.append(sentence)
+        return seen
+
+    def reachable_states(self) -> FrozenSet[str]:
+        """States reachable from the initial state in the transition graph."""
+        reachable: Set[str] = set()
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            if state in reachable:
+                continue
+            reachable.add(state)
+            frontier.extend(self.successors(state))
+        return frozenset(reachable)
+
+    def trim(self) -> "AAutomaton":
+        """Remove states that are unreachable or cannot reach acceptance."""
+        reachable = self.reachable_states()
+        # Backward reachability from accepting states.
+        co_reachable: Set[str] = set(self.accepting)
+        changed = True
+        while changed:
+            changed = False
+            for transition in self.transitions:
+                if transition.target in co_reachable and transition.source not in co_reachable:
+                    co_reachable.add(transition.source)
+                    changed = True
+        useful = reachable & co_reachable
+        if self.initial not in useful:
+            # The language is empty: keep a minimal automaton with no
+            # accepting states so downstream code still has a valid object.
+            return AAutomaton(
+                states=[self.initial],
+                initial=self.initial,
+                accepting=(),
+                transitions=[],
+                name=self.name,
+            )
+        transitions = [
+            t
+            for t in self.transitions
+            if t.source in useful and t.target in useful
+        ]
+        return AAutomaton(
+            states=sorted(useful),
+            initial=self.initial,
+            accepting=[s for s in self.accepting if s in useful],
+            transitions=transitions,
+            name=self.name,
+        )
+
+    def __str__(self) -> str:
+        lines = [
+            f"AAutomaton({self.name or 'A'}): {len(self.states)} states, "
+            f"{len(self.transitions)} transitions"
+        ]
+        lines.append(f"  initial: {self.initial}; accepting: {sorted(self.accepting)}")
+        for transition in self.transitions:
+            lines.append(f"  {transition}")
+        return "\n".join(lines)

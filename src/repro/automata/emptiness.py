@@ -1,0 +1,385 @@
+"""Emptiness of A-automata (Theorem 4.6).
+
+The paper decides emptiness in 2EXPTIME by decomposing the automaton into
+progressive automata (Lemma 4.9) and reducing each to a containment of a
+Datalog program in a positive query (Lemma 4.10 + Proposition 4.11).
+
+This module provides two procedures:
+
+* :func:`automaton_emptiness` — the primary, certificate-producing
+  procedure.  It first trims the automaton and applies the Lemma 4.9
+  decomposition into SCC-chain restrictions; for each restriction it runs
+  a guided witness search: candidate accesses and responses are drawn from
+  the canonical databases of the guard sentences (the same small-witness
+  pools used elsewhere), and the automaton is simulated alongside the path
+  construction.  A non-emptiness verdict comes with an accepted access
+  path; an emptiness verdict is exact whenever the search exhausted the
+  bounded space (which it does for the automata produced in this
+  repository — the result records the flag).
+
+* :func:`guard_to_datalog` / :func:`datalog_emptiness_precheck` — the
+  Lemma 4.10 connection made concrete for the guards produced by
+  :mod:`repro.automata.library` and :mod:`repro.automata.compile`: the
+  positive part of a guard becomes a (nonrecursive) Datalog program over
+  the access vocabulary, and containment of that program in one of the
+  guard's negated sentences (Proposition 4.11) proves the guard
+  unsatisfiable.  Pruning such transitions and re-trimming gives a sound
+  emptiness *pre-check* exercised by the tests and the pipeline benchmark
+  (``benchmarks/bench_pipeline_vs_bruteforce.py``): when the pre-check
+  already proves emptiness the witness search is skipped entirely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.access.methods import Access, AccessSchema
+from repro.access.path import AccessPath, PathStep
+from repro.automata.aautomaton import AAutomaton
+from repro.automata.progressive import chain_restrictions
+from repro.core.bounded_check import candidate_accesses_for_search, fact_pool_from_sentences
+from repro.core.transition import transition_structure
+from repro.core.vocabulary import (
+    AccessVocabulary,
+    base_relation_of,
+    is_isbind,
+    is_isbind0,
+    is_post,
+    is_pre,
+)
+from repro.datalog.containment import ContainmentResult, datalog_contained_in_ucq
+from repro.datalog.program import DatalogProgram, Rule
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Constant, Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from repro.relational.instance import Instance
+from repro.relational.schema import Relation, Schema
+
+Fact = Tuple[str, Tuple[object, ...]]
+
+
+@dataclass(frozen=True)
+class EmptinessResult:
+    """Result of an A-automaton emptiness check."""
+
+    empty: bool
+    witness: Optional[AccessPath]
+    exhausted: bool
+    paths_explored: int
+    chains_checked: int = 1
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.empty
+
+
+def _guard_pools(
+    automaton: AAutomaton, vocabulary: AccessVocabulary, fresh_values: int = 1
+) -> Tuple[List[Fact], List[object]]:
+    """Fact and value pools derived from the automaton's guard sentences."""
+    sentences = automaton.guard_sentences()
+    fact_pool = fact_pool_from_sentences(vocabulary, sentences)
+    values: Set[object] = set()
+    for sentence in sentences:
+        for constant in sentence.query.constants():
+            values.add(constant.value)
+    for _, tup in fact_pool:
+        values.update(tup)
+    pool = sorted(values, key=repr)
+    pool.extend(f"~fresh{i}" for i in range(fresh_values))
+    return fact_pool, pool
+
+
+def _candidate_accesses(
+    schema: AccessSchema, value_pool: Sequence[object]
+) -> List[Access]:
+    accesses: List[Access] = []
+    for method in schema:
+        if method.num_inputs == 0:
+            accesses.append(Access(method, ()))
+            continue
+        for combo in itertools.product(value_pool, repeat=method.num_inputs):
+            accesses.append(Access(method, combo))
+    return accesses
+
+
+def _candidate_responses(
+    access: Access, facts_by_relation: Dict[str, List[Tuple[object, ...]]],
+    max_response_size: int,
+) -> List[FrozenSet[Tuple[object, ...]]]:
+    matching = [
+        tup for tup in facts_by_relation.get(access.relation, []) if access.matches(tup)
+    ]
+    responses: List[FrozenSet[Tuple[object, ...]]] = [frozenset()]
+    for size in range(1, min(len(matching), max_response_size) + 1):
+        for subset in itertools.combinations(matching, size):
+            responses.append(frozenset(subset))
+    return responses
+
+
+def _search_accepted_path(
+    automaton: AAutomaton,
+    vocabulary: AccessVocabulary,
+    initial: Instance,
+    max_length: int,
+    max_response_size: int,
+    max_paths: int,
+    fact_pool: Optional[Sequence[Fact]] = None,
+    value_pool: Optional[Sequence[object]] = None,
+    grounded_only: bool = False,
+) -> Tuple[Optional[AccessPath], int, bool]:
+    """Guided search for an accepted path; returns (witness, explored, exhausted)."""
+    schema = vocabulary.access_schema
+    if fact_pool is None or value_pool is None:
+        derived_facts, derived_values = _guard_pools(automaton, vocabulary)
+        fact_pool = derived_facts if fact_pool is None else fact_pool
+        value_pool = derived_values if value_pool is None else value_pool
+    facts_by_relation: Dict[str, List[Tuple[object, ...]]] = {}
+    for relation, tup in fact_pool:
+        facts_by_relation.setdefault(relation, []).append(tup)
+    nary = any(
+        sentence.mentions_nary_binding() for sentence in automaton.guard_sentences()
+    )
+    accesses = candidate_accesses_for_search(
+        schema, fact_pool, value_pool, nary_bindings=nary
+    )
+
+    # Pre-compute the candidate (access, response) steps, preferring
+    # revealing responses over empty ones so the depth-first search reaches
+    # data-dependent guards quickly.
+    candidates: List[Tuple[Access, FrozenSet[Tuple[object, ...]]]] = []
+    for access in accesses:
+        for response in _candidate_responses(
+            access, facts_by_relation, max_response_size
+        ):
+            candidates.append((access, response))
+    candidates.sort(key=lambda pair: len(pair[1]), reverse=True)
+
+    explored = 0
+    initial_known = frozenset(initial.active_domain())
+    # Iterative deepening: short witnesses are found before the search
+    # commits to deep branches, and the final round (depth = max_length)
+    # determines exhaustiveness.
+    for depth_limit in range(1, max_length + 1):
+        # Each stack entry: (automaton state set, steps, configuration, known values).
+        stack: List[
+            Tuple[FrozenSet[str], Tuple[PathStep, ...], Instance, FrozenSet[object]]
+        ] = [(frozenset({automaton.initial}), (), initial.copy(), initial_known)]
+        while stack:
+            states, steps, config, known = stack.pop()
+            if len(steps) >= depth_limit:
+                continue
+            children: List[
+                Tuple[FrozenSet[str], Tuple[PathStep, ...], Instance, FrozenSet[object]]
+            ] = []
+            for access, response in candidates:
+                if grounded_only and not all(
+                    value in known for value in access.binding
+                ):
+                    continue
+                explored += 1
+                if explored > max_paths:
+                    return None, explored, False
+                after = config.copy()
+                for tup in response:
+                    after.add(access.relation, tup)
+                structure = transition_structure(vocabulary, config, access, after)
+                following: Set[str] = set()
+                for state in states:
+                    for transition in automaton.transitions_from(state):
+                        if transition.guard.satisfied_by(structure):
+                            following.add(transition.target)
+                if not following:
+                    continue
+                new_steps = steps + (PathStep(access, response),)
+                if following & automaton.accepting:
+                    return AccessPath(new_steps), explored, False
+                if not response and frozenset(following) == states:
+                    # An information-free step that does not move the
+                    # automaton is a stutter: any accepting continuation from
+                    # the child is also available from the current node.
+                    continue
+                new_known = known | frozenset(access.binding) | frozenset(
+                    value for tup in response for value in tup
+                )
+                children.append((frozenset(following), new_steps, after, new_known))
+            # Reverse so the first (most promising) child is popped first.
+            stack.extend(reversed(children))
+    return None, explored, True
+
+
+def automaton_emptiness(
+    automaton: AAutomaton,
+    vocabulary: AccessVocabulary,
+    initial: Optional[Instance] = None,
+    max_length: Optional[int] = None,
+    max_response_size: int = 2,
+    max_paths: int = 40000,
+    use_chain_decomposition: bool = True,
+    use_datalog_precheck: bool = True,
+    fact_pool: Optional[Sequence[Fact]] = None,
+    value_pool: Optional[Sequence[object]] = None,
+    grounded_only: bool = False,
+) -> EmptinessResult:
+    """Decide (within bounds) whether ``L(A)`` is empty.
+
+    The pipeline follows the proof of Theorem 4.6: trim, decompose into
+    SCC-chain restrictions (Lemma 4.9), optionally prune chains whose
+    Datalog abstraction is contained in the negated-guard query
+    (Lemma 4.10 direction "containment ⇒ empty"), then search each
+    remaining chain for an accepted path.
+    """
+    if initial is None:
+        initial = vocabulary.access_schema.empty_instance()
+    trimmed = automaton.trim()
+    if not trimmed.accepting:
+        return EmptinessResult(
+            empty=True, witness=None, exhausted=True, paths_explored=0, chains_checked=0
+        )
+    restrictions = (
+        chain_restrictions(trimmed) if use_chain_decomposition else [trimmed]
+    )
+    if not restrictions:
+        restrictions = [trimmed]
+
+    if fact_pool is None:
+        derived_fact_pool, _ = _guard_pools(trimmed, vocabulary)
+    else:
+        derived_fact_pool = list(fact_pool)
+    if max_length is None:
+        max_length = max(2, len(derived_fact_pool) + 2)
+
+    total_explored = 0
+    all_exhausted = True
+    for restriction in restrictions:
+        if use_datalog_precheck:
+            verdict = datalog_emptiness_precheck(restriction, vocabulary)
+            if verdict is True:
+                continue
+        witness, explored, exhausted = _search_accepted_path(
+            restriction,
+            vocabulary,
+            initial,
+            max_length=max_length,
+            max_response_size=max_response_size,
+            max_paths=max_paths,
+            fact_pool=fact_pool,
+            value_pool=value_pool,
+            grounded_only=grounded_only,
+        )
+        total_explored += explored
+        if witness is not None:
+            return EmptinessResult(
+                empty=False,
+                witness=witness,
+                exhausted=False,
+                paths_explored=total_explored,
+                chains_checked=len(restrictions),
+            )
+        all_exhausted = all_exhausted and exhausted
+    return EmptinessResult(
+        empty=True,
+        witness=None,
+        exhausted=all_exhausted,
+        paths_explored=total_explored,
+        chains_checked=len(restrictions),
+    )
+
+
+# ----------------------------------------------------------------------
+# The Datalog-containment connection (Lemma 4.10 / Proposition 4.11),
+# used as a sound guard-pruning pre-check.
+# ----------------------------------------------------------------------
+def guard_to_datalog(
+    guard, vocabulary: AccessVocabulary
+) -> Optional[DatalogProgram]:
+    """The positive part of a guard as a (nonrecursive) Datalog program.
+
+    The program's EDB is the access vocabulary itself.  Each positive
+    conjunct ``Sᵢ`` of ``ψ⁺`` gets an intensional 0-ary predicate
+    ``Holds_i`` with one rule per disjunct of ``Sᵢ``, and the goal
+    ``GuardHolds`` requires all of them.  A transition structure satisfies
+    ``ψ⁺`` iff the program accepts it, which is how the guard enters the
+    Datalog-containment machinery of Proposition 4.11 below.  Returns
+    ``None`` for guards whose positive part is trivial or contains an
+    atom-free disjunct (always true).
+    """
+    if not guard.positives:
+        return None
+    rules: List[Rule] = []
+    goal_body: List[Atom] = []
+    for index, sentence in enumerate(guard.positives):
+        holds_atom = Atom(f"Holds_{index}", ())
+        goal_body.append(holds_atom)
+        for disjunct in sentence.query.disjuncts:
+            if not disjunct.atoms:
+                return None
+            rules.append(
+                Rule(
+                    head=holds_atom,
+                    body=disjunct.atoms,
+                    equalities=disjunct.equalities,
+                    inequalities=disjunct.inequalities,
+                )
+            )
+    rules.append(Rule(head=Atom("GuardHolds", ()), body=tuple(goal_body)))
+    return DatalogProgram(rules=rules, edb_schema=vocabulary.schema, goal="GuardHolds")
+
+
+def guard_unsatisfiable_via_datalog(guard, vocabulary: AccessVocabulary) -> bool:
+    """Whether the guard can be proven unsatisfiable by Datalog containment.
+
+    A guard ``ψ⁺ ∧ ⋀ᵢ ¬Nᵢ`` is unsatisfiable whenever the Datalog program
+    of ``ψ⁺`` is contained (Proposition 4.11) in one of the ``Nᵢ``: every
+    structure meeting the positive requirement then violates the negative
+    one.  This is the direction of Lemma 4.10 in which containment implies
+    emptiness of the transitions using the guard; it is sound (a ``True``
+    answer is always correct) and is exactly what collapses, e.g., the
+    counterexample automaton for ``Q1 ⊆ Q2`` when the containment holds
+    classically.
+    """
+    program = guard_to_datalog(guard, vocabulary)
+    if program is None:
+        return False
+    for sentence in guard.negated:
+        result: ContainmentResult = datalog_contained_in_ucq(program, sentence.query)
+        if result.contained and result.exhaustive:
+            return True
+    return False
+
+
+def prune_unsatisfiable_guards(
+    automaton: AAutomaton, vocabulary: AccessVocabulary
+) -> AAutomaton:
+    """Remove transitions whose guards are provably unsatisfiable, then trim."""
+    kept = [
+        transition
+        for transition in automaton.transitions
+        if not guard_unsatisfiable_via_datalog(transition.guard, vocabulary)
+    ]
+    pruned = AAutomaton(
+        states=automaton.states,
+        initial=automaton.initial,
+        accepting=automaton.accepting,
+        transitions=kept,
+        name=automaton.name,
+    )
+    return pruned.trim()
+
+
+def datalog_emptiness_precheck(
+    automaton: AAutomaton, vocabulary: AccessVocabulary
+) -> Optional[bool]:
+    """``True`` when guard pruning proves the language empty, else ``None``.
+
+    After removing transitions with Datalog-provably unsatisfiable guards,
+    an automaton with no reachable accepting state has an empty language.
+    The check never claims non-emptiness (the caller's witness search is
+    responsible for that).
+    """
+    pruned = prune_unsatisfiable_guards(automaton, vocabulary)
+    if not pruned.accepting or not (pruned.reachable_states() & pruned.accepting):
+        return True
+    return None

@@ -1,0 +1,221 @@
+"""Closure operations on A-automata.
+
+The paper uses A-automata as a lower-level target for compiling AccLTL+
+formulas (Lemma 4.5) and observes, when discussing Figure 2, that the
+automata are strictly more expressive than the logic — e.g. they "can
+express parity conditions on the length of paths, which first-order
+languages like AccLTL+ ... can not do".  This module provides the standard
+NFA-style constructions on A-automata used by that discussion and by the
+benchmark harnesses:
+
+* :func:`relabel` — rename states apart (used by the binary constructions);
+* :func:`union_automaton` — ``L(A) ∪ L(B)``;
+* :func:`intersection_automaton` — ``L(A) ∩ L(B)`` via the product
+  construction (guards are conjoined, which is possible because guards are
+  closed under conjunction: positives and negated parts concatenate);
+* :func:`concatenation_automaton` — ``L(A) · L(B)``;
+* :func:`length_modulo_automaton` — paths whose length is ``r (mod m)``
+  with unconstrained transitions: the Figure-2 separation witness;
+* :func:`method_sequence_automaton` — paths whose access-method sequence
+  matches a given word (a common access-order restriction).
+
+Note that A-automata accept only non-empty paths (a run must read at least
+one transition), so the constructions need no empty-word special cases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.automata.aautomaton import AAutomaton, ATransition, AutomatonError, Guard
+from repro.core.properties import zeroary_binding_atom
+from repro.core.vocabulary import AccessVocabulary
+
+
+def relabel(automaton: AAutomaton, prefix: str) -> AAutomaton:
+    """A copy of the automaton with every state name prefixed by *prefix*."""
+    mapping = {state: f"{prefix}{state}" for state in automaton.states}
+    return AAutomaton(
+        states=[mapping[s] for s in automaton.states],
+        initial=mapping[automaton.initial],
+        accepting=[mapping[s] for s in automaton.accepting],
+        transitions=[
+            ATransition(mapping[t.source], t.guard, mapping[t.target])
+            for t in automaton.transitions
+        ],
+        name=automaton.name,
+    )
+
+
+def union_automaton(
+    first: AAutomaton, second: AAutomaton, name: str = "union"
+) -> AAutomaton:
+    """An automaton accepting ``L(first) ∪ L(second)``.
+
+    The two automata are relabelled apart and joined under a fresh initial
+    state whose outgoing transitions copy those of both original initial
+    states.  Since acceptance requires reading at least one transition, the
+    fresh initial state need never be accepting.
+    """
+    left = relabel(first, "L_")
+    right = relabel(second, "R_")
+    initial = "u_init"
+    states = [initial] + left.states + right.states
+    transitions: List[ATransition] = []
+    transitions.extend(left.transitions)
+    transitions.extend(right.transitions)
+    for branch in (left, right):
+        for transition in branch.transitions_from(branch.initial):
+            transitions.append(ATransition(initial, transition.guard, transition.target))
+    accepting = list(left.accepting) + list(right.accepting)
+    return AAutomaton(
+        states=states,
+        initial=initial,
+        accepting=accepting,
+        transitions=transitions,
+        name=name,
+    )
+
+
+def _conjoin_guards(first: Guard, second: Guard) -> Guard:
+    """The conjunction of two guards (``ψ⁻`` and ``ψ⁺`` parts concatenate)."""
+    return Guard(
+        positives=first.positives + second.positives,
+        negated=first.negated + second.negated,
+    )
+
+
+def intersection_automaton(
+    first: AAutomaton, second: AAutomaton, name: str = "intersection"
+) -> AAutomaton:
+    """The product automaton accepting ``L(first) ∩ L(second)``."""
+
+    def pair_name(a: str, b: str) -> str:
+        return f"({a},{b})"
+
+    states = [pair_name(a, b) for a in first.states for b in second.states]
+    initial = pair_name(first.initial, second.initial)
+    accepting = [
+        pair_name(a, b) for a in first.accepting for b in second.accepting
+    ]
+    transitions: List[ATransition] = []
+    for t1 in first.transitions:
+        for t2 in second.transitions:
+            transitions.append(
+                ATransition(
+                    pair_name(t1.source, t2.source),
+                    _conjoin_guards(t1.guard, t2.guard),
+                    pair_name(t1.target, t2.target),
+                )
+            )
+    product = AAutomaton(
+        states=states,
+        initial=initial,
+        accepting=accepting,
+        transitions=transitions,
+        name=name,
+    )
+    return product.trim()
+
+
+def concatenation_automaton(
+    first: AAutomaton, second: AAutomaton, name: str = "concatenation"
+) -> AAutomaton:
+    """An automaton accepting ``L(first) · L(second)``.
+
+    Every transition of *first* that enters an accepting state gets a copy
+    redirected to a fresh, non-accepting *entry* copy of the initial state of
+    *second*; acceptance then happens in *second*.  Routing through the entry
+    copy (rather than the original initial state, which may itself be
+    accepting, e.g. in a one-state "any path" automaton) guarantees that both
+    factors contribute at least one transition, matching the concatenation of
+    non-empty path languages.
+    """
+    left = relabel(first, "A_")
+    right = relabel(second, "B_")
+    entry = "B_entry"
+    states = left.states + right.states + [entry]
+    transitions: List[ATransition] = list(left.transitions) + list(right.transitions)
+    for transition in right.transitions_from(right.initial):
+        transitions.append(ATransition(entry, transition.guard, transition.target))
+    for transition in left.transitions:
+        if transition.target in left.accepting:
+            transitions.append(
+                ATransition(transition.source, transition.guard, entry)
+            )
+    return AAutomaton(
+        states=states,
+        initial=left.initial,
+        accepting=list(right.accepting),
+        transitions=transitions,
+        name=name,
+    )
+
+
+def length_modulo_automaton(
+    modulus: int, remainder: int = 0, name: str = "length-modulo"
+) -> AAutomaton:
+    """Paths whose length is congruent to *remainder* modulo *modulus*.
+
+    All guards are trivially true, so acceptance depends only on the number
+    of transitions read.  With ``modulus=2, remainder=0`` this is the parity
+    condition the paper cites as expressible by A-automata but not by
+    AccLTL+ (or even AccLTL(FO∃+_Acc)) — the witness for the strictness of
+    the Figure 2 inclusion of the logic in the automata.
+    """
+    if modulus <= 0:
+        raise AutomatonError("modulus must be positive")
+    remainder %= modulus
+    if remainder == 0 and modulus == 1:
+        # Every non-empty path.
+        return AAutomaton(
+            states=["q0"],
+            initial="q0",
+            accepting=["q0"],
+            transitions=[ATransition("q0", Guard(), "q0")],
+            name=name,
+        )
+    states = [f"q{i}" for i in range(modulus)]
+    transitions = [
+        ATransition(f"q{i}", Guard(), f"q{(i + 1) % modulus}") for i in range(modulus)
+    ]
+    return AAutomaton(
+        states=states,
+        initial="q0",
+        accepting=[f"q{remainder}"],
+        transitions=transitions,
+        name=name,
+    )
+
+
+def method_sequence_automaton(
+    vocabulary: AccessVocabulary,
+    method_names: Sequence[str],
+    name: str = "method-sequence",
+) -> AAutomaton:
+    """Paths whose access methods are exactly the given sequence.
+
+    Each transition is guarded by the 0-ary binding proposition of the
+    corresponding method, so the automaton accepts precisely the paths of
+    length ``len(method_names)`` that use the prescribed methods in order.
+    This is a building block for access-order restrictions (Section 1).
+    """
+    if not method_names:
+        raise AutomatonError("method_names must be non-empty")
+    for method in method_names:
+        if method not in vocabulary.access_schema:
+            raise AutomatonError(f"unknown access method {method!r}")
+    states = [f"p{i}" for i in range(len(method_names) + 1)]
+    transitions = []
+    for index, method in enumerate(method_names):
+        sentence = zeroary_binding_atom(method).sentence
+        transitions.append(
+            ATransition(f"p{index}", Guard(positives=(sentence,)), f"p{index + 1}")
+        )
+    return AAutomaton(
+        states=states,
+        initial="p0",
+        accepting=[states[-1]],
+        transitions=transitions,
+        name=name,
+    )

@@ -1,0 +1,25 @@
+"""Branching-time extension of the path languages (Section 5.2)."""
+
+from repro.branching.ctl import (
+    CTLFormula,
+    CTLAtom,
+    CTLNot,
+    CTLAnd,
+    CTLOr,
+    CTLEX,
+    CTLAX,
+    ctl_satisfies,
+    theorem_5_3_gadget,
+)
+
+__all__ = [
+    "CTLFormula",
+    "CTLAtom",
+    "CTLNot",
+    "CTLAnd",
+    "CTLOr",
+    "CTLEX",
+    "CTLAX",
+    "ctl_satisfies",
+    "theorem_5_3_gadget",
+]

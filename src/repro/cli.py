@@ -1,0 +1,292 @@
+"""Command-line interface to the library.
+
+The CLI exposes the main entry points of the reproduction on the paper's
+web-directory schema (or any named workload scenario):
+
+``repro classify``
+    Parse an AccLTL formula (see :mod:`repro.core.formula_parser` for the
+    syntax) and report its fragment, the paper's complexity bound for that
+    fragment and the decision procedure the solver would dispatch to.
+
+``repro sat``
+    Decide satisfiability of a formula and print the verdict, the procedure
+    used and (for positive verdicts) a witnessing access path.
+
+``repro translate``
+    Rewrite a 0-ary AccLTL formula into the binding-positive fragment
+    AccLTL+ (the Section 6 inclusion of Figure 2) and print the result in
+    the same textual syntax.
+
+``repro table1``
+    Print the reproduction of the paper's Table 1 (complexity of
+    satisfiability and expressible application classes per language).
+
+``repro figure2``
+    Print the Figure 2 language-inclusion diagram, either as text edges or
+    as Graphviz DOT.
+
+``repro lts``
+    Explore a bounded fragment of the LTS induced by the schema (the shape
+    of Figure 1) and print it as an ASCII tree or DOT.
+
+``repro scenarios``
+    List the named workload scenarios shipped with the library.
+
+Run ``repro <command> --help`` for the options of each command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.access.lts import explore
+from repro.access.methods import AccessSchema
+from repro.core.formula_parser import format_formula, parse_formula
+from repro.core.fragments import COMPLEXITY, Fragment, inclusion_order
+from repro.core.inclusions import zeroary_to_plus
+from repro.core.solver import AccLTLSolver
+from repro.core.vocabulary import AccessVocabulary
+from repro.io.dot import inclusion_diagram_to_dot, lts_to_dot
+from repro.io.reports import Table
+from repro.relational.instance import Instance
+from repro.workloads.directory import directory_access_schema, directory_hidden_instance
+from repro.workloads.scenarios import Scenario, standard_scenarios
+
+#: Table 1 of the paper: language, complexity, and application columns
+#: (DjC = disjointness constraints, FD = functional dependencies,
+#: DF = dataflow restrictions, AccOr = access-order restrictions).
+TABLE1_ROWS = [
+    ("AccLTL(FO∃+,≠_Acc)", Fragment.ACCLTL_FULL_INEQ, "Yes", "Yes", "Yes", "Yes"),
+    ("AccLTL(FO∃+_Acc)", Fragment.ACCLTL_FULL, "Yes", "No", "Yes", "Yes"),
+    ("AccLTL+", Fragment.ACCLTL_PLUS, "Yes", "No", "Yes", "Yes"),
+    ("A-automata", None, "Yes", "No", "Yes", "Yes"),
+    ("AccLTL(FO∃+_0-Acc)", Fragment.ACCLTL_ZEROARY, "Yes", "No", "No", "Yes"),
+    ("AccLTL(FO∃+,≠_0-Acc)", Fragment.ACCLTL_ZEROARY_INEQ, "Yes", "Yes", "No", "Yes"),
+    ("AccLTL(X)(FO∃+,≠_0-Acc)", Fragment.ACCLTL_X_ZEROARY, "Yes", "Yes", "No", "No"),
+]
+
+
+# ----------------------------------------------------------------------
+# Scenario / schema selection
+# ----------------------------------------------------------------------
+def _scenario_by_name(name: str) -> Scenario:
+    for scenario in standard_scenarios():
+        if scenario.name == name:
+            return scenario
+    known = ", ".join(s.name for s in standard_scenarios())
+    raise SystemExit(f"unknown scenario {name!r}; known scenarios: {known}")
+
+
+def _select_schema(args: argparse.Namespace) -> AccessSchema:
+    if getattr(args, "scenario", None):
+        return _scenario_by_name(args.scenario).access_schema
+    return directory_access_schema()
+
+
+def _select_hidden(args: argparse.Namespace) -> Instance:
+    if getattr(args, "scenario", None):
+        return _scenario_by_name(args.scenario).hidden_instance
+    return directory_hidden_instance(getattr(args, "size", "small"))
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations (each returns a process exit code)
+# ----------------------------------------------------------------------
+def cmd_classify(args: argparse.Namespace) -> int:
+    schema = _select_schema(args)
+    vocabulary = AccessVocabulary.of(schema)
+    formula = parse_formula(args.formula, vocabulary)
+    report = AccLTLSolver(schema).classify(formula)
+    print(f"formula     : {formula}")
+    print(f"fragment    : {report.fragment.value}")
+    print(f"complexity  : {report.complexity}")
+    print(f"decidable   : {report.decidable}")
+    print(f"temporal ops: {', '.join(sorted(report.temporal_operators)) or '(none)'}")
+    print(f"n-ary IsBind: {report.uses_nary_binding}"
+          f"{' (with negative occurrences)' if report.nary_binding_negative and report.uses_nary_binding else ''}")
+    print(f"inequalities: {report.uses_inequalities}")
+    return 0
+
+
+def cmd_sat(args: argparse.Namespace) -> int:
+    schema = _select_schema(args)
+    vocabulary = AccessVocabulary.of(schema)
+    formula = parse_formula(args.formula, vocabulary)
+    solver = AccLTLSolver(schema)
+    result = solver.satisfiable(
+        formula,
+        grounded_only=args.grounded,
+        max_paths=args.max_paths,
+        bounded_path_length=args.bounded_length,
+    )
+    print(f"fragment   : {result.fragment.value}")
+    print(f"procedure  : {result.procedure}")
+    print(f"satisfiable: {result.satisfiable}")
+    print(f"certain    : {result.certain}")
+    if result.witness is not None:
+        print("witness path:")
+        for index, step in enumerate(result.witness):
+            print(f"  {index + 1}. {step}")
+    return 0 if result.satisfiable or result.certain else 1
+
+
+def cmd_translate(args: argparse.Namespace) -> int:
+    schema = _select_schema(args)
+    vocabulary = AccessVocabulary.of(schema)
+    formula = parse_formula(args.formula, vocabulary)
+    solver = AccLTLSolver(schema)
+    before = solver.classify(formula)
+    translated = zeroary_to_plus(formula, vocabulary)
+    after = solver.classify(translated)
+    print(f"input fragment : {before.fragment.value}")
+    print(f"output fragment: {after.fragment.value}")
+    print(f"translated     : {format_formula(translated)}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    table = Table(
+        headers=("Language", "Complexity", "DjC", "FD", "DF", "AccOr"),
+        title="Table 1: Complexity and application examples for path specifications",
+    )
+    for label, fragment, djc, fd, df, accor in TABLE1_ROWS:
+        complexity = (
+            COMPLEXITY[fragment] if fragment is not None else "2EXPTIME-complete"
+        )
+        table.add_row(label, complexity, djc, fd, df, accor)
+    print(table.render())
+    return 0
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    if args.dot:
+        print(inclusion_diagram_to_dot())
+        return 0
+    print("Figure 2: inclusions between language classes (small ⊆ large)")
+    for small, large in inclusion_order():
+        print(f"  {small.value}  ⊆  {large.value}")
+    print(f"  {Fragment.ACCLTL_PLUS.value}  ⊆  A-automata (up to language equivalence)")
+    return 0
+
+
+def cmd_lts(args: argparse.Namespace) -> int:
+    schema = _select_schema(args)
+    hidden = _select_hidden(args) if args.hidden else None
+    lts = explore(
+        schema,
+        hidden_instance=hidden,
+        max_depth=args.depth,
+        max_response_size=args.response_size,
+        grounded_only=args.grounded,
+        max_nodes=args.max_nodes,
+    )
+    nodes, transitions = lts.size()
+    print(f"explored LTS fragment: {nodes} nodes, {transitions} transitions")
+    if args.dot:
+        print(lts_to_dot(lts))
+    else:
+        print(lts.render_tree(max_depth=args.depth))
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    for scenario in standard_scenarios():
+        print(scenario.describe())
+        if args.verbose:
+            print(f"    Q1: {scenario.query_one}")
+            print(f"    Q2: {scenario.query_two}")
+            print(f"    probe access: {scenario.probe_access}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Querying Schemas With Access Restrictions' "
+            "(VLDB 2012): AccLTL fragments, A-automata and access-path analysis."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_scenario_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scenario",
+            help="name of a workload scenario (default: the web-directory schema)",
+        )
+
+    classify = subparsers.add_parser(
+        "classify", help="classify an AccLTL formula into the Table 1 hierarchy"
+    )
+    classify.add_argument("formula", help="formula text, e.g. 'G [Mobile_pre(a,b,c,d)]'")
+    add_scenario_option(classify)
+    classify.set_defaults(func=cmd_classify)
+
+    sat = subparsers.add_parser("sat", help="decide satisfiability of a formula")
+    sat.add_argument("formula", help="formula text")
+    sat.add_argument("--grounded", action="store_true", help="restrict to grounded paths")
+    sat.add_argument("--max-paths", type=int, default=40000, help="search budget")
+    sat.add_argument(
+        "--bounded-length",
+        type=int,
+        default=4,
+        help="path-length bound for the undecidable fragments' reference search",
+    )
+    add_scenario_option(sat)
+    sat.set_defaults(func=cmd_sat)
+
+    translate = subparsers.add_parser(
+        "translate",
+        help="rewrite a 0-ary formula into AccLTL+ (the Section 6 inclusion)",
+    )
+    translate.add_argument("formula", help="formula text in the 0-ary fragment")
+    add_scenario_option(translate)
+    translate.set_defaults(func=cmd_translate)
+
+    table1 = subparsers.add_parser("table1", help="print the reproduced Table 1")
+    table1.set_defaults(func=cmd_table1)
+
+    figure2 = subparsers.add_parser(
+        "figure2", help="print the Figure 2 inclusion diagram"
+    )
+    figure2.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    figure2.set_defaults(func=cmd_figure2)
+
+    lts = subparsers.add_parser(
+        "lts", help="explore a bounded fragment of the schema's LTS (Figure 1)"
+    )
+    lts.add_argument("--depth", type=int, default=2, help="maximal path length")
+    lts.add_argument("--response-size", type=int, default=1, help="max synthesised response size")
+    lts.add_argument("--grounded", action="store_true", help="grounded accesses only")
+    lts.add_argument("--max-nodes", type=int, default=200, help="node cap")
+    lts.add_argument(
+        "--hidden",
+        action="store_true",
+        help="draw responses from the hidden instance instead of synthesising them",
+    )
+    lts.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    lts.add_argument("--size", default="small", help="hidden instance size (small/medium/large)")
+    add_scenario_option(lts)
+    lts.set_defaults(func=cmd_lts)
+
+    scenarios = subparsers.add_parser("scenarios", help="list the named workload scenarios")
+    scenarios.add_argument("--verbose", action="store_true", help="show queries and probe accesses")
+    scenarios.set_defaults(func=cmd_scenarios)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

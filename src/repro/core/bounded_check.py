@@ -1,0 +1,453 @@
+"""Reference bounded-path satisfiability for AccLTL formulas.
+
+This is the workhorse model checker the paper's decision procedures are
+cross-validated against.  It searches explicitly for a witness access path
+within user-supplied (or formula-derived) bounds:
+
+* a maximal path length,
+* a pool of candidate facts that responses may reveal (by default, the
+  canonical databases of the formula's embedded sentences, mapped back to
+  the base schema — exactly the facts the Boundedness Lemma 4.13 shows are
+  sufficient for the 0-ary languages, and the homomorphic images used by
+  the small-witness arguments elsewhere),
+* a pool of candidate binding values (the formula's constants, the values
+  of the fact pool and the initial instance, plus a few fresh values),
+* a maximal response size, and
+* optional sanity restrictions (groundedness, exactness, idempotence).
+
+A positive verdict comes with a concrete witness path and is always sound.
+A negative verdict means "no witness within the bounds"; whether that is a
+proof of unsatisfiability depends on the fragment (for the 0-ary and X-only
+languages the Lemma 4.13 bounds make it one — see
+:mod:`repro.core.sat_zeroary` and :mod:`repro.core.sat_xonly`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.access.methods import Access, AccessSchema
+from repro.access.path import AccessPath, PathStep, is_grounded, satisfies_sanity_conditions
+from repro.core.formulas import AccFormula
+from repro.core.semantics import path_satisfies
+from repro.core.transition import path_structures
+from repro.core.vocabulary import (
+    AccessVocabulary,
+    base_relation_of,
+    is_isbind,
+    is_isbind0,
+    is_post,
+    is_pre,
+    method_of_isbind,
+)
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Constant, Variable
+from repro.relational.instance import Instance
+
+Fact = Tuple[str, Tuple[object, ...]]
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Search bounds for the reference model checker."""
+
+    max_path_length: int
+    max_response_size: int = 1
+    max_paths: int = 20000
+    fresh_values: int = 1
+
+
+@dataclass(frozen=True)
+class BoundedCheckResult:
+    """Result of a bounded satisfiability search."""
+
+    satisfiable: bool
+    witness: Optional[AccessPath]
+    paths_explored: int
+    exhausted: bool
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.satisfiable
+
+
+def formula_constants(formula: AccFormula) -> FrozenSet[object]:
+    """All constant values mentioned in the formula's embedded sentences."""
+    values: Set[object] = set()
+    for sentence in formula.atoms():
+        for constant in sentence.query.constants():
+            values.add(constant.value)
+    return frozenset(values)
+
+
+def fact_pool_from_sentences(
+    vocabulary: AccessVocabulary, sentences: Iterable
+) -> List[Fact]:
+    """Candidate facts derived from a collection of embedded sentences.
+
+    Every disjunct of every sentence is frozen (variables become fresh
+    values, distinct per disjunct) and its pre/post atoms are mapped back to
+    base-schema facts.  Binding predicates contribute their constant values
+    to the value pool but no facts.
+
+    The pool is then *binding-enriched*: for every fact and every access
+    method on its relation, variants are added in which the method's input
+    positions take constants mentioned by the sentences.  This accounts for
+    witnesses in which the revealed tuple must agree with a concrete
+    binding (e.g. the long-term-relevance formula of Example 2.3, whose
+    revealing access carries constant binding values).
+    """
+    sentence_list = list(sentences)
+    facts: List[Fact] = []
+    seen: Set[Fact] = set()
+    base_schema = vocabulary.access_schema.schema
+    constants: Set[object] = set()
+    for sentence in sentence_list:
+        for constant in sentence.query.constants():
+            constants.add(constant.value)
+    for sentence_index, sentence in enumerate(sentence_list):
+        for disjunct_index, disjunct in enumerate(sentence.query.disjuncts):
+            assignment: Dict[Variable, object] = {
+                v: f"~s{sentence_index}d{disjunct_index}_{v.name}"
+                for v in disjunct.variables()
+            }
+            for atom in disjunct.atoms:
+                name = atom.relation
+                if is_isbind(name) or is_isbind0(name):
+                    continue
+                base = base_relation_of(name)
+                if base not in base_schema:
+                    continue
+                fact = (base, atom.substitute(assignment))
+                if fact not in seen:
+                    seen.add(fact)
+                    facts.append(fact)
+
+    if constants:
+        sorted_constants = sorted(constants, key=repr)
+        base_facts = list(facts)
+
+        def add_variant(relation_name: str, values: List[object]) -> None:
+            relation = base_schema.relation(relation_name)
+            try:
+                variant = (relation_name, relation.validate_tuple(tuple(values)))
+            except Exception:
+                return  # ill-typed for the relation: not a possible fact
+            if variant not in seen:
+                seen.add(variant)
+                facts.append(variant)
+
+        # Variants matching a concrete binding mentioned by the formula: for
+        # every all-constant IsBind atom, substitute its binding values at
+        # the method's input positions of every pool fact of that relation.
+        # This covers witnesses whose revealing access carries the formula's
+        # constants (e.g. the boolean probe access of an LTR check).
+        for sentence in sentence_list:
+            for disjunct in sentence.query.disjuncts:
+                for atom in disjunct.atoms:
+                    if not is_isbind(atom.relation):
+                        continue
+                    if any(isinstance(term, Variable) for term in atom.terms):
+                        continue
+                    method_name = method_of_isbind(atom.relation)
+                    if method_name not in vocabulary.access_schema:
+                        continue
+                    method = vocabulary.access_schema.method(method_name)
+                    binding = tuple(term.value for term in atom.terms)
+                    for relation_name, tup in base_facts:
+                        if relation_name != method.relation:
+                            continue
+                        values = list(tup)
+                        for position, value in zip(method.input_positions, binding):
+                            values[position] = value
+                        add_variant(relation_name, values)
+        # Variants with constants at the input positions of some method on
+        # the fact's relation (the accesses that could return the fact).
+        for relation_name, tup in base_facts:
+            for method in vocabulary.access_schema.methods_for(relation_name):
+                if not method.input_positions or method.num_inputs > 3:
+                    continue
+                for combo in itertools.product(
+                    sorted_constants, repeat=method.num_inputs
+                ):
+                    values = list(tup)
+                    for position, value in zip(method.input_positions, combo):
+                        values[position] = value
+                    add_variant(relation_name, values)
+        # Variants with a constant at a single arbitrary position, covering
+        # witnesses where a join variable of one sentence must take the value
+        # of a constant appearing in another sentence (e.g. the binding
+        # constant of an LTR formula flowing into a non-input position).
+        for relation_name, tup in base_facts:
+            for position in range(len(tup)):
+                for constant in sorted_constants:
+                    values = list(tup)
+                    values[position] = constant
+                    add_variant(relation_name, values)
+    return facts
+
+
+def formula_fact_pool(
+    vocabulary: AccessVocabulary, formula: AccFormula
+) -> List[Fact]:
+    """Candidate facts derived from the formula (Lemma 4.13 style)."""
+    return fact_pool_from_sentences(vocabulary, formula.atoms())
+
+
+def default_value_pool(
+    vocabulary: AccessVocabulary,
+    formula: AccFormula,
+    fact_pool: Sequence[Fact],
+    initial: Instance,
+    fresh_values: int,
+) -> List[object]:
+    """Binding/value candidates: constants, fact-pool values, initial values, fresh."""
+    values: Set[object] = set(formula_constants(formula))
+    for _, tup in fact_pool:
+        values.update(tup)
+    values |= set(initial.active_domain())
+    pool = sorted(values, key=repr)
+    pool.extend(f"~fresh{i}" for i in range(fresh_values))
+    return pool
+
+
+def _facts_by_relation(fact_pool: Sequence[Fact]) -> Dict[str, List[Tuple[object, ...]]]:
+    grouped: Dict[str, List[Tuple[object, ...]]] = {}
+    for relation, tup in fact_pool:
+        grouped.setdefault(relation, []).append(tup)
+    return grouped
+
+
+def candidate_accesses_for_search(
+    schema: AccessSchema,
+    fact_pool: Sequence[Fact],
+    value_pool: Sequence[object],
+    nary_bindings: bool,
+    max_product_inputs: int = 1,
+) -> List[Access]:
+    """Candidate accesses for the witness searches.
+
+    For every method the candidate bindings are:
+
+    * the projections of the pool facts of the method's relation onto the
+      method's input positions (the accesses that can actually return a
+      pool fact);
+    * when the formula/automaton refers to binding *values* (n-ary
+      ``IsBind`` predicates) and the method has at most *max_product_inputs*
+      inputs, every combination of pool values (so dataflow-style joins
+      between bindings and instance values are covered);
+    * for n-ary references with wider methods, every combination of the
+      non-placeholder (constant) values;
+    * one binding made of fresh values, standing for "an access whose
+      binding is irrelevant" (e.g. a pure access-order step).
+
+    For formulas that only use the 0-ary binding predicates the binding
+    values cannot influence satisfaction, so the first and last family
+    alone preserve completeness of the search.
+    """
+    from repro.relational.types import is_placeholder
+
+    facts_by_relation = _facts_by_relation(fact_pool)
+    constants = [v for v in value_pool if not is_placeholder(v)]
+    accesses: List[Access] = []
+    seen: Set[Tuple[str, Tuple[object, ...]]] = set()
+
+    def add(method, binding: Tuple[object, ...]) -> None:
+        key = (method.name, binding)
+        if key not in seen:
+            seen.add(key)
+            accesses.append(Access(method, binding))
+
+    for method in schema:
+        if method.num_inputs == 0:
+            add(method, ())
+            continue
+        for tup in facts_by_relation.get(method.relation, []):
+            add(method, tuple(tup[i] for i in method.input_positions))
+        if nary_bindings:
+            if method.num_inputs <= max_product_inputs:
+                for combo in itertools.product(value_pool, repeat=method.num_inputs):
+                    add(method, combo)
+            elif constants and method.num_inputs <= 3:
+                for combo in itertools.product(constants, repeat=method.num_inputs):
+                    add(method, combo)
+        add(
+            method,
+            tuple(f"~unbound{i}_{method.name}" for i in range(method.num_inputs)),
+        )
+    return accesses
+
+
+def _candidate_accesses(
+    schema: AccessSchema,
+    value_pool: Sequence[object],
+    known_values: Optional[Set[object]],
+) -> Iterator[Access]:
+    for method in schema:
+        pool = value_pool
+        if known_values is not None:
+            pool = [v for v in value_pool if v in known_values]
+        if method.num_inputs == 0:
+            yield Access(method, ())
+            continue
+        for combo in itertools.product(pool, repeat=method.num_inputs):
+            yield Access(method, combo)
+
+
+def _candidate_responses(
+    access: Access,
+    facts_by_relation: Dict[str, List[Tuple[object, ...]]],
+    max_response_size: int,
+) -> Iterator[FrozenSet[Tuple[object, ...]]]:
+    matching = [
+        tup
+        for tup in facts_by_relation.get(access.relation, [])
+        if access.matches(tup)
+    ]
+    yield frozenset()
+    for size in range(1, min(len(matching), max_response_size) + 1):
+        for subset in itertools.combinations(matching, size):
+            yield frozenset(subset)
+
+
+def bounded_satisfiability(
+    vocabulary: AccessVocabulary,
+    formula: AccFormula,
+    bounds: Bounds,
+    initial: Optional[Instance] = None,
+    fact_pool: Optional[Sequence[Fact]] = None,
+    value_pool: Optional[Sequence[object]] = None,
+    grounded_only: bool = False,
+    enforce_schema_sanity: bool = True,
+) -> BoundedCheckResult:
+    """Search for a witness access path of the formula within *bounds*.
+
+    See the module docstring for the meaning of the pools and the soundness
+    guarantees of each verdict.
+    """
+    schema = vocabulary.access_schema
+    if initial is None:
+        initial = schema.empty_instance()
+    if fact_pool is None:
+        fact_pool = formula_fact_pool(vocabulary, formula)
+    if value_pool is None:
+        value_pool = default_value_pool(
+            vocabulary, formula, fact_pool, initial, bounds.fresh_values
+        )
+    facts_by_relation = _facts_by_relation(fact_pool)
+
+    # Candidate (access, response) steps, computed once; revealing steps are
+    # explored before empty-response steps.
+    from repro.core.fragments import uses_nary_binding
+
+    nary = uses_nary_binding(formula)
+    accesses = candidate_accesses_for_search(
+        schema, fact_pool, value_pool, nary_bindings=nary
+    )
+    candidates: List[Tuple[Access, FrozenSet[Tuple[object, ...]]]] = []
+    empty_response_methods: Set[str] = set()
+    for access in accesses:
+        for response in _candidate_responses(
+            access, facts_by_relation, bounds.max_response_size
+        ):
+            if not response and not nary and not grounded_only:
+                # For 0-ary formulas the binding values of an information-free
+                # access are irrelevant (and groundedness is not being
+                # tracked): keep one empty-response candidate per method.
+                if access.method.name in empty_response_methods:
+                    continue
+                empty_response_methods.add(access.method.name)
+            candidates.append((access, response))
+    candidates.sort(key=lambda pair: len(pair[1]), reverse=True)
+
+    explored = 0
+    initial_known = set(initial.active_domain())
+
+    # Iterative-deepening depth-first search over paths: short witnesses are
+    # found before the search commits to deep branches, and the final round
+    # (depth = max_path_length) determines exhaustiveness.  Search states
+    # carry the current path, the current configuration and the set of
+    # known values (for groundedness).
+    for depth_limit in range(1, bounds.max_path_length + 1):
+        stack: List[Tuple[Tuple[PathStep, ...], Instance, Set[object]]] = [
+            ((), initial.copy(), set(initial_known))
+        ]
+        while stack:
+            steps, config, known = stack.pop()
+            if explored >= bounds.max_paths:
+                return BoundedCheckResult(
+                    satisfiable=False,
+                    witness=None,
+                    paths_explored=explored,
+                    exhausted=False,
+                )
+            if len(steps) >= depth_limit:
+                continue
+            children: List[Tuple[Tuple[PathStep, ...], Instance, Set[object]]] = []
+            for access, response in candidates:
+                if grounded_only and not all(
+                    value in known for value in access.binding
+                ):
+                    continue
+                explored += 1
+                if explored > bounds.max_paths:
+                    return BoundedCheckResult(
+                        satisfiable=False,
+                        witness=None,
+                        paths_explored=explored,
+                        exhausted=False,
+                    )
+                step = PathStep(access, response)
+                if steps and not response and steps[-1] == step:
+                    # Repeating an identical information-free step cannot help.
+                    continue
+                new_steps = steps + (step,)
+                path = AccessPath(new_steps)
+                if enforce_schema_sanity and not satisfies_sanity_conditions(
+                    path, schema, initial=initial, require_grounded=grounded_only
+                ):
+                    continue
+                if path_satisfies(vocabulary, path, formula, initial=initial):
+                    return BoundedCheckResult(
+                        satisfiable=True,
+                        witness=path,
+                        paths_explored=explored,
+                        exhausted=False,
+                    )
+                new_config = config.copy()
+                for tup in response:
+                    new_config.add(access.relation, tup)
+                new_known = known | set(access.binding) | {
+                    v for tup in response for v in tup
+                }
+                children.append((new_steps, new_config, new_known))
+            stack.extend(reversed(children))
+    return BoundedCheckResult(
+        satisfiable=False, witness=None, paths_explored=explored, exhausted=True
+    )
+
+
+def validity_counterexample(
+    vocabulary: AccessVocabulary,
+    formula: AccFormula,
+    bounds: Bounds,
+    initial: Optional[Instance] = None,
+    grounded_only: bool = False,
+) -> BoundedCheckResult:
+    """Search for a path violating *formula* (a counterexample to validity).
+
+    Validity over (grounded) paths is the dual of satisfiability: the
+    formula is valid iff its negation is unsatisfiable.  The fact and value
+    pools are derived from the *negated* formula (same embedded sentences),
+    so the same bounds apply.
+    """
+    from repro.core.formulas import AccNot
+
+    return bounded_satisfiability(
+        vocabulary,
+        AccNot(formula),
+        bounds,
+        initial=initial,
+        grounded_only=grounded_only,
+    )

@@ -1,0 +1,351 @@
+"""A small text syntax for AccLTL formulas.
+
+The library's formulas are normally built programmatically (see
+:mod:`repro.core.properties`), but the CLI and the examples benefit from a
+concise textual syntax.  The grammar is::
+
+    formula   := or
+    or        := and ( '|' and )*
+    and       := until ( '&' until )*
+    until     := unary ( 'U' unary )*            (right associative)
+    unary     := ('~' | '!' | 'G' | 'F' | 'X') unary
+               | '(' formula ')'
+               | 'true'
+               | '[' sentence ']'
+    sentence  := body ( ';' body )*              (a UCQ given by its bodies)
+    body      := comma-separated relational atoms and comparisons, in the
+                 syntax of :mod:`repro.queries.parser`
+
+Inside a sentence, relation names refer to the access vocabulary through a
+friendly spelling that is resolved against an
+:class:`~repro.core.vocabulary.AccessVocabulary`:
+
+* ``R_pre(...)`` / ``R_post(...)`` — the pre-/post-access copy of schema
+  relation ``R``;
+* ``IsBind_AcM(...)`` — the n-ary binding predicate of access method
+  ``AcM``;
+* ``IsBind0_AcM`` — the 0-ary binding proposition of ``AcM``.
+
+Example (the introduction's "until" property)::
+
+    ~[Mobile_pre(n, p, s, ph)] U [IsBind_AcM1(n), Address_pre(s, p, n, h)]
+
+:func:`format_formula` renders a formula back into this syntax (dropping
+any display labels), so formulas can be stored in plain text files and CLI
+invocations.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.core.formulas import (
+    AccAnd,
+    AccAtom,
+    AccEventually,
+    AccFormula,
+    AccGlobally,
+    AccNext,
+    AccNot,
+    AccOr,
+    AccTrue,
+    AccUntil,
+    EmbeddedSentence,
+)
+from repro.core.vocabulary import (
+    AccessVocabulary,
+    is_isbind,
+    is_isbind0,
+    is_post,
+    is_pre,
+    isbind0_name,
+    isbind_name,
+    method_of_isbind,
+    base_relation_of,
+    post_name,
+    pre_name,
+)
+from repro.queries.cq import ConjunctiveQuery, QueryError
+from repro.queries.parser import parse_cq
+from repro.queries.terms import Constant, Term, Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+
+class FormulaParseError(QueryError):
+    """Raised when an AccLTL formula string cannot be parsed."""
+
+
+_FRIENDLY_PRE = "_pre"
+_FRIENDLY_POST = "_post"
+_FRIENDLY_ISBIND = "IsBind_"
+_FRIENDLY_ISBIND0 = "IsBind0_"
+
+
+# ----------------------------------------------------------------------
+# Vocabulary name resolution
+# ----------------------------------------------------------------------
+def resolve_relation_name(name: str, vocabulary: AccessVocabulary) -> str:
+    """Resolve a friendly relation spelling to a canonical vocabulary name."""
+    # Already canonical?
+    if name in vocabulary.schema:
+        return name
+    access_schema = vocabulary.access_schema
+    if name.startswith(_FRIENDLY_ISBIND0):
+        method = name[len(_FRIENDLY_ISBIND0):]
+        if method in access_schema:
+            return isbind0_name(method)
+        raise FormulaParseError(f"unknown access method {method!r} in {name!r}")
+    if name.startswith(_FRIENDLY_ISBIND):
+        method = name[len(_FRIENDLY_ISBIND):]
+        if method in access_schema:
+            return isbind_name(method)
+        raise FormulaParseError(f"unknown access method {method!r} in {name!r}")
+    if name.endswith(_FRIENDLY_PRE):
+        base = name[: -len(_FRIENDLY_PRE)]
+        if base in access_schema.schema:
+            return pre_name(base)
+    if name.endswith(_FRIENDLY_POST):
+        base = name[: -len(_FRIENDLY_POST)]
+        if base in access_schema.schema:
+            return post_name(base)
+    raise FormulaParseError(
+        f"cannot resolve relation {name!r}: expected R_pre, R_post, IsBind_AcM or "
+        "IsBind0_AcM over the schema's relations and access methods"
+    )
+
+
+def friendly_relation_name(canonical: str) -> str:
+    """Invert :func:`resolve_relation_name` for display / formatting."""
+    if is_pre(canonical):
+        return base_relation_of(canonical) + _FRIENDLY_PRE
+    if is_post(canonical):
+        return base_relation_of(canonical) + _FRIENDLY_POST
+    if is_isbind0(canonical):
+        return _FRIENDLY_ISBIND0 + method_of_isbind(canonical)
+    if is_isbind(canonical):
+        return _FRIENDLY_ISBIND + method_of_isbind(canonical)
+    return canonical
+
+
+def _resolve_query(
+    query: ConjunctiveQuery, vocabulary: AccessVocabulary
+) -> ConjunctiveQuery:
+    mapping = {
+        name: resolve_relation_name(name, vocabulary) for name in query.relations()
+    }
+    return query.rename_relations(mapping)
+
+
+_BARE_ISBIND0_RE = re.compile(r"\b(IsBind0_[A-Za-z_0-9#]+)\b(?!\s*\()")
+
+
+def parse_sentence(text: str, vocabulary: AccessVocabulary) -> EmbeddedSentence:
+    """Parse the inside of a ``[...]`` atom into an embedded sentence.
+
+    Bare 0-ary binding propositions may be written without parentheses
+    (``IsBind0_AcM1``); they are normalised to ``IsBind0_AcM1()`` before
+    parsing.
+    """
+    text = _BARE_ISBIND0_RE.sub(r"\1()", text)
+    bodies = [piece.strip() for piece in text.split(";") if piece.strip()]
+    if not bodies:
+        raise FormulaParseError("empty embedded sentence")
+    disjuncts = []
+    for body in bodies:
+        parsed = parse_cq(f"Q() :- {body}")
+        disjuncts.append(_resolve_query(parsed.boolean_version(), vocabulary))
+    return EmbeddedSentence(UnionOfConjunctiveQueries(tuple(disjuncts)))
+
+
+# ----------------------------------------------------------------------
+# Tokenizer for the temporal level
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        (?P<sentence>\[[^\]]*\])
+      | (?P<op>[GFXU])(?![A-Za-z_0-9])
+      | (?P<word>true)
+      | (?P<not>[~!])
+      | (?P<and>&)
+      | (?P<or>\|)
+      | (?P<lparen>\()
+      | (?P<rparen>\))
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise FormulaParseError(f"cannot tokenize {remainder[:30]!r}")
+        position = match.end()
+        for kind in ("sentence", "op", "word", "not", "and", "or", "lparen", "rparen"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _FormulaParser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[Tuple[str, str]], vocabulary: AccessVocabulary):
+        self._tokens = tokens
+        self._position = 0
+        self._vocabulary = vocabulary
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise FormulaParseError("unexpected end of formula")
+        self._position += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self._position >= len(self._tokens)
+
+    # -- grammar ---------------------------------------------------------
+    def parse_formula(self) -> AccFormula:
+        return self._parse_or()
+
+    def _parse_or(self) -> AccFormula:
+        left = self._parse_and()
+        while self._peek() is not None and self._peek()[0] == "or":
+            self._next()
+            right = self._parse_and()
+            left = AccOr(left, right)
+        return left
+
+    def _parse_and(self) -> AccFormula:
+        left = self._parse_until()
+        while self._peek() is not None and self._peek()[0] == "and":
+            self._next()
+            right = self._parse_until()
+            left = AccAnd(left, right)
+        return left
+
+    def _parse_until(self) -> AccFormula:
+        left = self._parse_unary()
+        token = self._peek()
+        if token is not None and token[0] == "op" and token[1] == "U":
+            self._next()
+            right = self._parse_until()  # right associative
+            return AccUntil(left, right)
+        return left
+
+    def _parse_unary(self) -> AccFormula:
+        token = self._peek()
+        if token is None:
+            raise FormulaParseError("unexpected end of formula")
+        kind, value = token
+        if kind == "not":
+            self._next()
+            return AccNot(self._parse_unary())
+        if kind == "op" and value in ("G", "F", "X"):
+            self._next()
+            operand = self._parse_unary()
+            if value == "G":
+                return AccGlobally(operand)
+            if value == "F":
+                return AccEventually(operand)
+            return AccNext(operand)
+        if kind == "op" and value == "U":
+            raise FormulaParseError("'U' is a binary operator")
+        if kind == "lparen":
+            self._next()
+            inner = self.parse_formula()
+            closing = self._next()
+            if closing[0] != "rparen":
+                raise FormulaParseError("expected ')'")
+            return inner
+        if kind == "word" and value == "true":
+            self._next()
+            return AccTrue()
+        if kind == "sentence":
+            self._next()
+            sentence = parse_sentence(value[1:-1], self._vocabulary)
+            return AccAtom(sentence)
+        raise FormulaParseError(f"unexpected token {value!r}")
+
+
+def parse_formula(text: str, vocabulary: AccessVocabulary) -> AccFormula:
+    """Parse an AccLTL formula from its textual syntax."""
+    parser = _FormulaParser(_tokenize(text), vocabulary)
+    formula = parser.parse_formula()
+    if not parser.at_end():
+        raise FormulaParseError("trailing input after formula")
+    return formula
+
+
+# ----------------------------------------------------------------------
+# Formatting (the inverse of parsing, up to display labels)
+# ----------------------------------------------------------------------
+def _format_term(term: Term) -> str:
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Constant):
+        value = term.value
+        if isinstance(value, str):
+            return f'"{value}"'
+        return str(value)
+    raise FormulaParseError(f"cannot format term {term!r}")
+
+
+def _format_body(query: ConjunctiveQuery) -> str:
+    parts: List[str] = []
+    for rel_atom in query.atoms:
+        terms = ", ".join(_format_term(t) for t in rel_atom.terms)
+        parts.append(f"{friendly_relation_name(rel_atom.relation)}({terms})")
+    for equality in query.equalities:
+        parts.append(f"{_format_term(equality.left)} = {_format_term(equality.right)}")
+    for inequality in query.inequalities:
+        parts.append(
+            f"{_format_term(inequality.left)} != {_format_term(inequality.right)}"
+        )
+    return ", ".join(parts)
+
+
+def format_sentence(sentence: EmbeddedSentence) -> str:
+    """Render an embedded sentence in the parseable ``[...]`` syntax."""
+    bodies = " ; ".join(_format_body(disjunct) for disjunct in sentence.query.disjuncts)
+    return f"[{bodies}]"
+
+
+def format_formula(formula: AccFormula) -> str:
+    """Render a formula in the parseable textual syntax (labels are dropped)."""
+    if isinstance(formula, AccTrue):
+        return "true"
+    if isinstance(formula, AccAtom):
+        return format_sentence(formula.sentence)
+    if isinstance(formula, AccNot):
+        return f"~({format_formula(formula.operand)})"
+    if isinstance(formula, AccAnd):
+        return f"({format_formula(formula.left)} & {format_formula(formula.right)})"
+    if isinstance(formula, AccOr):
+        return f"({format_formula(formula.left)} | {format_formula(formula.right)})"
+    if isinstance(formula, AccNext):
+        return f"X({format_formula(formula.operand)})"
+    if isinstance(formula, AccUntil):
+        return f"({format_formula(formula.left)} U {format_formula(formula.right)})"
+    if isinstance(formula, AccEventually):
+        return f"F({format_formula(formula.operand)})"
+    if isinstance(formula, AccGlobally):
+        return f"G({format_formula(formula.operand)})"
+    raise FormulaParseError(f"cannot format formula node {formula!r}")

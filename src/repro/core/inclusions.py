@@ -1,0 +1,439 @@
+"""The Figure 2 inclusion machinery: translations and separation witnesses.
+
+Figure 2 of the paper orders the AccLTL languages (and A-automata) by
+expressive power.  Most inclusions are purely syntactic (a formula of the
+smaller language *is* a formula of the larger one); the interesting one is
+
+    ``AccLTL(FO∃+_0-Acc)  ⊆  AccLTL+``
+
+because ``FO∃+_0-Acc`` sentences may use the 0-ary ``IsBind`` propositions
+*negatively*, while AccLTL+ requires binding atoms to occur positively.
+Section 6 sketches the rewriting: first replace a negated proposition
+``¬IsBind_AcM`` by the disjunction ``⋁_{AcM' ≠ AcM} IsBind_AcM'`` (sound
+because every transition uses exactly one method), then replace each 0-ary
+proposition by its existentially quantified n-ary counterpart
+``∃x̄ IsBind_AcM(x̄)``.  :func:`zeroary_to_plus` implements that rewriting.
+
+The module also exposes the *strictness* side of Figure 2 / Table 1:
+:func:`separation_witnesses` returns, for each strict inclusion, a concrete
+property of the larger formalism that the smaller one cannot express
+(dataflow for 0-ary vs AccLTL+, negative bindings for AccLTL+ vs the full
+logic, inequalities/FDs for the ≠-extensions, and path-length parity for
+AccLTL+ vs A-automata), together with the witness object used by the
+Figure 2 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+import networkx as nx
+
+from repro.access.path import AccessPath
+from repro.automata.aautomaton import AAutomaton
+from repro.automata.operations import length_modulo_automaton
+from repro.core.formulas import (
+    AccAnd,
+    AccAtom,
+    AccEventually,
+    AccFormula,
+    AccGlobally,
+    AccNext,
+    AccNot,
+    AccOr,
+    AccTrue,
+    AccUntil,
+    EmbeddedSentence,
+    atom as make_atom,
+    lor,
+)
+from repro.core.fragments import Fragment, classify, inclusion_order
+from repro.core.semantics import path_satisfies
+from repro.core.vocabulary import (
+    AccessVocabulary,
+    is_isbind0,
+    isbind_name,
+    method_of_isbind,
+)
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.instance import Instance
+
+
+class InclusionError(ValueError):
+    """Raised when a formula is outside the scope of a translation."""
+
+
+# ----------------------------------------------------------------------
+# Lifting 0-ary binding propositions to n-ary binding atoms
+# ----------------------------------------------------------------------
+def nary_existential_atom(
+    vocabulary: AccessVocabulary, method_name: str
+) -> AccFormula:
+    """The atomic formula ``∃x̄ IsBind_AcM(x̄)`` — "this transition used AcM"."""
+    method = vocabulary.access_schema.method(method_name)
+    variables = tuple(Variable(f"b{i}") for i in range(method.num_inputs))
+    return make_atom(
+        ConjunctiveQuery(atoms=(Atom(isbind_name(method_name), variables),), head=()),
+        label=f"uses[{method_name}]",
+    )
+
+
+def lift_zeroary_sentence(
+    sentence: EmbeddedSentence, vocabulary: AccessVocabulary
+) -> EmbeddedSentence:
+    """Replace every 0-ary ``IsBind0`` atom by ``∃x̄ IsBind(x̄)`` in a sentence.
+
+    Operates disjunct by disjunct; fresh variables are used for the lifted
+    atoms so no accidental joins are introduced.
+    """
+    if not sentence.mentions_zeroary_binding():
+        return sentence
+    lifted_disjuncts = []
+    for disjunct_index, disjunct in enumerate(sentence.query.disjuncts):
+        new_atoms = []
+        fresh = 0
+        for rel_atom in disjunct.atoms:
+            if is_isbind0(rel_atom.relation):
+                method_name = method_of_isbind(rel_atom.relation)
+                method = vocabulary.access_schema.method(method_name)
+                variables = tuple(
+                    Variable(f"_lift{disjunct_index}_{fresh}_{i}")
+                    for i in range(method.num_inputs)
+                )
+                fresh += 1
+                new_atoms.append(Atom(isbind_name(method_name), variables))
+            else:
+                new_atoms.append(rel_atom)
+        lifted_disjuncts.append(
+            ConjunctiveQuery(
+                atoms=tuple(new_atoms),
+                head=(),
+                equalities=disjunct.equalities,
+                inequalities=disjunct.inequalities,
+                name=disjunct.name,
+            )
+        )
+    return EmbeddedSentence(
+        UnionOfConjunctiveQueries(tuple(lifted_disjuncts)),
+        label=sentence.label,
+    )
+
+
+def _pure_marker_method(sentence: EmbeddedSentence) -> Optional[str]:
+    """If the sentence is exactly one 0-ary binding proposition, its method name."""
+    if len(sentence.query.disjuncts) != 1:
+        return None
+    disjunct = sentence.query.disjuncts[0]
+    if disjunct.equalities or disjunct.inequalities or len(disjunct.atoms) != 1:
+        return None
+    rel_atom = disjunct.atoms[0]
+    if not is_isbind0(rel_atom.relation):
+        return None
+    return method_of_isbind(rel_atom.relation)
+
+
+def negated_marker_rewrite(
+    vocabulary: AccessVocabulary, method_name: str
+) -> AccFormula:
+    """The Section 6 rewrite of ``¬IsBind_AcM``: ``⋁_{AcM' ≠ AcM} ∃x̄ IsBind_AcM'(x̄)``.
+
+    Sound on access paths because every transition uses exactly one access
+    method.  Requires the schema to have at least one other method;
+    otherwise the negation is unsatisfiable and the constant-false formula
+    ``¬true`` is returned.
+    """
+    alternatives = [
+        nary_existential_atom(vocabulary, other.name)
+        for other in vocabulary.access_schema
+        if other.name != method_name
+    ]
+    if not alternatives:
+        return AccNot(AccTrue())
+    return lor(*alternatives)
+
+
+def zeroary_to_plus(
+    formula: AccFormula, vocabulary: AccessVocabulary
+) -> AccFormula:
+    """Translate an ``AccLTL(FO∃+_0-Acc)`` formula into an equivalent AccLTL+ one.
+
+    Scope: negation must be applied either to atoms or to subformulas that
+    mention no binding predicate at all (every property in
+    :mod:`repro.core.properties` that lives in the 0-ary fragment has this
+    shape).  A negated atom must either not mention bindings or be a pure
+    method marker (``IsBind0_AcM`` on its own), in which case the Section 6
+    disjunction rewrite applies.  Formulas outside this scope raise
+    :class:`InclusionError`.
+    """
+
+    def mentions_binding(node: AccFormula) -> bool:
+        return any(
+            isinstance(sub, AccAtom) and sub.sentence.mentions_binding()
+            for sub in node.walk()
+        )
+
+    def translate(node: AccFormula) -> AccFormula:
+        if isinstance(node, AccTrue):
+            return node
+        if isinstance(node, AccAtom):
+            if node.sentence.mentions_nary_binding():
+                raise InclusionError(
+                    "formula already uses n-ary binding predicates; it is not in "
+                    "the 0-ary fragment"
+                )
+            return AccAtom(lift_zeroary_sentence(node.sentence, vocabulary))
+        if isinstance(node, AccNot):
+            inner = node.operand
+            if isinstance(inner, AccNot):
+                return translate(inner.operand)
+            if isinstance(inner, AccAtom):
+                marker = _pure_marker_method(inner.sentence)
+                if marker is not None:
+                    return negated_marker_rewrite(vocabulary, marker)
+                if inner.sentence.mentions_binding():
+                    raise InclusionError(
+                        "cannot translate a negated sentence that mixes binding "
+                        "propositions with other atoms; rewrite the formula so "
+                        "negation applies to pure IsBind0 markers"
+                    )
+                return node
+            if mentions_binding(inner):
+                raise InclusionError(
+                    "cannot translate a negated temporal subformula that mentions "
+                    "binding propositions"
+                )
+            return node
+        if isinstance(node, AccAnd):
+            return AccAnd(translate(node.left), translate(node.right))
+        if isinstance(node, AccOr):
+            return AccOr(translate(node.left), translate(node.right))
+        if isinstance(node, AccNext):
+            return AccNext(translate(node.operand))
+        if isinstance(node, AccUntil):
+            return AccUntil(translate(node.left), translate(node.right))
+        if isinstance(node, AccEventually):
+            return AccEventually(translate(node.operand))
+        if isinstance(node, AccGlobally):
+            return AccGlobally(translate(node.operand))
+        raise InclusionError(f"unknown formula node {node!r}")
+
+    report = classify(formula)
+    if report.uses_nary_binding:
+        raise InclusionError("formula is not in the 0-ary fragment")
+    return translate(formula)
+
+
+def translation_agrees_on_samples(
+    vocabulary: AccessVocabulary,
+    original: AccFormula,
+    translated: AccFormula,
+    sample_paths: Sequence[AccessPath],
+    initial: Optional[Instance] = None,
+) -> bool:
+    """Whether the original and translated formulas agree on every sampled path."""
+    for path in sample_paths:
+        if path_satisfies(vocabulary, path, original, initial) != path_satisfies(
+            vocabulary, path, translated, initial
+        ):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# The inclusion graph (Figure 2 as a digraph)
+# ----------------------------------------------------------------------
+#: Node name used for the A-automata vertex of Figure 2.
+A_AUTOMATA_NODE = "A-automata"
+
+FigureNode = Union[Fragment, str]
+
+
+def inclusion_digraph(include_automata: bool = True) -> "nx.DiGraph":
+    """Figure 2 as a :mod:`networkx` digraph (edges point small → large)."""
+    graph = nx.DiGraph()
+    for fragment in Fragment:
+        graph.add_node(fragment)
+    for small, large in inclusion_order():
+        graph.add_edge(small, large)
+    if include_automata:
+        graph.add_node(A_AUTOMATA_NODE)
+        graph.add_edge(Fragment.ACCLTL_PLUS, A_AUTOMATA_NODE)
+    return graph
+
+
+def is_included(small: FigureNode, large: FigureNode) -> bool:
+    """Whether every property of *small* is expressible in *large* (Figure 2).
+
+    Computed as reachability in the inclusion digraph (inclusions compose).
+    """
+    graph = inclusion_digraph()
+    if small == large:
+        return True
+    return nx.has_path(graph, small, large)
+
+
+# ----------------------------------------------------------------------
+# Separation witnesses (strictness of the inclusions)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SeparationWitness:
+    """A witness that an inclusion ``small ⊆ large`` of Figure 2 is strict.
+
+    Attributes
+    ----------
+    small / large:
+        The two formalisms (fragments, or the A-automata node).
+    property_name:
+        The Table 1 application class (or other property) that separates
+        them.
+    description:
+        Human-readable explanation.
+    build_witness:
+        A callable producing the witness object (an :class:`AccFormula` or
+        an :class:`AAutomaton`) from an :class:`AccessVocabulary`.
+    """
+
+    small: FigureNode
+    large: FigureNode
+    property_name: str
+    description: str
+    build_witness: Callable[[AccessVocabulary], object]
+
+
+def separation_witnesses() -> List[SeparationWitness]:
+    """The strictness witnesses for the Figure 2 inclusions.
+
+    Each entry names a property expressible in the larger formalism that the
+    smaller one cannot express, following Table 1's application columns and
+    the Section 6 discussion (parity of path length for the A-automata).
+    """
+    from repro.core import properties
+
+    def groundedness(vocabulary: AccessVocabulary) -> AccFormula:
+        return properties.groundedness_formula(vocabulary)
+
+    def dataflow(vocabulary: AccessVocabulary) -> AccFormula:
+        schema = vocabulary.access_schema
+        method = next(iter(schema))
+        relation = next(iter(schema.schema))
+        return properties.dataflow_formula(vocabulary, method, 0, relation.name, 0)
+
+    def negative_binding(vocabulary: AccessVocabulary) -> AccFormula:
+        method = next(iter(vocabulary.access_schema))
+        variables = tuple(Variable(f"x{i}") for i in range(method.num_inputs))
+        bind = make_atom(
+            ConjunctiveQuery(
+                atoms=(Atom(isbind_name(method.name), variables),), head=()
+            ),
+            label=f"IsBind[{method.name}]",
+        )
+        return AccGlobally(AccNot(bind))
+
+    def fd_with_inequalities(vocabulary: AccessVocabulary) -> AccFormula:
+        from repro.relational.dependencies import FunctionalDependency
+
+        relation = next(
+            rel for rel in vocabulary.access_schema.schema if rel.arity >= 2
+        )
+        fd = FunctionalDependency(relation.name, (0,), relation.arity - 1)
+        return properties.fd_formula(vocabulary, fd)
+
+    def eventual_reveal(vocabulary: AccessVocabulary) -> AccFormula:
+        relation = next(iter(vocabulary.access_schema.schema))
+        return AccEventually(
+            properties.relation_nonempty_post(vocabulary, relation.name)
+        )
+
+    def parity(vocabulary: AccessVocabulary) -> AAutomaton:
+        return length_modulo_automaton(2, 0, name="even-length")
+
+    return [
+        SeparationWitness(
+            small=Fragment.ACCLTL_X_ZEROARY,
+            large=Fragment.ACCLTL_ZEROARY_INEQ,
+            property_name="AccOr",
+            description=(
+                "Unbounded access-order / eventuality properties need U or F; the "
+                "X-only fragment can only look a fixed number of steps ahead."
+            ),
+            build_witness=eventual_reveal,
+        ),
+        SeparationWitness(
+            small=Fragment.ACCLTL_ZEROARY,
+            large=Fragment.ACCLTL_PLUS,
+            property_name="DF (dataflow)",
+            description=(
+                "Dataflow restrictions (values of bindings must come from prior "
+                "responses) need the n-ary IsBind predicates; Table 1 marks DF "
+                "as inexpressible in the 0-ary languages."
+            ),
+            build_witness=dataflow,
+        ),
+        SeparationWitness(
+            small=Fragment.ACCLTL_ZEROARY,
+            large=Fragment.ACCLTL_ZEROARY_INEQ,
+            property_name="FD",
+            description=(
+                "Functional dependencies need inequalities (Example 2.4 / "
+                "Theorem 5.1)."
+            ),
+            build_witness=fd_with_inequalities,
+        ),
+        SeparationWitness(
+            small=Fragment.ACCLTL_PLUS,
+            large=Fragment.ACCLTL_FULL,
+            property_name="negative bindings",
+            description=(
+                "AccLTL(FO∃+_Acc) can forbid specific accesses (IsBind under "
+                "negation); AccLTL+ cannot (that restriction is what restores "
+                "decidability, Theorem 4.2 vs Theorem 3.1)."
+            ),
+            build_witness=negative_binding,
+        ),
+        SeparationWitness(
+            small=Fragment.ACCLTL_FULL,
+            large=Fragment.ACCLTL_FULL_INEQ,
+            property_name="FD",
+            description=(
+                "Functional dependencies on the hidden data need inequalities "
+                "(Example 2.4, Theorem 5.2)."
+            ),
+            build_witness=fd_with_inequalities,
+        ),
+        SeparationWitness(
+            small=Fragment.ACCLTL_PLUS,
+            large=A_AUTOMATA_NODE,
+            property_name="path-length parity",
+            description=(
+                "A-automata can count path length modulo 2; first-order logics "
+                "like AccLTL+ cannot (Section 6)."
+            ),
+            build_witness=parity,
+        ),
+        SeparationWitness(
+            small=Fragment.ACCLTL_X_ZEROARY,
+            large=Fragment.ACCLTL_ZEROARY_INEQ,
+            property_name="AccOr + FD",
+            description=(
+                "The ≠-extension of the 0-ary language adds both unbounded "
+                "temporal operators and FD expressibility over the X-only "
+                "fragment."
+            ),
+            build_witness=fd_with_inequalities,
+        ),
+        SeparationWitness(
+            small=Fragment.ACCLTL_ZEROARY,
+            large=Fragment.ACCLTL_FULL,
+            property_name="DF (groundedness)",
+            description=(
+                "Groundedness — the basic dataflow restriction — is expressible "
+                "once n-ary binding predicates are available (Section 4), but not "
+                "in any 0-ary language."
+            ),
+            build_witness=groundedness,
+        ),
+    ]

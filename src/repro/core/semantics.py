@@ -1,0 +1,103 @@
+"""Semantics of AccLTL formulas over access paths.
+
+Implements Definition 2.1: ``(p, i) ⊨ φ`` for an access path ``p`` (a
+sequence of transitions) and a position ``1 ≤ i ≤ n`` (we use 0-based
+positions internally).  Atomic formulas are evaluated on the transition
+structure ``M(t_i)`` using ordinary first-order (here: UCQ) evaluation;
+temporal operators follow the usual finite-path LTL rules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.access.path import AccessPath
+from repro.core.formulas import (
+    AccAnd,
+    AccAtom,
+    AccEventually,
+    AccFormula,
+    AccGlobally,
+    AccNext,
+    AccNot,
+    AccOr,
+    AccTrue,
+    AccUntil,
+)
+from repro.core.transition import TransitionStructure, path_structures
+from repro.core.vocabulary import AccessVocabulary
+from repro.queries.evaluation import holds
+from repro.relational.instance import Instance
+
+
+def satisfies_at(
+    structures: Sequence[TransitionStructure], position: int, formula: AccFormula
+) -> bool:
+    """Whether ``(p, position) ⊨ formula`` given the path's transition structures."""
+    if position < 0 or position >= len(structures):
+        return False
+    if isinstance(formula, AccTrue):
+        return True
+    if isinstance(formula, AccAtom):
+        return holds(formula.sentence.query, structures[position].structure)
+    if isinstance(formula, AccNot):
+        return not satisfies_at(structures, position, formula.operand)
+    if isinstance(formula, AccAnd):
+        return satisfies_at(structures, position, formula.left) and satisfies_at(
+            structures, position, formula.right
+        )
+    if isinstance(formula, AccOr):
+        return satisfies_at(structures, position, formula.left) or satisfies_at(
+            structures, position, formula.right
+        )
+    if isinstance(formula, AccNext):
+        return position + 1 < len(structures) and satisfies_at(
+            structures, position + 1, formula.operand
+        )
+    if isinstance(formula, AccUntil):
+        for j in range(position, len(structures)):
+            if satisfies_at(structures, j, formula.right):
+                if all(
+                    satisfies_at(structures, k, formula.left)
+                    for k in range(position, j)
+                ):
+                    return True
+        return False
+    if isinstance(formula, AccEventually):
+        return any(
+            satisfies_at(structures, j, formula.operand)
+            for j in range(position, len(structures))
+        )
+    if isinstance(formula, AccGlobally):
+        return all(
+            satisfies_at(structures, j, formula.operand)
+            for j in range(position, len(structures))
+        )
+    raise TypeError(f"unknown AccLTL node {formula!r}")
+
+
+def path_satisfies(
+    vocabulary: AccessVocabulary,
+    path: AccessPath,
+    formula: AccFormula,
+    initial: Optional[Instance] = None,
+) -> bool:
+    """Whether ``(p, 1) ⊨ formula`` for the given access path.
+
+    The empty path satisfies no formula (there is no first position), which
+    matches the convention used for satisfiability: witnesses are non-empty
+    paths.
+    """
+    if len(path) == 0:
+        return False
+    structures = path_structures(vocabulary, path, initial)
+    return satisfies_at(structures, 0, formula)
+
+
+def structures_satisfy(
+    structures: Sequence[TransitionStructure], formula: AccFormula
+) -> bool:
+    """Whether a non-empty pre-computed structure sequence satisfies the formula."""
+    if not structures:
+        return False
+    return satisfies_at(structures, 0, formula)

@@ -1,0 +1,88 @@
+"""Transition structures ``M(t)`` and ``M'(t)``.
+
+Each position of an access path corresponds to a transition
+``t = (I, (AcM, b̄), I')`` of the LTS.  The paper associates with ``t`` a
+relational structure over the access vocabulary:
+
+* ``M(t)`` (Section 2) interprets each ``R_pre`` as ``I(R)``, each
+  ``R_post`` as ``I'(R)``, the predicate ``IsBind_AcM`` as the singleton
+  ``{b̄}``, and every other binding predicate as empty;
+* ``M'(t)`` (Section 4.2) additionally interprets the 0-ary predicate
+  ``IsBind0_AcM`` as true exactly when ``AcM`` was the method used.
+
+We build one combined structure that interprets both the n-ary and the
+0-ary binding predicates, so the same structure can be queried by formulas
+of either vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.access.methods import Access, AccessSchema
+from repro.access.path import AccessPath, configurations
+from repro.core.vocabulary import (
+    AccessVocabulary,
+    isbind0_name,
+    isbind_name,
+    post_name,
+    pre_name,
+)
+from repro.relational.instance import Instance
+
+
+@dataclass(frozen=True)
+class TransitionStructure:
+    """The relational structure associated with one access-path transition."""
+
+    vocabulary: AccessVocabulary
+    access: Access
+    structure: Instance
+
+    @property
+    def method_name(self) -> str:
+        """Name of the access method used in this transition."""
+        return self.access.method.name
+
+
+def transition_structure(
+    vocabulary: AccessVocabulary,
+    before: Instance,
+    access: Access,
+    after: Instance,
+) -> TransitionStructure:
+    """Build the combined structure ``M(t)`` / ``M'(t)`` of a transition."""
+    structure = Instance(vocabulary.schema)
+    for relation in vocabulary.access_schema.schema:
+        for tup in before.tuples(relation.name):
+            structure.add(pre_name(relation.name), tup)
+        for tup in after.tuples(relation.name):
+            structure.add(post_name(relation.name), tup)
+    structure.add(isbind_name(access.method.name), access.binding)
+    structure.add(isbind0_name(access.method.name), ())
+    return TransitionStructure(vocabulary=vocabulary, access=access, structure=structure)
+
+
+def path_structures(
+    vocabulary: AccessVocabulary,
+    path: AccessPath,
+    initial: Optional[Instance] = None,
+) -> List[TransitionStructure]:
+    """The sequence of transition structures of an access path.
+
+    The configurations ``I0 ⊆ I1 ⊆ ... ⊆ In`` along the path are computed
+    from the initial instance, and the i-th structure pairs ``I_{i-1}``
+    (pre) with ``I_i`` (post).
+    """
+    if initial is None:
+        initial = vocabulary.access_schema.empty_instance()
+    configs = configurations(path, initial)
+    structures: List[TransitionStructure] = []
+    for index, step in enumerate(path):
+        structures.append(
+            transition_structure(
+                vocabulary, configs[index], step.access, configs[index + 1]
+            )
+        )
+    return structures

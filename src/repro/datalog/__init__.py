@@ -1,0 +1,32 @@
+"""Datalog substrate.
+
+The paper's decidability result for AccLTL+ (Theorem 4.2 / 4.6) works by
+reducing emptiness of A-automata to containment of a Datalog program in a
+positive first-order query (Lemma 4.10 + Proposition 4.11, a generalisation
+of Chaudhuri–Vardi).  Datalog also provides the classical *maximal answers
+under access patterns* construction cited in the introduction ([15]): a
+linear-time translation of a conjunctive query into a Datalog program that
+performs all valid accesses.
+
+This package implements rules/programs, naive and semi-naive bottom-up
+evaluation, expansion (proof-tree) enumeration and the containment checks.
+"""
+
+from repro.datalog.program import Rule, DatalogProgram
+from repro.datalog.evaluation import evaluate_program, accepts
+from repro.datalog.expansion import expansions, expansion_to_cq
+from repro.datalog.containment import (
+    datalog_contained_in_ucq,
+    nonrecursive_program_to_ucq,
+)
+
+__all__ = [
+    "Rule",
+    "DatalogProgram",
+    "evaluate_program",
+    "accepts",
+    "expansions",
+    "expansion_to_cq",
+    "datalog_contained_in_ucq",
+    "nonrecursive_program_to_ucq",
+]

@@ -1,0 +1,110 @@
+"""Bottom-up evaluation of Datalog programs.
+
+We provide naive and semi-naive fixedpoint evaluation.  Semi-naive is the
+default: at each round only rule instantiations using at least one fact
+derived in the previous round are considered.  Both produce the least
+fixedpoint ``P(D)`` of the program on a database ``D`` (the notation of the
+paper, Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.datalog.program import DatalogProgram, Rule
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import satisfying_assignments
+from repro.queries.terms import Constant, Variable
+from repro.relational.instance import Instance
+
+Fact = Tuple[str, Tuple[object, ...]]
+
+
+def _rule_derivations(
+    rule: Rule, instance: Instance, delta: Optional[Set[Fact]] = None
+) -> Set[Fact]:
+    """Head facts derivable by *rule* from *instance*.
+
+    When *delta* is given, only derivations whose body uses at least one
+    fact from *delta* are returned (the semi-naive restriction).  The check
+    is performed post-hoc on the homomorphic image of the body, which keeps
+    the join code simple while preserving the semi-naive guarantee that no
+    derivation is missed (supersets are re-derived but deduplicated).
+    """
+    derived: Set[Fact] = set()
+    body_query = ConjunctiveQuery(
+        atoms=rule.body,
+        head=(),
+        equalities=rule.equalities,
+        inequalities=rule.inequalities,
+    )
+    for assignment in satisfying_assignments(body_query, instance):
+        if delta is not None:
+            uses_delta = False
+            for atom in rule.body:
+                fact = (atom.relation, atom.substitute(assignment))
+                if fact in delta:
+                    uses_delta = True
+                    break
+            if not uses_delta:
+                continue
+        head_values = []
+        for term in rule.head.terms:
+            if isinstance(term, Constant):
+                head_values.append(term.value)
+            else:
+                head_values.append(assignment[term])
+        derived.add((rule.head.relation, tuple(head_values)))
+    return derived
+
+
+def evaluate_program(
+    program: DatalogProgram,
+    database: Instance,
+    max_rounds: Optional[int] = None,
+    semi_naive: bool = True,
+) -> Instance:
+    """Compute the least fixedpoint ``P(D)`` of *program* on *database*.
+
+    The result is an instance over the combined (EDB ∪ IDB) schema that
+    contains the database facts plus every derivable IDB fact.
+    """
+    combined = program.combined_schema()
+    state = Instance(combined)
+    for name, tup in database.facts():
+        state.add(name, tup)
+
+    delta: Set[Fact] = set(state.facts())
+    rounds = 0
+    while True:
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            break
+        new_facts: Set[Fact] = set()
+        for rule in program.rules:
+            derivations = _rule_derivations(
+                rule, state, delta if semi_naive else None
+            )
+            for fact in derivations:
+                if fact not in state:
+                    new_facts.add(fact)
+        if not new_facts:
+            break
+        for fact in new_facts:
+            state.add_fact(fact)
+        delta = new_facts
+    return state
+
+
+def goal_facts(program: DatalogProgram, database: Instance) -> FrozenSet[Tuple[object, ...]]:
+    """The tuples of the goal predicate in the least fixedpoint."""
+    fixedpoint = evaluate_program(program, database)
+    return fixedpoint.tuples(program.goal)
+
+
+def accepts(program: DatalogProgram, database: Instance) -> bool:
+    """Whether the program accepts the database (goal predicate non-empty).
+
+    This is the acceptance notion of Section 4.1 of the paper.
+    """
+    return bool(goal_facts(program, database))

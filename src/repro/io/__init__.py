@@ -1,0 +1,71 @@
+"""Input/output utilities: JSON serialisation, DOT export and text reports.
+
+The paper's artefacts (schemas with access methods, queries, AccLTL
+formulas, A-automata, access paths) are all finite syntactic objects, so
+they serialise naturally.  This subpackage provides:
+
+* :mod:`repro.io.json_io` — lossless JSON round-tripping for every public
+  object of the library, so workloads and verification problems can be
+  stored alongside benchmark results;
+* :mod:`repro.io.dot` — Graphviz DOT renderings of the LTS of a schema, of
+  A-automata and of the Figure-2 language-inclusion diagram;
+* :mod:`repro.io.reports` — plain-text table rendering used by the
+  benchmark harnesses (Table 1 and the per-experiment summaries).
+"""
+
+from repro.io.json_io import (
+    access_path_from_dict,
+    access_path_to_dict,
+    access_schema_from_dict,
+    access_schema_to_dict,
+    automaton_from_dict,
+    automaton_to_dict,
+    constraint_from_dict,
+    constraint_to_dict,
+    formula_from_dict,
+    formula_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    loads,
+    dumps,
+    program_from_dict,
+    program_to_dict,
+    query_from_dict,
+    query_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.io.dot import (
+    automaton_to_dot,
+    inclusion_diagram_to_dot,
+    lts_to_dot,
+)
+from repro.io.reports import Table, render_table
+
+__all__ = [
+    "access_path_from_dict",
+    "access_path_to_dict",
+    "access_schema_from_dict",
+    "access_schema_to_dict",
+    "automaton_from_dict",
+    "automaton_to_dict",
+    "constraint_from_dict",
+    "constraint_to_dict",
+    "formula_from_dict",
+    "formula_to_dict",
+    "instance_from_dict",
+    "instance_to_dict",
+    "loads",
+    "dumps",
+    "program_from_dict",
+    "program_to_dict",
+    "query_from_dict",
+    "query_to_dict",
+    "schema_from_dict",
+    "schema_to_dict",
+    "automaton_to_dot",
+    "inclusion_diagram_to_dot",
+    "lts_to_dot",
+    "Table",
+    "render_table",
+]

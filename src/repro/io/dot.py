@@ -1,0 +1,131 @@
+"""Graphviz DOT renderings of the paper's graphical artefacts.
+
+Three of the paper's figures are graphs:
+
+* Figure 1 — the tree of possible access paths (a fragment of the LTS of
+  the web-directory schema);
+* Figure 2 — the inclusion diagram between the AccLTL language classes;
+* the A-automata of Section 4 are naturally drawn as labelled graphs.
+
+The functions here produce plain DOT text (no Graphviz dependency); the
+output can be pasted into any DOT renderer.  They are also used by the
+CLI's ``render`` subcommands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.access.lts import LabelledTransitionSystem
+from repro.access.path import AccessPath
+from repro.automata.aautomaton import AAutomaton
+from repro.core.fragments import Fragment, inclusion_order
+from repro.relational.instance import FrozenInstance
+
+
+def _escape(text: str) -> str:
+    """Escape a string for use inside a DOT double-quoted label."""
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _describe_node(node: FrozenInstance, max_facts: int = 4) -> str:
+    """A short textual description of an LTS node (a set of known facts)."""
+    if not node:
+        return "∅"
+    facts = sorted(node, key=repr)
+    parts = [f"{name}{tup!r}" for name, tup in facts[:max_facts]]
+    if len(facts) > max_facts:
+        parts.append(f"… (+{len(facts) - max_facts})")
+    return "\n".join(parts)
+
+
+def lts_to_dot(
+    lts: LabelledTransitionSystem,
+    name: str = "LTS",
+    max_facts_per_node: int = 4,
+) -> str:
+    """Render an explored LTS fragment as a DOT digraph (Figure 1 shape)."""
+    node_ids: Dict[FrozenInstance, str] = {}
+
+    def node_id(node: FrozenInstance) -> str:
+        if node not in node_ids:
+            node_ids[node] = f"n{len(node_ids)}"
+        return node_ids[node]
+
+    lines: List[str] = [f"digraph \"{_escape(name)}\" {{", "  rankdir=TB;", "  node [shape=box];"]
+    initial_id = node_id(lts.initial)
+    for node in sorted(lts.nodes, key=repr):
+        label = _describe_node(node, max_facts_per_node)
+        shape_attr = ", style=bold" if node == lts.initial else ""
+        lines.append(
+            f'  {node_id(node)} [label="{_escape(label)}"{shape_attr}];'
+        )
+    for transition in lts.transitions:
+        label = str(transition.access)
+        lines.append(
+            f'  {node_id(transition.source)} -> {node_id(transition.target)} '
+            f'[label="{_escape(label)}"];'
+        )
+    lines.append(f"  // initial node: {initial_id}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def automaton_to_dot(automaton: AAutomaton, name: Optional[str] = None) -> str:
+    """Render an A-automaton as a DOT digraph."""
+    title = name or automaton.name or "AAutomaton"
+    lines: List[str] = [f"digraph \"{_escape(title)}\" {{", "  rankdir=LR;"]
+    lines.append('  __start [shape=point, label=""];')
+    for state in automaton.states:
+        shape = "doublecircle" if state in automaton.accepting else "circle"
+        lines.append(f'  "{_escape(state)}" [shape={shape}];')
+    lines.append(f'  __start -> "{_escape(automaton.initial)}";')
+    for transition in automaton.transitions:
+        lines.append(
+            f'  "{_escape(transition.source)}" -> "{_escape(transition.target)}" '
+            f'[label="{_escape(str(transition.guard))}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def access_path_to_dot(path: AccessPath, name: str = "AccessPath") -> str:
+    """Render an access path as a linear DOT chain (useful for witnesses)."""
+    lines: List[str] = [f"digraph \"{_escape(name)}\" {{", "  rankdir=LR;", "  node [shape=box];"]
+    lines.append('  c0 [label="I0"];')
+    for index, step in enumerate(path):
+        lines.append(f'  c{index + 1} [label="I{index + 1}"];')
+        label = f"{step.access}\n→ {sorted(step.response, key=repr)}"
+        lines.append(f'  c{index} -> c{index + 1} [label="{_escape(label)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+#: Display names used for the Figure 2 rendering (matching the paper).
+_FRAGMENT_DISPLAY = {
+    Fragment.ACCLTL_X_ZEROARY: "AccLTL(X)(FO∃+,≠ 0-Acc)",
+    Fragment.ACCLTL_ZEROARY: "AccLTL(FO∃+ 0-Acc)",
+    Fragment.ACCLTL_ZEROARY_INEQ: "AccLTL(FO∃+,≠ 0-Acc)",
+    Fragment.ACCLTL_PLUS: "AccLTL+",
+    Fragment.ACCLTL_FULL: "AccLTL(FO∃+ Acc)",
+    Fragment.ACCLTL_FULL_INEQ: "AccLTL(FO∃+,≠ Acc)",
+}
+
+
+def inclusion_diagram_to_dot(include_automata_node: bool = True) -> str:
+    """Render the Figure 2 language-inclusion diagram as a DOT digraph.
+
+    Edges point from the smaller language to the larger one.  The
+    A-automata node of Figure 2 (which sits above ``AccLTL+`` up to
+    emptiness-preserving translation) is included by default.
+    """
+    lines: List[str] = ['digraph "Figure2" {', "  rankdir=BT;", "  node [shape=box];"]
+    for fragment, display in _FRAGMENT_DISPLAY.items():
+        lines.append(f'  "{fragment.name}" [label="{_escape(display)}"];')
+    for small, large in inclusion_order():
+        lines.append(f'  "{small.name}" -> "{large.name}";')
+    if include_automata_node:
+        lines.append('  "A_AUTOMATA" [label="A-automata"];')
+        lines.append(f'  "{Fragment.ACCLTL_PLUS.name}" -> "A_AUTOMATA";')
+    lines.append("}")
+    return "\n".join(lines)

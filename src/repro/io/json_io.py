@@ -1,0 +1,743 @@
+"""Lossless JSON serialisation of the library's objects.
+
+Every public syntactic object of the library — schemas, instances, access
+schemas, access paths, queries, constraints, AccLTL formulas, A-automata
+and Datalog programs — can be converted to a plain JSON-compatible
+dictionary and back.  Each dictionary carries a ``"kind"`` tag so the
+generic :func:`from_dict` / :func:`loads` entry points can dispatch.
+
+Only JSON-representable scalar values (strings, ints, floats, booleans and
+``None``) are accepted inside tuples, bindings and responses; anything else
+raises :class:`SerializationError`.  Tuples are encoded as JSON lists and
+decoded back to tuples.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.access.methods import Access, AccessMethod, AccessSchema
+from repro.access.path import AccessPath, PathStep
+from repro.automata.aautomaton import AAutomaton, ATransition, Guard
+from repro.core.formulas import (
+    AccAnd,
+    AccAtom,
+    AccEventually,
+    AccFormula,
+    AccGlobally,
+    AccNext,
+    AccNot,
+    AccOr,
+    AccTrue,
+    AccUntil,
+    EmbeddedSentence,
+)
+from repro.datalog.program import DatalogProgram, Rule
+from repro.queries.atoms import Atom, Equality, Inequality
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Constant, Term, Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from repro.relational.dependencies import (
+    ConstraintSet,
+    DisjointnessConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relational.instance import Instance
+from repro.relational.schema import Relation, Schema
+from repro.relational.types import (
+    ANY,
+    BOOL,
+    DataType,
+    Domain,
+    EnumDomain,
+    INT,
+    STRING,
+)
+
+
+class SerializationError(ValueError):
+    """Raised when an object cannot be (de)serialised."""
+
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+_BUILTIN_DATATYPES = {dt.name: dt for dt in (INT, BOOL, STRING, ANY)}
+
+
+# ----------------------------------------------------------------------
+# Scalars and value tuples
+# ----------------------------------------------------------------------
+def _encode_value(value: object) -> object:
+    if not isinstance(value, _SCALAR_TYPES):
+        raise SerializationError(
+            f"value {value!r} of type {type(value).__name__} is not JSON-serialisable; "
+            "only str/int/float/bool/None values are supported"
+        )
+    return value
+
+
+def _encode_values(values: Sequence[object]) -> List[object]:
+    return [_encode_value(v) for v in values]
+
+
+def _decode_values(values: Sequence[object]) -> Tuple[object, ...]:
+    return tuple(values)
+
+
+# ----------------------------------------------------------------------
+# Datatypes, domains, relations and schemas
+# ----------------------------------------------------------------------
+def datatype_to_dict(datatype: DataType) -> Dict[str, Any]:
+    """Serialise a datatype (by name, for the built-in types)."""
+    if datatype.name not in _BUILTIN_DATATYPES:
+        raise SerializationError(
+            f"only the built-in datatypes {sorted(_BUILTIN_DATATYPES)} are serialisable, "
+            f"got {datatype.name!r}"
+        )
+    return {"kind": "datatype", "name": datatype.name}
+
+
+def datatype_from_dict(data: Mapping[str, Any]) -> DataType:
+    """Deserialise a datatype."""
+    name = data["name"]
+    try:
+        return _BUILTIN_DATATYPES[name]
+    except KeyError:
+        raise SerializationError(f"unknown datatype name {name!r}") from None
+
+
+def domain_to_dict(domain: Optional[Domain]) -> Optional[Dict[str, Any]]:
+    """Serialise a domain (``None`` stays ``None``)."""
+    if domain is None:
+        return None
+    if isinstance(domain, EnumDomain):
+        return {
+            "kind": "enum_domain",
+            "datatype": datatype_to_dict(domain.datatype),
+            "values": _encode_values(domain.values),
+        }
+    return {"kind": "domain", "datatype": datatype_to_dict(domain.datatype)}
+
+
+def domain_from_dict(data: Optional[Mapping[str, Any]]) -> Optional[Domain]:
+    """Deserialise a domain."""
+    if data is None:
+        return None
+    datatype = datatype_from_dict(data["datatype"])
+    if data["kind"] == "enum_domain":
+        return EnumDomain(datatype=datatype, values=_decode_values(data["values"]))
+    return Domain(datatype=datatype)
+
+
+def relation_to_dict(relation: Relation) -> Dict[str, Any]:
+    """Serialise a relation symbol."""
+    return {
+        "kind": "relation",
+        "name": relation.name,
+        "arity": relation.arity,
+        "types": [datatype_to_dict(t) for t in relation.types],
+        "domains": [domain_to_dict(d) for d in relation.domains],
+    }
+
+
+def relation_from_dict(data: Mapping[str, Any]) -> Relation:
+    """Deserialise a relation symbol."""
+    return Relation(
+        name=data["name"],
+        arity=data["arity"],
+        types=tuple(datatype_from_dict(t) for t in data["types"]),
+        domains=tuple(domain_from_dict(d) for d in data["domains"]),
+    )
+
+
+def schema_to_dict(schema: Schema) -> Dict[str, Any]:
+    """Serialise a relational schema."""
+    return {
+        "kind": "schema",
+        "relations": [relation_to_dict(rel) for rel in schema],
+    }
+
+
+def schema_from_dict(data: Mapping[str, Any]) -> Schema:
+    """Deserialise a relational schema."""
+    return Schema([relation_from_dict(rel) for rel in data["relations"]])
+
+
+def instance_to_dict(instance: Instance) -> Dict[str, Any]:
+    """Serialise an instance (schema plus facts)."""
+    facts: Dict[str, List[List[object]]] = {}
+    for name in instance.relation_names():
+        tuples = sorted(instance.tuples(name), key=repr)
+        if tuples:
+            facts[name] = [_encode_values(tup) for tup in tuples]
+    return {
+        "kind": "instance",
+        "schema": schema_to_dict(instance.schema),
+        "facts": facts,
+    }
+
+
+def instance_from_dict(
+    data: Mapping[str, Any], schema: Optional[Schema] = None
+) -> Instance:
+    """Deserialise an instance.
+
+    A *schema* may be supplied to share an existing schema object instead of
+    rebuilding one from the serialised form.
+    """
+    if schema is None:
+        schema = schema_from_dict(data["schema"])
+    instance = Instance(schema)
+    for name, tuples in data["facts"].items():
+        for values in tuples:
+            instance.add(name, _decode_values(values))
+    return instance
+
+
+# ----------------------------------------------------------------------
+# Access methods, schemas and paths
+# ----------------------------------------------------------------------
+def access_method_to_dict(method: AccessMethod) -> Dict[str, Any]:
+    """Serialise an access method."""
+    return {
+        "kind": "access_method",
+        "name": method.name,
+        "relation": method.relation,
+        "input_positions": list(method.input_positions),
+        "exact": method.exact,
+        "idempotent": method.idempotent,
+    }
+
+
+def access_method_from_dict(data: Mapping[str, Any]) -> AccessMethod:
+    """Deserialise an access method."""
+    return AccessMethod(
+        name=data["name"],
+        relation=data["relation"],
+        input_positions=tuple(data["input_positions"]),
+        exact=data["exact"],
+        idempotent=data["idempotent"],
+    )
+
+
+def access_schema_to_dict(access_schema: AccessSchema) -> Dict[str, Any]:
+    """Serialise an access schema (relations plus access methods)."""
+    return {
+        "kind": "access_schema",
+        "schema": schema_to_dict(access_schema.schema),
+        "methods": [access_method_to_dict(m) for m in access_schema],
+    }
+
+
+def access_schema_from_dict(data: Mapping[str, Any]) -> AccessSchema:
+    """Deserialise an access schema."""
+    schema = schema_from_dict(data["schema"])
+    return AccessSchema(
+        schema,
+        [access_method_from_dict(m) for m in data["methods"]],
+    )
+
+
+def access_to_dict(access: Access) -> Dict[str, Any]:
+    """Serialise an access (method plus binding)."""
+    return {
+        "kind": "access",
+        "method": access_method_to_dict(access.method),
+        "binding": _encode_values(access.binding),
+    }
+
+
+def access_from_dict(
+    data: Mapping[str, Any], access_schema: Optional[AccessSchema] = None
+) -> Access:
+    """Deserialise an access.
+
+    When *access_schema* is given the method object is looked up there (so
+    identity is shared with the schema); otherwise a standalone method is
+    rebuilt from the serialised form.
+    """
+    if access_schema is not None:
+        method = access_schema.method(data["method"]["name"])
+    else:
+        method = access_method_from_dict(data["method"])
+    return Access(method, _decode_values(data["binding"]))
+
+
+def path_step_to_dict(step: PathStep) -> Dict[str, Any]:
+    """Serialise one step of an access path."""
+    return {
+        "kind": "path_step",
+        "access": access_to_dict(step.access),
+        "response": sorted(
+            (_encode_values(tup) for tup in step.response), key=repr
+        ),
+    }
+
+
+def path_step_from_dict(
+    data: Mapping[str, Any], access_schema: Optional[AccessSchema] = None
+) -> PathStep:
+    """Deserialise one step of an access path."""
+    access = access_from_dict(data["access"], access_schema)
+    response = frozenset(_decode_values(tup) for tup in data["response"])
+    return PathStep(access, response)
+
+
+def access_path_to_dict(path: AccessPath) -> Dict[str, Any]:
+    """Serialise an access path."""
+    return {
+        "kind": "access_path",
+        "steps": [path_step_to_dict(step) for step in path],
+    }
+
+
+def access_path_from_dict(
+    data: Mapping[str, Any], access_schema: Optional[AccessSchema] = None
+) -> AccessPath:
+    """Deserialise an access path."""
+    return AccessPath(
+        tuple(path_step_from_dict(step, access_schema) for step in data["steps"])
+    )
+
+
+# ----------------------------------------------------------------------
+# Terms, atoms and queries
+# ----------------------------------------------------------------------
+def term_to_dict(term: Term) -> Dict[str, Any]:
+    """Serialise a variable or constant."""
+    if isinstance(term, Variable):
+        return {"kind": "variable", "name": term.name}
+    if isinstance(term, Constant):
+        return {"kind": "constant", "value": _encode_value(term.value)}
+    raise SerializationError(f"unknown term {term!r}")
+
+
+def term_from_dict(data: Mapping[str, Any]) -> Term:
+    """Deserialise a variable or constant."""
+    if data["kind"] == "variable":
+        return Variable(data["name"])
+    if data["kind"] == "constant":
+        return Constant(data["value"])
+    raise SerializationError(f"unknown term kind {data['kind']!r}")
+
+
+def _atom_to_dict(atom: Atom) -> Dict[str, Any]:
+    return {
+        "kind": "atom",
+        "relation": atom.relation,
+        "terms": [term_to_dict(t) for t in atom.terms],
+    }
+
+
+def _atom_from_dict(data: Mapping[str, Any]) -> Atom:
+    return Atom(data["relation"], tuple(term_from_dict(t) for t in data["terms"]))
+
+
+def _comparison_to_dict(comparison, kind: str) -> Dict[str, Any]:
+    return {
+        "kind": kind,
+        "left": term_to_dict(comparison.left),
+        "right": term_to_dict(comparison.right),
+    }
+
+
+def query_to_dict(query) -> Dict[str, Any]:
+    """Serialise a conjunctive query or a UCQ."""
+    if isinstance(query, ConjunctiveQuery):
+        return {
+            "kind": "cq",
+            "name": query.name,
+            "head": [term_to_dict(v) for v in query.head],
+            "atoms": [_atom_to_dict(a) for a in query.atoms],
+            "equalities": [_comparison_to_dict(e, "equality") for e in query.equalities],
+            "inequalities": [
+                _comparison_to_dict(i, "inequality") for i in query.inequalities
+            ],
+        }
+    if isinstance(query, UnionOfConjunctiveQueries):
+        return {
+            "kind": "ucq",
+            "name": query.name,
+            "disjuncts": [query_to_dict(d) for d in query.disjuncts],
+        }
+    raise SerializationError(f"cannot serialise query object {query!r}")
+
+
+def _cq_from_dict(data: Mapping[str, Any]) -> ConjunctiveQuery:
+    head = []
+    for term_data in data["head"]:
+        term = term_from_dict(term_data)
+        if not isinstance(term, Variable):
+            raise SerializationError("head terms of a CQ must be variables")
+        head.append(term)
+    return ConjunctiveQuery(
+        atoms=tuple(_atom_from_dict(a) for a in data["atoms"]),
+        head=tuple(head),
+        equalities=tuple(
+            Equality(term_from_dict(e["left"]), term_from_dict(e["right"]))
+            for e in data["equalities"]
+        ),
+        inequalities=tuple(
+            Inequality(term_from_dict(i["left"]), term_from_dict(i["right"]))
+            for i in data["inequalities"]
+        ),
+        name=data.get("name"),
+    )
+
+
+def query_from_dict(data: Mapping[str, Any]):
+    """Deserialise a CQ or UCQ (dispatching on the ``kind`` tag)."""
+    if data["kind"] == "cq":
+        return _cq_from_dict(data)
+    if data["kind"] == "ucq":
+        return UnionOfConjunctiveQueries(
+            tuple(_cq_from_dict(d) for d in data["disjuncts"]), name=data.get("name")
+        )
+    raise SerializationError(f"unknown query kind {data['kind']!r}")
+
+
+# ----------------------------------------------------------------------
+# Integrity constraints
+# ----------------------------------------------------------------------
+def constraint_to_dict(constraint) -> Dict[str, Any]:
+    """Serialise an FD, inclusion dependency or disjointness constraint."""
+    if isinstance(constraint, FunctionalDependency):
+        return {
+            "kind": "fd",
+            "relation": constraint.relation,
+            "lhs": list(constraint.lhs),
+            "rhs": constraint.rhs,
+        }
+    if isinstance(constraint, InclusionDependency):
+        return {
+            "kind": "id",
+            "source": constraint.source,
+            "source_positions": list(constraint.source_positions),
+            "target": constraint.target,
+            "target_positions": list(constraint.target_positions),
+        }
+    if isinstance(constraint, DisjointnessConstraint):
+        return {
+            "kind": "disjointness",
+            "relation_a": constraint.relation_a,
+            "position_a": constraint.position_a,
+            "relation_b": constraint.relation_b,
+            "position_b": constraint.position_b,
+        }
+    raise SerializationError(f"cannot serialise constraint {constraint!r}")
+
+
+def constraint_from_dict(data: Mapping[str, Any]):
+    """Deserialise an integrity constraint."""
+    kind = data["kind"]
+    if kind == "fd":
+        return FunctionalDependency(
+            relation=data["relation"], lhs=tuple(data["lhs"]), rhs=data["rhs"]
+        )
+    if kind == "id":
+        return InclusionDependency(
+            source=data["source"],
+            source_positions=tuple(data["source_positions"]),
+            target=data["target"],
+            target_positions=tuple(data["target_positions"]),
+        )
+    if kind == "disjointness":
+        return DisjointnessConstraint(
+            relation_a=data["relation_a"],
+            position_a=data["position_a"],
+            relation_b=data["relation_b"],
+            position_b=data["position_b"],
+        )
+    raise SerializationError(f"unknown constraint kind {kind!r}")
+
+
+def constraint_set_to_dict(constraints: ConstraintSet) -> Dict[str, Any]:
+    """Serialise a heterogeneous constraint set."""
+    return {
+        "kind": "constraint_set",
+        "constraints": [constraint_to_dict(c) for c in constraints],
+    }
+
+
+def constraint_set_from_dict(data: Mapping[str, Any]) -> ConstraintSet:
+    """Deserialise a constraint set."""
+    return ConstraintSet([constraint_from_dict(c) for c in data["constraints"]])
+
+
+# ----------------------------------------------------------------------
+# AccLTL formulas
+# ----------------------------------------------------------------------
+def _sentence_to_dict(sentence: EmbeddedSentence) -> Dict[str, Any]:
+    return {
+        "kind": "embedded_sentence",
+        "label": sentence.label,
+        "query": query_to_dict(sentence.query),
+    }
+
+
+def _sentence_from_dict(data: Mapping[str, Any]) -> EmbeddedSentence:
+    return EmbeddedSentence(as_ucq(query_from_dict(data["query"])), label=data.get("label"))
+
+
+def formula_to_dict(formula: AccFormula) -> Dict[str, Any]:
+    """Serialise an AccLTL formula tree."""
+    if isinstance(formula, AccTrue):
+        return {"kind": "acc_true"}
+    if isinstance(formula, AccAtom):
+        return {"kind": "acc_atom", "sentence": _sentence_to_dict(formula.sentence)}
+    if isinstance(formula, AccNot):
+        return {"kind": "acc_not", "operand": formula_to_dict(formula.operand)}
+    if isinstance(formula, AccAnd):
+        return {
+            "kind": "acc_and",
+            "left": formula_to_dict(formula.left),
+            "right": formula_to_dict(formula.right),
+        }
+    if isinstance(formula, AccOr):
+        return {
+            "kind": "acc_or",
+            "left": formula_to_dict(formula.left),
+            "right": formula_to_dict(formula.right),
+        }
+    if isinstance(formula, AccNext):
+        return {"kind": "acc_next", "operand": formula_to_dict(formula.operand)}
+    if isinstance(formula, AccUntil):
+        return {
+            "kind": "acc_until",
+            "left": formula_to_dict(formula.left),
+            "right": formula_to_dict(formula.right),
+        }
+    if isinstance(formula, AccEventually):
+        return {"kind": "acc_eventually", "operand": formula_to_dict(formula.operand)}
+    if isinstance(formula, AccGlobally):
+        return {"kind": "acc_globally", "operand": formula_to_dict(formula.operand)}
+    raise SerializationError(f"cannot serialise formula node {formula!r}")
+
+
+def formula_from_dict(data: Mapping[str, Any]) -> AccFormula:
+    """Deserialise an AccLTL formula tree."""
+    kind = data["kind"]
+    if kind == "acc_true":
+        return AccTrue()
+    if kind == "acc_atom":
+        return AccAtom(_sentence_from_dict(data["sentence"]))
+    if kind == "acc_not":
+        return AccNot(formula_from_dict(data["operand"]))
+    if kind == "acc_and":
+        return AccAnd(formula_from_dict(data["left"]), formula_from_dict(data["right"]))
+    if kind == "acc_or":
+        return AccOr(formula_from_dict(data["left"]), formula_from_dict(data["right"]))
+    if kind == "acc_next":
+        return AccNext(formula_from_dict(data["operand"]))
+    if kind == "acc_until":
+        return AccUntil(formula_from_dict(data["left"]), formula_from_dict(data["right"]))
+    if kind == "acc_eventually":
+        return AccEventually(formula_from_dict(data["operand"]))
+    if kind == "acc_globally":
+        return AccGlobally(formula_from_dict(data["operand"]))
+    raise SerializationError(f"unknown formula kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# A-automata
+# ----------------------------------------------------------------------
+def _guard_to_dict(guard: Guard) -> Dict[str, Any]:
+    return {
+        "kind": "guard",
+        "positives": [_sentence_to_dict(s) for s in guard.positives],
+        "negated": [_sentence_to_dict(s) for s in guard.negated],
+    }
+
+
+def _guard_from_dict(data: Mapping[str, Any]) -> Guard:
+    return Guard(
+        positives=tuple(_sentence_from_dict(s) for s in data["positives"]),
+        negated=tuple(_sentence_from_dict(s) for s in data["negated"]),
+    )
+
+
+def automaton_to_dict(automaton: AAutomaton) -> Dict[str, Any]:
+    """Serialise an A-automaton."""
+    return {
+        "kind": "a_automaton",
+        "name": automaton.name,
+        "states": list(automaton.states),
+        "initial": automaton.initial,
+        "accepting": sorted(automaton.accepting),
+        "transitions": [
+            {
+                "source": t.source,
+                "guard": _guard_to_dict(t.guard),
+                "target": t.target,
+            }
+            for t in automaton.transitions
+        ],
+    }
+
+
+def automaton_from_dict(data: Mapping[str, Any]) -> AAutomaton:
+    """Deserialise an A-automaton."""
+    return AAutomaton(
+        states=data["states"],
+        initial=data["initial"],
+        accepting=data["accepting"],
+        transitions=[
+            ATransition(
+                source=t["source"],
+                guard=_guard_from_dict(t["guard"]),
+                target=t["target"],
+            )
+            for t in data["transitions"]
+        ],
+        name=data.get("name"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Datalog programs
+# ----------------------------------------------------------------------
+def rule_to_dict(rule: Rule) -> Dict[str, Any]:
+    """Serialise a Datalog rule."""
+    return {
+        "kind": "rule",
+        "head": _atom_to_dict(rule.head),
+        "body": [_atom_to_dict(a) for a in rule.body],
+        "equalities": [_comparison_to_dict(e, "equality") for e in rule.equalities],
+        "inequalities": [
+            _comparison_to_dict(i, "inequality") for i in rule.inequalities
+        ],
+    }
+
+
+def rule_from_dict(data: Mapping[str, Any]) -> Rule:
+    """Deserialise a Datalog rule."""
+    return Rule(
+        head=_atom_from_dict(data["head"]),
+        body=tuple(_atom_from_dict(a) for a in data["body"]),
+        equalities=tuple(
+            Equality(term_from_dict(e["left"]), term_from_dict(e["right"]))
+            for e in data["equalities"]
+        ),
+        inequalities=tuple(
+            Inequality(term_from_dict(i["left"]), term_from_dict(i["right"]))
+            for i in data["inequalities"]
+        ),
+    )
+
+
+def program_to_dict(program: DatalogProgram) -> Dict[str, Any]:
+    """Serialise a Datalog program."""
+    return {
+        "kind": "datalog_program",
+        "goal": program.goal,
+        "edb_schema": schema_to_dict(program.edb_schema),
+        "rules": [rule_to_dict(r) for r in program.rules],
+    }
+
+
+def program_from_dict(data: Mapping[str, Any]) -> DatalogProgram:
+    """Deserialise a Datalog program."""
+    return DatalogProgram(
+        rules=[rule_from_dict(r) for r in data["rules"]],
+        edb_schema=schema_from_dict(data["edb_schema"]),
+        goal=data["goal"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Generic entry points
+# ----------------------------------------------------------------------
+_TO_DICT_DISPATCH: List[Tuple[type, Callable[[Any], Dict[str, Any]]]] = [
+    (Relation, relation_to_dict),
+    (Schema, schema_to_dict),
+    (Instance, instance_to_dict),
+    (AccessMethod, access_method_to_dict),
+    (AccessSchema, access_schema_to_dict),
+    (Access, access_to_dict),
+    (PathStep, path_step_to_dict),
+    (AccessPath, access_path_to_dict),
+    (ConjunctiveQuery, query_to_dict),
+    (UnionOfConjunctiveQueries, query_to_dict),
+    (FunctionalDependency, constraint_to_dict),
+    (InclusionDependency, constraint_to_dict),
+    (DisjointnessConstraint, constraint_to_dict),
+    (ConstraintSet, constraint_set_to_dict),
+    (EmbeddedSentence, _sentence_to_dict),
+    (AccFormula, formula_to_dict),
+    (Guard, _guard_to_dict),
+    (AAutomaton, automaton_to_dict),
+    (Rule, rule_to_dict),
+    (DatalogProgram, program_to_dict),
+    (DataType, datatype_to_dict),
+    (EnumDomain, domain_to_dict),
+    (Domain, domain_to_dict),
+]
+
+_FROM_DICT_DISPATCH: Dict[str, Callable[[Mapping[str, Any]], Any]] = {
+    "datatype": datatype_from_dict,
+    "domain": domain_from_dict,
+    "enum_domain": domain_from_dict,
+    "relation": relation_from_dict,
+    "schema": schema_from_dict,
+    "instance": instance_from_dict,
+    "access_method": access_method_from_dict,
+    "access_schema": access_schema_from_dict,
+    "access": access_from_dict,
+    "path_step": path_step_from_dict,
+    "access_path": access_path_from_dict,
+    "cq": query_from_dict,
+    "ucq": query_from_dict,
+    "fd": constraint_from_dict,
+    "id": constraint_from_dict,
+    "disjointness": constraint_from_dict,
+    "constraint_set": constraint_set_from_dict,
+    "embedded_sentence": _sentence_from_dict,
+    "variable": term_from_dict,
+    "constant": term_from_dict,
+    "guard": _guard_from_dict,
+    "a_automaton": automaton_from_dict,
+    "rule": rule_from_dict,
+    "datalog_program": program_from_dict,
+    "acc_true": formula_from_dict,
+    "acc_atom": formula_from_dict,
+    "acc_not": formula_from_dict,
+    "acc_and": formula_from_dict,
+    "acc_or": formula_from_dict,
+    "acc_next": formula_from_dict,
+    "acc_until": formula_from_dict,
+    "acc_eventually": formula_from_dict,
+    "acc_globally": formula_from_dict,
+}
+
+
+def to_dict(obj: Any) -> Dict[str, Any]:
+    """Serialise any supported library object (dispatching on its type)."""
+    for cls, encoder in _TO_DICT_DISPATCH:
+        if isinstance(obj, cls):
+            return encoder(obj)
+    raise SerializationError(f"no serialiser registered for {type(obj).__name__}")
+
+
+def from_dict(data: Mapping[str, Any]) -> Any:
+    """Deserialise any supported dictionary (dispatching on the ``kind`` tag)."""
+    try:
+        kind = data["kind"]
+    except (TypeError, KeyError):
+        raise SerializationError("missing 'kind' tag in serialised object") from None
+    try:
+        decoder = _FROM_DICT_DISPATCH[kind]
+    except KeyError:
+        raise SerializationError(f"unknown kind {kind!r}") from None
+    return decoder(data)
+
+
+def dumps(obj: Any, indent: Optional[int] = None) -> str:
+    """Serialise a supported object to a JSON string."""
+    return json.dumps(to_dict(obj), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Any:
+    """Deserialise a supported object from a JSON string."""
+    return from_dict(json.loads(text))

@@ -1,0 +1,78 @@
+"""Plain-text table rendering used by the benchmark harnesses.
+
+The paper's evaluation artefacts are tables (Table 1) and small diagrams;
+the benchmark scripts print text tables comparing the paper's claims with
+the measured behaviour.  This module centralises the rendering so every
+bench emits the same format and tests can check the structure of the
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    Rows are sequences of cells; every cell is converted with ``str``.
+    """
+
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    title: Optional[str] = None
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row (must have as many cells as there are headers)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}: {cells!r}"
+            )
+        self.rows.append(tuple(cells))
+
+    def column_widths(self) -> List[int]:
+        """Width of each column (max of header and cell widths)."""
+        widths = [len(str(h)) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(str(cell)))
+        return widths
+
+    def render(self) -> str:
+        """Render the table as text."""
+        return render_table(self)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_table(table: Table) -> str:
+    """Render a :class:`Table` with aligned columns and a separator line."""
+    widths = table.column_widths()
+
+    def fmt_row(cells: Sequence[object]) -> str:
+        return " | ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+    lines: List[str] = []
+    if table.title:
+        lines.append(table.title)
+        lines.append("=" * len(table.title))
+    lines.append(fmt_row(table.headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in table.rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def render_comparison(
+    title: str,
+    entries: Iterable[Sequence[object]],
+    headers: Sequence[str] = ("experiment", "paper", "measured", "agrees"),
+) -> str:
+    """Render a paper-vs-measured comparison table (used by EXPERIMENTS.md)."""
+    table = Table(headers=headers, title=title)
+    for entry in entries:
+        table.add_row(*entry)
+    return table.render()

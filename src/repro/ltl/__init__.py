@@ -1,0 +1,48 @@
+"""Propositional LTL over finite words.
+
+The PSPACE and ΣP2 decision procedures of the paper (Theorems 4.12 and
+4.14) work by translating AccLTL formulas with 0-ary binding predicates
+into ordinary propositional LTL over finite words and invoking an LTL
+satisfiability checker.  This package provides that substrate: LTL syntax,
+finite-word semantics, and satisfiability (with a model/word witness).
+"""
+
+from repro.ltl.syntax import (
+    LTLFormula,
+    Prop,
+    Not,
+    And,
+    Or,
+    Next,
+    Until,
+    Eventually,
+    Globally,
+    TrueFormula,
+    FalseFormula,
+    prop,
+    top,
+    bottom,
+)
+from repro.ltl.semantics import satisfies, word_satisfies
+from repro.ltl.sat import is_satisfiable, find_satisfying_word
+
+__all__ = [
+    "LTLFormula",
+    "Prop",
+    "Not",
+    "And",
+    "Or",
+    "Next",
+    "Until",
+    "Eventually",
+    "Globally",
+    "TrueFormula",
+    "FalseFormula",
+    "prop",
+    "top",
+    "bottom",
+    "satisfies",
+    "word_satisfies",
+    "is_satisfiable",
+    "find_satisfying_word",
+]

@@ -1,0 +1,46 @@
+"""Query languages: conjunctive queries, unions, positive existential queries.
+
+The paper's embedded relational languages (the ``L`` in ``AccLTL(L)``) are
+positive existential first-order sentences, optionally with inequalities,
+over the access vocabulary.  This package provides the generic query
+machinery over arbitrary relational schemas; :mod:`repro.core.vocabulary`
+instantiates it over the ``SchAcc`` vocabulary.
+"""
+
+from repro.queries.terms import Variable, Constant, Term, var, const
+from repro.queries.atoms import Atom, Equality, Inequality
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries, PositiveQuery
+from repro.queries.evaluation import evaluate_cq, evaluate_ucq, holds, answers
+from repro.queries.homomorphism import (
+    find_homomorphism,
+    find_all_homomorphisms,
+    canonical_instance,
+)
+from repro.queries.containment import cq_contained_in, ucq_contained_in
+from repro.queries.parser import parse_cq, parse_ucq
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "var",
+    "const",
+    "Atom",
+    "Equality",
+    "Inequality",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "PositiveQuery",
+    "evaluate_cq",
+    "evaluate_ucq",
+    "holds",
+    "answers",
+    "find_homomorphism",
+    "find_all_homomorphisms",
+    "canonical_instance",
+    "cq_contained_in",
+    "ucq_contained_in",
+    "parse_cq",
+    "parse_ucq",
+]

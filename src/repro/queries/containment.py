@@ -1,0 +1,210 @@
+"""Containment of conjunctive queries and UCQs.
+
+Classical (unrestricted) query containment is the building block for
+
+* containment under access patterns (Example 2.2 / :mod:`repro.access.containment_ap`),
+* the Datalog-in-positive-query containment of Proposition 4.11, and
+* minimisation used when constructing A-automata guards.
+
+We implement the Chandra–Merlin homomorphism test for CQs (including
+constants), the Sagiv–Yannakakis disjunct-wise test for UCQs, and a sound
+and complete test for CQs with inequalities on the *right-hand side free*
+case (containment of a CQ≠ in a CQ without inequalities) plus a
+canonical-instance-based refutation procedure for the general case that is
+exact for the query sizes used in this project (it enumerates the finitely
+many order/equality types of the left-hand query's frozen variables).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import evaluate_cq, holds, satisfying_assignments
+from repro.queries.homomorphism import canonical_instance, find_homomorphism
+from repro.queries.terms import Constant, Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from repro.relational.instance import Instance
+
+
+def _head_respecting_containment(
+    container: ConjunctiveQuery, containee: ConjunctiveQuery
+) -> bool:
+    """Chandra–Merlin: is ``containee ⊆ container``? (no inequalities)."""
+    instance, frozen = canonical_instance(containee)
+    frozen_head = tuple(frozen[v] for v in containee.head)
+    for assignment in satisfying_assignments(container.without_inequalities(), instance):
+        candidate_head = tuple(
+            assignment[v] if isinstance(v, Variable) else v.value
+            for v in container.head
+        )
+        if candidate_head == frozen_head:
+            return True
+    return False
+
+
+def cq_contained_in(containee: ConjunctiveQuery, container: ConjunctiveQuery) -> bool:
+    """Whether ``containee ⊆ container`` over all instances.
+
+    Handles constants.  If *containee* has inequalities the test freezes it
+    over every equality type of its variables (so it remains sound and
+    complete); inequalities in the *container* make the problem
+    Π2p-complete in general — we handle them by checking that for every
+    frozen counterexample candidate there is a homomorphism satisfying the
+    container's inequalities, which is exact for queries without repeated
+    use of the same frozen value (the case produced by our generators) and
+    conservative (may report non-containment) otherwise.
+    """
+    if len(containee.head) != len(container.head):
+        return False
+    if not containee.inequalities and not container.inequalities:
+        return _head_respecting_containment(container, containee)
+    # General case: enumerate identification patterns of the containee's
+    # variables (equality types), freeze, and check each resulting instance.
+    variables = sorted(containee.variables(), key=lambda v: v.name)
+    if not variables:
+        return _check_frozen_with_inequalities(containee, container, {})
+    for partition in _set_partitions(variables):
+        identification: Dict[Variable, Variable] = {}
+        for block in partition:
+            representative = block[0]
+            for v in block:
+                identification[v] = representative
+        try:
+            identified = containee.rename_variables(identification)
+        except Exception:
+            continue
+        # The identified query must still satisfy its own inequalities.
+        if any(
+            ineq.left == ineq.right for ineq in identified.inequalities
+        ):
+            continue
+        if not _check_frozen_with_inequalities(identified, container, identification):
+            return False
+    return True
+
+
+def _check_frozen_with_inequalities(
+    containee: ConjunctiveQuery,
+    container: ConjunctiveQuery,
+    identification: Dict[Variable, Variable],
+) -> bool:
+    """Check containment on the canonical instance of an identified containee."""
+    instance, frozen = canonical_instance(containee.without_inequalities())
+    # The frozen instance must satisfy the containee's inequalities
+    # (distinct frozen values are distinct, so only constant clashes matter).
+    for ineq in containee.inequalities:
+        left = frozen.get(ineq.left, getattr(ineq.left, "value", ineq.left))
+        right = frozen.get(ineq.right, getattr(ineq.right, "value", ineq.right))
+        if isinstance(ineq.left, Variable):
+            left = frozen[ineq.left]
+        if isinstance(ineq.right, Variable):
+            right = frozen[ineq.right]
+        if left == right:
+            return True  # this identification cannot be a counterexample
+    frozen_head = tuple(frozen[v] for v in containee.head)
+    for assignment in satisfying_assignments(container, instance):
+        candidate_head = tuple(
+            assignment[v] if isinstance(v, Variable) else v.value
+            for v in container.head
+        )
+        if candidate_head == frozen_head:
+            return True
+    return False
+
+
+def _set_partitions(items: List[Variable]) -> Iterable[List[List[Variable]]]:
+    """All set partitions of *items* (used for equality-type enumeration)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _set_partitions(rest):
+        for index, block in enumerate(partition):
+            yield partition[:index] + [[first] + block] + partition[index + 1 :]
+        yield [[first]] + partition
+
+
+def ucq_contained_in(containee, container) -> bool:
+    """Whether a CQ/UCQ is contained in a CQ/UCQ over all instances.
+
+    Sagiv–Yannakakis: a UCQ is contained in a UCQ iff every disjunct of the
+    left-hand side is contained in the union of the right-hand side, which
+    (without inequalities on the right) reduces to being contained in *some*
+    disjunct after freezing.
+    """
+    left = as_ucq(containee)
+    right = as_ucq(container)
+    for disjunct in left.disjuncts:
+        if not _cq_contained_in_ucq(disjunct, right):
+            return False
+    return True
+
+
+def _cq_contained_in_ucq(
+    disjunct: ConjunctiveQuery, container: UnionOfConjunctiveQueries
+) -> bool:
+    """Whether a single CQ is contained in a UCQ (freeze and evaluate)."""
+    if disjunct.inequalities or container.has_inequalities:
+        # Conservative general case: check all identifications as above.
+        return any(
+            cq_contained_in(disjunct, candidate) for candidate in container.disjuncts
+        ) or _frozen_in_union(disjunct, container)
+    return _frozen_in_union(disjunct, container)
+
+
+def _frozen_in_union(
+    disjunct: ConjunctiveQuery, container: UnionOfConjunctiveQueries
+) -> bool:
+    instance, frozen = canonical_instance(disjunct.without_inequalities())
+    frozen_head = tuple(frozen[v] for v in disjunct.head)
+    for candidate in container.disjuncts:
+        for assignment in satisfying_assignments(candidate, instance):
+            candidate_head = tuple(
+                assignment[v] if isinstance(v, Variable) else v.value
+                for v in candidate.head
+            )
+            if candidate_head == frozen_head:
+                return True
+    return False
+
+
+def equivalent(query_a, query_b) -> bool:
+    """Whether two (U)CQs are equivalent (mutual containment)."""
+    return ucq_contained_in(query_a, query_b) and ucq_contained_in(query_b, query_a)
+
+
+def minimize_cq(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Compute a core (minimal equivalent subquery) of a CQ without inequalities.
+
+    Repeatedly tries to drop an atom while preserving equivalence.  The
+    result is unique up to isomorphism (the core of the query).
+    """
+    if query.inequalities:
+        return query
+    atoms = list(query.atoms)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(atoms)):
+            reduced_atoms = atoms[:index] + atoms[index + 1 :]
+            head_vars = set(query.head)
+            remaining_vars = set()
+            for atom in reduced_atoms:
+                remaining_vars |= atom.variables()
+            if not head_vars <= remaining_vars:
+                continue
+            candidate = ConjunctiveQuery(
+                atoms=tuple(reduced_atoms),
+                head=query.head,
+                equalities=query.equalities,
+                name=query.name,
+            )
+            if cq_contained_in(candidate, query) and cq_contained_in(query, candidate):
+                atoms = reduced_atoms
+                changed = True
+                break
+    return ConjunctiveQuery(
+        atoms=tuple(atoms), head=query.head, equalities=query.equalities, name=query.name
+    )

@@ -1,0 +1,140 @@
+"""Evaluation of conjunctive queries and UCQs over instances.
+
+The evaluator performs a straightforward backtracking join over the atoms
+of a CQ, choosing at each step the atom with the fewest unbound variables
+(a greedy "smallest-relation-first" heuristic).  This is adequate for the
+instance sizes produced by the bounded model checkers and workload
+generators; it is also the evaluation oracle against which the Datalog
+engine and containment procedures are property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Constant, Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from repro.relational.instance import Instance
+
+Assignment = Dict[Variable, object]
+
+
+def _match_atom(
+    atom: Atom, instance: Instance, assignment: Assignment
+) -> Iterator[Assignment]:
+    """Yield extensions of *assignment* matching *atom* in *instance*.
+
+    A relation mentioned by the query but absent from the instance's schema
+    is treated as empty (queries may be written over a larger vocabulary
+    than a particular instance, e.g. canonical databases of expansions).
+    """
+    if atom.relation not in instance.schema:
+        return
+    for tup in instance.tuples(atom.relation):
+        extension = dict(assignment)
+        ok = True
+        for term, value in zip(atom.terms, tup):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    ok = False
+                    break
+            else:
+                bound = extension.get(term, _UNBOUND)
+                if bound is _UNBOUND:
+                    extension[term] = value
+                elif bound != value:
+                    ok = False
+                    break
+        if ok:
+            yield extension
+
+
+class _Unbound:
+    """Sentinel distinct from any database value (including ``None``)."""
+
+
+_UNBOUND = _Unbound()
+
+
+def _order_atoms(atoms: Tuple[Atom, ...]) -> List[Atom]:
+    """Order atoms so that connected atoms are evaluated consecutively."""
+    remaining = list(atoms)
+    ordered: List[Atom] = []
+    bound: Set[Variable] = set()
+    while remaining:
+        remaining.sort(
+            key=lambda a: (len(a.variables() - bound), -len(a.variables() & bound))
+        )
+        chosen = remaining.pop(0)
+        ordered.append(chosen)
+        bound |= chosen.variables()
+    return ordered
+
+
+def satisfying_assignments(
+    query: ConjunctiveQuery, instance: Instance
+) -> Iterator[Assignment]:
+    """Yield every assignment of the query's variables satisfying the body."""
+    ordered = _order_atoms(query.atoms)
+
+    def backtrack(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        if index == len(ordered):
+            if all(eq.satisfied_by(assignment) for eq in query.equalities) and all(
+                ineq.satisfied_by(assignment) for ineq in query.inequalities
+            ):
+                yield assignment
+            return
+        for extension in _match_atom(ordered[index], instance, assignment):
+            yield from backtrack(index + 1, extension)
+
+    yield from backtrack(0, {})
+
+
+def evaluate_cq(
+    query: ConjunctiveQuery, instance: Instance
+) -> FrozenSet[Tuple[object, ...]]:
+    """The set of answer tuples of *query* on *instance*.
+
+    Boolean queries return ``{()}`` when satisfied and ``{}`` otherwise.
+    """
+    answers_set: Set[Tuple[object, ...]] = set()
+    for assignment in satisfying_assignments(query, instance):
+        answers_set.add(tuple(assignment[v] for v in query.head))
+        if query.is_boolean:
+            break
+    return frozenset(answers_set)
+
+
+def evaluate_ucq(
+    query: UnionOfConjunctiveQueries, instance: Instance
+) -> FrozenSet[Tuple[object, ...]]:
+    """The set of answer tuples of a UCQ on *instance* (union of disjuncts)."""
+    answers_set: Set[Tuple[object, ...]] = set()
+    for disjunct in query.disjuncts:
+        answers_set |= evaluate_cq(disjunct, instance)
+    return frozenset(answers_set)
+
+
+def holds(query, instance: Instance) -> bool:
+    """Whether a boolean CQ or UCQ holds in *instance*."""
+    normalised = as_ucq(query)
+    for disjunct in normalised.disjuncts:
+        if evaluate_cq(disjunct.boolean_version(), instance):
+            return True
+    return False
+
+
+def answers(query, instance: Instance) -> FrozenSet[Tuple[object, ...]]:
+    """The answers of a CQ or UCQ on *instance*."""
+    return evaluate_ucq(as_ucq(query), instance)
+
+
+def certain_single_assignment(
+    query: ConjunctiveQuery, instance: Instance
+) -> Optional[Assignment]:
+    """The first satisfying assignment, or ``None`` if there is none."""
+    for assignment in satisfying_assignments(query, instance):
+        return assignment
+    return None

@@ -1,0 +1,119 @@
+"""Homomorphisms between conjunctive queries and instances.
+
+A homomorphism from a CQ ``Q`` to an instance ``I`` is an assignment of the
+variables of ``Q`` to values of ``I`` sending every body atom to a fact of
+``I`` (and respecting constants).  Homomorphisms underpin
+
+* CQ evaluation (a boolean CQ holds iff there is a homomorphism),
+* the classical Chandra–Merlin containment test (``Q1 ⊆ Q2`` iff there is a
+  homomorphism from ``Q2`` into the canonical instance of ``Q1``),
+* the expansion-based Datalog containment procedure of
+  :mod:`repro.datalog.containment` (Proposition 4.11 of the paper), and
+* the Boundedness Lemma (Lemma 4.13), which shrinks witness paths to the
+  homomorphic images of the satisfied positive queries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import satisfying_assignments
+from repro.queries.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Relation, Schema
+
+
+def find_homomorphism(
+    query: ConjunctiveQuery, instance: Instance
+) -> Optional[Dict[Variable, object]]:
+    """A homomorphism from *query*'s body into *instance*, or ``None``.
+
+    Equality and inequality atoms of the query are respected.
+    """
+    for assignment in satisfying_assignments(query, instance):
+        return dict(assignment)
+    return None
+
+
+def find_all_homomorphisms(
+    query: ConjunctiveQuery, instance: Instance, limit: Optional[int] = None
+) -> List[Dict[Variable, object]]:
+    """All homomorphisms (up to *limit*) from *query*'s body into *instance*."""
+    result: List[Dict[Variable, object]] = []
+    for assignment in satisfying_assignments(query, instance):
+        result.append(dict(assignment))
+        if limit is not None and len(result) >= limit:
+            break
+    return result
+
+
+def homomorphism_image(
+    query: ConjunctiveQuery, assignment: Mapping[Variable, object]
+) -> List[Tuple[str, Tuple[object, ...]]]:
+    """The facts that the body atoms of *query* map to under *assignment*."""
+    return [(atom.relation, atom.substitute(assignment)) for atom in query.atoms]
+
+
+def canonical_instance(
+    query: ConjunctiveQuery, schema: Optional[Schema] = None
+) -> Tuple[Instance, Dict[Variable, object]]:
+    """The canonical (frozen) instance of a CQ and the freezing assignment.
+
+    Variables are frozen to fresh values (their own names, tagged to avoid
+    collision with constants); constants map to themselves.  If *schema* is
+    not supplied, one is inferred from the query's atoms (all positions
+    typed ``ANY``).
+    """
+    if schema is None:
+        spec: Dict[str, int] = {}
+        for atom in query.atoms:
+            existing = spec.get(atom.relation)
+            if existing is not None and existing != atom.arity:
+                raise ValueError(
+                    f"relation {atom.relation} used with inconsistent arities"
+                )
+            spec[atom.relation] = atom.arity
+        schema = Schema([Relation(name, arity) for name, arity in spec.items()])
+
+    assignment: Dict[Variable, object] = {
+        v: f"~{v.name}" for v in query.variables()
+    }
+    instance = Instance(schema)
+    for atom in query.atoms:
+        instance.add(atom.relation, atom.substitute(assignment))
+    return instance, assignment
+
+
+def cq_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Optional[Dict[Variable, object]]:
+    """A homomorphism from *source* into the canonical instance of *target*.
+
+    This is the Chandra–Merlin test: ``target ⊆ source`` (as queries) iff a
+    homomorphism from *source* to the canonical instance of *target* exists
+    that maps head to frozen head.  This helper only finds a body
+    homomorphism; head compatibility is enforced by
+    :func:`repro.queries.containment.cq_contained_in`.
+    """
+    instance, _ = canonical_instance(target)
+    return find_homomorphism(source.without_inequalities(), instance)
+
+
+def is_core_preserving_map(
+    query: ConjunctiveQuery, assignment: Mapping[Variable, object]
+) -> bool:
+    """Whether *assignment* maps every atom of *query* into its own canonical
+    instance (used by property tests on homomorphism utilities)."""
+    instance, frozen = canonical_instance(query)
+    for atom in query.atoms:
+        values = []
+        for term in atom.terms:
+            if isinstance(term, Constant):
+                values.append(term.value)
+            else:
+                values.append(assignment.get(term, frozen[term]))
+        if not instance.contains(atom.relation, tuple(values)):
+            return False
+    return True

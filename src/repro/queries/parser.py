@@ -1,0 +1,184 @@
+"""A small text syntax for conjunctive queries and UCQs.
+
+The syntax is Datalog-like and intended for examples and tests::
+
+    Q(x, y) :- Mobile(x, p, s, n), Address(s, p, y, h), x != y
+
+* Upper-case identifiers followed by ``(...)`` are relation atoms.
+* Lower-case identifiers are variables.
+* Quoted strings and integer literals are constants.
+* ``t1 = t2`` and ``t1 != t2`` are comparison atoms.
+* Disjuncts of a UCQ are separated by ``;`` or given as separate rules with
+  the same head via :func:`parse_ucq`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.queries.atoms import Atom, Equality, Inequality
+from repro.queries.cq import ConjunctiveQuery, QueryError
+from repro.queries.terms import Constant, Term, Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        (?P<string>"[^"]*")
+      | (?P<number>-?\d+)
+      | (?P<name>[A-Za-z_][A-Za-z_0-9#]*)
+      | (?P<neq>!=)
+      | (?P<symbol>[(),=;])
+      | (?P<arrow>:-)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+class ParseError(QueryError):
+    """Raised when a query string cannot be parsed."""
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize {remainder[:20]!r}")
+        position = match.end()
+        for kind in ("string", "number", "name", "neq", "arrow", "symbol"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Tuple[str, str]:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise ParseError(f"expected {value or kind}, got {token[1]!r}")
+        return token
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # ------------------------------------------------------------------
+    def parse_term(self) -> Term:
+        kind, value = self.next()
+        if kind == "string":
+            return Constant(value[1:-1])
+        if kind == "number":
+            return Constant(int(value))
+        if kind == "name":
+            if value[0].islower():
+                return Variable(value)
+            return Constant(value)
+        raise ParseError(f"expected a term, got {value!r}")
+
+    def parse_term_list(self) -> List[Term]:
+        self.expect("symbol", "(")
+        terms: List[Term] = []
+        token = self.peek()
+        if token == ("symbol", ")"):
+            self.next()
+            return terms
+        terms.append(self.parse_term())
+        while self.peek() == ("symbol", ","):
+            self.next()
+            terms.append(self.parse_term())
+        self.expect("symbol", ")")
+        return terms
+
+    def parse_body_item(self):
+        kind, value = self.peek() or (None, None)
+        if kind == "name" and value and value[0].isupper():
+            saved = self._index
+            self.next()
+            if self.peek() == ("symbol", "("):
+                terms = self.parse_term_list()
+                return Atom(value, tuple(terms))
+            self._index = saved
+        left = self.parse_term()
+        kind, value = self.next()
+        if kind == "neq":
+            return Inequality(left, self.parse_term())
+        if (kind, value) == ("symbol", "="):
+            return Equality(left, self.parse_term())
+        raise ParseError(f"expected '=', '!=' or a relational atom near {value!r}")
+
+    def parse_rule(self) -> ConjunctiveQuery:
+        kind, head_name = self.expect("name")
+        head_terms: List[Term] = []
+        if self.peek() == ("symbol", "("):
+            head_terms = self.parse_term_list()
+        head_vars: List[Variable] = []
+        for term in head_terms:
+            if not isinstance(term, Variable):
+                raise ParseError("head terms must be variables")
+            head_vars.append(term)
+        atoms: List[Atom] = []
+        equalities: List[Equality] = []
+        inequalities: List[Inequality] = []
+        if not self.at_end() and self.peek() == ("arrow", ":-"):
+            self.next()
+            while True:
+                item = self.parse_body_item()
+                if isinstance(item, Atom):
+                    atoms.append(item)
+                elif isinstance(item, Equality):
+                    equalities.append(item)
+                else:
+                    inequalities.append(item)
+                if self.peek() == ("symbol", ","):
+                    self.next()
+                    continue
+                break
+        return ConjunctiveQuery(
+            atoms=tuple(atoms),
+            head=tuple(head_vars),
+            equalities=tuple(equalities),
+            inequalities=tuple(inequalities),
+            name=head_name,
+        )
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse a single conjunctive query (one rule)."""
+    parser = _Parser(_tokenize(text))
+    query = parser.parse_rule()
+    if not parser.at_end():
+        raise ParseError("trailing input after query")
+    return query
+
+
+def parse_ucq(text: str) -> UnionOfConjunctiveQueries:
+    """Parse a UCQ given as ``;``-separated rules sharing a head arity."""
+    pieces = [piece.strip() for piece in text.split(";") if piece.strip()]
+    if not pieces:
+        raise ParseError("empty UCQ")
+    disjuncts = [parse_cq(piece) for piece in pieces]
+    return UnionOfConjunctiveQueries(tuple(disjuncts), name=disjuncts[0].name)

@@ -1,0 +1,38 @@
+"""Relational substrate: datatypes, schemas, instances, and dependencies.
+
+This package provides the basic relational machinery that the rest of the
+library is built on.  It follows the "unnamed perspective" of the paper
+(Section 2): a relation is a name, an arity, and a typing function from
+positions to datatypes; an instance maps each relation to a finite set of
+tuples.
+"""
+
+from repro.relational.types import DataType, INT, BOOL, STRING, Domain, EnumDomain
+from repro.relational.schema import Relation, Schema
+from repro.relational.instance import Instance
+from repro.relational.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    DisjointnessConstraint,
+    ConstraintSet,
+    chase_fds,
+    implies_fd,
+)
+
+__all__ = [
+    "DataType",
+    "INT",
+    "BOOL",
+    "STRING",
+    "Domain",
+    "EnumDomain",
+    "Relation",
+    "Schema",
+    "Instance",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "DisjointnessConstraint",
+    "ConstraintSet",
+    "chase_fds",
+    "implies_fd",
+]

@@ -1,0 +1,398 @@
+"""Data integrity constraints: FDs, inclusion dependencies, disjointness.
+
+These appear throughout the paper:
+
+* **Functional dependencies** and **inclusion dependencies** are the
+  ingredients of the undecidability reductions (Theorems 3.1, 5.2, 5.3),
+  via the classical result of Chandra & Vardi that their joint implication
+  problem is undecidable.
+* **Disjointness constraints** ("a customer name never overlaps with a
+  street name") appear in the introduction and in Proposition 4.4, where
+  relevance/containment under disjointness constraints compiles directly
+  into A-automata.
+* Example 2.4 shows how long-term relevance *under functional
+  dependencies* is expressed in AccLTL with inequalities.
+
+This module provides the constraint classes, satisfaction checks on
+instances, the classical FD chase (closure of a set of positions) and a
+bounded chase for FD+ID implication which is sound always and complete
+whenever it terminates (the general problem is undecidable, which is
+exactly the engine of the paper's undecidability results).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema, SchemaError
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``R : lhs -> rhs`` (0-based positions)."""
+
+    relation: str
+    lhs: Tuple[int, ...]
+    rhs: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", tuple(sorted(set(self.lhs))))
+
+    def holds_in(self, instance: Instance) -> bool:
+        """Whether every pair of tuples in the relation respects the FD."""
+        tuples = list(instance.tuples(self.relation))
+        for t1, t2 in itertools.combinations_with_replacement(tuples, 2):
+            if all(t1[i] == t2[i] for i in self.lhs) and t1[self.rhs] != t2[self.rhs]:
+                return False
+        return True
+
+    def violating_pairs(
+        self, instance: Instance
+    ) -> List[Tuple[Tuple[object, ...], Tuple[object, ...]]]:
+        """All pairs of tuples witnessing a violation."""
+        tuples = list(instance.tuples(self.relation))
+        violations = []
+        for t1, t2 in itertools.combinations(tuples, 2):
+            if all(t1[i] == t2[i] for i in self.lhs) and t1[self.rhs] != t2[self.rhs]:
+                violations.append((t1, t2))
+        return violations
+
+    def __str__(self) -> str:
+        lhs = ",".join(str(i) for i in self.lhs)
+        return f"{self.relation}: {{{lhs}}} -> {self.rhs}"
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """An inclusion dependency ``R[A1..An] ⊆ S[B1..Bn]`` (0-based positions)."""
+
+    source: str
+    source_positions: Tuple[int, ...]
+    target: str
+    target_positions: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.source_positions) != len(self.target_positions):
+            raise SchemaError(
+                "inclusion dependency source/target position lists differ in length"
+            )
+
+    def holds_in(self, instance: Instance) -> bool:
+        """Whether every projected source tuple appears in the target projection."""
+        target_proj = {
+            tuple(tup[i] for i in self.target_positions)
+            for tup in instance.tuples(self.target)
+        }
+        for tup in instance.tuples(self.source):
+            if tuple(tup[i] for i in self.source_positions) not in target_proj:
+                return False
+        return True
+
+    def missing_tuples(self, instance: Instance) -> List[Tuple[object, ...]]:
+        """Source tuples whose projection is not matched in the target."""
+        target_proj = {
+            tuple(tup[i] for i in self.target_positions)
+            for tup in instance.tuples(self.target)
+        }
+        return [
+            tup
+            for tup in instance.tuples(self.source)
+            if tuple(tup[i] for i in self.source_positions) not in target_proj
+        ]
+
+    def __str__(self) -> str:
+        src = ",".join(str(i) for i in self.source_positions)
+        tgt = ",".join(str(i) for i in self.target_positions)
+        return f"{self.source}[{src}] ⊆ {self.target}[{tgt}]"
+
+
+@dataclass(frozen=True)
+class DisjointnessConstraint:
+    """A disjointness constraint between two relation columns.
+
+    ``Disjoint(R.i, S.j)`` states that no value occurs both at position ``i``
+    of some ``R``-tuple and at position ``j`` of some ``S``-tuple — e.g. the
+    paper's "mobile phone customer names do not overlap with street names".
+    """
+
+    relation_a: str
+    position_a: int
+    relation_b: str
+    position_b: int
+
+    def holds_in(self, instance: Instance) -> bool:
+        """Whether the two projections share no value."""
+        values_a = {tup[self.position_a] for tup in instance.tuples(self.relation_a)}
+        values_b = {tup[self.position_b] for tup in instance.tuples(self.relation_b)}
+        return not (values_a & values_b)
+
+    def overlapping_values(self, instance: Instance) -> FrozenSet[object]:
+        """Values witnessing a violation."""
+        values_a = {tup[self.position_a] for tup in instance.tuples(self.relation_a)}
+        values_b = {tup[self.position_b] for tup in instance.tuples(self.relation_b)}
+        return frozenset(values_a & values_b)
+
+    def __str__(self) -> str:
+        return (
+            f"Disjoint({self.relation_a}.{self.position_a}, "
+            f"{self.relation_b}.{self.position_b})"
+        )
+
+
+Constraint = object  # union of the three dataclasses above
+
+
+@dataclass
+class ConstraintSet:
+    """A heterogeneous collection of integrity constraints."""
+
+    fds: List[FunctionalDependency]
+    ids: List[InclusionDependency]
+    disjointness: List[DisjointnessConstraint]
+
+    def __init__(
+        self,
+        constraints: Iterable[Constraint] = (),
+    ) -> None:
+        self.fds = []
+        self.ids = []
+        self.disjointness = []
+        for constraint in constraints:
+            self.add(constraint)
+
+    def add(self, constraint: Constraint) -> None:
+        """Add a constraint of any supported kind."""
+        if isinstance(constraint, FunctionalDependency):
+            self.fds.append(constraint)
+        elif isinstance(constraint, InclusionDependency):
+            self.ids.append(constraint)
+        elif isinstance(constraint, DisjointnessConstraint):
+            self.disjointness.append(constraint)
+        else:
+            raise TypeError(f"unsupported constraint {constraint!r}")
+
+    def __iter__(self):
+        return itertools.chain(self.fds, self.ids, self.disjointness)
+
+    def __len__(self) -> int:
+        return len(self.fds) + len(self.ids) + len(self.disjointness)
+
+    def holds_in(self, instance: Instance) -> bool:
+        """Whether the instance satisfies every constraint."""
+        return all(constraint.holds_in(instance) for constraint in self)
+
+    def violated_constraints(self, instance: Instance) -> List[Constraint]:
+        """Constraints that the instance violates."""
+        return [c for c in self if not c.holds_in(instance)]
+
+
+# ----------------------------------------------------------------------
+# FD reasoning: attribute closure and implication
+# ----------------------------------------------------------------------
+def closure_of_positions(
+    positions: Iterable[int], fds: Sequence[FunctionalDependency], relation: str
+) -> FrozenSet[int]:
+    """Attribute-set closure of *positions* under the FDs of one relation.
+
+    This is the textbook closure algorithm; it is used for FD implication
+    over a single relation (which, unlike the FD+ID case, is decidable in
+    linear time).
+    """
+    closure: Set[int] = set(positions)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if fd.relation != relation:
+                continue
+            if set(fd.lhs) <= closure and fd.rhs not in closure:
+                closure.add(fd.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def fd_implies(
+    fds: Sequence[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """Whether *fds* imply the *candidate* FD (FDs only — decidable)."""
+    closure = closure_of_positions(candidate.lhs, fds, candidate.relation)
+    return candidate.rhs in closure
+
+
+# ----------------------------------------------------------------------
+# FD + ID implication via the (bounded) chase
+# ----------------------------------------------------------------------
+class _LabelledNull:
+    """A labelled null used by the chase."""
+
+    __slots__ = ("label",)
+    _counter = itertools.count()
+
+    def __init__(self) -> None:
+        self.label = next(self._counter)
+
+    def __repr__(self) -> str:
+        return f"_N{self.label}"
+
+
+def chase_fds(
+    instance: Instance, fds: Sequence[FunctionalDependency], max_rounds: int = 1000
+) -> Optional[Instance]:
+    """Chase *instance* with FDs by merging values; ``None`` on hard conflict.
+
+    Values that are not labelled nulls are treated as distinct constants;
+    merging two distinct constants is a failure (the FD set is inconsistent
+    with the instance).
+    """
+    current = instance.copy()
+    for _ in range(max_rounds):
+        substitution: Dict[object, object] = {}
+        for fd in fds:
+            for t1, t2 in fd.violating_pairs(current):
+                a, b = t1[fd.rhs], t2[fd.rhs]
+                a = substitution.get(a, a)
+                b = substitution.get(b, b)
+                if a == b:
+                    continue
+                if isinstance(a, _LabelledNull):
+                    substitution[a] = b
+                elif isinstance(b, _LabelledNull):
+                    substitution[b] = a
+                else:
+                    return None
+        if not substitution:
+            return current
+        renamed = Instance(current.schema)
+        for name, tup in current.facts():
+            renamed.add(name, tuple(substitution.get(v, v) for v in tup))
+        current = renamed
+    return current
+
+
+def implies_fd(
+    schema: Schema,
+    constraints: Sequence[Constraint],
+    sigma: FunctionalDependency,
+    max_chase_steps: int = 2000,
+) -> Optional[bool]:
+    """Does the set of FDs and IDs imply the FD *sigma*?
+
+    This problem is undecidable in general (Chandra & Vardi), which is the
+    engine behind Theorems 3.1, 5.2 and 5.3 of the paper.  We implement the
+    standard chase-based semi-decision procedure:
+
+    * start from the two-tuple canonical instance violating ``sigma``;
+    * repeatedly apply ID chase steps (adding tuples with fresh nulls) and
+      FD chase steps (merging values);
+    * if the chase terminates without having merged the two target values,
+      the implication **fails** (return ``False``);
+    * if an FD step forces the two target values to merge, the implication
+      **holds** (return ``True``);
+    * if the step budget is exhausted, return ``None`` ("unknown").
+
+    The procedure is sound in both directions when it answers, and always
+    terminates within ``max_chase_steps`` chase steps.
+    """
+    fds = [c for c in constraints if isinstance(c, FunctionalDependency)]
+    ids = [c for c in constraints if isinstance(c, InclusionDependency)]
+
+    relation = schema.relation(sigma.relation)
+    # Canonical counterexample: two tuples agreeing on sigma.lhs, fresh
+    # labelled nulls elsewhere; target position values are distinct nulls.
+    shared = {i: _LabelledNull() for i in sigma.lhs}
+    t1 = tuple(
+        shared[i] if i in shared else _LabelledNull() for i in range(relation.arity)
+    )
+    t2 = tuple(
+        shared[i] if i in shared else _LabelledNull() for i in range(relation.arity)
+    )
+    target_a, target_b = t1[sigma.rhs], t2[sigma.rhs]
+
+    # We track equalities through a union-find over values.
+    parent: Dict[object, object] = {}
+
+    def find(x: object) -> object:
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x: object, y: object) -> bool:
+        rx, ry = find(x), find(y)
+        if rx == ry:
+            return True
+        null_x = isinstance(rx, _LabelledNull)
+        null_y = isinstance(ry, _LabelledNull)
+        if not null_x and not null_y:
+            return False  # two distinct constants: chase failure
+        if null_x:
+            parent[rx] = ry
+        else:
+            parent[ry] = rx
+        return True
+
+    facts: Set[Tuple[str, Tuple[object, ...]]] = {
+        (sigma.relation, t1),
+        (sigma.relation, t2),
+    }
+
+    def canonical(fact: Tuple[str, Tuple[object, ...]]) -> Tuple[str, Tuple[object, ...]]:
+        name, tup = fact
+        return (name, tuple(find(v) for v in tup))
+
+    steps = 0
+    changed = True
+    while changed and steps < max_chase_steps:
+        changed = False
+        # FD chase steps: merge values.
+        canon_facts = {canonical(f) for f in facts}
+        for fd in fds:
+            rel_tuples = [tup for (name, tup) in canon_facts if name == fd.relation]
+            for ta, tb in itertools.combinations(rel_tuples, 2):
+                if all(ta[i] == tb[i] for i in fd.lhs) and ta[fd.rhs] != tb[fd.rhs]:
+                    union(ta[fd.rhs], tb[fd.rhs])
+                    changed = True
+                    steps += 1
+        if find(target_a) == find(target_b):
+            return True
+        # ID chase steps: add target tuples with fresh nulls.
+        canon_facts = {canonical(f) for f in facts}
+        for id_dep in ids:
+            target_rel = schema.relation(id_dep.target)
+            target_proj = {
+                tuple(tup[i] for i in id_dep.target_positions)
+                for (name, tup) in canon_facts
+                if name == id_dep.target
+            }
+            for name, tup in list(canon_facts):
+                if name != id_dep.source:
+                    continue
+                proj = tuple(tup[i] for i in id_dep.source_positions)
+                if proj in target_proj:
+                    continue
+                new_tuple: List[object] = [None] * target_rel.arity
+                for src_pos, tgt_pos in zip(
+                    id_dep.source_positions, id_dep.target_positions
+                ):
+                    new_tuple[tgt_pos] = tup[src_pos]
+                for pos in range(target_rel.arity):
+                    if new_tuple[pos] is None:
+                        new_tuple[pos] = _LabelledNull()
+                facts.add((id_dep.target, tuple(new_tuple)))
+                target_proj.add(proj)
+                changed = True
+                steps += 1
+                if steps >= max_chase_steps:
+                    break
+            if steps >= max_chase_steps:
+                break
+        if find(target_a) == find(target_b):
+            return True
+
+    if steps >= max_chase_steps and changed:
+        return None
+    return find(target_a) == find(target_b)

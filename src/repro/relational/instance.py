@@ -1,0 +1,211 @@
+"""Relational instances.
+
+An :class:`Instance` maps each relation of a schema to a finite set of
+tuples.  Instances are the nodes of the labelled transition system induced
+by a schema with access methods (Section 2 of the paper): each node is the
+set of facts revealed so far.
+
+Instances are mutable (facts can be added) but expose a frozen, hashable
+snapshot (:meth:`Instance.freeze`) used by the LTS exploration code to
+detect revisited configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.relational.schema import Relation, Schema, SchemaError
+
+Fact = Tuple[str, Tuple[object, ...]]
+FrozenInstance = FrozenSet[Fact]
+
+
+@dataclass
+class Instance:
+    """A finite instance of a :class:`~repro.relational.schema.Schema`."""
+
+    schema: Schema
+
+    def __init__(
+        self,
+        schema: Schema,
+        facts: Optional[Mapping[str, Iterable[Sequence[object]]]] = None,
+    ) -> None:
+        self.schema = schema
+        self._data: Dict[str, Set[Tuple[object, ...]]] = {
+            name: set() for name in schema.names()
+        }
+        if facts:
+            for name, tuples in facts.items():
+                for values in tuples:
+                    self.add(name, values)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, relation_name: str, values: Sequence[object]) -> Tuple[object, ...]:
+        """Add a tuple to *relation_name*, validating arity and types."""
+        relation = self.schema.relation(relation_name)
+        tup = relation.validate_tuple(values)
+        self._data[relation_name].add(tup)
+        return tup
+
+    def add_all(
+        self, relation_name: str, tuples: Iterable[Sequence[object]]
+    ) -> None:
+        """Add several tuples to *relation_name*."""
+        for values in tuples:
+            self.add(relation_name, values)
+
+    def add_fact(self, fact: Fact) -> None:
+        """Add a ``(relation, tuple)`` fact."""
+        self.add(fact[0], fact[1])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def tuples(self, relation_name: str) -> FrozenSet[Tuple[object, ...]]:
+        """The set of tuples currently stored in *relation_name*."""
+        if relation_name not in self._data:
+            raise SchemaError(f"unknown relation {relation_name!r}")
+        return frozenset(self._data[relation_name])
+
+    def __contains__(self, fact: Fact) -> bool:
+        name, tup = fact
+        return name in self._data and tuple(tup) in self._data[name]
+
+    def contains(self, relation_name: str, values: Sequence[object]) -> bool:
+        """Whether the given tuple is present in *relation_name*."""
+        return (relation_name, tuple(values)) in self
+
+    def facts(self) -> Iterator[Fact]:
+        """Iterate over all facts as ``(relation, tuple)`` pairs."""
+        for name in self.schema.names():
+            for tup in sorted(self._data[name], key=repr):
+                yield (name, tup)
+
+    def size(self) -> int:
+        """Total number of facts."""
+        return sum(len(tuples) for tuples in self._data.values())
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def is_empty(self) -> bool:
+        """Whether the instance contains no facts."""
+        return self.size() == 0
+
+    def active_domain(self) -> FrozenSet[object]:
+        """The set of values occurring in any fact (the *active domain*)."""
+        values: Set[object] = set()
+        for tuples in self._data.values():
+            for tup in tuples:
+                values.update(tup)
+        return frozenset(values)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of the relations of the underlying schema."""
+        return self.schema.names()
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def copy(self) -> "Instance":
+        """A deep copy of this instance (sharing the schema object)."""
+        clone = Instance(self.schema)
+        for name, tuples in self._data.items():
+            clone._data[name] = set(tuples)
+        return clone
+
+    def union(self, other: "Instance") -> "Instance":
+        """Fact-wise union of two instances over the same schema."""
+        if other.schema.names() != self.schema.names():
+            raise SchemaError("cannot union instances over different schemas")
+        result = self.copy()
+        for name, tuples in other._data.items():
+            result._data[name].update(tuples)
+        return result
+
+    def union_facts(self, facts: Iterable[Fact]) -> "Instance":
+        """A new instance extended with the given facts."""
+        result = self.copy()
+        for fact in facts:
+            result.add_fact(fact)
+        return result
+
+    def is_subinstance_of(self, other: "Instance") -> bool:
+        """Whether every fact of ``self`` is a fact of *other*."""
+        for name, tuples in self._data.items():
+            if not tuples <= other._data.get(name, set()):
+                return False
+        return True
+
+    def intersect(self, other: "Instance") -> "Instance":
+        """Fact-wise intersection."""
+        result = Instance(self.schema)
+        for name, tuples in self._data.items():
+            result._data[name] = tuples & other._data.get(name, set())
+        return result
+
+    def restrict_to_values(self, values: Iterable[object]) -> "Instance":
+        """Keep only the facts all of whose values belong to *values*.
+
+        Used by the Boundedness Lemma (Lemma 4.13) style constructions that
+        shrink a witness path to a polynomial-size one.
+        """
+        allowed = set(values)
+        result = Instance(self.schema)
+        for name, tuples in self._data.items():
+            result._data[name] = {
+                tup for tup in tuples if all(v in allowed for v in tup)
+            }
+        return result
+
+    # ------------------------------------------------------------------
+    # Hashable snapshots
+    # ------------------------------------------------------------------
+    def freeze(self) -> FrozenInstance:
+        """A hashable snapshot of the instance (a frozenset of facts)."""
+        return frozenset(
+            (name, tup) for name, tuples in self._data.items() for tup in tuples
+        )
+
+    @classmethod
+    def from_frozen(cls, schema: Schema, frozen: FrozenInstance) -> "Instance":
+        """Rebuild an instance from a frozen snapshot."""
+        instance = cls(schema)
+        for name, tup in frozen:
+            instance.add(name, tup)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self.freeze() == other.freeze()
+
+    def __hash__(self) -> int:
+        return hash(self.freeze())
+
+    def __str__(self) -> str:
+        parts = []
+        for name in self.schema.names():
+            for tup in sorted(self._data[name], key=repr):
+                parts.append(f"{name}{tup!r}")
+        return "{" + ", ".join(parts) + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Instance({self})"

@@ -1,0 +1,170 @@
+"""Relational schemas under the unnamed perspective.
+
+A :class:`Relation` has a name, an arity and a datatype per position
+(positions are 1-based in the paper; we keep them 0-based internally but
+expose helpers for both conventions).  A :class:`Schema` is a collection of
+relations with unique names.  Access methods (Section 2 of the paper) are
+layered on top of schemas in :mod:`repro.access.methods`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.relational.types import ANY, DataType, Domain
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas, relations or tuples."""
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation symbol: a name, an arity and per-position datatypes.
+
+    Parameters
+    ----------
+    name:
+        Relation name, unique within a schema.
+    arity:
+        Number of positions.
+    types:
+        Optional tuple of datatypes, one per position.  Defaults to the
+        catch-all ``ANY`` type for every position.
+    domains:
+        Optional per-position domains, used by bounded model checkers and
+        workload generators to enumerate candidate values.
+    """
+
+    name: str
+    arity: int
+    types: Tuple[DataType, ...] = ()
+    domains: Tuple[Optional[Domain], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise SchemaError(f"relation {self.name!r} has negative arity")
+        if not self.types:
+            object.__setattr__(self, "types", tuple(ANY for _ in range(self.arity)))
+        if len(self.types) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r}: expected {self.arity} types, got {len(self.types)}"
+            )
+        if not self.domains:
+            object.__setattr__(self, "domains", tuple(None for _ in range(self.arity)))
+        if len(self.domains) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r}: expected {self.arity} domains, got {len(self.domains)}"
+            )
+
+    @property
+    def positions(self) -> range:
+        """0-based positions of the relation."""
+        return range(self.arity)
+
+    def validate_tuple(self, values: Sequence[object]) -> Tuple[object, ...]:
+        """Check that *values* is a well-typed tuple for this relation.
+
+        Returns the tuple (as a ``tuple``) so callers can store it directly.
+        """
+        tup = tuple(values)
+        if len(tup) != self.arity:
+            raise SchemaError(
+                f"tuple {tup!r} has {len(tup)} values but {self.name} has arity {self.arity}"
+            )
+        for pos, value in enumerate(tup):
+            if not self.types[pos].contains(value):
+                raise SchemaError(
+                    f"value {value!r} at position {pos} of {self.name} is not of type "
+                    f"{self.types[pos].name}"
+                )
+        return tup
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+@dataclass
+class Schema:
+    """A relational schema: a set of relations with unique names."""
+
+    relations: Dict[str, Relation] = field(default_factory=dict)
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self.relations = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation) -> Relation:
+        """Add *relation* to the schema; names must be unique."""
+        if relation.name in self.relations:
+            raise SchemaError(f"duplicate relation name {relation.name!r}")
+        self.relations[relation.name] = relation
+        return relation
+
+    def add_relation(
+        self,
+        name: str,
+        arity: int,
+        types: Sequence[DataType] = (),
+        domains: Sequence[Optional[Domain]] = (),
+    ) -> Relation:
+        """Convenience constructor-and-add for a relation."""
+        return self.add(Relation(name, arity, tuple(types), tuple(domains)))
+
+    def relation(self, name: str) -> Relation:
+        """Return the relation named *name*, raising ``SchemaError`` if absent."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def names(self) -> Tuple[str, ...]:
+        """Relation names in insertion order."""
+        return tuple(self.relations)
+
+    def arity(self, name: str) -> int:
+        """Arity of the relation named *name*."""
+        return self.relation(name).arity
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """A new schema containing only the named relations."""
+        return Schema([self.relation(name) for name in names])
+
+    def extend(self, relations: Iterable[Relation]) -> "Schema":
+        """A new schema with the given relations added."""
+        merged = Schema(list(self))
+        for relation in relations:
+            merged.add(relation)
+        return merged
+
+    def max_arity(self) -> int:
+        """The maximal arity over all relations (0 for an empty schema)."""
+        return max((rel.arity for rel in self), default=0)
+
+    def __str__(self) -> str:
+        return "Schema(" + ", ".join(str(rel) for rel in self) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.relations == other.relations
+
+
+def make_schema(spec: Mapping[str, int]) -> Schema:
+    """Build a schema from a ``{name: arity}`` mapping.
+
+    This is the most common construction in tests and benchmarks where the
+    datatypes are irrelevant.
+    """
+    return Schema([Relation(name, arity) for name, arity in spec.items()])

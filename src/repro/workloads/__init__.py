@@ -1,0 +1,24 @@
+"""Workloads: the paper's running example and synthetic benchmark generators."""
+
+from repro.workloads.directory import (
+    directory_schema,
+    directory_access_schema,
+    directory_hidden_instance,
+    directory_vocabulary,
+    jones_address_query,
+    smith_phone_query,
+)
+from repro.workloads.generators import WorkloadGenerator
+from repro.workloads.scenarios import Scenario, standard_scenarios
+
+__all__ = [
+    "directory_schema",
+    "directory_access_schema",
+    "directory_hidden_instance",
+    "directory_vocabulary",
+    "jones_address_query",
+    "smith_phone_query",
+    "WorkloadGenerator",
+    "Scenario",
+    "standard_scenarios",
+]

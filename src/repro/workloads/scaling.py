@@ -1,0 +1,274 @@
+"""Parameterised workload families for scaling studies.
+
+The paper's own evaluation is analytical (complexity bounds), and the
+reproduction-band notes flag "performance eval on larger schemas" as the
+weak spot of a Python reproduction.  This module provides deterministic
+schema families whose size can be dialled up, so the benchmark harness can
+chart how each decision procedure scales with the schema:
+
+* **chain workloads** — relations ``R0, ..., R{n-1}`` where ``R0`` has an
+  input-free access method and every later relation can only be accessed by
+  binding its first position.  The hidden instance links the relations into
+  chains, so answering the chain join query requires following the
+  dataflow — the canonical "web form cascade" from the introduction.
+* **star workloads** — a central ``Hub`` relation joined to ``k`` satellite
+  relations, each with its own bound-first-position access method.
+* **wide-directory workloads** — copies of the paper's Mobile/Address pair,
+  modelling a federation of many similar web sources.
+
+Every generator is deterministic in its parameters (no random state), so
+benchmark rows are reproducible from the printed parameters alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.access.methods import AccessSchema
+from repro.queries.atoms import Atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Relation, Schema
+
+
+@dataclass(frozen=True)
+class ScalingWorkload:
+    """A schema-with-access-methods plus a hidden instance and a target query.
+
+    Attributes
+    ----------
+    name:
+        Identifies the family and parameters (printed by the benchmarks).
+    access_schema:
+        The schema with access methods.
+    hidden_instance:
+        The simulated hidden data source.
+    query:
+        The conjunctive query the workload is about (the chain/star join).
+    initial_values:
+        Values assumed known up front (seeds for grounded access paths).
+    """
+
+    name: str
+    access_schema: AccessSchema
+    hidden_instance: Instance
+    query: ConjunctiveQuery
+    initial_values: Tuple[object, ...] = ()
+
+    def describe(self) -> str:
+        """One-line description used in benchmark output."""
+        return (
+            f"{self.name}: |relations|={len(self.access_schema.schema)}, "
+            f"|methods|={len(self.access_schema)}, "
+            f"|hidden facts|={self.hidden_instance.size()}, "
+            f"|query atoms|={len(self.query.atoms)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Chain workloads
+# ----------------------------------------------------------------------
+def chain_access_schema(length: int) -> AccessSchema:
+    """A chain of binary relations ``R0 ... R{length-1}``.
+
+    ``R0`` has an input-free method (a full scan — e.g. a public index
+    page); every later ``Ri`` has a single method binding position 0 (a web
+    form requiring the value discovered in the previous relation).
+    """
+    if length < 1:
+        raise ValueError("chain length must be at least 1")
+    schema = Schema([Relation(f"R{i}", 2) for i in range(length)])
+    access_schema = AccessSchema(schema)
+    access_schema.add("Scan0", "R0", ())
+    for index in range(1, length):
+        access_schema.add(f"Lookup{index}", f"R{index}", (0,))
+    return access_schema
+
+
+def chain_hidden_instance(
+    length: int, chains: int = 3, broken_chains: int = 1
+) -> Instance:
+    """A hidden instance linking the chain relations.
+
+    ``chains`` complete chains run through all relations; ``broken_chains``
+    additional chains are missing their first link, so their tuples are
+    unreachable through grounded accesses (they exercise the "maximal
+    answers ≠ true answers" case).
+    """
+    schema = chain_access_schema(length).schema
+    instance = Instance(schema)
+    for chain_index in range(chains):
+        for relation_index in range(length):
+            instance.add(
+                f"R{relation_index}",
+                (f"c{chain_index}_{relation_index}", f"c{chain_index}_{relation_index + 1}"),
+            )
+    for broken_index in range(broken_chains):
+        # Tuples in later relations with values never exposed by R0.
+        for relation_index in range(1, length):
+            instance.add(
+                f"R{relation_index}",
+                (f"x{broken_index}_{relation_index}", f"x{broken_index}_{relation_index + 1}"),
+            )
+    return instance
+
+
+def chain_query(length: int) -> ConjunctiveQuery:
+    """The chain join ``Q(x0, xn) :- R0(x0, x1), ..., R{n-1}(x{n-1}, xn)``."""
+    variables = [Variable(f"x{i}") for i in range(length + 1)]
+    atoms = [
+        Atom(f"R{i}", (variables[i], variables[i + 1])) for i in range(length)
+    ]
+    return ConjunctiveQuery(
+        atoms=tuple(atoms), head=(variables[0], variables[length]), name="ChainQ"
+    )
+
+
+def chain_workload(
+    length: int, chains: int = 3, broken_chains: int = 1
+) -> ScalingWorkload:
+    """A complete chain workload of the given length."""
+    return ScalingWorkload(
+        name=f"chain[length={length},chains={chains},broken={broken_chains}]",
+        access_schema=chain_access_schema(length),
+        hidden_instance=chain_hidden_instance(length, chains, broken_chains),
+        query=chain_query(length),
+    )
+
+
+# ----------------------------------------------------------------------
+# Star workloads
+# ----------------------------------------------------------------------
+def star_access_schema(satellites: int) -> AccessSchema:
+    """A hub relation plus *satellites* satellite relations.
+
+    The hub ``Hub(key, s1_key, ..., sk_key)`` has an input-free scan; each
+    satellite ``S{i}(key, payload)`` has a method binding its key.
+    """
+    if satellites < 1:
+        raise ValueError("a star needs at least one satellite")
+    relations = [Relation("Hub", satellites + 1)]
+    relations.extend(Relation(f"S{i}", 2) for i in range(satellites))
+    schema = Schema(relations)
+    access_schema = AccessSchema(schema)
+    access_schema.add("HubScan", "Hub", ())
+    for index in range(satellites):
+        access_schema.add(f"SatLookup{index}", f"S{index}", (0,))
+    return access_schema
+
+
+def star_hidden_instance(satellites: int, hubs: int = 3) -> Instance:
+    """A hidden instance with *hubs* hub tuples, each joined to every satellite."""
+    schema = star_access_schema(satellites).schema
+    instance = Instance(schema)
+    for hub_index in range(hubs):
+        hub_tuple = [f"h{hub_index}"] + [
+            f"k{hub_index}_{sat}" for sat in range(satellites)
+        ]
+        instance.add("Hub", tuple(hub_tuple))
+        for sat in range(satellites):
+            instance.add(f"S{sat}", (f"k{hub_index}_{sat}", f"payload{hub_index}_{sat}"))
+    return instance
+
+
+def star_query(satellites: int) -> ConjunctiveQuery:
+    """The star join collecting every satellite payload of a hub."""
+    hub_key = Variable("h")
+    sat_keys = [Variable(f"k{i}") for i in range(satellites)]
+    payloads = [Variable(f"p{i}") for i in range(satellites)]
+    atoms = [Atom("Hub", tuple([hub_key] + sat_keys))]
+    atoms.extend(
+        Atom(f"S{i}", (sat_keys[i], payloads[i])) for i in range(satellites)
+    )
+    return ConjunctiveQuery(
+        atoms=tuple(atoms), head=(hub_key,) + tuple(payloads), name="StarQ"
+    )
+
+
+def star_workload(satellites: int, hubs: int = 3) -> ScalingWorkload:
+    """A complete star workload with the given number of satellites."""
+    return ScalingWorkload(
+        name=f"star[satellites={satellites},hubs={hubs}]",
+        access_schema=star_access_schema(satellites),
+        hidden_instance=star_hidden_instance(satellites, hubs),
+        query=star_query(satellites),
+    )
+
+
+# ----------------------------------------------------------------------
+# Wide-directory workloads (many Mobile/Address-style source pairs)
+# ----------------------------------------------------------------------
+def wide_directory_access_schema(pairs: int) -> AccessSchema:
+    """*pairs* copies of the paper's Mobile/Address schema side by side."""
+    if pairs < 1:
+        raise ValueError("need at least one source pair")
+    relations: List[Relation] = []
+    for index in range(pairs):
+        relations.append(Relation(f"Mobile{index}", 4))
+        relations.append(Relation(f"Address{index}", 4))
+    schema = Schema(relations)
+    access_schema = AccessSchema(schema)
+    for index in range(pairs):
+        access_schema.add(f"ByName{index}", f"Mobile{index}", (0,))
+        access_schema.add(f"ByStreet{index}", f"Address{index}", (0, 1))
+    return access_schema
+
+
+def wide_directory_hidden_instance(pairs: int, people: int = 4) -> Instance:
+    """A hidden instance populating every source pair with *people* residents."""
+    schema = wide_directory_access_schema(pairs).schema
+    instance = Instance(schema)
+    for index in range(pairs):
+        for person in range(people):
+            name = f"Person{index}_{person}"
+            street = f"Street{index}_{person % 2}"
+            postcode = f"PC{index}_{person % 2}"
+            instance.add(f"Mobile{index}", (name, postcode, street, 1000 * index + person))
+            instance.add(f"Address{index}", (street, postcode, name, person))
+    return instance
+
+
+def wide_directory_query(pairs: int, pair_index: int = 0) -> ConjunctiveQuery:
+    """The Mobile/Address join of one source pair of the federation."""
+    if not 0 <= pair_index < pairs:
+        raise ValueError("pair_index out of range")
+    n, pc, s, ph, h = (Variable(v) for v in ("n", "pc", "s", "ph", "h"))
+    return ConjunctiveQuery(
+        atoms=(
+            Atom(f"Mobile{pair_index}", (n, pc, s, ph)),
+            Atom(f"Address{pair_index}", (s, pc, n, h)),
+        ),
+        head=(n,),
+        name=f"DirectoryQ{pair_index}",
+    )
+
+
+def wide_directory_workload(pairs: int, people: int = 4) -> ScalingWorkload:
+    """A federation of *pairs* directory sources."""
+    return ScalingWorkload(
+        name=f"wide-directory[pairs={pairs},people={people}]",
+        access_schema=wide_directory_access_schema(pairs),
+        hidden_instance=wide_directory_hidden_instance(pairs, people),
+        query=wide_directory_query(pairs, 0),
+        initial_values=(f"Person0_0",),
+    )
+
+
+# ----------------------------------------------------------------------
+# Suites
+# ----------------------------------------------------------------------
+def chain_suite(lengths: Tuple[int, ...] = (2, 4, 6, 8)) -> List[ScalingWorkload]:
+    """Chain workloads of increasing length."""
+    return [chain_workload(length) for length in lengths]
+
+
+def star_suite(satellite_counts: Tuple[int, ...] = (2, 4, 6)) -> List[ScalingWorkload]:
+    """Star workloads of increasing width."""
+    return [star_workload(count) for count in satellite_counts]
+
+
+def wide_directory_suite(pair_counts: Tuple[int, ...] = (1, 2, 4)) -> List[ScalingWorkload]:
+    """Wide-directory workloads of increasing federation size."""
+    return [wide_directory_workload(pairs) for pairs in pair_counts]

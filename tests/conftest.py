@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.access.methods import AccessSchema
+from repro.core.vocabulary import AccessVocabulary
+from repro.relational.instance import Instance
+from repro.relational.schema import Relation, Schema
+from repro.workloads.directory import (
+    directory_access_schema,
+    directory_hidden_instance,
+    directory_schema,
+    jones_address_query,
+    join_query,
+    resident_names_query,
+    smith_phone_query,
+)
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    """A small untyped schema used by the relational/query tests."""
+    return Schema([Relation("R", 2), Relation("S", 2), Relation("T", 1)])
+
+
+@pytest.fixture
+def simple_instance(simple_schema: Schema) -> Instance:
+    """A small instance over ``simple_schema``."""
+    instance = Instance(simple_schema)
+    instance.add_all("R", [("a", "b"), ("b", "c"), ("c", "d")])
+    instance.add_all("S", [("b", "c"), ("d", "e")])
+    instance.add_all("T", [("a",)])
+    return instance
+
+
+@pytest.fixture
+def directory() -> AccessSchema:
+    """The paper's web-directory access schema."""
+    return directory_access_schema()
+
+
+@pytest.fixture
+def directory_vocab(directory: AccessSchema) -> AccessVocabulary:
+    """The access vocabulary of the directory schema."""
+    return AccessVocabulary.of(directory)
+
+
+@pytest.fixture
+def hidden_directory() -> Instance:
+    """The small hidden directory instance."""
+    return directory_hidden_instance("small")
+
+
+@pytest.fixture
+def directory_queries():
+    """The queries of the introduction, as a dictionary."""
+    return {
+        "jones": jones_address_query(),
+        "smith": smith_phone_query(),
+        "join": join_query(),
+        "residents": resident_names_query(),
+    }

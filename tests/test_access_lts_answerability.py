@@ -1,0 +1,178 @@
+"""Tests for the LTS exploration and maximal answers under access patterns."""
+
+import pytest
+
+from repro.access.answerability import (
+    accessible_fraction,
+    accessible_part,
+    accessible_part_program,
+    is_answerable_exactly,
+    maximal_answers,
+    true_answers,
+)
+from repro.access.lts import LabelledTransitionSystem, explore
+from repro.access.methods import AccessSchema
+from repro.datalog.evaluation import evaluate_program
+from repro.relational.instance import Instance
+from repro.relational.schema import make_schema
+from repro.workloads.directory import (
+    jones_address_query,
+    resident_names_query,
+    smith_phone_query,
+)
+
+
+class TestExplore:
+    def test_exploration_from_hidden_instance(self, directory, hidden_directory):
+        lts = explore(
+            directory,
+            hidden_instance=hidden_directory,
+            value_pool=["Smith", "Parks Rd", "OX13QD"],
+            max_depth=2,
+        )
+        nodes, transitions = lts.size()
+        assert nodes > 1
+        assert transitions >= nodes - 1
+        assert lts.initial in lts.nodes
+
+    def test_grounded_exploration_restricts_bindings(self, directory, hidden_directory):
+        free = explore(
+            directory,
+            hidden_instance=hidden_directory,
+            value_pool=["Smith", "Parks Rd", "OX13QD"],
+            max_depth=1,
+        )
+        grounded = explore(
+            directory,
+            hidden_instance=hidden_directory,
+            value_pool=["Smith", "Parks Rd", "OX13QD"],
+            max_depth=1,
+            grounded_only=True,
+        )
+        # The empty initial instance knows no values, so only input-free
+        # accesses (none here) are grounded.
+        assert grounded.size()[1] == 0
+        assert free.size()[1] > 0
+
+    def test_paths_enumeration(self, directory, hidden_directory):
+        lts = explore(
+            directory,
+            hidden_instance=hidden_directory,
+            value_pool=["Smith"],
+            max_depth=2,
+        )
+        paths = list(lts.paths(max_length=2))
+        assert any(len(p) == 2 for p in paths)
+        assert any(len(p) == 0 for p in paths)
+
+    def test_render_tree_mentions_known_facts(self, directory, hidden_directory):
+        lts = explore(
+            directory,
+            hidden_instance=hidden_directory,
+            value_pool=["Smith", "Parks Rd", "OX13QD"],
+            max_depth=2,
+        )
+        rendering = lts.render_tree(max_depth=2)
+        assert "Known Facts" in rendering
+        assert "AcM1" in rendering or "AcM2" in rendering
+
+    def test_transition_filter(self, directory, hidden_directory):
+        lts = explore(
+            directory,
+            hidden_instance=hidden_directory,
+            value_pool=["Smith"],
+            max_depth=2,
+            transition_filter=lambda t: t.access.method.name == "AcM1",
+        )
+        assert all(t.access.method.name == "AcM1" for t in lts.transitions)
+
+    def test_synthetic_responses_without_hidden_instance(self, directory):
+        lts = explore(
+            directory,
+            value_pool=["a"],
+            max_depth=1,
+            max_response_size=1,
+        )
+        assert lts.size()[1] > 0
+
+
+class TestAccessiblePart:
+    def test_nothing_accessible_without_seed(self, directory, hidden_directory):
+        part = accessible_part(directory, hidden_directory, initial_values=[])
+        assert part.is_empty()
+
+    def test_seeded_accessible_part_grows_transitively(
+        self, directory, hidden_directory
+    ):
+        part = accessible_part(directory, hidden_directory, initial_values=["Smith"])
+        # Smith's mobile tuple is accessible, revealing Parks Rd/OX13QD,
+        # which unlocks the Address tuples on Parks Rd.
+        assert part.contains("Mobile", ("Smith", "OX13QD", "Parks Rd", 5551212))
+        assert part.contains("Address", ("Parks Rd", "OX13QD", "Jones", 16))
+        # "Jones" becomes known through the Address table, unlocking Jones'
+        # mobile tuple too; Patel's name is never revealed, and the Hidden
+        # Lane address needs a street/postcode nobody's mobile record has.
+        assert part.contains("Mobile", ("Jones", "OX26NN", "Banbury Rd", 5553434))
+        assert not part.contains("Mobile", ("Patel", "OX13QD", "Parks Rd", 5559876))
+        assert not part.contains("Address", ("Hidden Lane", "OX99ZZ", "Jones", 7))
+
+    def test_input_free_method_reveals_everything(self, hidden_directory):
+        schema = AccessSchema(hidden_directory.schema)
+        schema.add("ScanMobile", "Mobile", ())
+        schema.add("ScanAddress", "Address", ())
+        part = accessible_part(schema, hidden_directory)
+        assert part.size() == hidden_directory.size()
+        assert accessible_fraction(schema, hidden_directory) == 1.0
+
+    def test_accessible_fraction_of_empty_instance(self, directory):
+        assert accessible_fraction(directory, directory.empty_instance()) == 1.0
+
+
+class TestMaximalAnswers:
+    def test_jones_query_not_answerable(self, directory, hidden_directory):
+        query = jones_address_query()
+        maximal = maximal_answers(
+            directory, query, hidden_directory, initial_values=["Smith"]
+        )
+        truth = true_answers(query, hidden_directory)
+        assert maximal < truth
+        assert not is_answerable_exactly(
+            directory, query, hidden_directory, initial_values=["Smith"]
+        )
+
+    def test_smith_query_answerable(self, directory, hidden_directory):
+        query = smith_phone_query()
+        assert is_answerable_exactly(
+            directory, query, hidden_directory, initial_values=["Smith"]
+        )
+
+    def test_program_agrees_with_direct_fixedpoint(self, directory, hidden_directory):
+        query = resident_names_query()
+        program = accessible_part_program(directory, query)
+        database = Instance(program.edb_schema)
+        for name, tup in hidden_directory.facts():
+            database.add(name, tup)
+        database.add("Init", ("Smith",))
+        fixedpoint = evaluate_program(program, database)
+        program_answers = fixedpoint.tuples("Goal")
+        direct = maximal_answers(
+            directory, query, hidden_directory, initial_values=["Smith"]
+        )
+        assert program_answers == direct
+
+    def test_program_goal_empty_without_seed(self, directory, hidden_directory):
+        query = resident_names_query()
+        program = accessible_part_program(directory, query)
+        database = Instance(program.edb_schema)
+        for name, tup in hidden_directory.facts():
+            database.add(name, tup)
+        fixedpoint = evaluate_program(program, database)
+        assert not fixedpoint.tuples("Goal")
+
+    def test_program_linear_size(self, directory):
+        query = resident_names_query()
+        program = accessible_part_program(directory, query)
+        # One Known rule for Init, one per relation position, one Acc rule
+        # per method, plus the goal rules.
+        expected_max = 1 + sum(r.arity for r in directory.schema) + len(directory) + 1
+        assert len(program.rules) <= expected_max

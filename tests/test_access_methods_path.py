@@ -1,0 +1,191 @@
+"""Tests for access methods, accesses, paths and sanity conditions."""
+
+import pytest
+
+from repro.access.methods import Access, AccessMethod, AccessSchema, respond
+from repro.access.path import (
+    AccessPath,
+    PathStep,
+    conf,
+    configurations,
+    grounded_prefix_length,
+    is_exact,
+    is_exact_for,
+    is_grounded,
+    is_idempotent,
+    path_from_pairs,
+    satisfies_sanity_conditions,
+    values_revealed,
+    well_formed_response,
+)
+from repro.relational.instance import Instance
+from repro.relational.schema import SchemaError, make_schema
+
+
+class TestAccessMethods:
+    def test_method_normalises_input_positions(self):
+        method = AccessMethod("M", "R", (2, 0, 2))
+        assert method.input_positions == (0, 2)
+        assert method.num_inputs == 2
+
+    def test_exact_implies_idempotent(self):
+        method = AccessMethod("M", "R", (0,), exact=True)
+        assert method.idempotent
+
+    def test_boolean_and_input_free(self, directory):
+        acm1 = directory.method("AcM1")
+        assert not acm1.is_boolean(directory.schema)
+        assert not acm1.is_input_free()
+        assert acm1.output_positions(directory.schema) == (1, 2, 3)
+
+    def test_access_schema_validates_positions(self):
+        schema = AccessSchema(make_schema({"R": 2}))
+        with pytest.raises(SchemaError):
+            schema.add("M", "R", (5,))
+
+    def test_duplicate_method_names_rejected(self, directory):
+        with pytest.raises(SchemaError):
+            directory.add("AcM1", "Address", (0,))
+
+    def test_methods_for_and_flags(self, directory):
+        assert [m.name for m in directory.methods_for("Mobile")] == ["AcM1"]
+        assert directory.exact_methods() == frozenset()
+        exact = AccessSchema(make_schema({"R": 2}))
+        exact.add("E", "R", (0,), exact=True)
+        assert exact.exact_methods() == frozenset({"E"})
+        assert exact.idempotent_methods() == frozenset({"E"})
+
+    def test_access_binding_validation(self, directory):
+        with pytest.raises(SchemaError):
+            directory.access("AcM2", ("only-one",))
+
+    def test_access_matches(self, directory):
+        access = directory.access("AcM2", ("Parks Rd", "OX13QD"))
+        assert access.matches(("Parks Rd", "OX13QD", "Smith", 13))
+        assert not access.matches(("Banbury Rd", "OX13QD", "Smith", 13))
+
+    def test_respond_returns_matching_tuples(self, directory, hidden_directory):
+        access = directory.access("AcM1", ("Smith",))
+        response = respond(access, hidden_directory)
+        assert response == frozenset(
+            {("Smith", "OX13QD", "Parks Rd", 5551212)}
+        )
+
+    def test_str_representations(self, directory):
+        access = directory.access("AcM1", ("Smith",))
+        assert "AcM1" in str(access)
+        assert "Mobile" in str(directory.method("AcM1"))
+        assert "AcM1" in str(directory)
+
+
+class TestPaths:
+    def test_response_must_match_binding(self, directory):
+        access = directory.access("AcM1", ("Smith",))
+        with pytest.raises(SchemaError):
+            PathStep(access, frozenset({("Jones", "OX1", "X", 1)}))
+
+    def test_well_formed_response(self, directory):
+        access = directory.access("AcM1", ("Smith",))
+        assert well_formed_response(access, [("Smith", "a", "b", 1)])
+        assert not well_formed_response(access, [("Jones", "a", "b", 1)])
+
+    def test_conf_accumulates_responses(self, directory):
+        path = path_from_pairs(
+            directory,
+            [
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+                ("AcM2", ("Parks Rd", "OX13QD"), [("Parks Rd", "OX13QD", "Jones", 16)]),
+            ],
+        )
+        final = conf(path, directory.empty_instance())
+        assert final.size() == 2
+        configs = configurations(path, directory.empty_instance())
+        assert [c.size() for c in configs] == [0, 1, 2]
+
+    def test_path_helpers(self, directory):
+        path = path_from_pairs(
+            directory,
+            [
+                ("AcM1", ("Smith",), []),
+                ("AcM2", ("Parks Rd", "OX13QD"), []),
+            ],
+        )
+        assert len(path) == 2
+        assert path.methods_used() == frozenset({"AcM1", "AcM2"})
+        assert len(path.prefix(1)) == 1
+        assert len(path.drop_first()) == 1
+        assert not path.is_empty
+        assert len(path.accesses()) == 2
+
+    def test_idempotence(self, directory):
+        response_one = [("Smith", "OX13QD", "Parks Rd", 5551212)]
+        same = path_from_pairs(
+            directory,
+            [("AcM1", ("Smith",), response_one), ("AcM1", ("Smith",), response_one)],
+        )
+        assert is_idempotent(same)
+        different = path_from_pairs(
+            directory,
+            [("AcM1", ("Smith",), response_one), ("AcM1", ("Smith",), [])],
+        )
+        assert not is_idempotent(different)
+
+    def test_groundedness(self, directory):
+        initial = directory.empty_instance()
+        ungrounded = path_from_pairs(directory, [("AcM1", ("Smith",), [])])
+        assert not is_grounded(ungrounded, initial)
+        assert grounded_prefix_length(ungrounded, initial) == 0
+
+        seeded = Instance(directory.schema)
+        seeded.add("Address", ("Parks Rd", "OX13QD", "Smith", 13))
+        grounded_path = path_from_pairs(
+            directory,
+            [
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Banbury Rd", 1)]),
+                ("AcM2", ("Banbury Rd", "OX13QD"), []),
+            ],
+        )
+        assert is_grounded(grounded_path, seeded)
+        assert grounded_prefix_length(grounded_path, seeded) == 2
+
+    def test_exactness(self, directory):
+        path = path_from_pairs(
+            directory,
+            [
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+            ],
+        )
+        assert is_exact(path, schema=directory)
+        # A later access revealing a matching tuple the earlier one missed
+        # breaks exactness.
+        broken = path_from_pairs(
+            directory,
+            [
+                ("AcM1", ("Smith",), []),
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+            ],
+        )
+        assert not is_exact_for(broken, {"AcM1"}, schema=directory)
+
+    def test_exactness_requires_context(self, directory):
+        path = path_from_pairs(directory, [("AcM1", ("Smith",), [])])
+        with pytest.raises(ValueError):
+            is_exact_for(path, {"AcM1"})
+
+    def test_sanity_conditions(self):
+        schema = AccessSchema(make_schema({"R": 1}))
+        schema.add("Exact", "R", (0,), exact=True)
+        ok = path_from_pairs(schema, [("Exact", ("a",), [("a",)])])
+        assert satisfies_sanity_conditions(ok, schema)
+        broken = path_from_pairs(
+            schema, [("Exact", ("a",), []), ("Exact", ("a",), [("a",)])]
+        )
+        assert not satisfies_sanity_conditions(broken, schema)
+
+    def test_values_revealed(self, directory):
+        path = path_from_pairs(
+            directory, [("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 1)])]
+        )
+        revealed = values_revealed(path, directory.empty_instance())
+        assert "OX13QD" in revealed

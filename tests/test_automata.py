@@ -1,0 +1,374 @@
+"""Tests for A-automata: construction, runs, compilation, progressivity, emptiness."""
+
+import pytest
+
+from repro.access.path import path_from_pairs
+from repro.automata.aautomaton import AAutomaton, ATransition, AutomatonError, Guard
+from repro.automata.compile import compile_accltl_plus
+from repro.automata.emptiness import (
+    automaton_emptiness,
+    datalog_emptiness_precheck,
+    guard_to_datalog,
+    guard_unsatisfiable_via_datalog,
+    prune_unsatisfiable_guards,
+)
+from repro.automata.library import containment_automaton, ltr_automaton
+from repro.automata.progressive import (
+    chain_restrictions,
+    is_progressive,
+    scc_chain,
+    strongly_connected_components,
+)
+from repro.automata.run import accepting_runs, accepts_path, language_subset_on_samples
+from repro.core import properties
+from repro.core.formulas import EmbeddedSentence, eventually, globally, land, lnot
+from repro.core.sat_zeroary import FragmentError
+from repro.core.semantics import path_satisfies
+from repro.core.transition import path_structures
+from repro.core.vocabulary import AccessVocabulary
+from repro.queries.parser import parse_cq
+from repro.relational.dependencies import DisjointnessConstraint
+from repro.workloads.directory import join_query, resident_names_query
+
+
+@pytest.fixture
+def vocab(directory_vocab):
+    return directory_vocab
+
+
+@pytest.fixture
+def revealing_path(directory):
+    """Address tuple first, then the joining Mobile tuple via AcM1('Smith')."""
+    return path_from_pairs(
+        directory,
+        [
+            ("AcM2", ("Parks Rd", "OX13QD"), [("Parks Rd", "OX13QD", "Jones", 16)]),
+            ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+        ],
+    )
+
+
+def _sentence(text):
+    return EmbeddedSentence(parse_cq(text))
+
+
+class TestGuardsAndAutomata:
+    def test_negated_guard_must_not_mention_binding(self):
+        with pytest.raises(AutomatonError):
+            Guard(negated=(_sentence("Q :- IsBind__AcM1(x)"),))
+
+    def test_guard_satisfaction(self, vocab, revealing_path):
+        structures = path_structures(vocab, revealing_path)
+        guard = Guard(
+            positives=(_sentence('Q :- IsBind__AcM1("Smith")'),),
+            negated=(_sentence("Q :- Address__post(a, b, c, d), Mobile__pre(a, x, y, z)"),),
+        )
+        assert not guard.satisfied_by(structures[0])
+        assert guard.satisfied_by(structures[1])
+
+    def test_guard_helpers(self):
+        guard = Guard(positives=(_sentence("Q :- Mobile__post(a, b, c, d)"),))
+        assert not guard.is_trivially_true()
+        assert not guard.mentions_binding()
+        assert Guard().is_trivially_true()
+        assert "Mobile" in str(guard)
+
+    def test_automaton_validation(self):
+        with pytest.raises(AutomatonError):
+            AAutomaton(states=["a"], initial="missing", accepting=[], transitions=[])
+        with pytest.raises(AutomatonError):
+            AAutomaton(states=["a"], initial="a", accepting=["b"], transitions=[])
+        with pytest.raises(AutomatonError):
+            AAutomaton(
+                states=["a"],
+                initial="a",
+                accepting=[],
+                transitions=[ATransition("a", Guard(), "b")],
+            )
+
+    def test_trim_removes_useless_states(self):
+        automaton = AAutomaton(
+            states=["i", "useful", "dead"],
+            initial="i",
+            accepting=["useful"],
+            transitions=[
+                ATransition("i", Guard(), "useful"),
+                ATransition("dead", Guard(), "useful"),
+            ],
+        )
+        trimmed = automaton.trim()
+        assert "dead" not in trimmed.states
+        assert trimmed.size() == (2, 1)
+
+    def test_trim_of_empty_language(self):
+        automaton = AAutomaton(
+            states=["i", "x"],
+            initial="i",
+            accepting=[],
+            transitions=[ATransition("i", Guard(), "x")],
+        )
+        trimmed = automaton.trim()
+        assert not trimmed.accepting
+        assert trimmed.states == ["i"]
+
+
+class TestRuns:
+    def test_simple_two_state_automaton(self, vocab, revealing_path):
+        reveal = Guard(positives=(_sentence("Q :- Mobile__post(a, b, c, d)"),))
+        anything = Guard()
+        automaton = AAutomaton(
+            states=["s0", "s1"],
+            initial="s0",
+            accepting=["s1"],
+            transitions=[
+                ATransition("s0", anything, "s0"),
+                ATransition("s0", reveal, "s1"),
+                ATransition("s1", anything, "s1"),
+            ],
+        )
+        assert accepts_path(automaton, vocab, revealing_path)
+        assert not accepts_path(automaton, vocab, revealing_path.prefix(1))
+        runs = list(
+            accepting_runs(automaton, path_structures(vocab, revealing_path))
+        )
+        assert runs
+        assert all(run[-1].target == "s1" for run in runs)
+
+    def test_empty_path_not_accepted(self, vocab):
+        automaton = AAutomaton(
+            states=["s0"], initial="s0", accepting=["s0"], transitions=[]
+        )
+        from repro.access.path import AccessPath
+
+        assert not accepts_path(automaton, vocab, AccessPath(()))
+
+
+class TestCompilation:
+    def test_compiled_automaton_agrees_with_semantics(self, vocab, directory, revealing_path):
+        probe = directory.access("AcM1", ("Smith",))
+        formula = properties.ltr_formula(vocab, probe, join_query())
+        automaton = compile_accltl_plus(formula)
+        paths = [
+            revealing_path,
+            revealing_path.prefix(1),
+            path_from_pairs(directory, [("AcM1", ("Smith",), [])]),
+            path_from_pairs(
+                directory,
+                [("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)])],
+            ),
+        ]
+        for path in paths:
+            assert accepts_path(automaton, vocab, path) == path_satisfies(
+                vocab, path, formula
+            )
+
+    def test_compiled_zeroary_formula_agrees(self, vocab, directory):
+        formula = properties.access_order_formula(vocab, "AcM2", "AcM1")
+        automaton = compile_accltl_plus(formula)
+        ok = path_from_pairs(
+            directory,
+            [("AcM2", ("Parks Rd", "OX13QD"), []), ("AcM1", ("Smith",), [])],
+        )
+        bad = path_from_pairs(
+            directory,
+            [("AcM1", ("Smith",), []), ("AcM2", ("Parks Rd", "OX13QD"), [])],
+        )
+        assert accepts_path(automaton, vocab, ok)
+        assert not accepts_path(automaton, vocab, bad)
+
+    def test_compile_rejects_non_binding_positive(self, vocab):
+        negative = globally(
+            lnot(
+                properties.nary_binding_atom(
+                    vocab.access_schema.method("AcM1"), ("Smith",)
+                )
+            )
+        )
+        with pytest.raises(FragmentError):
+            compile_accltl_plus(negative)
+
+    def test_compile_size_is_exponential_in_atoms_at_most(self, vocab, directory):
+        probe = directory.access("AcM1", ("Smith",))
+        formula = properties.ltr_formula(vocab, probe, join_query())
+        automaton = compile_accltl_plus(formula)
+        states, transitions = automaton.size()
+        atoms = len(formula.atoms())
+        assert states <= 2 ** (atoms + 4)
+        assert transitions <= states * states
+
+
+class TestProgressive:
+    def test_scc_of_compiled_automaton(self, vocab, directory):
+        probe = directory.access("AcM1", ("Smith",))
+        automaton = compile_accltl_plus(
+            properties.ltr_formula(vocab, probe, join_query())
+        )
+        components = strongly_connected_components(automaton)
+        assert sum(len(c) for c in components) == len(automaton.states)
+        condensation = scc_chain(automaton)
+        assert len(condensation.components) == len(components)
+
+    def test_chain_restrictions_cover_acceptance(self, vocab, directory):
+        probe = directory.access("AcM1", ("Smith",))
+        automaton = compile_accltl_plus(
+            properties.ltr_formula(vocab, probe, join_query())
+        ).trim()
+        restrictions = chain_restrictions(automaton)
+        assert restrictions
+        for restriction in restrictions:
+            assert restriction.initial == automaton.initial
+            assert set(restriction.accepting) <= set(automaton.accepting)
+
+    def test_hand_built_progressive_automaton(self):
+        guard = Guard(positives=(_sentence("Q :- Mobile__post(a, b, c, d)"),))
+        automaton = AAutomaton(
+            states=["s0", "s1"],
+            initial="s0",
+            accepting=["s1"],
+            transitions=[
+                ATransition("s0", Guard(), "s0"),
+                ATransition("s0", guard, "s1"),
+                ATransition("s1", guard, "s1"),
+            ],
+        )
+        report = is_progressive(automaton)
+        assert report.chain_shaped
+        assert report.initial_in_first
+        assert report.accepting_in_last
+        assert report.height == 2
+        assert report.progressive
+
+    def test_non_progressive_when_accepting_not_last(self):
+        guard = Guard()
+        automaton = AAutomaton(
+            states=["s0", "s1"],
+            initial="s0",
+            accepting=["s0"],
+            transitions=[ATransition("s0", guard, "s1")],
+        )
+        report = is_progressive(automaton)
+        assert not report.accepting_in_last or report.height == 1
+
+
+class TestEmptiness:
+    def test_nonempty_ltr_automaton(self, vocab, directory):
+        probe = directory.access("AcM1", ("Smith",))
+        automaton = ltr_automaton(vocab, probe, join_query())
+        result = automaton_emptiness(automaton, vocab)
+        assert not result.empty
+        assert result.witness is not None
+        assert accepts_path(automaton, vocab, result.witness)
+
+    def test_empty_containment_automaton_when_contained(self, vocab):
+        automaton = containment_automaton(
+            vocab, join_query(), resident_names_query(), grounded=False
+        )
+        result = automaton_emptiness(automaton, vocab)
+        assert result.empty
+
+    def test_nonempty_containment_automaton_when_not_contained(self, vocab):
+        automaton = containment_automaton(
+            vocab, resident_names_query(), join_query(), grounded=False
+        )
+        result = automaton_emptiness(automaton, vocab)
+        assert not result.empty
+
+    def test_disjointness_constraint_can_empty_the_language(self, vocab, directory):
+        # Relevance of an Address probe to a query joining Mobile names with
+        # Address resident names, under the constraint that the two name
+        # columns are disjoint: the join can never be completed.
+        query = parse_cq("Q :- Mobile(n, pc, s, p), Address(s2, pc2, n, h)")
+        probe = directory.access("AcM1", ("Smith",))
+        constrained = ltr_automaton(
+            vocab,
+            probe,
+            query,
+            disjointness=[DisjointnessConstraint("Mobile", 0, "Address", 2)],
+        )
+        unconstrained = ltr_automaton(vocab, probe, query)
+        assert not automaton_emptiness(unconstrained, vocab).empty
+        assert automaton_emptiness(constrained, vocab, max_paths=20000).empty
+
+    def test_no_accepting_state_is_empty(self, vocab):
+        automaton = AAutomaton(
+            states=["s0"], initial="s0", accepting=[], transitions=[]
+        )
+        result = automaton_emptiness(automaton, vocab)
+        assert result.empty
+        assert result.exhausted
+
+
+class TestDatalogConnection:
+    def test_guard_to_datalog_program_structure(self, vocab):
+        guard = Guard(
+            positives=(
+                _sentence("Q :- Mobile__post(a, b, c, d)"),
+                _sentence("Q :- Address__pre(a, b, c, d)"),
+            )
+        )
+        program = guard_to_datalog(guard, vocab)
+        assert program is not None
+        assert program.goal == "GuardHolds"
+        assert program.is_nonrecursive()
+        assert len(program.rules) == 3
+
+    def test_guard_unsatisfiable_by_containment(self, vocab):
+        # Positive part asks for a Mobile__pre tuple; negated part forbids
+        # any Mobile__pre tuple: the guard is unsatisfiable.
+        guard = Guard(
+            positives=(_sentence('Q :- Mobile__pre("Smith", b, c, d)'),),
+            negated=(_sentence("Q :- Mobile__pre(a, b, c, d)"),),
+        )
+        assert guard_unsatisfiable_via_datalog(guard, vocab)
+
+    def test_satisfiable_guard_not_pruned(self, vocab):
+        guard = Guard(
+            positives=(_sentence("Q :- Mobile__post(a, b, c, d)"),),
+            negated=(_sentence("Q :- Address__pre(a, b, c, d)"),),
+        )
+        assert not guard_unsatisfiable_via_datalog(guard, vocab)
+
+    def test_precheck_proves_emptiness_for_contained_queries(self, vocab):
+        automaton = containment_automaton(
+            vocab, join_query(), resident_names_query(), grounded=False
+        )
+        assert datalog_emptiness_precheck(automaton, vocab) is True
+
+    def test_precheck_silent_on_nonempty(self, vocab, directory):
+        probe = directory.access("AcM1", ("Smith",))
+        automaton = ltr_automaton(vocab, probe, join_query())
+        assert datalog_emptiness_precheck(automaton, vocab) is None
+
+    def test_pruning_keeps_language(self, vocab, directory, revealing_path):
+        probe = directory.access("AcM1", ("Smith",))
+        automaton = ltr_automaton(vocab, probe, join_query())
+        pruned = prune_unsatisfiable_guards(automaton, vocab)
+        assert accepts_path(pruned, vocab, revealing_path) == accepts_path(
+            automaton, vocab, revealing_path
+        )
+
+
+class TestLanguageInclusionSampling:
+    def test_compiled_formula_language_included_in_weaker_formula(
+        self, vocab, directory, revealing_path
+    ):
+        stronger = compile_accltl_plus(
+            land(
+                eventually(properties.relation_nonempty_post(vocab, "Mobile")),
+                eventually(properties.relation_nonempty_post(vocab, "Address")),
+            )
+        )
+        weaker = compile_accltl_plus(
+            eventually(properties.relation_nonempty_post(vocab, "Mobile"))
+        )
+        samples = [
+            revealing_path,
+            revealing_path.prefix(1),
+            path_from_pairs(directory, [("AcM1", ("Smith",), [])]),
+            path_from_pairs(
+                directory,
+                [("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)])],
+            ),
+        ]
+        assert language_subset_on_samples(stronger, weaker, vocab, samples)
+        assert not language_subset_on_samples(weaker, stronger, vocab, samples)

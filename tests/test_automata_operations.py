@@ -1,0 +1,284 @@
+"""Tests for closure operations on A-automata (:mod:`repro.automata.operations`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.aautomaton import AAutomaton, ATransition, AutomatonError, Guard
+from repro.automata.operations import (
+    concatenation_automaton,
+    intersection_automaton,
+    length_modulo_automaton,
+    method_sequence_automaton,
+    relabel,
+    union_automaton,
+)
+from repro.automata.run import accepts_path
+from repro.core.formulas import EmbeddedSentence
+from repro.core.properties import zeroary_binding_atom
+from repro.core.vocabulary import AccessVocabulary
+from repro.workloads.directory import (
+    directory_access_schema,
+    directory_hidden_instance,
+    directory_vocabulary,
+)
+from repro.workloads.generators import WorkloadGenerator
+
+
+@pytest.fixture
+def vocab() -> AccessVocabulary:
+    return directory_vocabulary()
+
+
+@pytest.fixture
+def sample_paths():
+    """A deterministic batch of sample access paths over the directory schema."""
+    schema = directory_access_schema()
+    hidden = directory_hidden_instance("small")
+    generator = WorkloadGenerator(seed=42)
+    paths = []
+    for length in (1, 1, 2, 2, 3, 3, 4, 5):
+        paths.append(generator.access_path(schema, hidden, length=length))
+    return paths
+
+
+def _single_method_automaton(method_name: str) -> AAutomaton:
+    """Accepts exactly the length-1 paths using *method_name*."""
+    sentence = zeroary_binding_atom(method_name).sentence
+    return AAutomaton(
+        states=["s0", "s1"],
+        initial="s0",
+        accepting=["s1"],
+        transitions=[ATransition("s0", Guard(positives=(sentence,)), "s1")],
+        name=f"one-{method_name}",
+    )
+
+
+def _any_path_automaton() -> AAutomaton:
+    """Accepts every non-empty path."""
+    return length_modulo_automaton(1, 0, name="any")
+
+
+# ----------------------------------------------------------------------
+# Relabelling
+# ----------------------------------------------------------------------
+class TestRelabel:
+    def test_structure_preserved(self):
+        automaton = _single_method_automaton("AcM1")
+        renamed = relabel(automaton, "X_")
+        assert set(renamed.states) == {"X_s0", "X_s1"}
+        assert renamed.initial == "X_s0"
+        assert renamed.accepting == frozenset({"X_s1"})
+        assert len(renamed.transitions) == 1
+
+    def test_language_preserved(self, vocab, sample_paths):
+        automaton = _single_method_automaton("AcM1")
+        renamed = relabel(automaton, "Y_")
+        for path in sample_paths:
+            assert accepts_path(automaton, vocab, path) == accepts_path(
+                renamed, vocab, path
+            )
+
+
+# ----------------------------------------------------------------------
+# Union
+# ----------------------------------------------------------------------
+class TestUnion:
+    def test_union_is_disjunction_of_languages(self, vocab, sample_paths):
+        a1 = _single_method_automaton("AcM1")
+        a2 = _single_method_automaton("AcM2")
+        union = union_automaton(a1, a2)
+        for path in sample_paths:
+            expected = accepts_path(a1, vocab, path) or accepts_path(a2, vocab, path)
+            assert accepts_path(union, vocab, path) == expected
+
+    def test_union_accepts_either_method_length_one(self, vocab):
+        schema = directory_access_schema()
+        hidden = directory_hidden_instance("small")
+        generator = WorkloadGenerator(seed=1)
+        union = union_automaton(
+            _single_method_automaton("AcM1"), _single_method_automaton("AcM2")
+        )
+        found_methods = set()
+        for _ in range(20):
+            path = generator.access_path(schema, hidden, length=1)
+            if accepts_path(union, vocab, path):
+                found_methods.add(path.steps[0].method.name)
+        assert found_methods == {"AcM1", "AcM2"}
+
+    def test_empty_path_never_accepted(self, vocab):
+        from repro.access.path import AccessPath
+
+        union = union_automaton(
+            _single_method_automaton("AcM1"), _single_method_automaton("AcM2")
+        )
+        assert not accepts_path(union, vocab, AccessPath(()))
+
+
+# ----------------------------------------------------------------------
+# Intersection
+# ----------------------------------------------------------------------
+class TestIntersection:
+    def test_intersection_is_conjunction_of_languages(self, vocab, sample_paths):
+        even = length_modulo_automaton(2, 0)
+        any_auto = _any_path_automaton()
+        product = intersection_automaton(even, any_auto)
+        for path in sample_paths:
+            expected = accepts_path(even, vocab, path) and accepts_path(
+                any_auto, vocab, path
+            )
+            assert accepts_path(product, vocab, path) == expected
+
+    def test_disjoint_intersection_is_empty_on_samples(self, vocab, sample_paths):
+        even = length_modulo_automaton(2, 0)
+        odd = length_modulo_automaton(2, 1)
+        product = intersection_automaton(even, odd)
+        for path in sample_paths:
+            assert not accepts_path(product, vocab, path)
+
+    def test_guards_are_conjoined(self, vocab, sample_paths):
+        a1 = _single_method_automaton("AcM1")
+        a2 = _single_method_automaton("AcM2")
+        product = intersection_automaton(a1, a2)
+        # A single transition cannot use both methods at once.
+        for path in sample_paths:
+            assert not accepts_path(product, vocab, path)
+
+    def test_product_with_itself_preserves_language(self, vocab, sample_paths):
+        a1 = _single_method_automaton("AcM1")
+        product = intersection_automaton(a1, a1)
+        for path in sample_paths:
+            assert accepts_path(product, vocab, path) == accepts_path(a1, vocab, path)
+
+
+# ----------------------------------------------------------------------
+# Concatenation
+# ----------------------------------------------------------------------
+class TestConcatenation:
+    def test_method_pair_concatenation(self, vocab):
+        schema = directory_access_schema()
+        hidden = directory_hidden_instance("small")
+        generator = WorkloadGenerator(seed=5)
+        concat = concatenation_automaton(
+            _single_method_automaton("AcM1"), _single_method_automaton("AcM2")
+        )
+        reference = method_sequence_automaton(vocab, ["AcM1", "AcM2"])
+        for _ in range(30):
+            path = generator.access_path(schema, hidden, length=2)
+            assert accepts_path(concat, vocab, path) == accepts_path(
+                reference, vocab, path
+            )
+
+    def test_concatenation_requires_both_parts(self, vocab, sample_paths):
+        concat = concatenation_automaton(
+            _single_method_automaton("AcM1"), _single_method_automaton("AcM2")
+        )
+        for path in sample_paths:
+            if len(path) != 2:
+                assert not accepts_path(concat, vocab, path)
+
+    def test_concatenation_with_any(self, vocab, sample_paths):
+        """AcM1-first followed by anything == paths starting with AcM1 of length ≥ 2."""
+        concat = concatenation_automaton(
+            _single_method_automaton("AcM1"), _any_path_automaton()
+        )
+        for path in sample_paths:
+            expected = len(path) >= 2 and path.steps[0].method.name == "AcM1"
+            assert accepts_path(concat, vocab, path) == expected
+
+
+# ----------------------------------------------------------------------
+# Length-modulo automata (the Figure 2 separation witness)
+# ----------------------------------------------------------------------
+class TestLengthModulo:
+    def test_accepts_exactly_matching_lengths(self, vocab, sample_paths):
+        for modulus, remainder in ((2, 0), (2, 1), (3, 1)):
+            automaton = length_modulo_automaton(modulus, remainder)
+            for path in sample_paths:
+                expected = len(path) > 0 and len(path) % modulus == remainder % modulus
+                assert accepts_path(automaton, vocab, path) == expected
+
+    def test_modulus_one_accepts_all_nonempty(self, vocab, sample_paths):
+        automaton = length_modulo_automaton(1, 0)
+        for path in sample_paths:
+            assert accepts_path(automaton, vocab, path) == (len(path) > 0)
+
+    def test_invalid_modulus(self):
+        with pytest.raises(AutomatonError):
+            length_modulo_automaton(0)
+
+    def test_state_count_is_modulus(self):
+        automaton = length_modulo_automaton(5, 2)
+        assert len(automaton.states) == 5
+        assert automaton.accepting == frozenset({"q2"})
+
+
+# ----------------------------------------------------------------------
+# Method-sequence automata
+# ----------------------------------------------------------------------
+class TestMethodSequence:
+    def test_exact_sequence_required(self, vocab):
+        schema = directory_access_schema()
+        hidden = directory_hidden_instance("small")
+        generator = WorkloadGenerator(seed=9)
+        automaton = method_sequence_automaton(vocab, ["AcM2", "AcM1"])
+        for _ in range(30):
+            path = generator.access_path(schema, hidden, length=2)
+            methods = [step.method.name for step in path]
+            assert accepts_path(automaton, vocab, path) == (methods == ["AcM2", "AcM1"])
+
+    def test_wrong_length_rejected(self, vocab, sample_paths):
+        automaton = method_sequence_automaton(vocab, ["AcM1"])
+        for path in sample_paths:
+            if len(path) != 1:
+                assert not accepts_path(automaton, vocab, path)
+
+    def test_unknown_method_rejected(self, vocab):
+        with pytest.raises(AutomatonError):
+            method_sequence_automaton(vocab, ["AcM1", "DoesNotExist"])
+
+    def test_empty_sequence_rejected(self, vocab):
+        with pytest.raises(AutomatonError):
+            method_sequence_automaton(vocab, [])
+
+
+# ----------------------------------------------------------------------
+# Compositions of operations
+# ----------------------------------------------------------------------
+class TestComposition:
+    def test_union_of_intersections(self, vocab, sample_paths):
+        even = length_modulo_automaton(2, 0)
+        odd = length_modulo_automaton(2, 1)
+        starts_acm1 = concatenation_automaton(
+            _single_method_automaton("AcM1"), _any_path_automaton()
+        )
+        combined = union_automaton(
+            intersection_automaton(even, starts_acm1),
+            intersection_automaton(odd, starts_acm1),
+        )
+        for path in sample_paths:
+            expected = len(path) >= 2 and path.steps[0].method.name == "AcM1"
+            assert accepts_path(combined, vocab, path) == expected
+
+    def test_trim_keeps_language(self, vocab, sample_paths):
+        even = length_modulo_automaton(2, 0)
+        any_auto = _any_path_automaton()
+        product = intersection_automaton(even, any_auto)
+        trimmed = product.trim()
+        for path in sample_paths:
+            assert accepts_path(product, vocab, path) == accepts_path(
+                trimmed, vocab, path
+            )
+
+    def test_serialization_roundtrip_of_composed_automaton(self, vocab, sample_paths):
+        from repro.io.json_io import automaton_from_dict, automaton_to_dict
+
+        composed = union_automaton(
+            length_modulo_automaton(2, 0),
+            method_sequence_automaton(vocab, ["AcM1", "AcM2"]),
+        )
+        restored = automaton_from_dict(automaton_to_dict(composed))
+        for path in sample_paths:
+            assert accepts_path(composed, vocab, path) == accepts_path(
+                restored, vocab, path
+            )

@@ -1,0 +1,169 @@
+"""Tests for the branching-time extension and the undecidability gadgets."""
+
+import pytest
+
+from repro.access.lts import explore
+from repro.branching.ctl import (
+    CTLAX,
+    CTLEX,
+    CTLNot,
+    ctl_atom,
+    ctl_satisfiable_in_lts,
+    ctl_satisfies,
+    theorem_5_3_gadget,
+)
+from repro.core.fragments import Fragment, classify
+from repro.core.undecidable import (
+    extended_schema_for_dependencies,
+    implication_gadget,
+    implication_gadget_with_inequalities,
+)
+from repro.core.vocabulary import AccessVocabulary
+from repro.queries.parser import parse_cq
+from repro.relational.dependencies import FunctionalDependency, InclusionDependency
+from repro.relational.schema import make_schema
+
+
+@pytest.fixture
+def dependency_setup():
+    schema = make_schema({"R": 2, "S": 2})
+    constraints = [
+        FunctionalDependency("R", (0,), 1),
+        InclusionDependency("R", (0,), "S", (0,)),
+    ]
+    sigma = FunctionalDependency("S", (0,), 1)
+    return schema, constraints, sigma
+
+
+class TestCTLSemantics:
+    def test_atom_and_ex_over_explored_lts(self, directory, hidden_directory):
+        vocabulary = AccessVocabulary.of(directory)
+        lts = explore(
+            directory,
+            hidden_instance=hidden_directory,
+            value_pool=["Smith", "Parks Rd", "OX13QD"],
+            max_depth=2,
+        )
+        mobile_revealed = ctl_atom(parse_cq("Q :- Mobile__post(a, b, c, d)"))
+        witness = ctl_satisfiable_in_lts(vocabulary, lts, mobile_revealed)
+        assert witness is not None
+        # EX: there is a transition after which another access can reveal an
+        # Address tuple.
+        address_next = CTLEX(ctl_atom(parse_cq("Q :- Address__post(a, b, c, d)")))
+        assert ctl_satisfiable_in_lts(vocabulary, lts, address_next) is not None
+
+    def test_ax_duality(self, directory, hidden_directory):
+        vocabulary = AccessVocabulary.of(directory)
+        lts = explore(
+            directory,
+            hidden_instance=hidden_directory,
+            value_pool=["Smith"],
+            max_depth=2,
+        )
+        phi = ctl_atom(parse_cq("Q :- Mobile__post(a, b, c, d)"))
+        for transition in lts.transitions:
+            ax = ctl_satisfies(vocabulary, lts, transition, CTLAX(phi))
+            ex_not = ctl_satisfies(
+                vocabulary, lts, transition, CTLNot(CTLEX(CTLNot(phi)))
+            )
+            assert ax == ex_not
+
+    def test_boolean_connectives(self, directory, hidden_directory):
+        vocabulary = AccessVocabulary.of(directory)
+        lts = explore(
+            directory,
+            hidden_instance=hidden_directory,
+            value_pool=["Smith"],
+            max_depth=1,
+        )
+        phi = ctl_atom(parse_cq("Q :- Mobile__post(a, b, c, d)"))
+        psi = ctl_atom(parse_cq("Q :- Address__post(a, b, c, d)"))
+        for transition in lts.transitions:
+            conj = ctl_satisfies(vocabulary, lts, transition, phi & psi)
+            disj = ctl_satisfies(vocabulary, lts, transition, phi | psi)
+            assert conj <= disj
+
+
+class TestTheorem53Gadget:
+    def test_gadget_structure(self, dependency_setup):
+        schema, constraints, sigma = dependency_setup
+        access_schema, formula = theorem_5_3_gadget(schema, constraints, sigma)
+        # The gadget adds Fill methods for base relations and boolean check
+        # methods for the auxiliary relations.
+        assert "Fill_R" in access_schema
+        assert "ChkFD_R_acc" in access_schema
+        assert "ChkID_S_acc" in access_schema
+        # The formula nests one EX per base relation at the top.
+        assert formula.size() > 10
+
+    def test_gadget_model_checking_on_small_lts(self, dependency_setup):
+        schema, constraints, sigma = dependency_setup
+        access_schema, formula = theorem_5_3_gadget(schema, [], sigma)
+        vocabulary = AccessVocabulary.of(access_schema)
+        lts = explore(
+            access_schema,
+            value_pool=["u", "v"],
+            max_depth=2,
+            max_response_size=2,
+            max_nodes=200,
+        )
+        # Model checking the gadget over a small fragment must not crash and
+        # returns either a witness transition or None.
+        result = ctl_satisfiable_in_lts(vocabulary, lts, formula)
+        assert result is None or result in lts.transitions
+
+
+class TestImplicationGadgets:
+    def test_extended_schema_contains_auxiliary_relations(self, dependency_setup):
+        schema, constraints, sigma = dependency_setup
+        gadget = extended_schema_for_dependencies(schema, constraints)
+        names = set(gadget.access_schema.schema.names())
+        assert {"R", "S", "R_succ", "Beg_R", "End_R", "ChkFD_R"} <= names
+        assert any(name.startswith("CheckIncDep_") for name in names)
+        assert "Fill_R" in gadget.access_schema
+        # Auxiliary relations carry boolean access methods.
+        chk_method = gadget.access_schema.method("Chk_ChkFD_R")
+        assert chk_method.is_boolean(gadget.access_schema.schema)
+
+    def test_theorem_3_1_gadget_lands_in_undecidable_fragment(self, dependency_setup):
+        schema, constraints, sigma = dependency_setup
+        _, formula = implication_gadget(schema, constraints, sigma)
+        report = classify(formula)
+        assert report.fragment == Fragment.ACCLTL_FULL
+        assert not report.decidable
+        assert not report.uses_inequalities
+
+    def test_theorem_5_2_gadget_is_binding_positive_with_inequalities(
+        self, dependency_setup
+    ):
+        schema, constraints, sigma = dependency_setup
+        _, formula = implication_gadget_with_inequalities(schema, constraints, sigma)
+        report = classify(formula)
+        assert report.uses_inequalities
+        assert not report.nary_binding_negative
+        assert report.fragment == Fragment.ACCLTL_FULL_INEQ
+
+    def test_gadget_grows_linearly_with_constraints(self):
+        schema = make_schema({"R": 2, "S": 2, "T": 2})
+        small_constraints = [FunctionalDependency("R", (0,), 1)]
+        large_constraints = [
+            FunctionalDependency("R", (0,), 1),
+            FunctionalDependency("S", (0,), 1),
+            InclusionDependency("R", (0,), "S", (0,)),
+            InclusionDependency("S", (1,), "T", (0,)),
+        ]
+        sigma = FunctionalDependency("T", (0,), 1)
+        _, small = implication_gadget(schema, small_constraints, sigma)
+        _, large = implication_gadget(schema, large_constraints, sigma)
+        assert small.size() < large.size()
+
+    def test_fd_only_gadget_without_ids_stays_zeroary_inequality_free(self):
+        # Without inclusion dependencies the 5.2-variant gadget never needs
+        # binding atoms, so it falls into the 0-ary + inequality fragment.
+        schema = make_schema({"R": 2})
+        constraints = [FunctionalDependency("R", (0,), 1)]
+        sigma = FunctionalDependency("R", (1,), 0)
+        _, formula = implication_gadget_with_inequalities(schema, constraints, sigma)
+        report = classify(formula)
+        assert report.uses_inequalities
+        assert report.fragment == Fragment.ACCLTL_ZEROARY_INEQ

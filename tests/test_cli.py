@@ -1,0 +1,183 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import TABLE1_ROWS, build_parser, main
+from repro.core.fragments import Fragment
+from repro.workloads.scenarios import standard_scenarios
+
+
+def run_cli(capsys, *argv):
+    """Run the CLI and return ``(exit_code, stdout)``."""
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+# ----------------------------------------------------------------------
+# classify
+# ----------------------------------------------------------------------
+class TestClassify:
+    def test_zeroary_formula(self, capsys):
+        code, out = run_cli(capsys, "classify", "G ([IsBind0_AcM1] | [IsBind0_AcM2])")
+        assert code == 0
+        assert Fragment.ACCLTL_ZEROARY.value in out
+        assert "PSPACE" in out
+        assert "decidable   : True" in out
+
+    def test_binding_positive_formula(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "classify",
+            "~[Mobile_pre(n,p,s,ph)] U [IsBind_AcM1(n), Address_pre(s,p,n,h)]",
+        )
+        assert code == 0
+        assert "AccLTL+" in out
+
+    def test_full_fragment_formula(self, capsys):
+        code, out = run_cli(capsys, "classify", "G ~[IsBind_AcM1(n)]")
+        assert code == 0
+        assert "undecidable" in out
+        assert "decidable   : False" in out
+
+    def test_parse_error_is_raised(self, capsys):
+        with pytest.raises(Exception):
+            main(["classify", "G [NotARelation_pre(x)]"])
+
+
+# ----------------------------------------------------------------------
+# sat
+# ----------------------------------------------------------------------
+class TestSat:
+    def test_satisfiable_zeroary_formula(self, capsys):
+        code, out = run_cli(capsys, "sat", "F [IsBind0_AcM1]")
+        assert code == 0
+        assert "satisfiable: True" in out
+        assert "witness path:" in out
+
+    def test_unsatisfiable_formula(self, capsys):
+        code, out = run_cli(capsys, "sat", "[IsBind0_AcM1] & [IsBind0_AcM2]")
+        assert "satisfiable: False" in out
+        # Unsat verdict for the PSPACE fragment is certain, so exit code 0.
+        assert code == 0
+
+    def test_grounded_flag(self, capsys):
+        code, out = run_cli(capsys, "sat", "--grounded", "F [Mobile_post(a,b,c,d)]")
+        assert "satisfiable" in out
+        assert code in (0, 1)
+
+
+# ----------------------------------------------------------------------
+# translate
+# ----------------------------------------------------------------------
+class TestTranslate:
+    def test_marker_negation_translates_to_accltl_plus(self, capsys):
+        code, out = run_cli(capsys, "translate", "G ~[IsBind0_AcM1]")
+        assert code == 0
+        assert "input fragment : " + Fragment.ACCLTL_ZEROARY.value in out
+        assert "output fragment: AccLTL+" in out
+        assert "IsBind_AcM2" in out  # the disjunction-over-other-methods rewrite
+
+    def test_positive_marker_translates(self, capsys):
+        code, out = run_cli(capsys, "translate", "F [IsBind0_AcM2]")
+        assert code == 0
+        assert "IsBind_AcM2" in out
+
+    def test_nary_formula_rejected(self, capsys):
+        from repro.core.inclusions import InclusionError
+
+        with pytest.raises(InclusionError):
+            main(["translate", "F [IsBind_AcM1(n)]"])
+
+
+# ----------------------------------------------------------------------
+# table1 / figure2
+# ----------------------------------------------------------------------
+class TestStaticReports:
+    def test_table1_contains_all_rows(self, capsys):
+        code, out = run_cli(capsys, "table1")
+        assert code == 0
+        for label, *_ in TABLE1_ROWS:
+            assert label in out
+        assert "2EXPTIME-complete" in out
+        assert "undecidable" in out
+
+    def test_table1_application_columns(self, capsys):
+        _, out = run_cli(capsys, "table1")
+        header_line = next(line for line in out.splitlines() if "Language" in line)
+        for column in ("DjC", "FD", "DF", "AccOr"):
+            assert column in header_line
+
+    def test_figure2_text(self, capsys):
+        code, out = run_cli(capsys, "figure2")
+        assert code == 0
+        assert "AccLTL+" in out
+        assert "A-automata" in out
+        assert "⊆" in out
+
+    def test_figure2_dot(self, capsys):
+        code, out = run_cli(capsys, "figure2", "--dot")
+        assert code == 0
+        assert out.startswith("digraph")
+
+
+# ----------------------------------------------------------------------
+# lts / scenarios
+# ----------------------------------------------------------------------
+class TestLtsAndScenarios:
+    def test_lts_tree(self, capsys):
+        code, out = run_cli(capsys, "lts", "--depth", "1", "--max-nodes", "50")
+        assert code == 0
+        assert "explored LTS fragment" in out
+        assert "Known Facts" in out
+
+    def test_lts_dot_with_hidden_instance(self, capsys):
+        code, out = run_cli(
+            capsys, "lts", "--depth", "1", "--hidden", "--dot", "--max-nodes", "50"
+        )
+        assert code == 0
+        assert "digraph" in out
+
+    def test_scenarios_listing(self, capsys):
+        code, out = run_cli(capsys, "scenarios")
+        assert code == 0
+        for scenario in standard_scenarios():
+            assert scenario.name in out
+
+    def test_scenarios_verbose(self, capsys):
+        code, out = run_cli(capsys, "scenarios", "--verbose")
+        assert code == 0
+        assert "probe access" in out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["classify", "--scenario", "does-not-exist", "true"])
+
+
+# ----------------------------------------------------------------------
+# Parser structure
+# ----------------------------------------------------------------------
+class TestParser:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers_action = next(
+            action
+            for action in parser._actions
+            if isinstance(action, type(parser._subparsers._group_actions[0]))
+        )
+        commands = set(subparsers_action.choices)
+        assert {
+            "classify",
+            "sat",
+            "translate",
+            "table1",
+            "figure2",
+            "lts",
+            "scenarios",
+        } <= commands

@@ -1,0 +1,191 @@
+"""Tests for the AccLTL formula AST and fragment classification."""
+
+import pytest
+
+from repro.core.formulas import (
+    AccAnd,
+    AccAtom,
+    AccEventually,
+    AccGlobally,
+    AccNext,
+    AccNot,
+    AccOr,
+    AccTrue,
+    AccUntil,
+    EmbeddedSentence,
+    atom,
+    eventually,
+    globally,
+    land,
+    lnext,
+    lnot,
+    lor,
+    until,
+)
+from repro.core.fragments import (
+    DECIDABLE_FRAGMENTS,
+    Fragment,
+    classify,
+    inclusion_order,
+    is_binding_positive,
+    only_next_operator,
+    uses_inequalities,
+    uses_nary_binding,
+)
+from repro.core.properties import (
+    access_order_formula,
+    containment_formula,
+    dataflow_formula,
+    disjointness_formula,
+    fd_formula,
+    groundedness_formula,
+    ltr_formula,
+    ltr_formula_zeroary,
+)
+from repro.queries.parser import parse_cq
+from repro.relational.dependencies import DisjointnessConstraint, FunctionalDependency
+from repro.workloads.directory import join_query
+
+
+@pytest.fixture
+def vocab(directory_vocab):
+    return directory_vocab
+
+
+def _pre_atom(vocab, text):
+    return atom(vocab.query_pre(parse_cq(text)))
+
+
+class TestFormulaAST:
+    def test_embedded_sentence_flags(self, vocab):
+        binding = EmbeddedSentence(parse_cq("Q :- IsBind__AcM1(x)"))
+        assert binding.mentions_nary_binding()
+        assert binding.mentions_binding()
+        zero = EmbeddedSentence(parse_cq("Q :- IsBind0__AcM1()"))
+        assert zero.mentions_zeroary_binding()
+        assert not zero.mentions_nary_binding()
+        pre = EmbeddedSentence(parse_cq("Q :- Mobile__pre(a, b, c, d)"))
+        assert pre.is_pure_pre()
+        assert not pre.is_pure_post()
+
+    def test_atoms_deduplicated(self, vocab):
+        a = _pre_atom(vocab, "Q :- Mobile(n, p, s, ph)")
+        formula = land(a, eventually(a))
+        assert len(formula.atoms()) == 1
+
+    def test_size_and_operators(self, vocab):
+        a = _pre_atom(vocab, "Q :- Mobile(n, p, s, ph)")
+        b = _pre_atom(vocab, "Q :- Address(s, p, n, h)")
+        formula = until(a, lnext(b))
+        assert formula.size() > 3
+        assert formula.temporal_operators() == frozenset({"U", "X"})
+        assert formula.next_depth() == 1
+
+    def test_next_depth_nested(self, vocab):
+        a = _pre_atom(vocab, "Q :- Mobile(n, p, s, ph)")
+        formula = lnext(lnext(lnext(a)))
+        assert formula.next_depth() == 3
+
+    def test_sugar_operators(self, vocab):
+        a = _pre_atom(vocab, "Q :- Mobile(n, p, s, ph)")
+        b = _pre_atom(vocab, "Q :- Address(s, p, n, h)")
+        assert isinstance(a & b, AccAnd)
+        assert isinstance(a | b, AccOr)
+        assert isinstance(~a, AccNot)
+        assert isinstance(a.implies(b), AccOr)
+        assert isinstance(land(), AccTrue)
+        assert isinstance(lor(a), AccAtom)
+
+    def test_str_round_trip_contains_labels(self, vocab):
+        a = atom(vocab.query_pre(parse_cq("Q :- Mobile(n, p, s, ph)")), label="mob")
+        assert "mob" in str(globally(a))
+
+
+class TestFragmentClassification:
+    def test_zeroary_formula(self, vocab):
+        formula = access_order_formula(vocab, "AcM2", "AcM1")
+        report = classify(formula)
+        assert report.fragment == Fragment.ACCLTL_ZEROARY
+        assert report.decidable
+        assert "PSPACE" in report.complexity
+
+    def test_zeroary_with_inequalities(self, vocab):
+        formula = fd_formula(vocab, FunctionalDependency("Mobile", (0,), 3))
+        report = classify(formula)
+        assert report.fragment == Fragment.ACCLTL_ZEROARY_INEQ
+        assert report.decidable
+
+    def test_xonly_fragment(self, vocab):
+        a = _pre_atom(vocab, "Q :- Mobile(n, p, s, ph)")
+        formula = lnext(lnot(a)) & a
+        report = classify(formula)
+        assert report.fragment == Fragment.ACCLTL_X_ZEROARY
+        assert report.only_next
+
+    def test_accltl_plus(self, vocab, directory):
+        probe = directory.access("AcM1", ("Smith",))
+        formula = ltr_formula(vocab, probe, join_query())
+        report = classify(formula)
+        assert report.fragment == Fragment.ACCLTL_PLUS
+        assert report.uses_nary_binding
+        assert not report.nary_binding_negative
+        assert report.decidable
+
+    def test_full_fragment_with_negative_binding(self, vocab):
+        binding = atom(parse_cq("Q :- IsBind__AcM1(x)"))
+        formula = globally(lnot(binding))
+        report = classify(formula)
+        assert report.fragment == Fragment.ACCLTL_FULL
+        assert not report.decidable
+        assert report.complexity == "undecidable"
+
+    def test_full_fragment_with_inequalities(self, vocab):
+        binding = atom(parse_cq("Q :- IsBind__AcM1(x), Mobile__pre(x, p, s, n), x != p"))
+        formula = eventually(binding) & globally(lnot(atom(parse_cq("Q :- Mobile__pre(a,b,c,d), a != b"))))
+        report = classify(formula)
+        assert report.fragment == Fragment.ACCLTL_FULL_INEQ
+
+    def test_helper_predicates(self, vocab, directory):
+        probe = directory.access("AcM1", ("Smith",))
+        ltr = ltr_formula(vocab, probe, join_query())
+        assert uses_nary_binding(ltr)
+        assert is_binding_positive(ltr)
+        assert not uses_inequalities(ltr)
+        assert not only_next_operator(ltr)
+
+    def test_double_negation_keeps_binding_positive(self, vocab):
+        binding = atom(parse_cq("Q :- IsBind__AcM1(x)"))
+        formula = lnot(lnot(binding))
+        assert is_binding_positive(formula)
+
+    def test_paper_properties_land_in_expected_fragments(self, vocab, directory):
+        probe = directory.access("AcM1", ("Smith",))
+        expectations = {
+            Fragment.ACCLTL_PLUS: [
+                groundedness_formula(vocab),
+                ltr_formula(vocab, probe, join_query()),
+                dataflow_formula(vocab, directory.method("AcM1"), 0, "Address", 2),
+            ],
+            Fragment.ACCLTL_ZEROARY: [
+                access_order_formula(vocab, "AcM2", "AcM1"),
+                containment_formula(vocab, join_query(), join_query()),
+                disjointness_formula(
+                    vocab, DisjointnessConstraint("Mobile", 0, "Address", 0)
+                ),
+                ltr_formula_zeroary(vocab, "AcM1", join_query()),
+            ],
+            Fragment.ACCLTL_ZEROARY_INEQ: [
+                fd_formula(vocab, FunctionalDependency("Mobile", (0,), 3)),
+            ],
+        }
+        for fragment, formulas in expectations.items():
+            for formula in formulas:
+                assert classify(formula).fragment == fragment
+
+    def test_inclusion_order_is_consistent_with_decidability(self):
+        order = inclusion_order()
+        assert (Fragment.ACCLTL_PLUS, Fragment.ACCLTL_FULL) in order
+        # Decidable fragments never include an undecidable one.
+        for small, large in order:
+            if large in DECIDABLE_FRAGMENTS:
+                assert small in DECIDABLE_FRAGMENTS

@@ -1,0 +1,256 @@
+"""Tests for the library of paper example properties (Examples 2.2-2.4 etc.)."""
+
+import pytest
+
+from repro.access.path import path_from_pairs
+from repro.core import properties
+from repro.core.fragments import Fragment, classify
+from repro.core.semantics import path_satisfies
+from repro.relational.dependencies import DisjointnessConstraint, FunctionalDependency
+from repro.workloads.directory import join_query, resident_names_query
+
+
+@pytest.fixture
+def vocab(directory_vocab):
+    return directory_vocab
+
+
+def _grounded_path(directory):
+    """A grounded path (given 'Smith' initially known... it is not, so this
+    path is intentionally *not* grounded at its first step)."""
+    return path_from_pairs(
+        directory,
+        [
+            ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+            (
+                "AcM2",
+                ("Parks Rd", "OX13QD"),
+                [("Parks Rd", "OX13QD", "Jones", 16)],
+            ),
+        ],
+    )
+
+
+class TestGroundednessFormula:
+    def test_groundedness_formula_matches_grounded_paths(self, directory, vocab):
+        from repro.relational.instance import Instance
+
+        formula = properties.groundedness_formula(vocab)
+        # From an empty initial instance the first access guesses 'Smith',
+        # so the path is not grounded and the formula fails.
+        assert not path_satisfies(vocab, _grounded_path(directory), formula)
+        # With an initial instance that already knows the Address tuple, the
+        # same accesses are grounded: every binding value occurs in a
+        # pre-instance relation.
+        initial = Instance(directory.schema)
+        initial.add("Address", ("Parks Rd", "OX13QD", "Smith", 13))
+        grounded = path_from_pairs(
+            directory,
+            [
+                (
+                    "AcM2",
+                    ("Parks Rd", "OX13QD"),
+                    [("Parks Rd", "OX13QD", "Jones", 16)],
+                ),
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+            ],
+        )
+        assert path_satisfies(vocab, grounded, formula, initial=initial)
+
+    def test_groundedness_formula_is_binding_positive(self, vocab):
+        formula = properties.groundedness_formula(vocab)
+        assert classify(formula).fragment == Fragment.ACCLTL_PLUS
+
+    def test_input_free_methods_always_grounded(self, directory, vocab):
+        directory.add("Scan", "Mobile", ())
+        vocab2 = properties.AccessVocabulary.of(directory)
+        formula = properties.groundedness_formula(vocab2)
+        path = path_from_pairs(directory, [("Scan", (), [("A", "B", "C", 1)])])
+        assert path_satisfies(vocab2, path, formula)
+
+
+class TestLTRFormula:
+    def test_ltr_formula_satisfied_by_revealing_path(self, directory, vocab):
+        probe = directory.access("AcM1", ("Smith",))
+        formula = properties.ltr_formula(vocab, probe, join_query())
+        path = path_from_pairs(
+            directory,
+            [
+                (
+                    "AcM2",
+                    ("Parks Rd", "OX13QD"),
+                    [("Parks Rd", "OX13QD", "Jones", 16)],
+                ),
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+            ],
+        )
+        assert path_satisfies(vocab, path, formula)
+
+    def test_ltr_formula_not_satisfied_when_query_already_true(self, directory, vocab):
+        probe = directory.access("AcM1", ("Smith",))
+        formula = properties.ltr_formula(vocab, probe, resident_names_query())
+        # The revealing access adds a Mobile tuple, but the residents query
+        # is already true before it (Address revealed first), so ¬Q_pre fails.
+        path = path_from_pairs(
+            directory,
+            [
+                (
+                    "AcM2",
+                    ("Parks Rd", "OX13QD"),
+                    [("Parks Rd", "OX13QD", "Jones", 16)],
+                ),
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+            ],
+        )
+        assert not path_satisfies(vocab, path, formula)
+
+    def test_zeroary_variant_ignores_binding_values(self, directory, vocab):
+        formula = properties.ltr_formula_zeroary(vocab, "AcM1", join_query())
+        path = path_from_pairs(
+            directory,
+            [
+                (
+                    "AcM2",
+                    ("Parks Rd", "OX13QD"),
+                    [("Parks Rd", "OX13QD", "Jones", 16)],
+                ),
+                ("AcM1", ("Patel",), [("Patel", "OX13QD", "Parks Rd", 5559876)]),
+            ],
+        )
+        assert path_satisfies(vocab, path, formula)
+        assert classify(formula).fragment == Fragment.ACCLTL_ZEROARY
+
+
+class TestContainmentFormulas:
+    def test_containment_formula_valid_when_contained(self, directory, vocab):
+        formula = properties.containment_formula(vocab, join_query(), resident_names_query())
+        path = _grounded_path(directory)
+        assert path_satisfies(vocab, path, formula)
+
+    def test_counterexample_formula_on_violating_path(self, directory, vocab):
+        formula = properties.containment_counterexample_formula(
+            vocab, resident_names_query(), join_query()
+        )
+        # Reveal an Address tuple first (residents true, join false), then do
+        # any further access so there is a transition whose PRE witnesses it.
+        path = path_from_pairs(
+            directory,
+            [
+                (
+                    "AcM2",
+                    ("Parks Rd", "OX13QD"),
+                    [("Parks Rd", "OX13QD", "Jones", 16)],
+                ),
+                ("AcM1", ("Nobody",), []),
+            ],
+        )
+        assert path_satisfies(vocab, path, formula)
+
+
+class TestConstraintFormulas:
+    def test_disjointness_formula_detects_overlap(self, directory, vocab):
+        constraint = DisjointnessConstraint("Mobile", 0, "Address", 2)
+        formula = properties.disjointness_formula(vocab, constraint)
+        clean = path_from_pairs(
+            directory,
+            [("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)])],
+        )
+        assert path_satisfies(vocab, clean, formula)
+        overlapping = path_from_pairs(
+            directory,
+            [
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+                (
+                    "AcM2",
+                    ("Parks Rd", "OX13QD"),
+                    [("Parks Rd", "OX13QD", "Smith", 13)],
+                ),
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+            ],
+        )
+        # After the second access, Smith appears both as a Mobile name and an
+        # Address resident name in the PRE of the third transition.
+        assert not path_satisfies(vocab, overlapping, formula)
+
+    def test_fd_formula_detects_violation(self, directory, vocab):
+        fd = FunctionalDependency("Mobile", (0,), 3)
+        formula = properties.fd_formula(vocab, fd)
+        consistent = path_from_pairs(
+            directory,
+            [("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)])],
+        )
+        assert path_satisfies(vocab, consistent, formula)
+        violating = path_from_pairs(
+            directory,
+            [
+                (
+                    "AcM1",
+                    ("Smith",),
+                    [
+                        ("Smith", "OX13QD", "Parks Rd", 5551212),
+                        ("Smith", "OX26NN", "Banbury Rd", 9999999),
+                    ],
+                ),
+                # A second step so the violation shows up in a pre-instance.
+                ("AcM2", ("Parks Rd", "OX13QD"), []),
+            ],
+        )
+        assert not path_satisfies(vocab, violating, formula)
+
+    def test_ltr_under_fds(self, directory, vocab):
+        fd = FunctionalDependency("Mobile", (0,), 3)
+        probe = directory.access("AcM1", ("Smith",))
+        formula = properties.ltr_under_fds_formula(vocab, probe, join_query(), [fd])
+        assert classify(formula).uses_inequalities
+
+
+class TestOrderAndDataflow:
+    def test_access_order_formula(self, directory, vocab):
+        formula = properties.access_order_formula(vocab, "AcM2", "AcM1")
+        ok = path_from_pairs(
+            directory,
+            [
+                ("AcM2", ("Parks Rd", "OX13QD"), []),
+                ("AcM1", ("Smith",), []),
+            ],
+        )
+        bad = path_from_pairs(
+            directory,
+            [
+                ("AcM1", ("Smith",), []),
+                ("AcM2", ("Parks Rd", "OX13QD"), []),
+            ],
+        )
+        only_address = path_from_pairs(directory, [("AcM2", ("Parks Rd", "OX13QD"), [])])
+        assert path_satisfies(vocab, ok, formula)
+        assert not path_satisfies(vocab, bad, formula)
+        assert path_satisfies(vocab, only_address, formula)
+
+    def test_dataflow_formula(self, directory, vocab):
+        formula = properties.dataflow_formula(
+            vocab, directory.method("AcM1"), 0, "Address", 2
+        )
+        ok = path_from_pairs(
+            directory,
+            [
+                (
+                    "AcM2",
+                    ("Parks Rd", "OX13QD"),
+                    [("Parks Rd", "OX13QD", "Smith", 13)],
+                ),
+                ("AcM1", ("Smith",), []),
+            ],
+        )
+        bad = path_from_pairs(
+            directory,
+            [
+                (
+                    "AcM2",
+                    ("Parks Rd", "OX13QD"),
+                    [("Parks Rd", "OX13QD", "Jones", 16)],
+                ),
+                ("AcM1", ("Smith",), []),
+            ],
+        )
+        assert path_satisfies(vocab, ok, formula)
+        assert not path_satisfies(vocab, bad, formula)

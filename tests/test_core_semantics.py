@@ -1,0 +1,128 @@
+"""Tests for the AccLTL semantics over access paths (Definition 2.1)."""
+
+import pytest
+
+from repro.access.path import AccessPath, path_from_pairs
+from repro.core.formulas import (
+    atom,
+    eventually,
+    globally,
+    land,
+    lnext,
+    lnot,
+    lor,
+    until,
+    AccTrue,
+)
+from repro.core.properties import (
+    relation_nonempty_post,
+    relation_nonempty_pre,
+    zeroary_binding_atom,
+    intro_until_example,
+)
+from repro.core.semantics import path_satisfies, satisfies_at
+from repro.core.transition import path_structures
+from repro.queries.parser import parse_cq
+
+
+@pytest.fixture
+def two_step_path(directory):
+    """Reveal Smith's mobile tuple, then the Parks Rd address tuples."""
+    return path_from_pairs(
+        directory,
+        [
+            ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+            (
+                "AcM2",
+                ("Parks Rd", "OX13QD"),
+                [
+                    ("Parks Rd", "OX13QD", "Smith", 13),
+                    ("Parks Rd", "OX13QD", "Jones", 16),
+                ],
+            ),
+        ],
+    )
+
+
+class TestBasicSemantics:
+    def test_empty_path_satisfies_nothing(self, directory_vocab):
+        assert not path_satisfies(directory_vocab, AccessPath(()), AccTrue())
+
+    def test_atom_on_first_transition(self, directory_vocab, two_step_path):
+        mobile_post = relation_nonempty_post(directory_vocab, "Mobile")
+        mobile_pre = relation_nonempty_pre(directory_vocab, "Mobile")
+        assert path_satisfies(directory_vocab, two_step_path, mobile_post)
+        assert not path_satisfies(directory_vocab, two_step_path, mobile_pre)
+
+    def test_next_moves_one_transition(self, directory_vocab, two_step_path):
+        address_post = relation_nonempty_post(directory_vocab, "Address")
+        assert not path_satisfies(directory_vocab, two_step_path, address_post)
+        assert path_satisfies(directory_vocab, two_step_path, lnext(address_post))
+        assert not path_satisfies(
+            directory_vocab, two_step_path, lnext(lnext(address_post))
+        )
+
+    def test_eventually_and_globally(self, directory_vocab, two_step_path):
+        address_post = relation_nonempty_post(directory_vocab, "Address")
+        mobile_post = relation_nonempty_post(directory_vocab, "Mobile")
+        assert path_satisfies(directory_vocab, two_step_path, eventually(address_post))
+        assert path_satisfies(directory_vocab, two_step_path, globally(mobile_post))
+        assert not path_satisfies(directory_vocab, two_step_path, globally(address_post))
+
+    def test_until(self, directory_vocab, two_step_path):
+        no_address_known = lnot(relation_nonempty_pre(directory_vocab, "Address"))
+        acm2_used = zeroary_binding_atom("AcM2")
+        assert path_satisfies(
+            directory_vocab, two_step_path, until(no_address_known, acm2_used)
+        )
+
+    def test_boolean_connectives(self, directory_vocab, two_step_path):
+        mobile_post = relation_nonempty_post(directory_vocab, "Mobile")
+        address_post = relation_nonempty_post(directory_vocab, "Address")
+        assert path_satisfies(
+            directory_vocab, two_step_path, land(mobile_post, lnot(address_post))
+        )
+        assert path_satisfies(
+            directory_vocab, two_step_path, lor(address_post, mobile_post)
+        )
+
+    def test_positions_beyond_path_are_false(self, directory_vocab, two_step_path):
+        structures = path_structures(directory_vocab, two_step_path)
+        assert not satisfies_at(structures, 5, AccTrue())
+        assert satisfies_at(structures, 1, AccTrue())
+
+    def test_binding_atoms(self, directory_vocab, two_step_path):
+        smith_bound = atom(parse_cq('Q :- IsBind__AcM1("Smith")'))
+        jones_bound = atom(parse_cq('Q :- IsBind__AcM1("Jones")'))
+        assert path_satisfies(directory_vocab, two_step_path, smith_bound)
+        assert not path_satisfies(directory_vocab, two_step_path, jones_bound)
+
+    def test_intro_example_formula(self, directory, directory_vocab):
+        # The introduction's sentence: nothing known of Mobile until an AcM1
+        # access whose bound name already occurs in Address.
+        formula = intro_until_example(directory_vocab, "Mobile", "Address", "AcM1")
+        good = path_from_pairs(
+            directory,
+            [
+                (
+                    "AcM2",
+                    ("Parks Rd", "OX13QD"),
+                    [("Parks Rd", "OX13QD", "Smith", 13)],
+                ),
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+            ],
+        )
+        assert path_satisfies(directory_vocab, good, formula)
+        bad = path_from_pairs(
+            directory,
+            [("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)])],
+        )
+        assert not path_satisfies(directory_vocab, bad, formula)
+
+    def test_monotone_queries_stay_true(self, directory_vocab, two_step_path):
+        # Positive pre-queries are monotone along a path: once true, they
+        # stay true at later positions.
+        structures = path_structures(directory_vocab, two_step_path)
+        mobile_pre = relation_nonempty_pre(directory_vocab, "Mobile")
+        truth = [satisfies_at(structures, i, mobile_pre) for i in range(len(structures))]
+        assert truth == sorted(truth)

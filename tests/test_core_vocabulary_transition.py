@@ -1,0 +1,117 @@
+"""Tests for the access vocabulary and transition structures."""
+
+import pytest
+
+from repro.access.path import path_from_pairs
+from repro.core.transition import path_structures, transition_structure
+from repro.core.vocabulary import (
+    AccessVocabulary,
+    base_relation_of,
+    is_isbind,
+    is_isbind0,
+    is_post,
+    is_pre,
+    isbind0_name,
+    isbind_name,
+    method_of_isbind,
+    post_name,
+    pre_name,
+)
+from repro.queries.evaluation import holds
+from repro.queries.parser import parse_cq
+from repro.relational.instance import Instance
+
+
+class TestNaming:
+    def test_pre_post_names(self):
+        assert pre_name("R") == "R__pre"
+        assert post_name("R") == "R__post"
+        assert base_relation_of("R__pre") == "R"
+        assert base_relation_of("R__post") == "R"
+        with pytest.raises(ValueError):
+            base_relation_of("R")
+
+    def test_isbind_names(self):
+        assert is_isbind(isbind_name("AcM1"))
+        assert is_isbind0(isbind0_name("AcM1"))
+        assert method_of_isbind(isbind_name("AcM1")) == "AcM1"
+        assert method_of_isbind(isbind0_name("AcM1")) == "AcM1"
+        with pytest.raises(ValueError):
+            method_of_isbind("R__pre")
+
+    def test_predicates(self):
+        assert is_pre("R__pre")
+        assert is_post("R__post")
+        assert not is_pre("R__post")
+
+
+class TestVocabulary:
+    def test_vocabulary_contains_all_copies(self, directory):
+        vocabulary = AccessVocabulary.of(directory)
+        names = set(vocabulary.schema.names())
+        assert {"Mobile__pre", "Mobile__post", "Address__pre", "Address__post"} <= names
+        assert isbind_name("AcM1") in names
+        assert isbind0_name("AcM2") in names
+        # IsBind arity equals the number of input positions.
+        assert vocabulary.schema.arity(isbind_name("AcM2")) == 2
+        assert vocabulary.schema.arity(isbind0_name("AcM2")) == 0
+
+    def test_query_pre_post_renaming(self, directory_vocab):
+        query = parse_cq("Q(n) :- Mobile(n, pc, s, p)")
+        pre = directory_vocab.query_pre(query)
+        post = directory_vocab.query_post(query)
+        assert pre.relations() == frozenset({"Mobile__pre"})
+        assert post.relations() == frozenset({"Mobile__post"})
+
+    def test_mentions_binding(self, directory_vocab):
+        query = parse_cq("Q :- IsBind__AcM1(x), Mobile__pre(x, p, s, n)")
+        assert directory_vocab.mentions_nary_binding(query)
+        assert directory_vocab.mentions_binding(query)
+        plain = directory_vocab.query_pre(parse_cq("Q :- Mobile(a, b, c, d)"))
+        assert not directory_vocab.mentions_binding(plain)
+
+
+class TestTransitionStructures:
+    def test_structure_interprets_pre_post_and_binding(self, directory, directory_vocab):
+        before = Instance(directory.schema)
+        access = directory.access("AcM1", ("Smith",))
+        after = before.copy()
+        after.add("Mobile", ("Smith", "OX13QD", "Parks Rd", 5551212))
+        structure = transition_structure(directory_vocab, before, access, after)
+        data = structure.structure
+        assert data.tuples("Mobile__pre") == frozenset()
+        assert data.tuples("Mobile__post") == frozenset(
+            {("Smith", "OX13QD", "Parks Rd", 5551212)}
+        )
+        assert data.tuples(isbind_name("AcM1")) == frozenset({("Smith",)})
+        assert data.tuples(isbind0_name("AcM1")) == frozenset({()})
+        assert data.tuples(isbind0_name("AcM2")) == frozenset()
+        assert structure.method_name == "AcM1"
+
+    def test_path_structures_chain_configurations(self, directory, directory_vocab):
+        path = path_from_pairs(
+            directory,
+            [
+                ("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)]),
+                ("AcM2", ("Parks Rd", "OX13QD"), [("Parks Rd", "OX13QD", "Jones", 16)]),
+            ],
+        )
+        structures = path_structures(directory_vocab, path)
+        assert len(structures) == 2
+        # The post of the first transition equals the pre of the second.
+        first_post = structures[0].structure.tuples("Mobile__post")
+        second_pre = structures[1].structure.tuples("Mobile__pre")
+        assert first_post == second_pre
+
+    def test_structures_queryable_with_embedded_sentences(
+        self, directory, directory_vocab
+    ):
+        path = path_from_pairs(
+            directory,
+            [("AcM1", ("Smith",), [("Smith", "OX13QD", "Parks Rd", 5551212)])],
+        )
+        structures = path_structures(directory_vocab, path)
+        query = parse_cq('Q :- Mobile__post("Smith", pc, s, p), IsBind__AcM1("Smith")')
+        assert holds(query, structures[0].structure)
+        pre_query = parse_cq('Q :- Mobile__pre("Smith", pc, s, p)')
+        assert not holds(pre_query, structures[0].structure)

@@ -1,0 +1,202 @@
+"""Tests for the Datalog substrate: programs, evaluation, expansions, containment."""
+
+import pytest
+
+from repro.datalog.containment import (
+    datalog_contained_in_ucq,
+    expansion_canonical_databases,
+    find_counterexample_database,
+    nonrecursive_program_to_ucq,
+)
+from repro.datalog.evaluation import accepts, evaluate_program, goal_facts
+from repro.datalog.expansion import count_expansions, expansions
+from repro.datalog.program import DatalogError, DatalogProgram, Rule
+from repro.queries.atoms import Atom
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.queries.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import make_schema
+
+
+def var(name):
+    return Variable(name)
+
+
+@pytest.fixture
+def edge_schema():
+    return make_schema({"Edge": 2})
+
+
+@pytest.fixture
+def tc_program(edge_schema):
+    """Transitive closure of Edge with goal Path."""
+    rules = [
+        Rule(head=Atom("Path", (var("x"), var("y"))), body=(Atom("Edge", (var("x"), var("y"))),)),
+        Rule(
+            head=Atom("Path", (var("x"), var("z"))),
+            body=(Atom("Edge", (var("x"), var("y"))), Atom("Path", (var("y"), var("z")))),
+        ),
+    ]
+    return DatalogProgram(rules=rules, edb_schema=edge_schema, goal="Path")
+
+
+@pytest.fixture
+def chain_db(edge_schema):
+    instance = Instance(edge_schema)
+    instance.add_all("Edge", [("a", "b"), ("b", "c"), ("c", "d")])
+    return instance
+
+
+class TestProgramValidation:
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(DatalogError):
+            Rule(head=Atom("P", (var("x"),)), body=())
+
+    def test_edb_head_rejected(self, edge_schema):
+        rule = Rule(head=Atom("Edge", (var("x"), var("y"))), body=(Atom("Edge", (var("x"), var("y"))),))
+        with pytest.raises(DatalogError):
+            DatalogProgram(rules=[rule], edb_schema=edge_schema, goal="Edge")
+
+    def test_arity_mismatch_rejected(self, edge_schema):
+        rules = [
+            Rule(head=Atom("P", (var("x"),)), body=(Atom("Edge", (var("x"), var("y"))),)),
+            Rule(head=Atom("P", (var("x"), var("y"))), body=(Atom("Edge", (var("x"), var("y"))),)),
+        ]
+        with pytest.raises(DatalogError):
+            DatalogProgram(rules=rules, edb_schema=edge_schema, goal="P")
+
+    def test_unknown_goal_rejected(self, edge_schema):
+        rules = [Rule(head=Atom("P", (var("x"),)), body=(Atom("Edge", (var("x"), var("y"))),))]
+        with pytest.raises(DatalogError):
+            DatalogProgram(rules=rules, edb_schema=edge_schema, goal="Missing")
+
+    def test_recursion_detection(self, tc_program, edge_schema):
+        assert not tc_program.is_nonrecursive()
+        nonrec = DatalogProgram(
+            rules=[Rule(head=Atom("P", (var("x"),)), body=(Atom("Edge", (var("x"), var("y"))),))],
+            edb_schema=edge_schema,
+            goal="P",
+        )
+        assert nonrec.is_nonrecursive()
+        assert nonrec.dependency_order() == ["P"]
+
+    def test_idb_names_and_size(self, tc_program):
+        assert tc_program.idb_names == frozenset({"Path"})
+        assert tc_program.size() > 0
+
+
+class TestEvaluation:
+    def test_transitive_closure(self, tc_program, chain_db):
+        result = goal_facts(tc_program, chain_db)
+        assert ("a", "d") in result
+        assert ("a", "b") in result
+        assert len(result) == 6
+
+    def test_naive_and_semi_naive_agree(self, tc_program, chain_db):
+        semi = evaluate_program(tc_program, chain_db, semi_naive=True)
+        naive = evaluate_program(tc_program, chain_db, semi_naive=False)
+        assert semi.tuples("Path") == naive.tuples("Path")
+
+    def test_accepts(self, tc_program, chain_db, edge_schema):
+        assert accepts(tc_program, chain_db)
+        assert not accepts(tc_program, Instance(edge_schema))
+
+    def test_constants_in_rules(self, edge_schema, chain_db):
+        rules = [
+            Rule(
+                head=Atom("FromA", (var("y"),)),
+                body=(Atom("Edge", (Constant("a"), var("y"))),),
+            )
+        ]
+        program = DatalogProgram(rules=rules, edb_schema=edge_schema, goal="FromA")
+        assert goal_facts(program, chain_db) == frozenset({("b",)})
+
+    def test_max_rounds_limits_fixedpoint(self, tc_program, chain_db):
+        limited = evaluate_program(tc_program, chain_db, max_rounds=1)
+        assert len(limited.tuples("Path")) < 6
+
+
+class TestExpansions:
+    def test_nonrecursive_expansions_finite(self, edge_schema):
+        rules = [
+            Rule(head=Atom("P", (var("x"),)), body=(Atom("Edge", (var("x"), var("y"))),)),
+            Rule(head=Atom("P", (var("x"),)), body=(Atom("Edge", (var("y"), var("x"))),)),
+        ]
+        program = DatalogProgram(rules=rules, edb_schema=edge_schema, goal="P")
+        expansion_list = list(expansions(program, max_depth=3))
+        assert len(expansion_list) == 2
+        for expansion in expansion_list:
+            assert expansion.relations() == frozenset({"Edge"})
+
+    def test_recursive_expansion_count_grows_with_depth(self, tc_program):
+        shallow = count_expansions(tc_program, max_depth=2)
+        deep = count_expansions(tc_program, max_depth=4)
+        assert deep > shallow >= 1
+
+    def test_expansions_are_edb_only(self, tc_program):
+        for expansion in expansions(tc_program, max_depth=4, max_expansions=10):
+            assert expansion.relations() == frozenset({"Edge"})
+
+    def test_nonrecursive_to_ucq(self, edge_schema):
+        rules = [
+            Rule(head=Atom("P", (var("x"),)), body=(Atom("Edge", (var("x"), var("y"))),)),
+        ]
+        program = DatalogProgram(rules=rules, edb_schema=edge_schema, goal="P")
+        ucq = nonrecursive_program_to_ucq(program)
+        assert len(ucq) == 1
+
+    def test_nonrecursive_to_ucq_rejects_recursion(self, tc_program):
+        with pytest.raises(ValueError):
+            nonrecursive_program_to_ucq(tc_program)
+
+
+class TestContainment:
+    def test_program_contained_in_weaker_query(self, tc_program):
+        # Every Path(x, y) tuple starts with an edge out of x and ends with
+        # an edge into y.
+        query = parse_cq("Q(x, y) :- Edge(x, z), Edge(w, y)")
+        result = datalog_contained_in_ucq(tc_program, query, max_depth=4)
+        assert result.contained
+
+    def test_program_not_contained(self, tc_program):
+        query = parse_cq("Q :- Edge(x, x)")
+        result = datalog_contained_in_ucq(tc_program, query, max_depth=3)
+        assert not result.contained
+        assert result.counterexample is not None
+
+    def test_nonrecursive_containment_exact(self, edge_schema):
+        rules = [
+            Rule(
+                head=Atom("P", (var("x"), var("z"))),
+                body=(Atom("Edge", (var("x"), var("y"))), Atom("Edge", (var("y"), var("z")))),
+            )
+        ]
+        program = DatalogProgram(rules=rules, edb_schema=edge_schema, goal="P")
+        contained = datalog_contained_in_ucq(
+            program, parse_cq("Q(x, z) :- Edge(x, w), Edge(u, z)")
+        )
+        assert contained.contained
+        assert contained.exhaustive
+        not_contained = datalog_contained_in_ucq(program, parse_cq("Q(x, z) :- Edge(x, z)"))
+        assert not not_contained.contained
+
+    def test_containment_in_union(self, edge_schema):
+        rules = [
+            Rule(head=Atom("P", (var("x"),)), body=(Atom("Edge", (var("x"), var("y"))),)),
+            Rule(head=Atom("P", (var("x"),)), body=(Atom("Edge", (var("y"), var("x"))),)),
+        ]
+        program = DatalogProgram(rules=rules, edb_schema=edge_schema, goal="P")
+        union = parse_ucq("Q(x) :- Edge(x, y) ; Q(x) :- Edge(y, x)")
+        assert datalog_contained_in_ucq(program, union).contained
+
+    def test_recursive_containment_sound_on_true_instance(self, tc_program):
+        query = parse_cq("Q(x, y) :- Edge(x, z), Edge(w, y)")
+        result = datalog_contained_in_ucq(tc_program, query, max_depth=3)
+        # Containment holds: every path leaves x by an edge and enters y by one.
+        assert result.contained
+
+    def test_counterexample_database_search(self, tc_program):
+        query = parse_cq("Q :- Edge(x, x)")
+        databases = expansion_canonical_databases(tc_program, max_depth=3)
+        counterexample = find_counterexample_database(tc_program, query, databases)
+        assert counterexample is not None

@@ -1,0 +1,255 @@
+"""Tests for the AccLTL formula text syntax (:mod:`repro.core.formula_parser`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.formula_parser import (
+    FormulaParseError,
+    format_formula,
+    format_sentence,
+    friendly_relation_name,
+    parse_formula,
+    parse_sentence,
+    resolve_relation_name,
+)
+from repro.core.formulas import (
+    AccAnd,
+    AccAtom,
+    AccEventually,
+    AccGlobally,
+    AccNext,
+    AccNot,
+    AccOr,
+    AccTrue,
+    AccUntil,
+)
+from repro.core.fragments import Fragment, classify
+from repro.core.properties import (
+    access_order_formula,
+    containment_counterexample_formula,
+    groundedness_formula,
+    ltr_formula,
+    ltr_formula_zeroary,
+)
+from repro.core.semantics import path_satisfies
+from repro.core.vocabulary import isbind0_name, isbind_name, post_name, pre_name
+from repro.workloads.directory import (
+    directory_access_schema,
+    directory_hidden_instance,
+    directory_vocabulary,
+    smith_phone_query,
+)
+from repro.workloads.generators import WorkloadGenerator
+
+
+@pytest.fixture
+def vocab():
+    return directory_vocabulary()
+
+
+# ----------------------------------------------------------------------
+# Name resolution
+# ----------------------------------------------------------------------
+class TestNameResolution:
+    def test_pre_and_post(self, vocab):
+        assert resolve_relation_name("Mobile_pre", vocab) == pre_name("Mobile")
+        assert resolve_relation_name("Address_post", vocab) == post_name("Address")
+
+    def test_isbind(self, vocab):
+        assert resolve_relation_name("IsBind_AcM1", vocab) == isbind_name("AcM1")
+        assert resolve_relation_name("IsBind0_AcM2", vocab) == isbind0_name("AcM2")
+
+    def test_canonical_names_pass_through(self, vocab):
+        canonical = pre_name("Mobile")
+        assert resolve_relation_name(canonical, vocab) == canonical
+
+    def test_unknown_relation_rejected(self, vocab):
+        with pytest.raises(FormulaParseError):
+            resolve_relation_name("Phonebook_pre", vocab)
+
+    def test_unknown_method_rejected(self, vocab):
+        with pytest.raises(FormulaParseError):
+            resolve_relation_name("IsBind_AcM9", vocab)
+
+    def test_bare_relation_rejected(self, vocab):
+        with pytest.raises(FormulaParseError):
+            resolve_relation_name("Mobile", vocab)
+
+    def test_friendly_name_inverts_resolution(self, vocab):
+        for friendly in ("Mobile_pre", "Address_post", "IsBind_AcM1", "IsBind0_AcM2"):
+            canonical = resolve_relation_name(friendly, vocab)
+            assert friendly_relation_name(canonical) == friendly
+
+
+# ----------------------------------------------------------------------
+# Sentence parsing
+# ----------------------------------------------------------------------
+class TestSentenceParsing:
+    def test_single_body(self, vocab):
+        sentence = parse_sentence("Mobile_pre(n, p, s, ph)", vocab)
+        assert sentence.relations() == frozenset({pre_name("Mobile")})
+        assert sentence.query.is_boolean
+
+    def test_disjunction(self, vocab):
+        sentence = parse_sentence(
+            "Mobile_pre(n, p, s, ph) ; Address_pre(s, p, n, h)", vocab
+        )
+        assert len(sentence.query) == 2
+
+    def test_constants_and_inequalities(self, vocab):
+        sentence = parse_sentence(
+            'Address_post(s, p, "Jones", h), s != p', vocab
+        )
+        assert sentence.has_inequalities
+        constants = {c.value for c in sentence.query.constants()}
+        assert "Jones" in constants
+
+    def test_empty_sentence_rejected(self, vocab):
+        with pytest.raises(FormulaParseError):
+            parse_sentence("   ", vocab)
+
+
+# ----------------------------------------------------------------------
+# Formula parsing
+# ----------------------------------------------------------------------
+class TestFormulaParsing:
+    def test_intro_until_example(self, vocab):
+        text = (
+            "~[Mobile_pre(n, p, s, ph)] U "
+            "[IsBind_AcM1(n), Address_pre(s, p, n, h)]"
+        )
+        formula = parse_formula(text, vocab)
+        assert isinstance(formula, AccUntil)
+        assert isinstance(formula.left, AccNot)
+        report = classify(formula)
+        assert report.fragment == Fragment.ACCLTL_PLUS
+
+    def test_temporal_operators(self, vocab):
+        assert isinstance(parse_formula("G [Mobile_pre(a,b,c,d)]", vocab), AccGlobally)
+        assert isinstance(parse_formula("F [Mobile_pre(a,b,c,d)]", vocab), AccEventually)
+        assert isinstance(parse_formula("X [Mobile_pre(a,b,c,d)]", vocab), AccNext)
+
+    def test_boolean_connectives_and_precedence(self, vocab):
+        formula = parse_formula(
+            "[IsBind0_AcM1] & [IsBind0_AcM2] | [Mobile_post(a,b,c,d)]", vocab
+        )
+        # '|' binds loosest: (A & B) | C
+        assert isinstance(formula, AccOr)
+        assert isinstance(formula.left, AccAnd)
+
+    def test_parentheses_override_precedence(self, vocab):
+        formula = parse_formula(
+            "[IsBind0_AcM1] & ([IsBind0_AcM2] | [Mobile_post(a,b,c,d)])", vocab
+        )
+        assert isinstance(formula, AccAnd)
+        assert isinstance(formula.right, AccOr)
+
+    def test_until_is_right_associative(self, vocab):
+        formula = parse_formula(
+            "[IsBind0_AcM1] U [IsBind0_AcM2] U [Mobile_post(a,b,c,d)]", vocab
+        )
+        assert isinstance(formula, AccUntil)
+        assert isinstance(formula.right, AccUntil)
+
+    def test_true_and_negation(self, vocab):
+        formula = parse_formula("~true", vocab)
+        assert isinstance(formula, AccNot)
+        assert isinstance(formula.operand, AccTrue)
+
+    def test_bang_negation(self, vocab):
+        formula = parse_formula("!true", vocab)
+        assert isinstance(formula, AccNot)
+
+    def test_zeroary_fragment_classification(self, vocab):
+        formula = parse_formula(
+            "G ([IsBind0_AcM1] | [IsBind0_AcM2])", vocab
+        )
+        assert classify(formula).fragment == Fragment.ACCLTL_ZEROARY
+
+    def test_xonly_fragment_classification(self, vocab):
+        formula = parse_formula("X ([IsBind0_AcM1] & X [IsBind0_AcM2])", vocab)
+        assert classify(formula).fragment == Fragment.ACCLTL_X_ZEROARY
+
+    def test_negative_binding_is_full_fragment(self, vocab):
+        formula = parse_formula("G ~[IsBind_AcM1(n)]", vocab)
+        assert classify(formula).fragment == Fragment.ACCLTL_FULL
+
+    def test_errors(self, vocab):
+        with pytest.raises(FormulaParseError):
+            parse_formula("", vocab)
+        with pytest.raises(FormulaParseError):
+            parse_formula("G", vocab)
+        with pytest.raises(FormulaParseError):
+            parse_formula("[Mobile_pre(a,b,c,d)] extra", vocab)
+        with pytest.raises(FormulaParseError):
+            parse_formula("([Mobile_pre(a,b,c,d)]", vocab)
+        with pytest.raises(FormulaParseError):
+            parse_formula("U [Mobile_pre(a,b,c,d)]", vocab)
+        with pytest.raises(FormulaParseError):
+            parse_formula("[NoSuch_pre(a)]", vocab)
+
+
+# ----------------------------------------------------------------------
+# Formatting and round trips
+# ----------------------------------------------------------------------
+class TestFormatting:
+    def test_format_sentence_roundtrip(self, vocab):
+        sentence = parse_sentence(
+            'Address_post(s, p, "Jones", h), s != p ; Mobile_pre(n, p2, s2, 7)', vocab
+        )
+        text = format_sentence(sentence)
+        reparsed = parse_sentence(text[1:-1], vocab)
+        assert reparsed.query.relations() == sentence.query.relations()
+        assert reparsed.has_inequalities == sentence.has_inequalities
+        assert len(reparsed.query) == len(sentence.query)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "G [Mobile_pre(a, b, c, d)]",
+            "~[Mobile_pre(n, p, s, ph)] U [IsBind_AcM1(n), Address_pre(s, p, n, h)]",
+            "F ([IsBind0_AcM1] & X [Address_post(a, b, c, d)])",
+            "true U [IsBind0_AcM2]",
+        ],
+    )
+    def test_parse_format_parse_fixpoint(self, vocab, text):
+        formula = parse_formula(text, vocab)
+        formatted = format_formula(formula)
+        reparsed = parse_formula(formatted, vocab)
+        assert format_formula(reparsed) == formatted
+        assert classify(reparsed).fragment == classify(formula).fragment
+
+    def test_library_properties_roundtrip_through_text(self, vocab):
+        schema = directory_access_schema()
+        access = schema.access("AcM1", ("Smith",))
+        formulas = [
+            ltr_formula(vocab, access, smith_phone_query()),
+            ltr_formula_zeroary(vocab, "AcM1", smith_phone_query()),
+            access_order_formula(vocab, "AcM2", "AcM1"),
+            containment_counterexample_formula(
+                vocab, smith_phone_query(), smith_phone_query()
+            ),
+            groundedness_formula(vocab),
+        ]
+        for formula in formulas:
+            text = format_formula(formula)
+            reparsed = parse_formula(text, vocab)
+            assert classify(reparsed).fragment == classify(formula).fragment
+            assert {s.relations() for s in (a for a in reparsed.atoms())} == {
+                s.relations() for s in (a for a in formula.atoms())
+            }
+
+    def test_parsed_formula_semantics_agree_with_programmatic(self, vocab):
+        """The parsed LTR formula holds on the same paths as the programmatic one."""
+        schema = directory_access_schema()
+        hidden = directory_hidden_instance("small")
+        access = schema.access("AcM1", ("Smith",))
+        programmatic = ltr_formula(vocab, access, smith_phone_query())
+        parsed = parse_formula(format_formula(programmatic), vocab)
+        generator = WorkloadGenerator(seed=11)
+        for _ in range(10):
+            path = generator.access_path(schema, hidden, length=3)
+            assert path_satisfies(vocab, path, parsed) == path_satisfies(
+                vocab, path, programmatic
+            )

@@ -1,0 +1,250 @@
+"""Tests for the Figure 2 inclusion machinery (:mod:`repro.core.inclusions`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.aautomaton import AAutomaton
+from repro.automata.run import accepts_path
+from repro.core.formulas import AccAtom, AccGlobally, AccNot, lnot
+from repro.core.fragments import DECIDABLE_FRAGMENTS, Fragment, classify
+from repro.core.inclusions import (
+    A_AUTOMATA_NODE,
+    InclusionError,
+    SeparationWitness,
+    inclusion_digraph,
+    is_included,
+    lift_zeroary_sentence,
+    nary_existential_atom,
+    negated_marker_rewrite,
+    separation_witnesses,
+    translation_agrees_on_samples,
+    zeroary_to_plus,
+)
+from repro.core.properties import (
+    access_order_formula,
+    containment_counterexample_formula,
+    ltr_formula,
+    ltr_formula_zeroary,
+    relation_nonempty_post,
+    zeroary_binding_atom,
+)
+from repro.core.semantics import path_satisfies
+from repro.core.vocabulary import AccessVocabulary
+from repro.workloads.directory import (
+    directory_access_schema,
+    directory_hidden_instance,
+    directory_vocabulary,
+    smith_phone_query,
+)
+from repro.workloads.generators import WorkloadGenerator
+
+
+@pytest.fixture
+def vocab() -> AccessVocabulary:
+    return directory_vocabulary()
+
+
+@pytest.fixture
+def sample_paths():
+    schema = directory_access_schema()
+    hidden = directory_hidden_instance("small")
+    generator = WorkloadGenerator(seed=13)
+    paths = []
+    for length in (1, 1, 2, 2, 3, 3, 4):
+        paths.append(generator.access_path(schema, hidden, length=length))
+    return paths
+
+
+# ----------------------------------------------------------------------
+# The 0-ary → AccLTL+ translation (Section 6)
+# ----------------------------------------------------------------------
+class TestZeroaryToPlus:
+    def test_marker_atom_is_lifted(self, vocab):
+        formula = zeroary_binding_atom("AcM1")
+        translated = zeroary_to_plus(formula, vocab)
+        report = classify(translated)
+        assert report.uses_nary_binding
+        assert report.fragment == Fragment.ACCLTL_PLUS
+
+    def test_negated_marker_uses_disjunction_rewrite(self, vocab):
+        formula = lnot(zeroary_binding_atom("AcM1"))
+        translated = zeroary_to_plus(formula, vocab)
+        report = classify(translated)
+        # Binding atoms occur only positively after the rewrite.
+        assert not report.nary_binding_negative
+        assert report.fragment == Fragment.ACCLTL_PLUS
+
+    def test_translation_preserves_semantics_on_markers(self, vocab, sample_paths):
+        formula = lnot(zeroary_binding_atom("AcM1"))
+        translated = zeroary_to_plus(formula, vocab)
+        assert translation_agrees_on_samples(vocab, formula, translated, sample_paths)
+
+    def test_access_order_formula_translates(self, vocab, sample_paths):
+        formula = access_order_formula(vocab, "AcM2", "AcM1")
+        assert classify(formula).fragment == Fragment.ACCLTL_ZEROARY
+        translated = zeroary_to_plus(formula, vocab)
+        assert classify(translated).fragment == Fragment.ACCLTL_PLUS
+        assert translation_agrees_on_samples(vocab, formula, translated, sample_paths)
+
+    def test_ltr_zeroary_translates(self, vocab, sample_paths):
+        formula = ltr_formula_zeroary(vocab, "AcM1", smith_phone_query())
+        translated = zeroary_to_plus(formula, vocab)
+        assert classify(translated).fragment == Fragment.ACCLTL_PLUS
+        assert translation_agrees_on_samples(vocab, formula, translated, sample_paths)
+
+    def test_containment_formula_translates_unchanged_semantics(
+        self, vocab, sample_paths
+    ):
+        formula = containment_counterexample_formula(
+            vocab, smith_phone_query(), smith_phone_query()
+        )
+        translated = zeroary_to_plus(formula, vocab)
+        assert translation_agrees_on_samples(vocab, formula, translated, sample_paths)
+
+    def test_binding_free_formulas_pass_through(self, vocab):
+        formula = AccGlobally(lnot(relation_nonempty_post(vocab, "Mobile")))
+        translated = zeroary_to_plus(formula, vocab)
+        assert classify(translated).fragment == classify(formula).fragment
+
+    def test_double_negation_is_eliminated(self, vocab, sample_paths):
+        formula = lnot(lnot(zeroary_binding_atom("AcM2")))
+        translated = zeroary_to_plus(formula, vocab)
+        assert classify(translated).fragment == Fragment.ACCLTL_PLUS
+        assert translation_agrees_on_samples(vocab, formula, translated, sample_paths)
+
+    def test_nary_formula_rejected(self, vocab):
+        schema = directory_access_schema()
+        access = schema.access("AcM1", ("Smith",))
+        formula = ltr_formula(vocab, access, smith_phone_query())
+        with pytest.raises(InclusionError):
+            zeroary_to_plus(formula, vocab)
+
+    def test_negated_temporal_subformula_with_binding_rejected(self, vocab):
+        formula = lnot(AccGlobally(zeroary_binding_atom("AcM1")))
+        with pytest.raises(InclusionError):
+            zeroary_to_plus(formula, vocab)
+
+    def test_negated_mixed_sentence_rejected(self, vocab):
+        from repro.core.formulas import EmbeddedSentence
+        from repro.queries.atoms import Atom
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.core.vocabulary import isbind0_name, pre_name
+        from repro.queries.terms import Variable
+
+        mixed = EmbeddedSentence(
+            ConjunctiveQuery(
+                atoms=(
+                    Atom(isbind0_name("AcM1"), ()),
+                    Atom(pre_name("Mobile"), tuple(Variable(f"x{i}") for i in range(4))),
+                ),
+                head=(),
+            )
+        )
+        with pytest.raises(InclusionError):
+            zeroary_to_plus(lnot(AccAtom(mixed)), vocab)
+
+    def test_lift_preserves_non_binding_atoms(self, vocab):
+        sentence = relation_nonempty_post(vocab, "Address").sentence
+        assert lift_zeroary_sentence(sentence, vocab) is sentence
+
+
+class TestRewriteHelpers:
+    def test_nary_existential_atom_arity(self, vocab):
+        formula = nary_existential_atom(vocab, "AcM2")
+        sentence = formula.sentence
+        assert sentence.mentions_nary_binding()
+        disjunct = sentence.query.disjuncts[0]
+        assert disjunct.atoms[0].arity == 2  # AcM2 has two input positions
+
+    def test_negated_marker_rewrite_lists_other_methods(self, vocab, sample_paths):
+        rewritten = negated_marker_rewrite(vocab, "AcM1")
+        original = lnot(zeroary_binding_atom("AcM1"))
+        assert translation_agrees_on_samples(vocab, original, rewritten, sample_paths)
+
+    def test_negated_marker_rewrite_single_method_schema(self):
+        from repro.access.methods import AccessSchema
+        from repro.relational.schema import Relation, Schema
+
+        schema = AccessSchema(Schema([Relation("R", 2)]))
+        schema.add("OnlyOne", "R", (0,))
+        vocabulary = AccessVocabulary.of(schema)
+        rewritten = negated_marker_rewrite(vocabulary, "OnlyOne")
+        # With a single method the negation is unsatisfiable: ¬true.
+        assert isinstance(rewritten, AccNot)
+
+
+# ----------------------------------------------------------------------
+# The inclusion digraph
+# ----------------------------------------------------------------------
+class TestInclusionDigraph:
+    def test_nodes_cover_all_fragments(self):
+        graph = inclusion_digraph()
+        for fragment in Fragment:
+            assert fragment in graph
+        assert A_AUTOMATA_NODE in graph
+
+    def test_reflexive_and_transitive(self):
+        assert is_included(Fragment.ACCLTL_PLUS, Fragment.ACCLTL_PLUS)
+        # transitivity: X-only ⊆ 0-ary-≠ ⊆ full-≠
+        assert is_included(Fragment.ACCLTL_X_ZEROARY, Fragment.ACCLTL_FULL_INEQ)
+        assert is_included(Fragment.ACCLTL_ZEROARY, Fragment.ACCLTL_FULL)
+
+    def test_non_inclusions(self):
+        assert not is_included(Fragment.ACCLTL_FULL, Fragment.ACCLTL_PLUS)
+        assert not is_included(Fragment.ACCLTL_PLUS, Fragment.ACCLTL_ZEROARY)
+        assert not is_included(Fragment.ACCLTL_ZEROARY_INEQ, Fragment.ACCLTL_PLUS)
+
+    def test_automata_sit_above_accltl_plus_only(self):
+        assert is_included(Fragment.ACCLTL_PLUS, A_AUTOMATA_NODE)
+        assert is_included(Fragment.ACCLTL_ZEROARY, A_AUTOMATA_NODE)
+        assert not is_included(Fragment.ACCLTL_FULL, A_AUTOMATA_NODE)
+
+    def test_digraph_is_acyclic(self):
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(inclusion_digraph())
+
+
+# ----------------------------------------------------------------------
+# Separation witnesses (strictness)
+# ----------------------------------------------------------------------
+class TestSeparationWitnesses:
+    def test_every_witness_respects_the_inclusion(self, vocab):
+        for witness in separation_witnesses():
+            assert is_included(witness.small, witness.large), witness.property_name
+
+    def test_formula_witnesses_classify_inside_large_outside_small(self, vocab):
+        for witness in separation_witnesses():
+            built = witness.build_witness(vocab)
+            if isinstance(built, AAutomaton):
+                assert witness.large == A_AUTOMATA_NODE
+                continue
+            fragment = classify(built).fragment
+            assert is_included(fragment, witness.large), witness.property_name
+            assert not is_included(fragment, witness.small), witness.property_name
+
+    def test_parity_witness_separates_on_paths(self, vocab, sample_paths):
+        parity = next(
+            w for w in separation_witnesses() if w.property_name == "path-length parity"
+        )
+        automaton = parity.build_witness(vocab)
+        accepted = {len(p) for p in sample_paths if accepts_path(automaton, vocab, p)}
+        rejected = {len(p) for p in sample_paths if not accepts_path(automaton, vocab, p)}
+        assert all(length % 2 == 0 for length in accepted)
+        assert all(length % 2 == 1 or length == 0 for length in rejected)
+
+    def test_witness_fragments_are_strict_supersets_in_table1(self):
+        """Cross-check with Table 1: the decidable/undecidable frontier."""
+        for witness in separation_witnesses():
+            if witness.large == A_AUTOMATA_NODE:
+                continue
+            if witness.small in DECIDABLE_FRAGMENTS and witness.large not in DECIDABLE_FRAGMENTS:
+                # Moving up across the decidability frontier must add
+                # expressive power — which every witness shows by example.
+                assert witness.build_witness is not None
+
+    def test_witness_descriptions_are_informative(self):
+        for witness in separation_witnesses():
+            assert witness.property_name
+            assert len(witness.description) > 20

@@ -1,0 +1,151 @@
+"""Tests for DOT export (:mod:`repro.io.dot`) and report tables (:mod:`repro.io.reports`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.access.lts import explore
+from repro.automata.library import ltr_automaton
+from repro.core.fragments import Fragment
+from repro.io.dot import (
+    access_path_to_dot,
+    automaton_to_dot,
+    inclusion_diagram_to_dot,
+    lts_to_dot,
+)
+from repro.io.reports import Table, render_comparison, render_table
+from repro.workloads.directory import (
+    directory_access_schema,
+    directory_hidden_instance,
+    directory_vocabulary,
+    smith_phone_query,
+)
+from repro.workloads.generators import WorkloadGenerator
+
+
+# ----------------------------------------------------------------------
+# DOT export
+# ----------------------------------------------------------------------
+class TestLTSDot:
+    def _small_lts(self):
+        schema = directory_access_schema()
+        hidden = directory_hidden_instance("small")
+        return explore(
+            schema,
+            hidden_instance=hidden,
+            value_pool=["Smith", "Parks Rd", "OX13QD"],
+            max_depth=1,
+            grounded_only=False,
+        )
+
+    def test_lts_dot_structure(self):
+        lts = self._small_lts()
+        dot = lts_to_dot(lts, name="Figure1")
+        assert dot.startswith('digraph "Figure1" {')
+        assert dot.rstrip().endswith("}")
+        # Every node and every transition shows up as a line.
+        assert dot.count("->") == len(lts.transitions)
+        assert "∅" in dot  # the empty initial node
+
+    def test_lts_dot_escapes_quotes(self):
+        lts = self._small_lts()
+        dot = lts_to_dot(lts)
+        # Binding values like "Smith" are quoted in access labels and must
+        # be escaped so the DOT output remains syntactically valid.
+        assert '\\"Smith\\"' in dot or "'Smith'" in dot
+
+    def test_node_fact_truncation(self):
+        lts = self._small_lts()
+        dot = lts_to_dot(lts, max_facts_per_node=1)
+        assert "…" in dot or dot.count("->") == len(lts.transitions)
+
+
+class TestAutomatonDot:
+    def test_automaton_dot_structure(self):
+        vocabulary = directory_vocabulary()
+        schema = directory_access_schema()
+        access = schema.access("AcM1", ("Smith",))
+        automaton = ltr_automaton(vocabulary, access, smith_phone_query())
+        dot = automaton_to_dot(automaton)
+        assert dot.startswith("digraph")
+        assert "doublecircle" in dot  # accepting states are drawn
+        assert "__start" in dot
+        # one edge per transition plus the start arrow
+        assert dot.count("->") == len(automaton.transitions) + 1
+
+    def test_access_path_dot(self):
+        generator = WorkloadGenerator(seed=3)
+        schema = directory_access_schema()
+        hidden = directory_hidden_instance("small")
+        path = generator.access_path(schema, hidden, length=3)
+        dot = access_path_to_dot(path)
+        assert dot.count("->") == len(path)
+        assert '"I0"' in dot.replace("label=", "")
+
+
+class TestInclusionDiagramDot:
+    def test_all_fragments_present(self):
+        dot = inclusion_diagram_to_dot()
+        for fragment in Fragment:
+            assert fragment.name in dot
+        assert "A_AUTOMATA" in dot
+
+    def test_without_automata_node(self):
+        dot = inclusion_diagram_to_dot(include_automata_node=False)
+        assert "A_AUTOMATA" not in dot
+
+    def test_edge_count_matches_inclusion_order(self):
+        from repro.core.fragments import inclusion_order
+
+        dot = inclusion_diagram_to_dot(include_automata_node=False)
+        assert dot.count("->") == len(inclusion_order())
+
+
+# ----------------------------------------------------------------------
+# Report tables
+# ----------------------------------------------------------------------
+class TestReportTables:
+    def test_basic_rendering(self):
+        table = Table(headers=("language", "complexity"), title="Table 1")
+        table.add_row("AccLTL+", "3EXPTIME")
+        table.add_row("AccLTL(FO∃+_0-Acc)", "PSPACE-complete")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert set(lines[1]) == {"="}
+        assert "AccLTL+" in text
+        assert "PSPACE-complete" in text
+
+    def test_column_alignment(self):
+        table = Table(headers=("a", "bbbb"))
+        table.add_row("xxxxxx", "y")
+        widths = table.column_widths()
+        assert widths == [6, 4]
+        body_lines = table.render().splitlines()
+        # header and row lines have equal length because of padding
+        assert len(body_lines[0]) == len(body_lines[2])
+
+    def test_row_arity_checked(self):
+        table = Table(headers=("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_render_without_title(self):
+        table = Table(headers=("x",))
+        table.add_row(1)
+        text = render_table(table)
+        assert text.splitlines()[0] == "x"
+
+    def test_render_comparison(self):
+        text = render_comparison(
+            "Paper vs measured",
+            [("T1-row5", "PSPACE", "agrees", True)],
+        )
+        assert "Paper vs measured" in text
+        assert "T1-row5" in text
+        assert "True" in text
+
+    def test_str_is_render(self):
+        table = Table(headers=("h",))
+        table.add_row("v")
+        assert str(table) == table.render()

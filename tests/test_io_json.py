@@ -1,0 +1,433 @@
+"""Tests for JSON serialisation round-trips (:mod:`repro.io.json_io`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.methods import Access, AccessMethod, AccessSchema
+from repro.access.path import AccessPath, PathStep
+from repro.automata.aautomaton import AAutomaton, ATransition, Guard
+from repro.automata.library import ltr_automaton
+from repro.core.formulas import EmbeddedSentence, atom, land, lnot
+from repro.core.properties import (
+    access_order_formula,
+    containment_counterexample_formula,
+    groundedness_formula,
+    ltr_formula,
+    ltr_formula_zeroary,
+)
+from repro.core.vocabulary import AccessVocabulary
+from repro.datalog.program import DatalogProgram, Rule
+from repro.io import json_io
+from repro.io.json_io import (
+    SerializationError,
+    access_path_from_dict,
+    access_path_to_dict,
+    access_schema_from_dict,
+    access_schema_to_dict,
+    automaton_from_dict,
+    automaton_to_dict,
+    constraint_from_dict,
+    constraint_to_dict,
+    constraint_set_from_dict,
+    constraint_set_to_dict,
+    dumps,
+    formula_from_dict,
+    formula_to_dict,
+    from_dict,
+    instance_from_dict,
+    instance_to_dict,
+    loads,
+    program_from_dict,
+    program_to_dict,
+    query_from_dict,
+    query_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+    to_dict,
+)
+from repro.queries.atoms import Atom
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.queries.terms import Constant, Variable
+from repro.relational.dependencies import (
+    ConstraintSet,
+    DisjointnessConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relational.instance import Instance
+from repro.relational.schema import Relation, Schema
+from repro.relational.types import BOOL, INT, STRING, enum_domain
+from repro.workloads.directory import (
+    directory_access_schema,
+    directory_hidden_instance,
+    directory_vocabulary,
+    jones_address_query,
+    smith_phone_query,
+)
+from repro.workloads.generators import WorkloadGenerator
+
+
+# ----------------------------------------------------------------------
+# Schemas, instances
+# ----------------------------------------------------------------------
+class TestSchemaRoundTrips:
+    def test_relation_roundtrip_with_types_and_domains(self):
+        relation = Relation(
+            "R",
+            3,
+            (INT, STRING, BOOL),
+            (None, enum_domain(["a", "b"], STRING), None),
+        )
+        restored = json_io.relation_from_dict(json_io.relation_to_dict(relation))
+        assert restored == relation
+
+    def test_schema_roundtrip(self, simple_schema):
+        restored = schema_from_dict(schema_to_dict(simple_schema))
+        assert restored == simple_schema
+
+    def test_directory_schema_roundtrip(self):
+        schema = directory_access_schema().schema
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_instance_roundtrip(self, simple_instance):
+        restored = instance_from_dict(instance_to_dict(simple_instance))
+        assert restored == simple_instance
+
+    def test_instance_roundtrip_with_shared_schema(self, simple_instance):
+        data = instance_to_dict(simple_instance)
+        restored = instance_from_dict(data, schema=simple_instance.schema)
+        assert restored.schema is simple_instance.schema
+        assert restored == simple_instance
+
+    def test_empty_instance_roundtrip(self, simple_schema):
+        empty = Instance(simple_schema)
+        assert instance_from_dict(instance_to_dict(empty)) == empty
+
+    def test_unknown_datatype_rejected(self):
+        from repro.relational.types import DataType
+
+        weird = Relation("R", 1, (DataType("weird", (bytes,)),))
+        with pytest.raises(SerializationError):
+            json_io.relation_to_dict(weird)
+
+    def test_non_scalar_value_rejected(self, simple_schema):
+        instance = Instance(simple_schema)
+        instance.add("T", ((1, 2),))  # a tuple-valued entry is not JSON-scalar
+        with pytest.raises(SerializationError):
+            instance_to_dict(instance)
+
+
+# ----------------------------------------------------------------------
+# Access schemas and paths
+# ----------------------------------------------------------------------
+class TestAccessRoundTrips:
+    def test_access_method_roundtrip(self):
+        method = AccessMethod("AcM1", "Mobile", (0,), exact=True)
+        restored = json_io.access_method_from_dict(json_io.access_method_to_dict(method))
+        assert restored == method
+        assert restored.idempotent  # exact implies idempotent
+
+    def test_access_schema_roundtrip(self, directory):
+        restored = access_schema_from_dict(access_schema_to_dict(directory))
+        assert restored.schema == directory.schema
+        assert set(restored.methods) == set(directory.methods)
+        for name, method in directory.methods.items():
+            assert restored.method(name) == method
+
+    def test_access_roundtrip(self, directory):
+        access = directory.access("AcM2", ("Parks Rd", "OX13QD"))
+        restored = json_io.access_from_dict(json_io.access_to_dict(access))
+        assert restored == access
+
+    def test_access_from_dict_with_schema_shares_method(self, directory):
+        access = directory.access("AcM1", ("Smith",))
+        data = json_io.access_to_dict(access)
+        restored = json_io.access_from_dict(data, access_schema=directory)
+        assert restored.method is directory.method("AcM1")
+
+    def test_access_path_roundtrip(self, directory, hidden_directory):
+        generator = WorkloadGenerator(seed=7)
+        path = generator.access_path(directory, hidden_directory, length=4)
+        restored = access_path_from_dict(access_path_to_dict(path))
+        assert restored == path
+
+    def test_empty_path_roundtrip(self):
+        path = AccessPath(())
+        assert access_path_from_dict(access_path_to_dict(path)) == path
+
+    def test_path_step_response_order_is_canonical(self, directory):
+        access = directory.access("AcM1", ("Smith",))
+        step = PathStep(
+            access,
+            frozenset(
+                {("Smith", "OX13QD", "Parks Rd", 1), ("Smith", "OX11AA", "High St", 2)}
+            ),
+        )
+        first = json.dumps(json_io.path_step_to_dict(step), sort_keys=True)
+        second = json.dumps(json_io.path_step_to_dict(step), sort_keys=True)
+        assert first == second
+
+
+# ----------------------------------------------------------------------
+# Queries and constraints
+# ----------------------------------------------------------------------
+class TestQueryRoundTrips:
+    def test_cq_roundtrip(self):
+        query = parse_cq('Q(x) :- Mobile(x, y, z, p), Address(z, y, "Jones", h)')
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_cq_with_comparisons_roundtrip(self):
+        query = parse_cq("Q(x) :- R(x, y), S(y, z), x != z, y = y")
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_ucq_roundtrip(self):
+        query = parse_ucq("Q(x) :- R(x, y) ; Q(x) :- S(x, y)")
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_boolean_cq_roundtrip(self):
+        query = jones_address_query().boolean_version()
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_head_must_be_variables(self):
+        query = parse_cq("Q(x) :- R(x, y)")
+        data = query_to_dict(query)
+        data["head"][0] = {"kind": "constant", "value": 3}
+        with pytest.raises(SerializationError):
+            query_from_dict(data)
+
+    def test_constraints_roundtrip(self):
+        constraints = [
+            FunctionalDependency("Mobile", (0,), 3),
+            InclusionDependency("Mobile", (0,), "Address", (2,)),
+            DisjointnessConstraint("Mobile", 0, "Address", 0),
+        ]
+        for constraint in constraints:
+            assert constraint_from_dict(constraint_to_dict(constraint)) == constraint
+
+    def test_constraint_set_roundtrip(self):
+        constraint_set = ConstraintSet(
+            [
+                FunctionalDependency("Mobile", (0,), 3),
+                DisjointnessConstraint("Mobile", 0, "Address", 0),
+                InclusionDependency("Address", (2,), "Mobile", (0,)),
+            ]
+        )
+        restored = constraint_set_from_dict(constraint_set_to_dict(constraint_set))
+        assert restored.fds == constraint_set.fds
+        assert restored.ids == constraint_set.ids
+        assert restored.disjointness == constraint_set.disjointness
+
+    def test_unknown_constraint_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            constraint_from_dict({"kind": "mystery"})
+
+
+# ----------------------------------------------------------------------
+# Formulas and automata
+# ----------------------------------------------------------------------
+class TestFormulaRoundTrips:
+    def test_ltr_formula_roundtrip(self, directory_vocab, directory):
+        access = directory.access("AcM1", ("Smith",))
+        formula = ltr_formula(directory_vocab, access, smith_phone_query())
+        restored = formula_from_dict(formula_to_dict(formula))
+        assert str(restored) == str(formula)
+
+    def test_groundedness_formula_roundtrip(self, directory_vocab):
+        formula = groundedness_formula(directory_vocab)
+        restored = formula_from_dict(formula_to_dict(formula))
+        assert str(restored) == str(formula)
+
+    def test_containment_formula_roundtrip(self, directory_vocab):
+        formula = containment_counterexample_formula(
+            directory_vocab, smith_phone_query(), jones_address_query()
+        )
+        restored = formula_from_dict(formula_to_dict(formula))
+        assert str(restored) == str(formula)
+
+    def test_fragment_preserved_by_roundtrip(self, directory_vocab, directory):
+        from repro.core.fragments import classify
+
+        access = directory.access("AcM1", ("Smith",))
+        formulas = [
+            ltr_formula(directory_vocab, access, smith_phone_query()),
+            ltr_formula_zeroary(directory_vocab, "AcM1", smith_phone_query()),
+            access_order_formula(directory_vocab, "AcM2", "AcM1"),
+            groundedness_formula(directory_vocab),
+        ]
+        for formula in formulas:
+            restored = formula_from_dict(formula_to_dict(formula))
+            assert classify(restored).fragment == classify(formula).fragment
+
+    def test_true_and_negation_roundtrip(self, directory_vocab):
+        from repro.core.formulas import AccTrue
+
+        formula = lnot(AccTrue())
+        restored = formula_from_dict(formula_to_dict(formula))
+        assert str(restored) == str(formula)
+
+    def test_automaton_roundtrip(self, directory_vocab, directory):
+        access = directory.access("AcM1", ("Smith",))
+        automaton = ltr_automaton(directory_vocab, access, smith_phone_query())
+        restored = automaton_from_dict(automaton_to_dict(automaton))
+        assert set(restored.states) == set(automaton.states)
+        assert restored.initial == automaton.initial
+        assert restored.accepting == automaton.accepting
+        assert len(restored.transitions) == len(automaton.transitions)
+
+    def test_handwritten_automaton_roundtrip(self, directory_vocab):
+        sentence = EmbeddedSentence(
+            directory_vocab.query_pre(smith_phone_query()), label="smith_pre"
+        )
+        automaton = AAutomaton(
+            states=["s0", "s1"],
+            initial="s0",
+            accepting=["s1"],
+            transitions=[
+                ATransition("s0", Guard(positives=(sentence,)), "s1"),
+                ATransition("s1", Guard(negated=(sentence,)), "s1"),
+            ],
+            name="hand",
+        )
+        restored = automaton_from_dict(automaton_to_dict(automaton))
+        assert restored.name == "hand"
+        assert len(restored.transitions) == 2
+        assert restored.transitions[0].guard.positives[0].query == sentence.query
+
+
+# ----------------------------------------------------------------------
+# Datalog programs
+# ----------------------------------------------------------------------
+class TestDatalogRoundTrips:
+    def _sample_program(self) -> DatalogProgram:
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        edb = Schema([Relation("E", 2)])
+        rules = [
+            Rule(Atom("T", (x, y)), (Atom("E", (x, y)),)),
+            Rule(Atom("T", (x, z)), (Atom("E", (x, y)), Atom("T", (y, z)))),
+            Rule(Atom("Goal", ()), (Atom("T", (x, Constant("a"))),)),
+        ]
+        return DatalogProgram(rules, edb, "Goal")
+
+    def test_program_roundtrip(self):
+        program = self._sample_program()
+        restored = program_from_dict(program_to_dict(program))
+        assert restored.goal == program.goal
+        assert len(restored.rules) == len(program.rules)
+        assert restored.edb_schema == program.edb_schema
+        assert {str(rule) for rule in restored.rules} == {
+            str(rule) for rule in program.rules
+        }
+
+    def test_program_semantics_preserved(self):
+        from repro.datalog.evaluation import accepts
+
+        program = self._sample_program()
+        restored = program_from_dict(program_to_dict(program))
+        database = Instance(program.edb_schema)
+        database.add_all("E", [("c", "b"), ("b", "a")])
+        assert accepts(program, database) == accepts(restored, database) is True
+
+
+# ----------------------------------------------------------------------
+# Generic entry points
+# ----------------------------------------------------------------------
+class TestGenericEntryPoints:
+    def test_to_dict_dispatch(self, directory, simple_instance):
+        for obj in (
+            directory,
+            directory.schema,
+            simple_instance,
+            jones_address_query(),
+            FunctionalDependency("Mobile", (0,), 1),
+        ):
+            data = to_dict(obj)
+            assert "kind" in data
+            restored = from_dict(data)
+            assert type(restored).__name__ == type(obj).__name__
+
+    def test_dumps_loads_roundtrip(self, directory):
+        text = dumps(directory, indent=2)
+        restored = loads(text)
+        assert isinstance(restored, AccessSchema)
+        assert set(restored.methods) == set(directory.methods)
+
+    def test_dumps_is_valid_json(self, hidden_directory):
+        parsed = json.loads(dumps(hidden_directory))
+        assert parsed["kind"] == "instance"
+
+    def test_from_dict_requires_kind(self):
+        with pytest.raises(SerializationError):
+            from_dict({"no_kind": True})
+
+    def test_from_dict_unknown_kind(self):
+        with pytest.raises(SerializationError):
+            from_dict({"kind": "nonsense"})
+
+    def test_to_dict_unknown_object(self):
+        with pytest.raises(SerializationError):
+            to_dict(object())
+
+
+# ----------------------------------------------------------------------
+# Property-based round trips
+# ----------------------------------------------------------------------
+class TestPropertyBasedRoundTrips:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_access_schema_roundtrip(self, seed):
+        generator = WorkloadGenerator(seed=seed)
+        access_schema = generator.access_schema(num_relations=3)
+        restored = access_schema_from_dict(access_schema_to_dict(access_schema))
+        assert restored.schema == access_schema.schema
+        assert set(restored.methods) == set(access_schema.methods)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_instance_roundtrip(self, seed):
+        generator = WorkloadGenerator(seed=seed)
+        schema = generator.schema(num_relations=3)
+        instance = generator.instance(schema, tuples_per_relation=4)
+        assert instance_from_dict(instance_to_dict(instance)) == instance
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_query_roundtrip(self, seed):
+        generator = WorkloadGenerator(seed=seed)
+        schema = generator.schema(num_relations=3)
+        query = generator.conjunctive_query(schema)
+        assert query_from_dict(query_to_dict(query)) == query
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_path_roundtrip(self, seed):
+        generator = WorkloadGenerator(seed=seed)
+        access_schema = generator.access_schema(num_relations=3)
+        hidden = generator.instance(access_schema.schema, tuples_per_relation=3)
+        path = generator.access_path(access_schema, hidden, length=3)
+        restored = access_path_from_dict(access_path_to_dict(path))
+        assert restored == path
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_constraints_roundtrip(self, seed):
+        generator = WorkloadGenerator(seed=seed)
+        schema = generator.schema(num_relations=3)
+        for constraint in (
+            generator.functional_dependency(schema),
+            generator.inclusion_dependency(schema),
+            generator.disjointness_constraint(schema),
+        ):
+            assert constraint_from_dict(constraint_to_dict(constraint)) == constraint
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_instance_json_text_roundtrip(self, seed):
+        generator = WorkloadGenerator(seed=seed)
+        schema = generator.schema(num_relations=2)
+        instance = generator.instance(schema, tuples_per_relation=3)
+        assert loads(dumps(instance)) == instance

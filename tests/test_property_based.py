@@ -1,0 +1,307 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.access.methods import Access, AccessSchema
+from repro.access.path import AccessPath, PathStep, conf, configurations, is_grounded
+from repro.core.sat_zeroary import abstraction_agrees
+from repro.core.semantics import path_satisfies
+from repro.core.transition import path_structures
+from repro.core.vocabulary import AccessVocabulary
+from repro.core import properties
+from repro.ltl.sat import desugar, find_satisfying_word, is_satisfiable
+from repro.ltl.semantics import word_satisfies
+from repro.ltl import syntax as ltl
+from repro.queries.atoms import Atom
+from repro.queries.containment import cq_contained_in, ucq_contained_in
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import evaluate_cq, holds
+from repro.queries.homomorphism import canonical_instance
+from repro.queries.terms import Constant, Variable
+from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from repro.relational.instance import Instance
+from repro.relational.schema import Relation, Schema
+from repro.workloads.directory import directory_access_schema, join_query
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_VALUES = st.sampled_from(["a", "b", "c", "d"])
+_SCHEMA = Schema([Relation("R", 2), Relation("S", 1)])
+
+
+@st.composite
+def instances(draw):
+    instance = Instance(_SCHEMA)
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        instance.add("R", (draw(_VALUES), draw(_VALUES)))
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        instance.add("S", (draw(_VALUES),))
+    return instance
+
+
+@st.composite
+def conjunctive_queries(draw, max_atoms=3, allow_constants=True):
+    variables = [Variable(f"x{i}") for i in range(3)]
+    atoms = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_atoms))):
+        relation = draw(st.sampled_from(["R", "S"]))
+        arity = _SCHEMA.arity(relation)
+        terms = []
+        for _ in range(arity):
+            if allow_constants and draw(st.booleans()) and draw(st.booleans()):
+                terms.append(Constant(draw(_VALUES)))
+            else:
+                terms.append(draw(st.sampled_from(variables)))
+        atoms.append(Atom(relation, tuple(terms)))
+    body_vars = sorted(
+        {t for a in atoms for t in a.variables()}, key=lambda v: v.name
+    )
+    head_count = draw(st.integers(min_value=0, max_value=min(1, len(body_vars))))
+    head = tuple(body_vars[:head_count])
+    return ConjunctiveQuery(atoms=tuple(atoms), head=head)
+
+
+@st.composite
+def ltl_formulas(draw, depth=3):
+    if depth == 0:
+        return ltl.Prop(draw(st.sampled_from(["p", "q", "r"])))
+    kind = draw(
+        st.sampled_from(["prop", "not", "and", "or", "next", "until", "F", "G"])
+    )
+    if kind == "prop":
+        return ltl.Prop(draw(st.sampled_from(["p", "q", "r"])))
+    if kind == "not":
+        return ltl.Not(draw(ltl_formulas(depth=depth - 1)))
+    if kind == "next":
+        return ltl.Next(draw(ltl_formulas(depth=depth - 1)))
+    if kind == "F":
+        return ltl.Eventually(draw(ltl_formulas(depth=depth - 1)))
+    if kind == "G":
+        return ltl.Globally(draw(ltl_formulas(depth=depth - 1)))
+    left = draw(ltl_formulas(depth=depth - 1))
+    right = draw(ltl_formulas(depth=depth - 1))
+    if kind == "and":
+        return ltl.And(left, right)
+    if kind == "or":
+        return ltl.Or(left, right)
+    return ltl.Until(left, right)
+
+
+@st.composite
+def ltl_words(draw):
+    length = draw(st.integers(min_value=1, max_value=5))
+    return [
+        frozenset(draw(st.sets(st.sampled_from(["p", "q", "r"]), max_size=3)))
+        for _ in range(length)
+    ]
+
+
+@st.composite
+def directory_paths(draw):
+    schema = directory_access_schema()
+    names = ["Smith", "Jones"]
+    streets = ["Parks Rd", "Banbury Rd"]
+    postcodes = ["OX13QD", "OX26NN"]
+    steps = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        if draw(st.booleans()):
+            name = draw(st.sampled_from(names))
+            access = schema.access("AcM1", (name,))
+            tuples = []
+            if draw(st.booleans()):
+                tuples.append(
+                    (name, draw(st.sampled_from(postcodes)), draw(st.sampled_from(streets)), 1)
+                )
+            steps.append(PathStep(access, frozenset(tuples)))
+        else:
+            street = draw(st.sampled_from(streets))
+            postcode = draw(st.sampled_from(postcodes))
+            access = schema.access("AcM2", (street, postcode))
+            tuples = []
+            if draw(st.booleans()):
+                tuples.append((street, postcode, draw(st.sampled_from(names)), 2))
+            steps.append(PathStep(access, frozenset(tuples)))
+    return schema, AccessPath(tuple(steps))
+
+
+# ----------------------------------------------------------------------
+# Query-level invariants
+# ----------------------------------------------------------------------
+class TestQueryInvariants:
+    @SETTINGS
+    @given(query=conjunctive_queries(), instance=instances())
+    def test_evaluation_monotone_under_fact_addition(self, query, instance):
+        bigger = instance.copy()
+        bigger.add("R", ("a", "a"))
+        bigger.add("S", ("a",))
+        assert evaluate_cq(query, instance) <= evaluate_cq(query, bigger)
+
+    @SETTINGS
+    @given(query=conjunctive_queries(allow_constants=False))
+    def test_canonical_instance_satisfies_query(self, query):
+        instance, _ = canonical_instance(query)
+        assert holds(query.boolean_version(), instance)
+
+    @SETTINGS
+    @given(query=conjunctive_queries())
+    def test_containment_is_reflexive(self, query):
+        assert cq_contained_in(query, query)
+
+    @SETTINGS
+    @given(query=conjunctive_queries(allow_constants=False), instance=instances())
+    def test_containment_implies_answer_inclusion(self, query, instance):
+        # Dropping an atom gives a (weakly) more general query.
+        if len(query.atoms) < 2:
+            return
+        head_vars = set(query.head)
+        remaining = query.atoms[:-1]
+        remaining_vars = set()
+        for atom in remaining:
+            remaining_vars |= atom.variables()
+        if not head_vars <= remaining_vars:
+            return
+        weaker = ConjunctiveQuery(atoms=remaining, head=query.head)
+        assert cq_contained_in(query, weaker)
+        assert evaluate_cq(query, instance) <= evaluate_cq(weaker, instance)
+
+    @SETTINGS
+    @given(
+        q1=conjunctive_queries(allow_constants=False),
+        q2=conjunctive_queries(allow_constants=False),
+        instance=instances(),
+    )
+    def test_containment_verdicts_sound_on_random_instances(self, q1, q2, instance):
+        if len(q1.head) != len(q2.head):
+            return
+        if ucq_contained_in(q1, q2):
+            assert evaluate_cq(q1, instance) <= evaluate_cq(q2, instance)
+
+    @SETTINGS
+    @given(
+        q1=conjunctive_queries(allow_constants=False),
+        q2=conjunctive_queries(allow_constants=False),
+        instance=instances(),
+    )
+    def test_ucq_union_answers(self, q1, q2, instance):
+        if len(q1.head) != len(q2.head):
+            return
+        union = UnionOfConjunctiveQueries((q1, q2))
+        expected = evaluate_cq(q1, instance) | evaluate_cq(q2, instance)
+        from repro.queries.evaluation import evaluate_ucq
+
+        assert evaluate_ucq(union, instance) == expected
+
+
+# ----------------------------------------------------------------------
+# LTL invariants
+# ----------------------------------------------------------------------
+class TestLTLInvariants:
+    @SETTINGS
+    @given(formula=ltl_formulas(), word=ltl_words())
+    def test_desugar_preserves_semantics(self, formula, word):
+        assert word_satisfies(word, formula) == word_satisfies(word, desugar(formula))
+
+    @SETTINGS
+    @given(formula=ltl_formulas(), word=ltl_words())
+    def test_negation_is_complement(self, formula, word):
+        assert word_satisfies(word, formula) != word_satisfies(word, ltl.Not(formula))
+
+    @SETTINGS
+    @given(formula=ltl_formulas(depth=2))
+    def test_sat_witness_actually_satisfies(self, formula):
+        word = find_satisfying_word(formula)
+        if word is not None:
+            assert word_satisfies(word, formula)
+
+    @SETTINGS
+    @given(formula=ltl_formulas(depth=2), word=ltl_words())
+    def test_models_imply_satisfiability(self, formula, word):
+        if word_satisfies(word, formula):
+            assert is_satisfiable(formula)
+
+
+# ----------------------------------------------------------------------
+# Access-path and AccLTL invariants
+# ----------------------------------------------------------------------
+class TestPathInvariants:
+    @SETTINGS
+    @given(data=directory_paths())
+    def test_configurations_grow_monotonically(self, data):
+        schema, path = data
+        configs = configurations(path, schema.empty_instance())
+        for earlier, later in zip(configs, configs[1:]):
+            assert earlier.is_subinstance_of(later)
+
+    @SETTINGS
+    @given(data=directory_paths())
+    def test_conf_equals_last_configuration(self, data):
+        schema, path = data
+        initial = schema.empty_instance()
+        assert conf(path, initial) == configurations(path, initial)[-1]
+
+    @SETTINGS
+    @given(data=directory_paths())
+    def test_pre_of_next_transition_is_post_of_previous(self, data):
+        schema, path = data
+        vocabulary = AccessVocabulary.of(schema)
+        structures = path_structures(vocabulary, path)
+        for earlier, later in zip(structures, structures[1:]):
+            for relation in schema.schema:
+                assert earlier.structure.tuples(
+                    relation.name + "__post"
+                ) == later.structure.tuples(relation.name + "__pre")
+
+    @SETTINGS
+    @given(data=directory_paths())
+    def test_grounded_paths_never_guess(self, data):
+        schema, path = data
+        initial = schema.empty_instance()
+        if is_grounded(path, initial):
+            known = set()
+            for step in path:
+                assert set(step.access.binding) <= known or not step.access.binding
+                known |= set(step.access.binding)
+                for tup in step.response:
+                    known |= set(tup)
+
+    @SETTINGS
+    @given(data=directory_paths())
+    def test_positive_pre_queries_are_monotone_along_paths(self, data):
+        schema, path = data
+        vocabulary = AccessVocabulary.of(schema)
+        sentence = properties.relation_nonempty_pre(vocabulary, "Mobile")
+        structures = path_structures(vocabulary, path)
+        from repro.core.semantics import satisfies_at
+
+        truth = [satisfies_at(structures, i, sentence) for i in range(len(structures))]
+        assert truth == sorted(truth)
+
+    @SETTINGS
+    @given(data=directory_paths())
+    def test_ltl_abstraction_agrees_with_accltl_semantics(self, data):
+        schema, path = data
+        vocabulary = AccessVocabulary.of(schema)
+        formula = properties.ltr_formula_zeroary(vocabulary, "AcM1", join_query())
+        assert abstraction_agrees(vocabulary, formula, path)
+
+    @SETTINGS
+    @given(data=directory_paths())
+    def test_access_order_formula_matches_direct_check(self, data):
+        schema, path = data
+        vocabulary = AccessVocabulary.of(schema)
+        formula = properties.access_order_formula(vocabulary, "AcM2", "AcM1")
+        methods = [step.method.name for step in path]
+        if "AcM1" in methods:
+            first_mobile = methods.index("AcM1")
+            direct = "AcM2" in methods[:first_mobile]
+        else:
+            direct = True
+        assert path_satisfies(vocabulary, path, formula) == direct

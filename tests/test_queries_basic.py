@@ -1,0 +1,166 @@
+"""Tests for terms, atoms and conjunctive queries."""
+
+import pytest
+
+from repro.queries.atoms import Atom, Equality, Inequality, atom, collect_variables
+from repro.queries.cq import ConjunctiveQuery, QueryError, cq
+from repro.queries.terms import Constant, Variable, const, is_constant, is_variable, var
+from repro.queries.ucq import (
+    UnionOfConjunctiveQueries,
+    as_ucq,
+    conjoin_all,
+    true_query,
+    ucq,
+)
+
+
+class TestTerms:
+    def test_var_and_const_constructors(self):
+        assert var("x") == Variable("x")
+        assert const(3) == Constant(3)
+
+    def test_predicates(self):
+        assert is_variable(var("x"))
+        assert not is_variable(const(1))
+        assert is_constant(const(1))
+
+    def test_str(self):
+        assert str(var("x")) == "x"
+        assert str(const("v")) == "'v'"
+
+
+class TestAtoms:
+    def test_atom_variables_and_constants(self):
+        a = atom("R", var("x"), const(1), var("y"))
+        assert a.variables() == frozenset({var("x"), var("y")})
+        assert a.constants() == frozenset({const(1)})
+        assert a.arity == 3
+
+    def test_substitute(self):
+        a = atom("R", var("x"), const(1))
+        assert a.substitute({var("x"): "v"}) == ("v", 1)
+
+    def test_rename(self):
+        a = atom("R", var("x"), var("y"))
+        renamed = a.rename({var("x"): var("z")})
+        assert renamed.terms == (var("z"), var("y"))
+
+    def test_equality_satisfaction(self):
+        eq = Equality(var("x"), const(1))
+        assert eq.satisfied_by({var("x"): 1})
+        assert not eq.satisfied_by({var("x"): 2})
+
+    def test_inequality_satisfaction(self):
+        ineq = Inequality(var("x"), var("y"))
+        assert ineq.satisfied_by({var("x"): 1, var("y"): 2})
+        assert not ineq.satisfied_by({var("x"): 1, var("y"): 1})
+
+    def test_collect_variables(self):
+        items = [atom("R", var("x")), Equality(var("y"), const(1))]
+        assert collect_variables(items) == frozenset({var("x"), var("y")})
+
+
+class TestConjunctiveQuery:
+    def test_boolean_query(self):
+        query = cq([atom("R", var("x"), var("y"))])
+        assert query.is_boolean
+        assert query.body_variables() == frozenset({var("x"), var("y")})
+
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(QueryError):
+            cq([atom("R", var("x"), var("y"))], head=[var("z")])
+
+    def test_relations_and_constants(self):
+        query = cq([atom("R", var("x"), const("a")), atom("S", var("x"))])
+        assert query.relations() == frozenset({"R", "S"})
+        assert query.constants() == frozenset({const("a")})
+
+    def test_rename_relations(self):
+        query = cq([atom("R", var("x"), var("y"))])
+        renamed = query.rename_relations({"R": "R_pre"})
+        assert renamed.relations() == frozenset({"R_pre"})
+
+    def test_rename_variables(self):
+        query = cq([atom("R", var("x"), var("y"))], head=[var("x")])
+        renamed = query.rename_variables({var("x"): var("z")})
+        assert renamed.head == (var("z"),)
+
+    def test_rename_head_to_constant_rejected(self):
+        query = cq([atom("R", var("x"), var("y"))], head=[var("x")])
+        with pytest.raises(QueryError):
+            query.rename_variables({var("x"): const(1)})
+
+    def test_freshen_is_disjoint(self):
+        query = cq([atom("R", var("x"), var("y"))], head=[var("x")])
+        fresh = query.freshen("_1")
+        assert not (query.variables() & fresh.variables())
+
+    def test_boolean_version(self):
+        query = cq([atom("R", var("x"), var("y"))], head=[var("x")])
+        assert query.boolean_version().is_boolean
+
+    def test_conjoin(self):
+        q1 = cq([atom("R", var("x"), var("y"))], head=[var("x")])
+        q2 = cq([atom("S", var("z"))], head=[var("z")])
+        joined = q1.conjoin(q2)
+        assert joined.relations() == frozenset({"R", "S"})
+        assert joined.head == (var("x"), var("z"))
+
+    def test_size_and_inequality_flags(self):
+        query = cq(
+            [atom("R", var("x"), var("y"))],
+            inequalities=[Inequality(var("x"), var("y"))],
+        )
+        assert query.size() == 2
+        assert query.has_inequalities
+        assert not query.without_inequalities().has_inequalities
+
+    def test_str_contains_relation(self):
+        assert "R" in str(cq([atom("R", var("x"), var("y"))]))
+
+
+class TestUCQ:
+    def test_ucq_requires_uniform_head_arity(self):
+        q1 = cq([atom("R", var("x"), var("y"))], head=[var("x")])
+        q2 = cq([atom("S", var("z"))])
+        with pytest.raises(QueryError):
+            ucq([q1, q2])
+
+    def test_empty_ucq_rejected(self):
+        with pytest.raises(QueryError):
+            ucq([])
+
+    def test_union_and_iteration(self):
+        q1 = cq([atom("R", var("x"), var("y"))])
+        q2 = cq([atom("S", var("z"))])
+        union = ucq([q1]).union(ucq([q2]))
+        assert len(union) == 2
+        assert union.relations() == frozenset({"R", "S"})
+
+    def test_conjoin_distributes(self):
+        q1 = ucq([cq([atom("R", var("x"), var("y"))]), cq([atom("S", var("z"))])])
+        q2 = ucq([cq([atom("T", var("w"))])])
+        product = q1.conjoin(q2)
+        assert len(product) == 2
+        for disjunct in product:
+            assert "T" in disjunct.relations()
+
+    def test_conjoin_requires_boolean(self):
+        q1 = ucq([cq([atom("R", var("x"), var("y"))], head=[var("x")])])
+        with pytest.raises(QueryError):
+            q1.conjoin(q1)
+
+    def test_as_ucq_coercion(self):
+        q = cq([atom("R", var("x"), var("y"))])
+        coerced = as_ucq(q)
+        assert isinstance(coerced, UnionOfConjunctiveQueries)
+        assert as_ucq(coerced) is coerced
+        with pytest.raises(TypeError):
+            as_ucq("not a query")
+
+    def test_conjoin_all(self):
+        q = ucq([cq([atom("R", var("x"), var("y"))])])
+        assert len(conjoin_all([q, q, q])) == 1
+
+    def test_true_query_is_boolean(self):
+        assert true_query().is_boolean

@@ -1,0 +1,154 @@
+"""Tests for CQ/UCQ evaluation, homomorphisms and the parser."""
+
+import pytest
+
+from repro.queries.atoms import Atom, Inequality, atom
+from repro.queries.cq import cq
+from repro.queries.evaluation import answers, evaluate_cq, evaluate_ucq, holds
+from repro.queries.homomorphism import (
+    canonical_instance,
+    find_all_homomorphisms,
+    find_homomorphism,
+    homomorphism_image,
+)
+from repro.queries.parser import ParseError, parse_cq, parse_ucq
+from repro.queries.terms import Constant, Variable, const, var
+from repro.queries.ucq import ucq
+
+
+class TestEvaluation:
+    def test_single_atom_answers(self, simple_instance):
+        query = cq([atom("R", var("x"), var("y"))], head=[var("x"), var("y")])
+        assert evaluate_cq(query, simple_instance) == frozenset(
+            {("a", "b"), ("b", "c"), ("c", "d")}
+        )
+
+    def test_join(self, simple_instance):
+        query = cq(
+            [atom("R", var("x"), var("y")), atom("S", var("y"), var("z"))],
+            head=[var("x"), var("z")],
+        )
+        assert evaluate_cq(query, simple_instance) == frozenset(
+            {("a", "c"), ("c", "e")}
+        )
+
+    def test_constant_selection(self, simple_instance):
+        query = cq([atom("R", const("a"), var("y"))], head=[var("y")])
+        assert evaluate_cq(query, simple_instance) == frozenset({("b",)})
+
+    def test_boolean_query_holds(self, simple_instance):
+        query = cq([atom("T", var("x"))])
+        assert holds(query, simple_instance)
+
+    def test_boolean_query_fails(self, simple_instance):
+        query = cq([atom("R", var("x"), var("x"))])
+        assert not holds(query, simple_instance)
+
+    def test_inequality_filtering(self, simple_instance):
+        query = cq(
+            [atom("R", var("x"), var("y")), atom("R", var("y"), var("z"))],
+            head=[var("x"), var("z")],
+            inequalities=[Inequality(var("x"), var("z"))],
+        )
+        assert evaluate_cq(query, simple_instance) == frozenset(
+            {("a", "c"), ("b", "d")}
+        )
+
+    def test_repeated_variable(self, simple_instance):
+        simple_instance.add("R", ("e", "e"))
+        query = cq([atom("R", var("x"), var("x"))], head=[var("x")])
+        assert evaluate_cq(query, simple_instance) == frozenset({("e",)})
+
+    def test_unknown_relation_treated_as_empty(self, simple_instance):
+        query = cq([atom("Unknown", var("x"))])
+        assert not holds(query, simple_instance)
+
+    def test_ucq_union_of_answers(self, simple_instance):
+        query = ucq(
+            [
+                cq([atom("R", var("x"), const("b"))], head=[var("x")]),
+                cq([atom("S", var("x"), const("e"))], head=[var("x")]),
+            ]
+        )
+        assert evaluate_ucq(query, simple_instance) == frozenset({("a",), ("d",)})
+
+    def test_answers_accepts_cq_and_ucq(self, simple_instance):
+        query = cq([atom("T", var("x"))], head=[var("x")])
+        assert answers(query, simple_instance) == frozenset({("a",)})
+
+
+class TestHomomorphism:
+    def test_find_homomorphism(self, simple_instance):
+        query = cq([atom("R", var("x"), var("y")), atom("S", var("y"), var("z"))])
+        hom = find_homomorphism(query, simple_instance)
+        assert hom is not None
+        assert hom[var("y")] in {"b", "d"}
+
+    def test_no_homomorphism(self, simple_instance):
+        query = cq([atom("S", var("x"), var("x"))])
+        assert find_homomorphism(query, simple_instance) is None
+
+    def test_all_homomorphisms_with_limit(self, simple_instance):
+        query = cq([atom("R", var("x"), var("y"))])
+        assert len(find_all_homomorphisms(query, simple_instance)) == 3
+        assert len(find_all_homomorphisms(query, simple_instance, limit=2)) == 2
+
+    def test_homomorphism_image(self):
+        query = cq([atom("R", var("x"), const(1))])
+        image = homomorphism_image(query, {var("x"): "v"})
+        assert image == [("R", ("v", 1))]
+
+    def test_canonical_instance(self):
+        query = cq([atom("R", var("x"), var("y")), atom("S", var("y"), var("z"))])
+        instance, assignment = canonical_instance(query)
+        assert instance.size() == 2
+        assert holds(query, instance)
+        assert set(assignment) == query.variables()
+
+    def test_canonical_instance_with_inconsistent_arity(self):
+        query = cq([atom("R", var("x")), atom("R", var("x"), var("y"))])
+        with pytest.raises(ValueError):
+            canonical_instance(query)
+
+
+class TestParser:
+    def test_parse_simple_cq(self):
+        query = parse_cq("Q(x) :- R(x, y), S(y, z)")
+        assert query.head == (Variable("x"),)
+        assert query.relations() == frozenset({"R", "S"})
+
+    def test_parse_constants(self):
+        query = parse_cq('Q(x) :- R(x, "Jones"), S(x, 42)')
+        assert Constant("Jones") in query.constants()
+        assert Constant(42) in query.constants()
+
+    def test_parse_inequality_and_equality(self):
+        query = parse_cq("Q(x) :- R(x, y), x != y, y = x")
+        assert len(query.inequalities) == 1
+        assert len(query.equalities) == 1
+
+    def test_parse_boolean_query(self):
+        query = parse_cq("Q :- R(x, y)")
+        assert query.is_boolean
+
+    def test_parse_relation_with_hash(self):
+        query = parse_cq("Q(n) :- Mobile#(n, p, s, ph)")
+        assert "Mobile#" in query.relations()
+
+    def test_parse_ucq(self):
+        query = parse_ucq("Q(x) :- R(x, y) ; Q(x) :- S(x, z)")
+        assert len(query) == 2
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_cq("Q(x) :- R(x, ")
+        with pytest.raises(ParseError):
+            parse_cq('Q("c") :- R(x, y)')
+        with pytest.raises(ParseError):
+            parse_ucq("   ;  ")
+
+    def test_round_trip_evaluation(self, simple_instance):
+        query = parse_cq("Q(x, z) :- R(x, y), S(y, z)")
+        assert evaluate_cq(query, simple_instance) == frozenset(
+            {("a", "c"), ("c", "e")}
+        )

@@ -1,0 +1,152 @@
+"""Tests for repro.relational.dependencies."""
+
+import pytest
+
+from repro.relational.dependencies import (
+    ConstraintSet,
+    DisjointnessConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    chase_fds,
+    closure_of_positions,
+    fd_implies,
+    implies_fd,
+)
+from repro.relational.instance import Instance
+from repro.relational.schema import make_schema
+
+
+@pytest.fixture
+def schema():
+    return make_schema({"R": 3, "S": 2})
+
+
+class TestFunctionalDependency:
+    def test_holds_in_satisfying_instance(self, schema):
+        fd = FunctionalDependency("R", (0,), 1)
+        instance = Instance(schema, {"R": [("a", "b", "c"), ("a", "b", "d")]})
+        assert fd.holds_in(instance)
+
+    def test_violation_detected(self, schema):
+        fd = FunctionalDependency("R", (0,), 1)
+        instance = Instance(schema, {"R": [("a", "b", "c"), ("a", "x", "d")]})
+        assert not fd.holds_in(instance)
+        assert len(fd.violating_pairs(instance)) == 1
+
+    def test_lhs_normalised(self):
+        fd = FunctionalDependency("R", (2, 0, 2), 1)
+        assert fd.lhs == (0, 2)
+
+    def test_str(self):
+        assert "R" in str(FunctionalDependency("R", (0,), 1))
+
+
+class TestInclusionDependency:
+    def test_holds(self, schema):
+        id_dep = InclusionDependency("R", (0,), "S", (1,))
+        instance = Instance(schema, {"R": [("a", "b", "c")], "S": [("x", "a")]})
+        assert id_dep.holds_in(instance)
+
+    def test_violation(self, schema):
+        id_dep = InclusionDependency("R", (0,), "S", (1,))
+        instance = Instance(schema, {"R": [("a", "b", "c")], "S": [("x", "z")]})
+        assert not id_dep.holds_in(instance)
+        assert id_dep.missing_tuples(instance) == [("a", "b", "c")]
+
+    def test_mismatched_positions_rejected(self):
+        with pytest.raises(Exception):
+            InclusionDependency("R", (0, 1), "S", (0,))
+
+
+class TestDisjointness:
+    def test_holds_and_violation(self, schema):
+        constraint = DisjointnessConstraint("R", 0, "S", 0)
+        ok = Instance(schema, {"R": [("a", "b", "c")], "S": [("x", "y")]})
+        bad = Instance(schema, {"R": [("a", "b", "c")], "S": [("a", "y")]})
+        assert constraint.holds_in(ok)
+        assert not constraint.holds_in(bad)
+        assert constraint.overlapping_values(bad) == frozenset({"a"})
+
+
+class TestConstraintSet:
+    def test_collects_by_kind(self, schema):
+        constraints = ConstraintSet(
+            [
+                FunctionalDependency("R", (0,), 1),
+                InclusionDependency("R", (0,), "S", (0,)),
+                DisjointnessConstraint("R", 0, "S", 1),
+            ]
+        )
+        assert len(constraints) == 3
+        assert len(constraints.fds) == 1
+        assert len(constraints.ids) == 1
+        assert len(constraints.disjointness) == 1
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TypeError):
+            ConstraintSet(["not-a-constraint"])
+
+    def test_holds_in(self, schema):
+        constraints = ConstraintSet([FunctionalDependency("R", (0,), 1)])
+        good = Instance(schema, {"R": [("a", "b", "c")]})
+        bad = Instance(schema, {"R": [("a", "b", "c"), ("a", "z", "c")]})
+        assert constraints.holds_in(good)
+        assert not constraints.holds_in(bad)
+        assert constraints.violated_constraints(bad)
+
+
+class TestFDReasoning:
+    def test_closure(self):
+        fds = [
+            FunctionalDependency("R", (0,), 1),
+            FunctionalDependency("R", (1,), 2),
+        ]
+        closure = closure_of_positions((0,), fds, "R")
+        assert closure == frozenset({0, 1, 2})
+
+    def test_fd_implies_transitivity(self):
+        fds = [
+            FunctionalDependency("R", (0,), 1),
+            FunctionalDependency("R", (1,), 2),
+        ]
+        assert fd_implies(fds, FunctionalDependency("R", (0,), 2))
+        assert not fd_implies(fds, FunctionalDependency("R", (2,), 0))
+
+    def test_chase_fds_merges_nulls(self, schema):
+        instance = Instance(schema, {"R": [("a", "b", "c"), ("a", "b", "c")]})
+        result = chase_fds(instance, [FunctionalDependency("R", (0,), 1)])
+        assert result is not None
+
+    def test_chase_fds_conflict(self, schema):
+        instance = Instance(schema, {"R": [("a", "b", "c"), ("a", "x", "c")]})
+        assert chase_fds(instance, [FunctionalDependency("R", (0,), 1)]) is None
+
+
+class TestImpliesFD:
+    def test_fd_only_implication(self, schema):
+        constraints = [
+            FunctionalDependency("R", (0,), 1),
+            FunctionalDependency("R", (1,), 2),
+        ]
+        assert implies_fd(schema, constraints, FunctionalDependency("R", (0,), 2)) is True
+
+    def test_fd_only_non_implication(self, schema):
+        constraints = [FunctionalDependency("R", (0,), 1)]
+        assert (
+            implies_fd(schema, constraints, FunctionalDependency("R", (0,), 2)) is False
+        )
+
+    def test_implication_with_inclusion_dependency(self, schema):
+        # R[0] ⊆ S[0] and S: 0 -> 1 do not imply any FD on R's own columns
+        # beyond trivialities.
+        constraints = [
+            InclusionDependency("R", (0,), "S", (0,)),
+            FunctionalDependency("S", (0,), 1),
+        ]
+        verdict = implies_fd(schema, constraints, FunctionalDependency("R", (0,), 1))
+        assert verdict is False
+
+    def test_trivial_fd_implied(self, schema):
+        verdict = implies_fd(schema, [], FunctionalDependency("R", (0, 1, 2), 0))
+        # The canonical counterexample has both tuples sharing position 0.
+        assert verdict is True

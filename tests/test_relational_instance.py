@@ -1,0 +1,116 @@
+"""Tests for repro.relational.instance."""
+
+import pytest
+
+from repro.relational.instance import Instance
+from repro.relational.schema import SchemaError, make_schema
+
+
+@pytest.fixture
+def schema():
+    return make_schema({"R": 2, "S": 1})
+
+
+class TestInstanceBasics:
+    def test_empty_instance(self, schema):
+        instance = Instance(schema)
+        assert instance.is_empty()
+        assert instance.size() == 0
+        assert len(instance) == 0
+
+    def test_add_and_contains(self, schema):
+        instance = Instance(schema)
+        instance.add("R", ("a", "b"))
+        assert instance.contains("R", ("a", "b"))
+        assert ("R", ("a", "b")) in instance
+        assert not instance.contains("R", ("b", "a"))
+
+    def test_construct_with_facts(self, schema):
+        instance = Instance(schema, {"R": [("a", "b")], "S": [("c",)]})
+        assert instance.size() == 2
+
+    def test_add_wrong_arity_rejected(self, schema):
+        instance = Instance(schema)
+        with pytest.raises(SchemaError):
+            instance.add("R", ("a",))
+
+    def test_add_unknown_relation_rejected(self, schema):
+        instance = Instance(schema)
+        with pytest.raises(SchemaError):
+            instance.add("Missing", ("a",))
+
+    def test_duplicate_add_is_idempotent(self, schema):
+        instance = Instance(schema)
+        instance.add("R", ("a", "b"))
+        instance.add("R", ("a", "b"))
+        assert instance.size() == 1
+
+    def test_facts_iteration_sorted(self, schema):
+        instance = Instance(schema, {"R": [("b", "c"), ("a", "b")]})
+        facts = list(instance.facts())
+        assert ("R", ("a", "b")) in facts
+        assert len(facts) == 2
+
+    def test_active_domain(self, schema):
+        instance = Instance(schema, {"R": [("a", "b")], "S": [("c",)]})
+        assert instance.active_domain() == frozenset({"a", "b", "c"})
+
+
+class TestInstanceAlgebra:
+    def test_copy_is_independent(self, schema):
+        instance = Instance(schema, {"R": [("a", "b")]})
+        clone = instance.copy()
+        clone.add("R", ("x", "y"))
+        assert instance.size() == 1
+        assert clone.size() == 2
+
+    def test_union(self, schema):
+        left = Instance(schema, {"R": [("a", "b")]})
+        right = Instance(schema, {"R": [("c", "d")], "S": [("e",)]})
+        union = left.union(right)
+        assert union.size() == 3
+        assert left.size() == 1
+
+    def test_union_facts(self, schema):
+        instance = Instance(schema)
+        extended = instance.union_facts([("R", ("a", "b")), ("S", ("c",))])
+        assert extended.size() == 2
+        assert instance.size() == 0
+
+    def test_subinstance(self, schema):
+        small = Instance(schema, {"R": [("a", "b")]})
+        big = Instance(schema, {"R": [("a", "b"), ("c", "d")]})
+        assert small.is_subinstance_of(big)
+        assert not big.is_subinstance_of(small)
+
+    def test_intersect(self, schema):
+        left = Instance(schema, {"R": [("a", "b"), ("c", "d")]})
+        right = Instance(schema, {"R": [("a", "b")]})
+        assert left.intersect(right).size() == 1
+
+    def test_restrict_to_values(self, schema):
+        instance = Instance(schema, {"R": [("a", "b"), ("c", "d")], "S": [("a",)]})
+        restricted = instance.restrict_to_values({"a", "b"})
+        assert restricted.contains("R", ("a", "b"))
+        assert not restricted.contains("R", ("c", "d"))
+        assert restricted.contains("S", ("a",))
+
+
+class TestFreezing:
+    def test_freeze_round_trip(self, schema):
+        instance = Instance(schema, {"R": [("a", "b")], "S": [("c",)]})
+        frozen = instance.freeze()
+        rebuilt = Instance.from_frozen(schema, frozen)
+        assert rebuilt == instance
+
+    def test_equality_and_hash(self, schema):
+        one = Instance(schema, {"R": [("a", "b")]})
+        two = Instance(schema, {"R": [("a", "b")]})
+        assert one == two
+        assert hash(one) == hash(two)
+        two.add("S", ("z",))
+        assert one != two
+
+    def test_str_contains_facts(self, schema):
+        instance = Instance(schema, {"R": [("a", "b")]})
+        assert "R" in str(instance)

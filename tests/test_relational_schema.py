@@ -1,0 +1,92 @@
+"""Tests for repro.relational.schema."""
+
+import pytest
+
+from repro.relational.schema import Relation, Schema, SchemaError, make_schema
+from repro.relational.types import INT, STRING
+
+
+class TestRelation:
+    def test_default_types_are_any(self):
+        relation = Relation("R", 3)
+        assert len(relation.types) == 3
+        assert relation.validate_tuple(("a", 1, None)) == ("a", 1, None)
+
+    def test_typed_relation_validates(self):
+        relation = Relation("Person", 2, (STRING, INT))
+        assert relation.validate_tuple(("alice", 30)) == ("alice", 30)
+
+    def test_typed_relation_rejects_wrong_type(self):
+        relation = Relation("Person", 2, (STRING, INT))
+        with pytest.raises(SchemaError):
+            relation.validate_tuple(("alice", "thirty"))
+
+    def test_wrong_arity_tuple_rejected(self):
+        relation = Relation("R", 2)
+        with pytest.raises(SchemaError):
+            relation.validate_tuple(("only-one",))
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", -1)
+
+    def test_type_count_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", 2, (INT,))
+
+    def test_positions(self):
+        assert list(Relation("R", 3).positions) == [0, 1, 2]
+
+    def test_zero_arity_relation(self):
+        relation = Relation("Flag", 0)
+        assert relation.validate_tuple(()) == ()
+
+    def test_str(self):
+        assert str(Relation("R", 2)) == "R/2"
+
+
+class TestSchema:
+    def test_make_schema(self):
+        schema = make_schema({"R": 2, "S": 3})
+        assert schema.names() == ("R", "S")
+        assert schema.arity("S") == 3
+
+    def test_duplicate_names_rejected(self):
+        schema = Schema([Relation("R", 2)])
+        with pytest.raises(SchemaError):
+            schema.add(Relation("R", 3))
+
+    def test_unknown_relation_lookup(self):
+        schema = make_schema({"R": 2})
+        with pytest.raises(SchemaError):
+            schema.relation("Missing")
+
+    def test_contains_and_len(self):
+        schema = make_schema({"R": 2, "S": 1})
+        assert "R" in schema
+        assert "T" not in schema
+        assert len(schema) == 2
+
+    def test_restrict(self):
+        schema = make_schema({"R": 2, "S": 1, "T": 3})
+        restricted = schema.restrict(["R", "T"])
+        assert restricted.names() == ("R", "T")
+
+    def test_extend_creates_new_schema(self):
+        schema = make_schema({"R": 2})
+        extended = schema.extend([Relation("S", 1)])
+        assert "S" in extended
+        assert "S" not in schema
+
+    def test_max_arity(self):
+        assert make_schema({"R": 2, "S": 5}).max_arity() == 5
+        assert Schema().max_arity() == 0
+
+    def test_add_relation_helper(self):
+        schema = Schema()
+        schema.add_relation("R", 2, (STRING, INT))
+        assert schema.relation("R").types == (STRING, INT)
+
+    def test_equality(self):
+        assert make_schema({"R": 2}) == make_schema({"R": 2})
+        assert make_schema({"R": 2}) != make_schema({"R": 3})

@@ -1,0 +1,200 @@
+"""Tests for the scaling workload families (:mod:`repro.workloads.scaling`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.answerability import (
+    accessible_fraction,
+    accessible_part,
+    is_answerable_exactly,
+    maximal_answers,
+    true_answers,
+)
+from repro.access.path import is_grounded
+from repro.queries.evaluation import answers
+from repro.workloads.scaling import (
+    ScalingWorkload,
+    chain_access_schema,
+    chain_hidden_instance,
+    chain_query,
+    chain_suite,
+    chain_workload,
+    star_suite,
+    star_workload,
+    wide_directory_suite,
+    wide_directory_workload,
+)
+
+
+# ----------------------------------------------------------------------
+# Chain workloads
+# ----------------------------------------------------------------------
+class TestChainWorkloads:
+    def test_schema_shape(self):
+        schema = chain_access_schema(5)
+        assert len(schema.schema) == 5
+        assert len(schema) == 5
+        assert schema.method("Scan0").is_input_free()
+        assert schema.method("Lookup3").input_positions == (0,)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            chain_access_schema(0)
+
+    def test_hidden_instance_has_complete_and_broken_chains(self):
+        instance = chain_hidden_instance(4, chains=2, broken_chains=1)
+        # 2 complete chains × 4 relations + 1 broken chain × 3 relations
+        assert instance.size() == 2 * 4 + 3
+
+    def test_chain_query_answers_on_hidden_instance(self):
+        length = 4
+        workload = chain_workload(length, chains=2, broken_chains=1)
+        full = answers(workload.query, workload.hidden_instance)
+        # Each complete chain contributes one answer; broken chains never
+        # produce a full chain join (their first link is missing).
+        assert len(full) == 2
+
+    def test_accessible_part_excludes_broken_chains(self):
+        workload = chain_workload(4, chains=2, broken_chains=2)
+        part = accessible_part(workload.access_schema, workload.hidden_instance)
+        for relation_index in range(1, 4):
+            for tup in part.tuples(f"R{relation_index}"):
+                assert tup[0].startswith("c"), "broken-chain tuples must stay hidden"
+
+    def test_chain_query_is_answerable_exactly(self):
+        # The chain join only needs the complete chains, which are reachable
+        # by following the cascade, so the maximal answers are the true answers.
+        workload = chain_workload(5, chains=3, broken_chains=2)
+        assert is_answerable_exactly(
+            workload.access_schema, workload.query, workload.hidden_instance
+        )
+
+    def test_accessible_fraction_decreases_with_broken_chains(self):
+        mostly_reachable = chain_workload(4, chains=4, broken_chains=1)
+        mostly_hidden = chain_workload(4, chains=1, broken_chains=4)
+        assert accessible_fraction(
+            mostly_reachable.access_schema, mostly_reachable.hidden_instance
+        ) > accessible_fraction(
+            mostly_hidden.access_schema, mostly_hidden.hidden_instance
+        )
+
+    @given(length=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=10, deadline=None)
+    def test_chain_query_arity_and_atoms(self, length):
+        query = chain_query(length)
+        assert len(query.atoms) == length
+        assert len(query.head) == 2
+
+    def test_describe_mentions_parameters(self):
+        workload = chain_workload(3)
+        text = workload.describe()
+        assert "chain[length=3" in text
+        assert "|relations|=3" in text
+
+
+# ----------------------------------------------------------------------
+# Star workloads
+# ----------------------------------------------------------------------
+class TestStarWorkloads:
+    def test_schema_shape(self):
+        workload = star_workload(4, hubs=2)
+        assert len(workload.access_schema.schema) == 5  # hub + 4 satellites
+        assert workload.access_schema.schema.arity("Hub") == 5
+
+    def test_star_query_answers(self):
+        workload = star_workload(3, hubs=2)
+        full = answers(workload.query, workload.hidden_instance)
+        assert len(full) == 2  # one row per hub tuple
+
+    def test_star_is_answerable_exactly(self):
+        workload = star_workload(3, hubs=2)
+        assert is_answerable_exactly(
+            workload.access_schema, workload.query, workload.hidden_instance
+        )
+
+    def test_invalid_satellites(self):
+        with pytest.raises(ValueError):
+            star_workload(0)
+
+    @given(satellites=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_everything_is_accessible(self, satellites):
+        workload = star_workload(satellites, hubs=2)
+        fraction = accessible_fraction(
+            workload.access_schema, workload.hidden_instance
+        )
+        assert fraction == 1.0
+
+
+# ----------------------------------------------------------------------
+# Wide-directory workloads
+# ----------------------------------------------------------------------
+class TestWideDirectoryWorkloads:
+    def test_schema_scales_with_pairs(self):
+        workload = wide_directory_workload(3)
+        assert len(workload.access_schema.schema) == 6
+        assert len(workload.access_schema) == 6
+
+    def test_query_targets_single_pair(self):
+        workload = wide_directory_workload(2)
+        assert workload.query.relations() == {"Mobile0", "Address0"}
+
+    def test_maximal_answers_require_initial_name(self):
+        workload = wide_directory_workload(1, people=3)
+        with_seed = maximal_answers(
+            workload.access_schema,
+            workload.query,
+            workload.hidden_instance,
+            workload.initial_values,
+        )
+        without_seed = maximal_answers(
+            workload.access_schema, workload.query, workload.hidden_instance, ()
+        )
+        assert without_seed == frozenset()
+        assert with_seed  # the seeded name unlocks at least its own join row
+        assert with_seed <= true_answers(workload.query, workload.hidden_instance)
+
+    def test_invalid_pair_index(self):
+        from repro.workloads.scaling import wide_directory_query
+
+        with pytest.raises(ValueError):
+            wide_directory_query(2, 5)
+
+
+# ----------------------------------------------------------------------
+# Suites
+# ----------------------------------------------------------------------
+class TestSuites:
+    def test_suites_are_monotone_in_size(self):
+        for suite in (chain_suite(), star_suite(), wide_directory_suite()):
+            sizes = [len(w.access_schema.schema) for w in suite]
+            assert sizes == sorted(sizes)
+            assert all(isinstance(w, ScalingWorkload) for w in suite)
+
+    def test_suites_are_deterministic(self):
+        first = chain_suite((3, 5))
+        second = chain_suite((3, 5))
+        for a, b in zip(first, second):
+            assert a.name == b.name
+            assert a.hidden_instance == b.hidden_instance
+
+    def test_generated_paths_can_be_grounded(self):
+        from repro.workloads.generators import WorkloadGenerator
+
+        workload = chain_workload(3)
+        generator = WorkloadGenerator(seed=2)
+        path = generator.access_path(
+            workload.access_schema,
+            workload.hidden_instance,
+            length=3,
+            grounded=True,
+            initial_values=("c0_0",),
+        )
+        initial = workload.access_schema.empty_instance()
+        initial.add("R0", ("c0_0", "c0_1"))
+        # Not every random path is grounded, but the helper must at least
+        # produce well-formed paths over the scaling schema.
+        assert len(path) == 3

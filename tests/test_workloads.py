@@ -1,0 +1,153 @@
+"""Tests for the workload generators and scenarios."""
+
+import pytest
+
+from repro.access.path import is_grounded, satisfies_sanity_conditions
+from repro.queries.evaluation import evaluate_cq
+from repro.workloads.directory import (
+    directory_access_schema,
+    directory_hidden_instance,
+    directory_schema,
+    directory_vocabulary,
+    jones_address_query,
+    join_query,
+    resident_names_query,
+    smith_phone_query,
+)
+from repro.workloads.generators import WorkloadGenerator
+from repro.workloads.scenarios import Scenario, standard_scenarios
+
+
+class TestDirectoryWorkload:
+    def test_schema_shape(self):
+        schema = directory_schema()
+        assert schema.arity("Mobile") == 4
+        assert schema.arity("Address") == 4
+
+    def test_access_methods(self):
+        access_schema = directory_access_schema()
+        assert access_schema.method("AcM1").input_positions == (0,)
+        assert access_schema.method("AcM2").input_positions == (0, 1)
+
+    def test_exactness_flags(self):
+        access_schema = directory_access_schema(mobile_exact=True)
+        assert access_schema.method("AcM1").exact
+        assert not access_schema.method("AcM2").exact
+
+    def test_hidden_instance_sizes(self):
+        small = directory_hidden_instance("small")
+        medium = directory_hidden_instance("medium")
+        large = directory_hidden_instance("large")
+        assert small.size() < medium.size() < large.size()
+        with pytest.raises(ValueError):
+            directory_hidden_instance("gigantic")
+
+    def test_queries_evaluate_on_hidden_instance(self):
+        hidden = directory_hidden_instance("small")
+        assert evaluate_cq(smith_phone_query(), hidden) == frozenset({(5551212,)})
+        jones = evaluate_cq(jones_address_query(), hidden)
+        assert len(jones) == 3
+        assert evaluate_cq(resident_names_query(), hidden)
+        assert evaluate_cq(join_query(), hidden)
+
+    def test_vocabulary_helper(self):
+        vocabulary = directory_vocabulary()
+        assert "Mobile__pre" in vocabulary.schema
+
+
+class TestWorkloadGenerator:
+    def test_reproducibility(self):
+        one = WorkloadGenerator(seed=42)
+        two = WorkloadGenerator(seed=42)
+        schema_one = one.access_schema(num_relations=3)
+        schema_two = two.access_schema(num_relations=3)
+        assert schema_one.schema.names() == schema_two.schema.names()
+        assert [m.input_positions for m in schema_one] == [
+            m.input_positions for m in schema_two
+        ]
+
+    def test_different_seeds_differ(self):
+        one = WorkloadGenerator(seed=1).instance(
+            WorkloadGenerator(seed=1).schema(), tuples_per_relation=5
+        )
+        two = WorkloadGenerator(seed=2).instance(
+            WorkloadGenerator(seed=2).schema(), tuples_per_relation=5
+        )
+        assert one.freeze() != two.freeze()
+
+    def test_every_relation_gets_a_method(self):
+        generator = WorkloadGenerator(seed=5)
+        access_schema = generator.access_schema(num_relations=4)
+        covered = {m.relation for m in access_schema}
+        assert covered == set(access_schema.schema.names())
+
+    def test_generated_queries_are_well_formed(self):
+        generator = WorkloadGenerator(seed=7)
+        schema = generator.schema(num_relations=3)
+        for _ in range(10):
+            query = generator.conjunctive_query(schema, num_atoms=3)
+            assert query.atoms
+            for head_var in query.head:
+                assert head_var in query.body_variables()
+
+    def test_generated_ucq_uniform_arity(self):
+        generator = WorkloadGenerator(seed=9)
+        schema = generator.schema(num_relations=2)
+        union = generator.ucq(schema, num_disjuncts=3)
+        assert len(union) == 3
+        assert len({len(d.head) for d in union}) == 1
+
+    def test_generated_paths_are_valid(self):
+        generator = WorkloadGenerator(seed=11)
+        access_schema = generator.access_schema(num_relations=2)
+        hidden = generator.instance(access_schema.schema)
+        path = generator.access_path(access_schema, hidden, length=5)
+        assert len(path) == 5
+        assert satisfies_sanity_conditions(path, access_schema)
+
+    def test_grounded_paths_respect_known_values(self):
+        generator = WorkloadGenerator(seed=13)
+        access_schema = generator.access_schema(num_relations=2)
+        hidden = generator.instance(access_schema.schema)
+        from repro.relational.instance import Instance
+
+        initial = Instance(access_schema.schema)
+        # Grounded generation only uses known values for bindings; with the
+        # initial value "v0" the resulting path must be grounded relative to
+        # an instance whose active domain contains v0.
+        first = list(access_schema.schema)[0]
+        initial.add(first.name, tuple("v0" for _ in range(first.arity)))
+        path = generator.access_path(
+            access_schema, hidden, length=4, grounded=True, initial_values=["v0"]
+        )
+        assert is_grounded(path, initial)
+
+    def test_constraint_generators(self):
+        generator = WorkloadGenerator(seed=17)
+        schema = generator.schema(num_relations=3)
+        fd = generator.functional_dependency(schema)
+        assert fd.relation in schema
+        id_dep = generator.inclusion_dependency(schema)
+        assert id_dep.source in schema and id_dep.target in schema
+        disjoint = generator.disjointness_constraint(schema)
+        assert disjoint.relation_a in schema
+
+
+class TestScenarios:
+    def test_standard_scenarios_well_formed(self):
+        scenarios = standard_scenarios()
+        assert len(scenarios) >= 4
+        names = [s.name for s in scenarios]
+        assert len(names) == len(set(names))
+        for scenario in scenarios:
+            assert isinstance(scenario, Scenario)
+            assert scenario.probe_access.method.name in scenario.access_schema
+            assert scenario.hidden_instance.size() > 0
+            assert scenario.describe().startswith(scenario.name)
+
+    def test_scenario_probes_are_boolean(self):
+        for scenario in standard_scenarios():
+            method = scenario.probe_access.method
+            assert method.num_inputs == scenario.access_schema.schema.arity(
+                method.relation
+            )
