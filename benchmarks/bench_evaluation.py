@@ -1,0 +1,285 @@
+"""Microbenchmark for the indexed join engine and memoized emptiness search.
+
+Runs the hot paths the performance subsystem optimises and records
+median-of-N wall-clock timings, so future PRs have a perf trajectory to
+compare against:
+
+* ``cq_compiled`` / ``cq_naive`` — batch CQ evaluation with the compiled
+  slot-and-index engine vs the naive backtracking oracle, on seeded
+  workloads from :mod:`repro.workloads.generators`;
+* ``datalog_fixedpoint`` — the accessible-part Datalog program evaluated
+  bottom-up (rule bodies run through the compiled engine);
+* ``emptiness_memo`` / ``emptiness_nomemo`` — A-automaton emptiness on the
+  directory LTR scenario with the search memoisation on vs off;
+* ``pipeline_end_to_end`` — the full containment + relevance pipeline of
+  ``bench_pipeline_vs_bruteforce.py`` (automata pipeline and bounded
+  brute-force checker side by side) at the largest configured size.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_evaluation.py --json
+    PYTHONPATH=src python benchmarks/bench_evaluation.py --smoke --json
+
+``--json`` writes ``BENCH_evaluation.json`` (override with ``--json-path``).
+``--smoke`` shrinks sizes and repeats so the whole run fits in a tier-1
+style time budget; the pytest entry point below runs smoke mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.access.answerability import accessible_part_program
+from repro.automata.emptiness import automaton_emptiness
+from repro.automata.library import containment_automaton, ltr_automaton
+from repro.core import properties
+from repro.core.bounded_check import Bounds, bounded_satisfiability
+from repro.core.solver import AccLTLSolver
+from repro.datalog.evaluation import goal_facts
+from repro.queries.evaluation import (
+    evaluate_cq,
+    naive_satisfying_assignments,
+    satisfying_assignments,
+)
+from repro.queries.plan_cache import clear_plan_cache, plan_cache_info
+from repro.relational.instance import Instance
+from repro.workloads.directory import (
+    directory_access_schema,
+    join_query,
+    resident_names_query,
+)
+from repro.workloads.generators import WorkloadGenerator
+from repro.workloads.scenarios import standard_scenarios
+
+
+def _median_of(repeats: int, function: Callable[[], object]) -> Dict[str, object]:
+    """Median-of-*repeats* wall time for *function* (first result kept)."""
+    times: List[float] = []
+    result = None
+    for index in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        times.append(time.perf_counter() - start)
+    return {
+        "median_s": round(statistics.median(times), 6),
+        "min_s": round(min(times), 6),
+        "max_s": round(max(times), 6),
+        "repeats": repeats,
+        "checksum": repr(result)[:120],
+    }
+
+
+def _cq_workload(smoke: bool):
+    generator = WorkloadGenerator(seed=17)
+    num_pairs = 10 if smoke else 40
+    tuples = 30 if smoke else 120
+    pairs = []
+    for _ in range(num_pairs):
+        schema = generator.schema(num_relations=3, min_arity=2, max_arity=3)
+        instance = generator.instance(
+            schema, tuples_per_relation=tuples, domain_size=12
+        )
+        query = generator.conjunctive_query(
+            schema, num_atoms=3, num_variables=4, constant_probability=0.15
+        )
+        pairs.append((query, instance))
+    return pairs
+
+
+def bench_cq_evaluation(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
+    pairs = _cq_workload(smoke)
+
+    def run_compiled():
+        total = 0
+        for query, instance in pairs:
+            total += sum(1 for _ in satisfying_assignments(query, instance))
+        return total
+
+    def run_naive():
+        total = 0
+        for query, instance in pairs:
+            total += sum(1 for _ in naive_satisfying_assignments(query, instance))
+        return total
+
+    compiled = _median_of(repeats, run_compiled)
+    naive = _median_of(repeats, run_naive)
+    assert compiled["checksum"] == naive["checksum"], "engine/oracle disagreement"
+    return {"cq_compiled": compiled, "cq_naive": naive}
+
+
+def bench_datalog(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
+    generator = WorkloadGenerator(seed=23)
+    access_schema = generator.access_schema(
+        num_relations=3, methods_per_relation=2, max_inputs=1
+    )
+    hidden = generator.instance(
+        access_schema.schema,
+        tuples_per_relation=20 if smoke else 60,
+        domain_size=10,
+    )
+    query = generator.conjunctive_query(
+        access_schema.schema, num_atoms=2, num_variables=3
+    )
+    program = accessible_part_program(access_schema, query)
+    database = Instance(program.edb_schema)
+    for name in hidden.relation_names():
+        for tup in hidden.tuples_view(name):
+            database.add(name, tup)
+    database.add("Init", ("v0",))
+
+    def run():
+        return len(goal_facts(program, database))
+
+    return {"datalog_fixedpoint": _median_of(repeats, run)}
+
+
+def bench_emptiness(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
+    scenario = next(s for s in standard_scenarios() if s.name == "directory")
+    vocabulary = AccLTLSolver(scenario.access_schema).vocabulary
+    automaton = ltr_automaton(
+        vocabulary, scenario.probe_access, scenario.query_one
+    )
+    max_paths = 4000 if smoke else 30000
+
+    results: Dict[str, Dict[str, object]] = {}
+    for label, memoize in (("emptiness_memo", True), ("emptiness_nomemo", False)):
+        results[label] = _median_of(
+            repeats,
+            lambda memoize=memoize: automaton_emptiness(
+                automaton, vocabulary, max_paths=max_paths, memoize=memoize
+            ).empty,
+        )
+    assert results["emptiness_memo"]["checksum"] == results["emptiness_nomemo"][
+        "checksum"
+    ], "memoization changed the emptiness verdict"
+    return results
+
+
+def bench_pipeline(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
+    """The bench_pipeline_vs_bruteforce workload, timed end to end."""
+    schema = directory_access_schema()
+    vocabulary = AccLTLSolver(schema).vocabulary
+    pairs = [
+        (join_query(), resident_names_query()),
+        (resident_names_query(), join_query()),
+    ]
+    scenarios = [
+        s
+        for s in standard_scenarios()
+        if not (smoke and s.name.startswith("synthetic"))
+    ]
+    max_paths = 4000 if smoke else 30000
+
+    def run():
+        verdicts = []
+        for q1, q2 in pairs:
+            automaton = containment_automaton(vocabulary, q1, q2, grounded=False)
+            verdicts.append(
+                automaton_emptiness(automaton, vocabulary, max_paths=max_paths).empty
+            )
+            formula = properties.containment_counterexample_formula(
+                vocabulary, q1, q2
+            )
+            verdicts.append(
+                bounded_satisfiability(
+                    vocabulary,
+                    formula,
+                    Bounds(max_path_length=4, max_paths=max_paths),
+                ).satisfiable
+            )
+        for scenario in scenarios:
+            voc = AccLTLSolver(scenario.access_schema).vocabulary
+            automaton = ltr_automaton(
+                voc, scenario.probe_access, scenario.query_one
+            )
+            verdicts.append(
+                automaton_emptiness(automaton, voc, max_paths=max_paths).empty
+            )
+            formula = properties.ltr_formula(
+                voc, scenario.probe_access, scenario.query_one
+            )
+            verdicts.append(
+                bounded_satisfiability(
+                    voc, formula, Bounds(max_path_length=4, max_paths=max_paths)
+                ).satisfiable
+            )
+        return verdicts
+
+    return {"pipeline_end_to_end": _median_of(repeats, run)}
+
+
+def run_benchmarks(
+    smoke: bool = False, repeats: Optional[int] = None
+) -> Dict[str, object]:
+    if repeats is None:
+        repeats = 2 if smoke else 5
+    clear_plan_cache()
+    results: Dict[str, Dict[str, object]] = {}
+    results.update(bench_cq_evaluation(smoke, repeats))
+    results.update(bench_datalog(smoke, repeats))
+    results.update(bench_emptiness(smoke, repeats))
+    results.update(bench_pipeline(smoke, repeats))
+    compiled = results["cq_compiled"]["median_s"]
+    naive = results["cq_naive"]["median_s"]
+    return {
+        "benchmark": "bench_evaluation",
+        "mode": "smoke" if smoke else "full",
+        "repeats": repeats,
+        "speedup_cq_naive_over_compiled": round(naive / compiled, 2)
+        if compiled
+        else None,
+        "plan_cache": plan_cache_info(),
+        "results": results,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small sizes / few repeats"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="override repeat count"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="write the JSON report"
+    )
+    parser.add_argument(
+        "--json-path",
+        default="BENCH_evaluation.json",
+        help="where to write the JSON report (with --json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(smoke=args.smoke, repeats=args.repeats)
+    for name, row in report["results"].items():
+        print(
+            f"{name:24s} median {row['median_s']*1000:9.1f} ms "
+            f"(min {row['min_s']*1000:.1f}, max {row['max_s']*1000:.1f}, "
+            f"n={row['repeats']})"
+        )
+    print(
+        "cq naive/compiled speedup:",
+        report["speedup_cq_naive_over_compiled"],
+    )
+    if args.json:
+        with open(args.json_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print("wrote", args.json_path)
+    return report
+
+
+def test_bench_evaluation_smoke(tmp_path):
+    """Smoke entry point for the pytest benchmark harness (tier-1 budget)."""
+    target = tmp_path / "BENCH_evaluation.json"
+    report = main(["--smoke", "--json", "--json-path", str(target)])
+    assert target.exists()
+    assert report["results"]["pipeline_end_to_end"]["median_s"] > 0
+    assert report["speedup_cq_naive_over_compiled"] is not None
+
+
+if __name__ == "__main__":
+    main()

@@ -124,20 +124,42 @@ def accessible_part(
     known values are the initial values plus all values of accessible
     tuples.  Methods with no input positions make their whole relation
     accessible immediately.
+
+    The fixedpoint is computed with a value worklist over the hidden
+    instance's per-position hash indexes (:meth:`Instance.index`) instead
+    of re-scanning every relation until stabilisation: when a value ``v``
+    becomes known, only the tuples with ``v`` at some input position of
+    some method are candidates for becoming accessible.  A tuple is
+    admitted when the *last* of its input values is processed, so each
+    tuple is examined O(arity · methods) times rather than once per round.
     """
     known: Set[object] = set(initial_values)
     accessible = Instance(schema.schema)
-    changed = True
-    while changed:
-        changed = False
-        for method in schema:
-            for tup in hidden_instance.tuples(method.relation):
-                if accessible.contains(method.relation, tup):
-                    continue
-                if all(tup[i] in known for i in method.input_positions):
-                    accessible.add(method.relation, tup)
-                    known.update(tup)
-                    changed = True
+    input_methods = [method for method in schema if method.input_positions]
+
+    def admit(relation: str, tup: Tuple[object, ...]) -> None:
+        if not accessible.contains(relation, tup):
+            accessible.add_unchecked(relation, tup)
+            for value in tup:
+                if value not in known:
+                    known.add(value)
+                    queue.append(value)
+
+    queue: List[object] = list(known)
+    # Input-free methods reveal their whole relation immediately.
+    for method in schema:
+        if not method.input_positions:
+            for tup in hidden_instance.tuples_view(method.relation):
+                admit(method.relation, tup)
+    while queue:
+        value = queue.pop()
+        for method in input_methods:
+            for position in method.input_positions:
+                for tup in hidden_instance.index(method.relation, position, value):
+                    if accessible.contains(method.relation, tup):
+                        continue
+                    if all(tup[i] in known for i in method.input_positions):
+                        admit(method.relation, tup)
     return accessible
 
 

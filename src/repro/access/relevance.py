@@ -150,11 +150,12 @@ def _revealing_path(
     known: Set[object] = set(initial.active_domain()) | set(
         first_step.returned_values()
     ) | set(first_step.access.binding)
-    remaining = [
-        fact
-        for fact in facts_to_reveal
-        if fact not in conf(AccessPath(tuple(steps)), initial)
-    ]
+    # The configuration after the first step, used only to seed `remaining`
+    # (the greedy loop below tracks progress through `remaining`/`known`).
+    revealed = initial.copy()
+    for tup in first_step.response:
+        revealed.add(first_step.relation, tup)
+    remaining = [fact for fact in facts_to_reveal if fact not in revealed]
     progress = True
     while remaining and progress:
         progress = False

@@ -40,7 +40,7 @@ from repro.access.path import AccessPath, PathStep
 from repro.automata.aautomaton import AAutomaton
 from repro.automata.progressive import chain_restrictions
 from repro.core.bounded_check import candidate_accesses_for_search, fact_pool_from_sentences
-from repro.core.transition import transition_structure
+from repro.core.transition import TransitionStructure, transition_structure
 from repro.core.vocabulary import (
     AccessVocabulary,
     base_relation_of,
@@ -53,6 +53,7 @@ from repro.datalog.containment import ContainmentResult, datalog_contained_in_uc
 from repro.datalog.program import DatalogProgram, Rule
 from repro.queries.atoms import Atom
 from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import holds
 from repro.queries.terms import Constant, Variable
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
 from repro.relational.instance import Instance
@@ -119,6 +120,23 @@ def _candidate_responses(
     return responses
 
 
+def _candidate_structure(
+    vocabulary: AccessVocabulary,
+    config: Instance,
+    access: Access,
+    response: FrozenSet[Tuple[object, ...]],
+) -> TransitionStructure:
+    """The combined ``M(t)``/``M'(t)`` structure of a candidate step.
+
+    Built directly from the *current* configuration plus the response delta
+    (the ``response=`` fast path of
+    :func:`repro.core.transition.transition_structure`), so the search
+    never materialises the successor configuration just to evaluate guards
+    (the old code paid one full ``Instance.copy`` per candidate here).
+    """
+    return transition_structure(vocabulary, config, access, response=response)
+
+
 def _search_accepted_path(
     automaton: AAutomaton,
     vocabulary: AccessVocabulary,
@@ -129,8 +147,30 @@ def _search_accepted_path(
     fact_pool: Optional[Sequence[Fact]] = None,
     value_pool: Optional[Sequence[object]] = None,
     grounded_only: bool = False,
+    memoize: bool = True,
 ) -> Tuple[Optional[AccessPath], int, bool]:
-    """Guided search for an accepted path; returns (witness, explored, exhausted)."""
+    """Guided search for an accepted path; returns (witness, explored, exhausted).
+
+    The search is an iterative-deepening DFS over ``(automaton state set,
+    configuration)`` nodes.  Three memoisation layers (disabled together by
+    ``memoize=False``, which must not change any verdict — a property the
+    regression tests assert) keep the re-exploration inherent in iterative
+    deepening cheap:
+
+    * **expansion memo** — a visited table mapping ``(state set, frozen
+      configuration[, known values])`` to the largest remaining depth
+      budget with which the node was already expanded; a node is pruned
+      whenever it reappears with no more budget than before (the revisit
+      is dominated: every continuation available now was available then);
+    * **guard cache** — guard verdicts keyed by ``(guard identity,
+      configuration fingerprint, candidate step)``; iterative deepening
+      re-enters the same prefixes every round, and distinct state sets
+      share transitions, so most guard evaluations are repeats;
+    * **delta log** — the configuration is a single mutable
+      :class:`~repro.relational.instance.Instance`; a candidate's response
+      tuples are added before recursing and discarded afterwards, instead
+      of copying the configuration per candidate.
+    """
     schema = vocabulary.access_schema
     if fact_pool is None or value_pool is None:
         derived_facts, derived_values = _guard_pools(automaton, vocabulary)
@@ -157,56 +197,178 @@ def _search_accepted_path(
             candidates.append((access, response))
     candidates.sort(key=lambda pair: len(pair[1]), reverse=True)
 
+    transitions_by_source: Dict[str, List] = {}
+    for transition in automaton.transitions:
+        transitions_by_source.setdefault(transition.source, []).append(transition)
+    accepting = automaton.accepting
+
+    # Canonicalise guard sentences (different guards frequently embed equal
+    # sentences) and pre-split every guard into its positive/negated parts,
+    # so guard evaluation becomes a handful of cached sentence lookups.
+    canonical: Dict[object, object] = {}
+
+    def _canon(sentence):
+        try:
+            return canonical.setdefault(sentence, sentence)
+        except TypeError:  # pragma: no cover - unhashable constants
+            return sentence
+
+    guard_parts: Dict[int, Tuple[Tuple, Tuple]] = {}
+    for transition in automaton.transitions:
+        guard = transition.guard
+        if id(guard) not in guard_parts:
+            guard_parts[id(guard)] = (
+                tuple(_canon(s) for s in guard.positives),
+                tuple(_canon(s) for s in guard.negated),
+            )
+
+    # How much of the candidate step a sentence's verdict can depend on:
+    # 0 — only the pre configuration (same verdict for every candidate at a
+    #     node); 1 — also the post relations (verdict depends on the
+    #     response, not on which method/binding produced it); 2 — the
+    #     binding predicates too (fully candidate-dependent).  The coarser
+    #     the class, the wider the memo sharing across candidates.
+    sentence_kinds: Dict[int, int] = {}
+    for parts in guard_parts.values():
+        for sentence in parts[0] + parts[1]:
+            if id(sentence) in sentence_kinds:
+                continue
+            mentions_bind = False
+            mentions_post = False
+            for disjunct in sentence.query.disjuncts:
+                for atom in disjunct.atoms:
+                    if is_isbind(atom.relation) or is_isbind0(atom.relation):
+                        mentions_bind = True
+                    elif is_post(atom.relation):
+                        mentions_post = True
+            sentence_kinds[id(sentence)] = (
+                2 if mentions_bind else (1 if mentions_post else 0)
+            )
+
     explored = 0
+    aborted = False
+    # Sentence cache: (sentence identity, config fingerprint, candidate
+    # index) -> verdict.  Canonical sentence objects live as long as the
+    # search, so ``id`` is a stable key; the candidate index determines
+    # (access, response); the configuration fingerprint is the cached
+    # frozen snapshot.  Keying sentences instead of whole guards shares
+    # work between guards that embed the same sentence and across the
+    # re-exploration inherent in iterative deepening.
+    sentence_verdicts: Dict[Tuple, bool] = {}
+    # Expansion memo: node key -> largest remaining budget already expanded.
+    expanded: Dict[Tuple, int] = {}
+
+    config = initial.copy()
+    steps: List[PathStep] = []
     initial_known = frozenset(initial.active_domain())
+
+    def dfs(
+        states: FrozenSet[str], known: FrozenSet[object], depth_limit: int
+    ) -> Optional[AccessPath]:
+        nonlocal explored, aborted
+        depth = len(steps)
+        if depth >= depth_limit:
+            return None
+        remaining = depth_limit - depth
+        if memoize:
+            fingerprint = config.freeze()
+            node_key = (
+                (states, fingerprint, known)
+                if grounded_only
+                else (states, fingerprint)
+            )
+            if expanded.get(node_key, 0) >= remaining:
+                return None
+            expanded[node_key] = remaining
+        else:
+            fingerprint = None  # unused: local_verdicts keys by sentence only
+        for index, (access, response) in enumerate(candidates):
+            if grounded_only and not all(
+                value in known for value in access.binding
+            ):
+                continue
+            explored += 1
+            if explored > max_paths:
+                aborted = True
+                return None
+            structure = None
+            local_verdicts: Dict[int, bool] = {}
+
+            def sentence_holds(sentence) -> bool:
+                nonlocal structure
+                if memoize:
+                    kind = sentence_kinds[id(sentence)]
+                    if kind == 0 or (kind == 1 and not response):
+                        key = (id(sentence), fingerprint)
+                    elif kind == 1:
+                        key = (id(sentence), fingerprint, access.relation, response)
+                    else:
+                        key = (id(sentence), fingerprint, index)
+                    verdict = sentence_verdicts.get(key)
+                else:
+                    key = id(sentence)
+                    verdict = local_verdicts.get(key)
+                if verdict is None:
+                    if structure is None:
+                        structure = _candidate_structure(
+                            vocabulary, config, access, response
+                        )
+                    verdict = holds(sentence.query, structure.structure)
+                    if memoize:
+                        sentence_verdicts[key] = verdict
+                    else:
+                        local_verdicts[key] = verdict
+                return verdict
+
+            following: Set[str] = set()
+            for state in states:
+                for transition in transitions_by_source.get(state, ()):
+                    if transition.target in following:
+                        continue
+                    positives, negated = guard_parts[id(transition.guard)]
+                    if all(sentence_holds(s) for s in positives) and not any(
+                        sentence_holds(s) for s in negated
+                    ):
+                        following.add(transition.target)
+            if not following:
+                continue
+            step = PathStep(access, response)
+            if following & accepting:
+                return AccessPath(tuple(steps) + (step,))
+            following_frozen = frozenset(following)
+            if not response and following_frozen == states:
+                # An information-free step that does not move the
+                # automaton is a stutter: any accepting continuation from
+                # the child is also available from the current node.
+                continue
+            # Apply the delta, recurse, then undo exactly what was new.
+            added = [
+                tup
+                for tup in response
+                if config.add_unchecked(access.relation, tup)
+            ]
+            steps.append(step)
+            new_known = known | frozenset(access.binding) | frozenset(
+                value for tup in response for value in tup
+            )
+            witness = dfs(following_frozen, new_known, depth_limit)
+            steps.pop()
+            for tup in added:
+                config.discard(access.relation, tup)
+            if witness is not None or aborted:
+                return witness
+        return None
+
     # Iterative deepening: short witnesses are found before the search
     # commits to deep branches, and the final round (depth = max_length)
     # determines exhaustiveness.
+    start_states = frozenset({automaton.initial})
     for depth_limit in range(1, max_length + 1):
-        # Each stack entry: (automaton state set, steps, configuration, known values).
-        stack: List[
-            Tuple[FrozenSet[str], Tuple[PathStep, ...], Instance, FrozenSet[object]]
-        ] = [(frozenset({automaton.initial}), (), initial.copy(), initial_known)]
-        while stack:
-            states, steps, config, known = stack.pop()
-            if len(steps) >= depth_limit:
-                continue
-            children: List[
-                Tuple[FrozenSet[str], Tuple[PathStep, ...], Instance, FrozenSet[object]]
-            ] = []
-            for access, response in candidates:
-                if grounded_only and not all(
-                    value in known for value in access.binding
-                ):
-                    continue
-                explored += 1
-                if explored > max_paths:
-                    return None, explored, False
-                after = config.copy()
-                for tup in response:
-                    after.add(access.relation, tup)
-                structure = transition_structure(vocabulary, config, access, after)
-                following: Set[str] = set()
-                for state in states:
-                    for transition in automaton.transitions_from(state):
-                        if transition.guard.satisfied_by(structure):
-                            following.add(transition.target)
-                if not following:
-                    continue
-                new_steps = steps + (PathStep(access, response),)
-                if following & automaton.accepting:
-                    return AccessPath(new_steps), explored, False
-                if not response and frozenset(following) == states:
-                    # An information-free step that does not move the
-                    # automaton is a stutter: any accepting continuation from
-                    # the child is also available from the current node.
-                    continue
-                new_known = known | frozenset(access.binding) | frozenset(
-                    value for tup in response for value in tup
-                )
-                children.append((frozenset(following), new_steps, after, new_known))
-            # Reverse so the first (most promising) child is popped first.
-            stack.extend(reversed(children))
+        witness = dfs(start_states, initial_known, depth_limit)
+        if witness is not None:
+            return witness, explored, False
+        if aborted:
+            return None, explored, False
     return None, explored, True
 
 
@@ -222,6 +384,7 @@ def automaton_emptiness(
     fact_pool: Optional[Sequence[Fact]] = None,
     value_pool: Optional[Sequence[object]] = None,
     grounded_only: bool = False,
+    memoize: bool = True,
 ) -> EmptinessResult:
     """Decide (within bounds) whether ``L(A)`` is empty.
 
@@ -230,6 +393,11 @@ def automaton_emptiness(
     Datalog abstraction is contained in the negated-guard query
     (Lemma 4.10 direction "containment ⇒ empty"), then search each
     remaining chain for an accepted path.
+
+    ``memoize`` toggles the witness search's visited-node and guard-verdict
+    caches (see :func:`_search_accepted_path`); it exists so tests and the
+    ablation benchmark can demonstrate that memoisation changes only the
+    work performed, never the verdict or the validity of the witness.
     """
     if initial is None:
         initial = vocabulary.access_schema.empty_instance()
@@ -268,6 +436,7 @@ def automaton_emptiness(
             fact_pool=fact_pool,
             value_pool=value_pool,
             grounded_only=grounded_only,
+            memoize=memoize,
         )
         total_explored += explored
         if witness is not None:

@@ -31,8 +31,8 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 from repro.access.methods import Access, AccessSchema
 from repro.access.path import AccessPath, PathStep, is_grounded, satisfies_sanity_conditions
 from repro.core.formulas import AccFormula
-from repro.core.semantics import path_satisfies
-from repro.core.transition import path_structures
+from repro.core.semantics import AtomCache, structures_satisfy
+from repro.core.transition import TransitionStructure, transition_structure
 from repro.core.vocabulary import (
     AccessVocabulary,
     base_relation_of,
@@ -364,17 +364,36 @@ def bounded_satisfiability(
     explored = 0
     initial_known = set(initial.active_domain())
 
+    # The schema-prescribed sanity conditions are vacuous unless some method
+    # is declared exact/idempotent or groundedness is being enforced; in the
+    # common case skip the per-candidate path replay entirely.
+    need_sanity = enforce_schema_sanity and bool(
+        schema.exact_methods() or schema.idempotent_methods() or grounded_only
+    )
+    # Atomic-formula verdicts are cached by (atom, structure content) across
+    # the whole search: candidate extensions share their prefix structures,
+    # so without the cache every prefix atom is re-evaluated once per
+    # extension.
+    atom_cache: AtomCache = {}
+
     # Iterative-deepening depth-first search over paths: short witnesses are
     # found before the search commits to deep branches, and the final round
     # (depth = max_path_length) determines exhaustiveness.  Search states
-    # carry the current path, the current configuration and the set of
-    # known values (for groundedness).
+    # carry the current path, the current configuration, the set of known
+    # values (for groundedness) and the incrementally built transition
+    # structures of the path (so candidate extensions reuse the prefix's
+    # structures instead of replaying the whole path).
     for depth_limit in range(1, bounds.max_path_length + 1):
-        stack: List[Tuple[Tuple[PathStep, ...], Instance, Set[object]]] = [
-            ((), initial.copy(), set(initial_known))
-        ]
+        stack: List[
+            Tuple[
+                Tuple[PathStep, ...],
+                Instance,
+                Set[object],
+                Tuple[TransitionStructure, ...],
+            ]
+        ] = [((), initial.copy(), set(initial_known), ())]
         while stack:
-            steps, config, known = stack.pop()
+            steps, config, known, structures = stack.pop()
             if explored >= bounds.max_paths:
                 return BoundedCheckResult(
                     satisfiable=False,
@@ -384,7 +403,14 @@ def bounded_satisfiability(
                 )
             if len(steps) >= depth_limit:
                 continue
-            children: List[Tuple[Tuple[PathStep, ...], Instance, Set[object]]] = []
+            children: List[
+                Tuple[
+                    Tuple[PathStep, ...],
+                    Instance,
+                    Set[object],
+                    Tuple[TransitionStructure, ...],
+                ]
+            ] = []
             for access, response in candidates:
                 if grounded_only and not all(
                     value in known for value in access.binding
@@ -403,25 +429,30 @@ def bounded_satisfiability(
                     # Repeating an identical information-free step cannot help.
                     continue
                 new_steps = steps + (step,)
-                path = AccessPath(new_steps)
-                if enforce_schema_sanity and not satisfies_sanity_conditions(
-                    path, schema, initial=initial, require_grounded=grounded_only
+                if need_sanity and not satisfies_sanity_conditions(
+                    AccessPath(new_steps),
+                    schema,
+                    initial=initial,
+                    require_grounded=grounded_only,
                 ):
                     continue
-                if path_satisfies(vocabulary, path, formula, initial=initial):
-                    return BoundedCheckResult(
-                        satisfiable=True,
-                        witness=path,
-                        paths_explored=explored,
-                        exhausted=False,
-                    )
                 new_config = config.copy()
                 for tup in response:
                     new_config.add(access.relation, tup)
+                new_structures = structures + (
+                    transition_structure(vocabulary, config, access, new_config),
+                )
+                if structures_satisfy(new_structures, formula, atom_cache):
+                    return BoundedCheckResult(
+                        satisfiable=True,
+                        witness=AccessPath(new_steps),
+                        paths_explored=explored,
+                        exhausted=False,
+                    )
                 new_known = known | set(access.binding) | {
                     v for tup in response for v in tup
                 }
-                children.append((new_steps, new_config, new_known))
+                children.append((new_steps, new_config, new_known, new_structures))
             stack.extend(reversed(children))
     return BoundedCheckResult(
         satisfiable=False, witness=None, paths_explored=explored, exhausted=True

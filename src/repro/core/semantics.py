@@ -9,7 +9,7 @@ temporal operators follow the usual finite-path LTL rules.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.access.path import AccessPath
 from repro.core.formulas import (
@@ -30,8 +30,35 @@ from repro.queries.evaluation import holds
 from repro.relational.instance import Instance
 
 
+#: An optional memo for atomic-formula verdicts, shared across calls by
+#: callers that evaluate many paths over overlapping structure sequences
+#: (the bounded model checker re-checks every path prefix once per
+#: candidate extension).  Keys pair the atom's identity with the *content*
+#: fingerprint of the structure it is evaluated on; each entry stores the
+#: atom alongside its verdict, pinning the atom alive so the identity key
+#: cannot be recycled while the cache holds it.
+AtomCache = Dict[Tuple[int, object], Tuple["AccAtom", bool]]
+
+
+def _atom_holds(
+    formula: AccAtom, structure, cache: Optional[AtomCache]
+) -> bool:
+    if cache is None:
+        return holds(formula.sentence.query, structure.structure)
+    key = (id(formula), structure.structure.freeze())
+    entry = cache.get(key)
+    if entry is None:
+        verdict = holds(formula.sentence.query, structure.structure)
+        cache[key] = (formula, verdict)
+        return verdict
+    return entry[1]
+
+
 def satisfies_at(
-    structures: Sequence[TransitionStructure], position: int, formula: AccFormula
+    structures: Sequence[TransitionStructure],
+    position: int,
+    formula: AccFormula,
+    cache: Optional[AtomCache] = None,
 ) -> bool:
     """Whether ``(p, position) ⊨ formula`` given the path's transition structures."""
     if position < 0 or position >= len(structures):
@@ -39,38 +66,38 @@ def satisfies_at(
     if isinstance(formula, AccTrue):
         return True
     if isinstance(formula, AccAtom):
-        return holds(formula.sentence.query, structures[position].structure)
+        return _atom_holds(formula, structures[position], cache)
     if isinstance(formula, AccNot):
-        return not satisfies_at(structures, position, formula.operand)
+        return not satisfies_at(structures, position, formula.operand, cache)
     if isinstance(formula, AccAnd):
-        return satisfies_at(structures, position, formula.left) and satisfies_at(
-            structures, position, formula.right
+        return satisfies_at(structures, position, formula.left, cache) and satisfies_at(
+            structures, position, formula.right, cache
         )
     if isinstance(formula, AccOr):
-        return satisfies_at(structures, position, formula.left) or satisfies_at(
-            structures, position, formula.right
+        return satisfies_at(structures, position, formula.left, cache) or satisfies_at(
+            structures, position, formula.right, cache
         )
     if isinstance(formula, AccNext):
         return position + 1 < len(structures) and satisfies_at(
-            structures, position + 1, formula.operand
+            structures, position + 1, formula.operand, cache
         )
     if isinstance(formula, AccUntil):
         for j in range(position, len(structures)):
-            if satisfies_at(structures, j, formula.right):
+            if satisfies_at(structures, j, formula.right, cache):
                 if all(
-                    satisfies_at(structures, k, formula.left)
+                    satisfies_at(structures, k, formula.left, cache)
                     for k in range(position, j)
                 ):
                     return True
         return False
     if isinstance(formula, AccEventually):
         return any(
-            satisfies_at(structures, j, formula.operand)
+            satisfies_at(structures, j, formula.operand, cache)
             for j in range(position, len(structures))
         )
     if isinstance(formula, AccGlobally):
         return all(
-            satisfies_at(structures, j, formula.operand)
+            satisfies_at(structures, j, formula.operand, cache)
             for j in range(position, len(structures))
         )
     raise TypeError(f"unknown AccLTL node {formula!r}")
@@ -95,9 +122,11 @@ def path_satisfies(
 
 
 def structures_satisfy(
-    structures: Sequence[TransitionStructure], formula: AccFormula
+    structures: Sequence[TransitionStructure],
+    formula: AccFormula,
+    cache: Optional[AtomCache] = None,
 ) -> bool:
     """Whether a non-empty pre-computed structure sequence satisfies the formula."""
     if not structures:
         return False
-    return satisfies_at(structures, 0, formula)
+    return satisfies_at(structures, 0, formula, cache)

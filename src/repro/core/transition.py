@@ -18,7 +18,7 @@ of either vocabulary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.access.methods import Access, AccessSchema
 from repro.access.path import AccessPath, configurations
@@ -50,15 +50,43 @@ def transition_structure(
     vocabulary: AccessVocabulary,
     before: Instance,
     access: Access,
-    after: Instance,
+    after: Optional[Instance] = None,
+    response: Optional[Iterable[Tuple[object, ...]]] = None,
 ) -> TransitionStructure:
-    """Build the combined structure ``M(t)`` / ``M'(t)`` of a transition."""
+    """Build the combined structure ``M(t)`` / ``M'(t)`` of a transition.
+
+    The successor configuration can be given either materialised
+    (*after*) or as the *response* delta of the access, in which case the
+    post interpretation is ``before`` plus the response tuples — the
+    no-copy fast path used by the emptiness search, which evaluates many
+    candidate steps against one configuration without ever materialising
+    the successors.
+
+    The pre/post tuples are copied with the unchecked bulk path: they were
+    validated when they entered *before*/*after*, and the ``R_pre`` /
+    ``R_post`` relations mirror the base relations' signatures, so
+    re-validating every tuple here (this function runs once per candidate
+    step of every witness search) would only re-prove what is known.
+    """
+    if (after is None) == (response is None):
+        raise ValueError("pass exactly one of `after` or `response`")
     structure = Instance(vocabulary.schema)
     for relation in vocabulary.access_schema.schema:
-        for tup in before.tuples(relation.name):
-            structure.add(pre_name(relation.name), tup)
-        for tup in after.tuples(relation.name):
-            structure.add(post_name(relation.name), tup)
+        name = relation.name
+        pre = pre_name(name)
+        post = post_name(name)
+        if after is not None:
+            for tup in before.tuples_view(name):
+                structure.add_unchecked(pre, tup)
+            for tup in after.tuples_view(name):
+                structure.add_unchecked(post, tup)
+        else:
+            for tup in before.tuples_view(name):
+                structure.add_unchecked(pre, tup)
+                structure.add_unchecked(post, tup)
+            if access.relation == name:
+                for tup in response:
+                    structure.add_unchecked(post, tup)
     structure.add(isbind_name(access.method.name), access.binding)
     structure.add(isbind0_name(access.method.name), ())
     return TransitionStructure(vocabulary=vocabulary, access=access, structure=structure)

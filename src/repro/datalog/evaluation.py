@@ -5,10 +5,17 @@ default: at each round only rule instantiations using at least one fact
 derived in the previous round are considered.  Both produce the least
 fixedpoint ``P(D)`` of the program on a database ``D`` (the notation of the
 paper, Section 4.1).
+
+Rule bodies are evaluated through the compiled join engine
+(:mod:`repro.queries.plan_cache` via
+:func:`repro.queries.evaluation.satisfying_assignments`); the body query of
+each rule is built once and cached, so a fixedpoint that re-fires the same
+rules round after round compiles each rule exactly once.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.datalog.program import DatalogProgram, Rule
@@ -18,6 +25,30 @@ from repro.queries.terms import Constant, Variable
 from repro.relational.instance import Instance
 
 Fact = Tuple[str, Tuple[object, ...]]
+
+# Per-rule body queries, keyed by rule identity with LRU eviction (the
+# same idiom as the plan cache).  Rules are frozen dataclasses owned by
+# their program; keeping the rule in the value pins it so the identity key
+# cannot be recycled while the entry lives.
+_BODY_QUERY_CACHE: "OrderedDict[int, Tuple[Rule, ConjunctiveQuery]]" = OrderedDict()
+_BODY_QUERY_CACHE_MAX = 4096
+
+
+def _body_query(rule: Rule) -> ConjunctiveQuery:
+    cached = _BODY_QUERY_CACHE.get(id(rule))
+    if cached is not None and cached[0] is rule:
+        _BODY_QUERY_CACHE.move_to_end(id(rule))
+        return cached[1]
+    query = ConjunctiveQuery(
+        atoms=rule.body,
+        head=(),
+        equalities=rule.equalities,
+        inequalities=rule.inequalities,
+    )
+    _BODY_QUERY_CACHE[id(rule)] = (rule, query)
+    if len(_BODY_QUERY_CACHE) > _BODY_QUERY_CACHE_MAX:
+        _BODY_QUERY_CACHE.popitem(last=False)
+    return query
 
 
 def _rule_derivations(
@@ -32,12 +63,7 @@ def _rule_derivations(
     derivation is missed (supersets are re-derived but deduplicated).
     """
     derived: Set[Fact] = set()
-    body_query = ConjunctiveQuery(
-        atoms=rule.body,
-        head=(),
-        equalities=rule.equalities,
-        inequalities=rule.inequalities,
-    )
+    body_query = _body_query(rule)
     for assignment in satisfying_assignments(body_query, instance):
         if delta is not None:
             uses_delta = False
@@ -71,10 +97,29 @@ def evaluate_program(
     """
     combined = program.combined_schema()
     state = Instance(combined)
-    for name, tup in database.facts():
-        state.add(name, tup)
-
-    delta: Set[Fact] = set(state.facts())
+    delta: Set[Fact] = set()
+    for name in database.relation_names():
+        tuples = database.tuples_view(name)
+        if not tuples:
+            # Empty relations contribute nothing; in particular a database
+            # over a wider vocabulary than the program's EDB is fine as
+            # long as the extra relations hold no facts (the convention
+            # used by query evaluation throughout the package).
+            continue
+        # Bulk-load without re-validating only when the database's relation
+        # signature matches the program's EDB declaration; otherwise fall
+        # back to the validating path so a mismatched database fails with a
+        # SchemaError at this boundary, not deep inside the join engine.
+        compatible = (
+            name in combined
+            and combined.relation(name) == database.schema.relation(name)
+        )
+        for tup in tuples:
+            if compatible:
+                state.add_unchecked(name, tup)
+            else:
+                tup = state.add(name, tup)
+            delta.add((name, tup))
     rounds = 0
     while True:
         rounds += 1

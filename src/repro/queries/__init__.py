@@ -11,7 +11,21 @@ from repro.queries.terms import Variable, Constant, Term, var, const
 from repro.queries.atoms import Atom, Equality, Inequality
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries, PositiveQuery
-from repro.queries.evaluation import evaluate_cq, evaluate_ucq, holds, answers
+from repro.queries.evaluation import (
+    evaluate_cq,
+    evaluate_ucq,
+    holds,
+    answers,
+    naive_satisfying_assignments,
+    satisfying_assignments,
+)
+from repro.queries.plan_cache import (
+    QueryPlan,
+    clear_plan_cache,
+    compile_plan,
+    get_plan,
+    plan_cache_info,
+)
 from repro.queries.homomorphism import (
     find_homomorphism,
     find_all_homomorphisms,
@@ -36,6 +50,13 @@ __all__ = [
     "evaluate_ucq",
     "holds",
     "answers",
+    "satisfying_assignments",
+    "naive_satisfying_assignments",
+    "QueryPlan",
+    "compile_plan",
+    "get_plan",
+    "clear_plan_cache",
+    "plan_cache_info",
     "find_homomorphism",
     "find_all_homomorphisms",
     "canonical_instance",

@@ -1,24 +1,48 @@
 """Evaluation of conjunctive queries and UCQs over instances.
 
-The evaluator performs a straightforward backtracking join over the atoms
-of a CQ, choosing at each step the atom with the fewest unbound variables
-(a greedy "smallest-relation-first" heuristic).  This is adequate for the
-instance sizes produced by the bounded model checkers and workload
-generators; it is also the evaluation oracle against which the Datalog
-engine and containment procedures are property-tested.
+Two evaluators live here, by design:
+
+* :func:`satisfying_assignments` — the production path.  It compiles each
+  CQ once into an indexed join plan (:mod:`repro.queries.plan_cache`):
+  atoms ordered per query, a single mutable binding array instead of
+  per-extension dictionary copies, and per-atom index probes against the
+  instance's incremental hash indexes.  Every decision procedure in the
+  repository (Datalog fixedpoints, containment, guard evaluation in the
+  A-automaton emptiness search, answerability, relevance) evaluates
+  queries through this path.
+
+* :func:`naive_satisfying_assignments` — the original straightforward
+  backtracking join, retained verbatim as the **oracle**: the property
+  tests (``tests/test_engine_oracle.py``) assert that the compiled engine
+  enumerates exactly the oracle's assignments on randomized queries and
+  instances.  Keep this implementation boring; its value is that it is
+  obviously correct.
+
+Testing convention: any future rewrite of the production evaluator must
+keep the oracle untouched and extend the agreement property test instead
+of adapting it.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.queries.atoms import Atom
 from repro.queries.cq import ConjunctiveQuery
+from repro.queries.plan_cache import atom_order, execute_plan, get_plan
 from repro.queries.terms import Constant, Variable
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
 from repro.relational.instance import Instance
 
 Assignment = Dict[Variable, object]
+
+
+class _Unbound:
+    """Sentinel distinct from any database value (including ``None``)."""
+
+
+_UNBOUND = _Unbound()
 
 
 def _match_atom(
@@ -29,6 +53,8 @@ def _match_atom(
     A relation mentioned by the query but absent from the instance's schema
     is treated as empty (queries may be written over a larger vocabulary
     than a particular instance, e.g. canonical databases of expansions).
+
+    Part of the naive oracle; the production path never calls this.
     """
     if atom.relation not in instance.schema:
         return
@@ -51,33 +77,35 @@ def _match_atom(
             yield extension
 
 
-class _Unbound:
-    """Sentinel distinct from any database value (including ``None``)."""
-
-
-_UNBOUND = _Unbound()
-
-
 def _order_atoms(atoms: Tuple[Atom, ...]) -> List[Atom]:
-    """Order atoms so that connected atoms are evaluated consecutively."""
-    remaining = list(atoms)
-    ordered: List[Atom] = []
-    bound: Set[Variable] = set()
-    while remaining:
-        remaining.sort(
-            key=lambda a: (len(a.variables() - bound), -len(a.variables() & bound))
-        )
-        chosen = remaining.pop(0)
-        ordered.append(chosen)
-        bound |= chosen.variables()
-    return ordered
+    """Order atoms so that connected atoms are evaluated consecutively.
+
+    Delegates to the single shared heuristic
+    (:func:`repro.queries.plan_cache.atom_order`), so the oracle and the
+    compiled planner can never disagree on atom order.
+    """
+    return atom_order(atoms)
 
 
-def satisfying_assignments(
+@lru_cache(maxsize=512)
+def _ordered_atoms(atoms: Tuple[Atom, ...]) -> Tuple[Atom, ...]:
+    """Per-query cache of the atom ordering (computed once, not per call)."""
+    return tuple(atom_order(atoms))
+
+
+def naive_satisfying_assignments(
     query: ConjunctiveQuery, instance: Instance
 ) -> Iterator[Assignment]:
-    """Yield every assignment of the query's variables satisfying the body."""
-    ordered = _order_atoms(query.atoms)
+    """The oracle: naive backtracking join with per-extension dict copies.
+
+    Semantically identical to :func:`satisfying_assignments`; kept as the
+    reference implementation that the compiled engine is property-tested
+    against.
+    """
+    try:
+        ordered = _ordered_atoms(query.atoms)
+    except TypeError:  # unhashable constant inside an atom
+        ordered = tuple(_order_atoms(query.atoms))
 
     def backtrack(index: int, assignment: Assignment) -> Iterator[Assignment]:
         if index == len(ordered):
@@ -90,6 +118,23 @@ def satisfying_assignments(
             yield from backtrack(index + 1, extension)
 
     yield from backtrack(0, {})
+
+
+def satisfying_assignments(
+    query: ConjunctiveQuery, instance: Instance
+) -> Iterator[Assignment]:
+    """Yield every assignment of the query's variables satisfying the body.
+
+    Production path: executes the cached compiled plan of the query (see
+    :mod:`repro.queries.plan_cache`).  Falls back to the naive oracle for
+    the rare queries the slot compiler does not cover (comparisons over
+    variables that occur in no relational atom).
+    """
+    plan = get_plan(query, instance)
+    if plan.fallback:
+        yield from naive_satisfying_assignments(query, instance)
+        return
+    yield from execute_plan(plan, query, instance)
 
 
 def evaluate_cq(
@@ -121,7 +166,8 @@ def holds(query, instance: Instance) -> bool:
     """Whether a boolean CQ or UCQ holds in *instance*."""
     normalised = as_ucq(query)
     for disjunct in normalised.disjuncts:
-        if evaluate_cq(disjunct.boolean_version(), instance):
+        boolean = disjunct if disjunct.is_boolean else disjunct.boolean_version()
+        if evaluate_cq(boolean, instance):
             return True
     return False
 

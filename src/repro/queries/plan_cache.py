@@ -1,0 +1,400 @@
+"""Compiled join plans for conjunctive queries, with an LRU plan cache.
+
+This module is the "indexed join engine" half of the performance subsystem
+(the other half is the per-position hash indexing inside
+:class:`repro.relational.instance.Instance`).  A conjunctive query is
+compiled **once** into a :class:`QueryPlan`:
+
+* atoms are ordered greedily (fewest unbound variables first, ties broken
+  by the largest overlap with already-bound variables — the same heuristic
+  as the naive oracle, computed once per query instead of once per call);
+* every variable gets a *slot* in a single mutable binding array, so the
+  backtracking join never copies assignment dictionaries;
+* every atom position is compiled to a constant check, a bound-slot check
+  or a slot write, and the positions that are bound *before* the atom is
+  matched are recorded as index-probe candidates: at run time the executor
+  probes ``Instance.index(relation, position, value)`` for each and scans
+  the smallest bucket (most selective first) instead of the full relation;
+* equality/inequality atoms are scheduled at the earliest pipeline point
+  at which both sides are bound, pruning dead branches early.
+
+Plans are cached in a small LRU keyed by ``(query, schema relation
+names)`` (:func:`get_plan`), so the pattern "evaluate the same guard query
+against thousands of configurations" — the hot loop of every decision
+procedure in this repository — compiles exactly once.
+
+The compiled executor is *semantics-preserving* with respect to the naive
+backtracking oracle
+(:func:`repro.queries.evaluation.naive_satisfying_assignments`): both
+enumerate exactly the assignments of the query's body variables that
+satisfy all atoms and comparisons.  The agreement is enforced by
+randomized property tests (``tests/test_engine_oracle.py``).  Queries
+whose comparisons mention variables not occurring in any relational atom
+cannot be slot-compiled and fall back to the oracle
+(:attr:`QueryPlan.fallback`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.queries.atoms import Atom, Equality, Inequality
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Constant, Variable
+from repro.relational.instance import Instance
+
+Assignment = Dict[Variable, object]
+
+
+class _Unbound:
+    """Sentinel distinct from any database value (including ``None``)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "<unbound>"
+
+
+UNBOUND = _Unbound()
+
+# Per-position operation codes.
+_OP_CONST = 0  # tup[pos] must equal a constant value
+_OP_CHECK = 1  # tup[pos] must equal the value already in a slot
+_OP_BIND = 2  # write tup[pos] into a slot (first occurrence)
+
+
+@dataclass(frozen=True)
+class CompiledComparison:
+    """An equality or inequality compiled to slot/constant operands."""
+
+    is_equality: bool
+    left_is_slot: bool
+    left: object  # slot index or constant value
+    right_is_slot: bool
+    right: object
+
+    def holds(self, slots: List[object]) -> bool:
+        left = slots[self.left] if self.left_is_slot else self.left
+        right = slots[self.right] if self.right_is_slot else self.right
+        return (left == right) if self.is_equality else (left != right)
+
+
+@dataclass(frozen=True)
+class CompiledAtom:
+    """One atom of the join pipeline.
+
+    ``ops`` drives the per-tuple match loop; ``probes`` lists the positions
+    whose value is known before this atom runs (index-probe candidates);
+    ``binds`` are the slots written by this atom (reset on backtrack).
+    """
+
+    relation: str
+    ops: Tuple[Tuple[int, int, object], ...]  # (opcode, position, payload)
+    probes: Tuple[Tuple[int, bool, object], ...]  # (position, is_const, payload)
+    binds: Tuple[int, ...]
+    checks: Tuple[CompiledComparison, ...]  # comparisons decidable after this atom
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A conjunctive query compiled for the indexed executor."""
+
+    atoms: Tuple[CompiledAtom, ...]
+    num_slots: int
+    slot_variables: Tuple[Variable, ...]  # slot index -> variable
+    fallback: bool = False
+    always_false: bool = False
+
+
+def atom_order(atoms: Sequence[Atom]) -> List[Atom]:
+    """Greedy connected ordering (fewest unbound, then most bound overlap).
+
+    Selects the minimum directly instead of re-sorting the remaining list
+    on every pick.  This is the single shared implementation of the
+    ordering heuristic: the naive oracle
+    (:func:`repro.queries.evaluation.naive_satisfying_assignments`)
+    delegates here too, so plan and oracle can never disagree on atom
+    order.
+    """
+    remaining = list(atoms)
+    ordered: List[Atom] = []
+    bound: Set[Variable] = set()
+    while remaining:
+        best_index = 0
+        best_key: Optional[Tuple[int, int]] = None
+        for index, candidate in enumerate(remaining):
+            variables = candidate.variables()
+            key = (len(variables - bound), -len(variables & bound))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        chosen = remaining.pop(best_index)
+        ordered.append(chosen)
+        bound |= chosen.variables()
+    return ordered
+
+
+def _compile_comparison(
+    comparison, slot_of: Dict[Variable, int], is_equality: bool
+) -> CompiledComparison:
+    def side(term):
+        if isinstance(term, Variable):
+            return True, slot_of[term]
+        return False, term.value if isinstance(term, Constant) else term
+
+    left_is_slot, left = side(comparison.left)
+    right_is_slot, right = side(comparison.right)
+    return CompiledComparison(
+        is_equality=is_equality,
+        left_is_slot=left_is_slot,
+        left=left,
+        right_is_slot=right_is_slot,
+        right=right,
+    )
+
+
+def compile_plan(query: ConjunctiveQuery) -> QueryPlan:
+    """Compile *query* into a :class:`QueryPlan` (no instance required)."""
+    ordered = atom_order(query.atoms)
+
+    atom_variables: Set[Variable] = set()
+    for atom in ordered:
+        atom_variables |= atom.variables()
+    comparisons = [(eq, True) for eq in query.equalities] + [
+        (ineq, False) for ineq in query.inequalities
+    ]
+    for comparison, _ in comparisons:
+        if not comparison.variables() <= atom_variables:
+            # A comparison variable never bound by any atom: the slot
+            # executor cannot decide it — delegate to the naive oracle,
+            # which surfaces the same KeyError behaviour for unsafe queries.
+            return QueryPlan(
+                atoms=(), num_slots=0, slot_variables=(), fallback=True
+            )
+
+    slot_of: Dict[Variable, int] = {}
+    slot_variables: List[Variable] = []
+
+    def slot(variable: Variable) -> int:
+        index = slot_of.get(variable)
+        if index is None:
+            index = len(slot_variables)
+            slot_of[variable] = index
+            slot_variables.append(variable)
+        return index
+
+    # Constant-only comparisons are decidable at compile time.
+    always_false = False
+    pending: List[Tuple[object, bool]] = []
+    for comparison, is_equality in comparisons:
+        if not comparison.variables():
+            compiled = _compile_comparison(comparison, slot_of, is_equality)
+            if not compiled.holds([]):
+                always_false = True
+            continue
+        pending.append((comparison, is_equality))
+
+    compiled_atoms: List[CompiledAtom] = []
+    bound_before: Set[Variable] = set()
+    for atom in ordered:
+        ops: List[Tuple[int, int, object]] = []
+        probes: List[Tuple[int, bool, object]] = []
+        binds: List[int] = []
+        bound_in_atom: Set[Variable] = set()
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                ops.append((_OP_CONST, position, term.value))
+                probes.append((position, True, term.value))
+            elif term in bound_before:
+                index = slot_of[term]
+                ops.append((_OP_CHECK, position, index))
+                probes.append((position, False, index))
+            elif term in bound_in_atom:
+                ops.append((_OP_CHECK, position, slot_of[term]))
+            else:
+                index = slot(term)
+                ops.append((_OP_BIND, position, index))
+                binds.append(index)
+                bound_in_atom.add(term)
+        bound_before |= bound_in_atom
+        # Comparisons whose variables are all bound once this atom matched.
+        checks: List[CompiledComparison] = []
+        still_pending: List[Tuple[object, bool]] = []
+        for comparison, is_equality in pending:
+            if comparison.variables() <= bound_before:
+                checks.append(_compile_comparison(comparison, slot_of, is_equality))
+            else:
+                still_pending.append((comparison, is_equality))
+        pending = still_pending
+        compiled_atoms.append(
+            CompiledAtom(
+                relation=atom.relation,
+                ops=tuple(ops),
+                probes=tuple(probes),
+                binds=tuple(binds),
+                checks=tuple(checks),
+            )
+        )
+    assert not pending  # every comparison variable occurs in some atom
+
+    return QueryPlan(
+        atoms=tuple(compiled_atoms),
+        num_slots=len(slot_variables),
+        slot_variables=tuple(slot_variables),
+        always_false=always_false,
+    )
+
+
+# ----------------------------------------------------------------------
+# The LRU plan cache
+# ----------------------------------------------------------------------
+_PLAN_CACHE: "OrderedDict[object, QueryPlan]" = OrderedDict()
+_PLAN_CACHE_MAX = 1024
+_hits = 0
+_misses = 0
+
+
+def get_plan(query: ConjunctiveQuery, instance: Optional[Instance] = None) -> QueryPlan:
+    """The compiled plan of *query*, memoised at two levels.
+
+    * **Per-object fast path** — the plan is attached to the (frozen) query
+      object itself, so the hot pattern "evaluate this exact guard query
+      against thousands of configurations" costs one attribute lookup, not
+      a recursive hash of the whole query.
+    * **Value-keyed LRU** — distinct-but-equal query objects (e.g. the
+      boolean versions rebuilt per ``holds`` call) share one compilation
+      through an LRU keyed by ``(query, schema relation names)``.  Plans
+      contain no schema-specific data (the executor treats relations
+      outside the instance's schema as empty at run time), so sharing a
+      plan across instances of the same vocabulary is sound; the schema
+      component of the key only keeps cache statistics honest when the same
+      query value is evaluated over different vocabularies.
+    """
+    global _hits, _misses
+    plan = query.__dict__.get("_compiled_plan")
+    if plan is not None:
+        _hits += 1
+        return plan
+    schema_key = instance.schema.names() if instance is not None else None
+    try:
+        key = (query, schema_key)
+        plan = _PLAN_CACHE.get(key)
+    except TypeError:
+        # Unhashable constant somewhere in the query: the value-keyed LRU
+        # cannot hold it, but the per-object attach (plain setattr) can.
+        _misses += 1
+        plan = compile_plan(query)
+        object.__setattr__(query, "_compiled_plan", plan)
+        return plan
+    if plan is not None:
+        _hits += 1
+        _PLAN_CACHE.move_to_end(key)
+    else:
+        _misses += 1
+        plan = compile_plan(query)
+        _PLAN_CACHE[key] = plan
+        if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+    object.__setattr__(query, "_compiled_plan", plan)
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Empty the value-keyed LRU and reset the hit/miss statistics.
+
+    Plans attached to query objects by the per-object fast path are *not*
+    invalidated (they are reachable only through those objects and
+    compilation is deterministic, so they can never be stale); after a
+    clear, a previously seen query object still resolves through its
+    attached plan and counts as a hit.  Callers measuring cold-compile
+    cost must use freshly constructed query objects.
+    """
+    global _hits, _misses
+    _PLAN_CACHE.clear()
+    _hits = 0
+    _misses = 0
+
+
+def plan_cache_info() -> Dict[str, int]:
+    """Cache statistics: size, hits, misses."""
+    return {"size": len(_PLAN_CACHE), "hits": _hits, "misses": _misses}
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute_plan(
+    plan: QueryPlan, query: ConjunctiveQuery, instance: Instance
+) -> Iterator[Assignment]:
+    """Enumerate the satisfying assignments of a compiled plan.
+
+    Yields one dictionary per solution (mapping every body variable to its
+    value); intermediate join states live in a single mutable slot array,
+    so no per-extension dictionaries are allocated.
+    """
+    if plan.always_false:
+        return
+    atoms = plan.atoms
+    num_atoms = len(atoms)
+    slots: List[object] = [UNBOUND] * plan.num_slots
+    slot_variables = plan.slot_variables
+    data = instance._data  # len/existence checks only; never iterated
+
+    def matches(index: int) -> Iterator[Assignment]:
+        if index == num_atoms:
+            yield dict(zip(slot_variables, slots))
+            return
+        compiled = atoms[index]
+        relation_tuples = data.get(compiled.relation)
+        if relation_tuples is None or not relation_tuples:
+            return
+        # Pick the most selective available index bucket; fall back to a
+        # full scan only for atoms with no bound position.  The chosen
+        # source is snapshotted before iteration (the cached frozenset for
+        # a full scan, a tuple copy for a bucket) so callers may mutate the
+        # instance while lazily consuming the generator — the same
+        # contract as the naive oracle.
+        bucket_size = len(relation_tuples)
+        best_bucket = None
+        for position, is_const, payload in compiled.probes:
+            value = payload if is_const else slots[payload]
+            bucket = instance.index(compiled.relation, position, value)
+            if len(bucket) < bucket_size:
+                bucket_size = len(bucket)
+                best_bucket = bucket
+                if not bucket:
+                    return
+        candidates = (
+            instance.tuples(compiled.relation)
+            if best_bucket is None
+            else tuple(best_bucket)
+        )
+        ops = compiled.ops
+        binds = compiled.binds
+        checks = compiled.checks
+        for tup in candidates:
+            ok = True
+            for opcode, position, payload in ops:
+                value = tup[position]
+                if opcode == _OP_BIND:
+                    slots[payload] = value
+                elif opcode == _OP_CONST:
+                    if value != payload:
+                        ok = False
+                        break
+                else:  # _OP_CHECK
+                    if value != slots[payload]:
+                        ok = False
+                        break
+            if ok:
+                for check in checks:
+                    if not check.holds(slots):
+                        ok = False
+                        break
+            if ok:
+                yield from matches(index + 1)
+            for bind in binds:
+                slots[bind] = UNBOUND
+        return
+
+    yield from matches(0)

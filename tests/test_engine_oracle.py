@@ -1,0 +1,289 @@
+"""Engine-vs-oracle tests for the indexed join engine and memoized search.
+
+Testing convention for the performance subsystem (see the module
+docstrings of :mod:`repro.queries.evaluation` and
+:mod:`repro.queries.plan_cache`): the *naive* implementations are the
+oracles and stay untouched; every optimisation must agree with them on
+randomized inputs.
+
+* the compiled slot-and-index evaluator must enumerate exactly the
+  assignments of :func:`naive_satisfying_assignments` on randomized CQs
+  and instances (the generators of :mod:`repro.workloads.generators`);
+* the memoized A-automaton emptiness search must return the same
+  verdict — and an equally valid witness — as the unmemoized search;
+* the incremental instance indexes and cached views must stay consistent
+  under interleaved ``add``/``discard``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.access.answerability import accessible_part
+from repro.automata.emptiness import automaton_emptiness
+from repro.automata.library import containment_automaton, ltr_automaton
+from repro.automata.run import accepts_path
+from repro.core.solver import AccLTLSolver
+from repro.queries.atoms import Equality, Inequality
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.evaluation import (
+    naive_satisfying_assignments,
+    satisfying_assignments,
+)
+from repro.queries.plan_cache import clear_plan_cache, compile_plan, get_plan
+from repro.queries.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Relation, Schema
+from repro.workloads.directory import (
+    directory_access_schema,
+    join_query,
+    resident_names_query,
+)
+from repro.workloads.generators import WorkloadGenerator
+from repro.workloads.scenarios import standard_scenarios
+
+
+def _multiset(assignments):
+    """Order-insensitive canonical form of an assignment enumeration."""
+    return Counter(frozenset(a.items()) for a in assignments)
+
+
+class TestCompiledEngineAgreesWithOracle:
+    def test_randomized_cqs_and_instances(self):
+        generator = WorkloadGenerator(seed=20260730)
+        rng = random.Random(99)
+        for trial in range(150):
+            schema = generator.schema(num_relations=rng.randint(1, 4))
+            instance = generator.instance(
+                schema,
+                tuples_per_relation=rng.randint(0, 8),
+                domain_size=rng.randint(2, 6),
+            )
+            query = generator.conjunctive_query(
+                schema,
+                num_atoms=rng.randint(1, 4),
+                num_variables=rng.randint(1, 5),
+                constant_probability=0.25,
+            )
+            assert _multiset(satisfying_assignments(query, instance)) == _multiset(
+                naive_satisfying_assignments(query, instance)
+            ), f"trial {trial}: {query}"
+
+    def test_randomized_queries_with_comparisons(self):
+        generator = WorkloadGenerator(seed=4242)
+        rng = random.Random(7)
+        for trial in range(100):
+            schema = generator.schema(num_relations=rng.randint(1, 3))
+            instance = generator.instance(
+                schema, tuples_per_relation=rng.randint(0, 6), domain_size=4
+            )
+            base = generator.conjunctive_query(
+                schema, num_atoms=rng.randint(1, 3), num_variables=4
+            )
+            variables = sorted(base.body_variables(), key=lambda v: v.name)
+            equalities = []
+            inequalities = []
+            if len(variables) >= 2 and rng.random() < 0.7:
+                left, right = rng.sample(variables, 2)
+                (equalities if rng.random() < 0.5 else inequalities).append(
+                    (left, right)
+                )
+            if variables and rng.random() < 0.5:
+                inequalities.append((rng.choice(variables), Constant("v0")))
+            query = ConjunctiveQuery(
+                atoms=base.atoms,
+                head=(),
+                equalities=tuple(Equality(l, r) for l, r in equalities),
+                inequalities=tuple(Inequality(l, r) for l, r in inequalities),
+            )
+            assert _multiset(satisfying_assignments(query, instance)) == _multiset(
+                naive_satisfying_assignments(query, instance)
+            ), f"trial {trial}: {query}"
+
+    def test_mutation_during_lazy_consumption_is_safe(self):
+        # The old evaluator iterated frozenset snapshots, so callers could
+        # mutate the instance while consuming the generator; the compiled
+        # executor must preserve that contract (full scans iterate the
+        # cached frozenset, index buckets are snapshotted before iteration).
+        from repro.queries.atoms import Atom
+
+        schema = Schema([Relation("R", 1)])
+        instance = Instance(schema, {"R": [("a",), ("b",), ("c",)]})
+        scan_query = ConjunctiveQuery(atoms=(Atom("R", (Variable("x"),)),))
+        seen = 0
+        for _ in satisfying_assignments(scan_query, instance):
+            instance.add("R", (f"scan{seen}",))
+            seen += 1
+        assert seen == 3
+        probe_query = ConjunctiveQuery(
+            atoms=(Atom("R", (Constant("a"),)), Atom("R", (Variable("x"),)))
+        )
+        seen = 0
+        for _ in satisfying_assignments(probe_query, instance):
+            instance.add("R", (f"probe{seen}",))
+            seen += 1
+        assert seen == 6  # the 3 originals + 3 tuples added by the first loop
+
+    def test_fallback_for_comparison_only_variables(self):
+        # A comparison variable occurring in no relational atom cannot be
+        # slot-compiled; the plan must flag fallback rather than mis-compile.
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery(
+            atoms=(),
+            head=(),
+            equalities=(Equality(x, y),),
+        )
+        assert compile_plan(query).fallback
+
+    def test_constant_only_false_comparison_short_circuits(self):
+        from repro.queries.atoms import Atom
+
+        schema = Schema([Relation("R", 1)])
+        instance = Instance(schema, {"R": [("a",)]})
+        # R(x) conjoined with the contradiction 'a' != 'a'.
+        query = ConjunctiveQuery(
+            atoms=(Atom("R", (Variable("x"),)),),
+            head=(),
+            inequalities=(Inequality(Constant("a"), Constant("a")),),
+        )
+        assert list(satisfying_assignments(query, instance)) == []
+        assert list(naive_satisfying_assignments(query, instance)) == []
+
+
+class TestPlanCache:
+    def test_equal_queries_share_one_compilation(self):
+        from repro.queries.atoms import Atom
+
+        clear_plan_cache()
+        schema = Schema([Relation("R", 2)])
+        instance = Instance(schema, {"R": [("a", "b")]})
+        q1 = ConjunctiveQuery(atoms=(Atom("R", (Variable("x"), Variable("y"))),))
+        q2 = ConjunctiveQuery(atoms=(Atom("R", (Variable("x"), Variable("y"))),))
+        assert q1 is not q2
+        assert get_plan(q1, instance) is get_plan(q2, instance)
+
+    def test_repeated_lookup_hits_fast_path(self):
+        from repro.queries.atoms import Atom
+        from repro.queries.plan_cache import plan_cache_info
+
+        clear_plan_cache()
+        schema = Schema([Relation("R", 2)])
+        instance = Instance(schema, {"R": [("a", "b")]})
+        query = ConjunctiveQuery(atoms=(Atom("R", (Variable("x"), Variable("y"))),))
+        get_plan(query, instance)
+        before = plan_cache_info()["hits"]
+        for _ in range(5):
+            get_plan(query, instance)
+        assert plan_cache_info()["hits"] >= before + 5
+
+
+class TestInstanceIndexes:
+    def test_index_consistency_under_add_and_discard(self):
+        generator = WorkloadGenerator(seed=3)
+        schema = generator.schema(num_relations=2, min_arity=2, max_arity=3)
+        instance = Instance(schema)
+        rng = random.Random(5)
+        relations = list(schema)
+        live = []
+        for step in range(300):
+            relation = rng.choice(relations)
+            tup = tuple(f"v{rng.randint(0, 5)}" for _ in range(relation.arity))
+            if rng.random() < 0.6:
+                instance.add(relation.name, tup)
+                live.append((relation.name, tup))
+            elif live:
+                name, victim = live.pop(rng.randrange(len(live)))
+                instance.discard(name, victim)
+            # The cached/frozen views and every index bucket must match a
+            # from-scratch recomputation.
+            for rel in relations:
+                tuples = instance.tuples(rel.name)
+                assert tuples == frozenset(instance.tuples_view(rel.name))
+                for position in range(rel.arity):
+                    for value in {t[position] for t in tuples} | {"v-none"}:
+                        expected = {t for t in tuples if t[position] == value}
+                        assert (
+                            set(instance.index(rel.name, position, value)) == expected
+                        )
+            assert instance.freeze() == frozenset(
+                (rel.name, t)
+                for rel in relations
+                for t in instance.tuples_view(rel.name)
+            )
+
+    def test_facts_cached_order_stable_across_calls(self):
+        schema = Schema([Relation("R", 2)])
+        instance = Instance(schema, {"R": [("b", "a"), ("a", "b")]})
+        first = list(instance.facts())
+        assert first == list(instance.facts())
+        instance.add("R", ("c", "c"))
+        assert len(list(instance.facts())) == 3
+
+
+class TestAccessiblePartWorklist:
+    def test_matches_round_based_reference(self):
+        generator = WorkloadGenerator(seed=11)
+        rng = random.Random(13)
+        for _ in range(25):
+            access_schema = generator.access_schema(
+                num_relations=rng.randint(1, 3), methods_per_relation=2
+            )
+            hidden = generator.instance(
+                access_schema.schema, tuples_per_relation=5, domain_size=6
+            )
+            initial = ["v0", "v1"]
+            part = accessible_part(access_schema, hidden, initial)
+            # Round-based reference fixedpoint (the pre-index algorithm).
+            known = set(initial)
+            reference = Instance(access_schema.schema)
+            changed = True
+            while changed:
+                changed = False
+                for method in access_schema:
+                    for tup in hidden.tuples(method.relation):
+                        if reference.contains(method.relation, tup):
+                            continue
+                        if all(tup[i] in known for i in method.input_positions):
+                            reference.add(method.relation, tup)
+                            known.update(tup)
+                            changed = True
+            assert part == reference
+
+
+class TestEmptinessMemoizationRegression:
+    def _assert_equivalent(self, automaton, vocabulary, **kwargs):
+        memo = automaton_emptiness(automaton, vocabulary, memoize=True, **kwargs)
+        plain = automaton_emptiness(automaton, vocabulary, memoize=False, **kwargs)
+        assert memo.empty == plain.empty
+        assert (memo.witness is None) == (plain.witness is None)
+        for result in (memo, plain):
+            if result.witness is not None:
+                assert accepts_path(automaton, vocabulary, result.witness)
+        return memo, plain
+
+    def test_containment_automata(self):
+        schema = directory_access_schema()
+        vocabulary = AccLTLSolver(schema).vocabulary
+        for q1, q2 in [
+            (join_query(), resident_names_query()),
+            (resident_names_query(), join_query()),
+        ]:
+            automaton = containment_automaton(vocabulary, q1, q2, grounded=False)
+            self._assert_equivalent(automaton, vocabulary, max_paths=20000)
+
+    def test_ltr_automata_across_scenarios(self):
+        for scenario in standard_scenarios():
+            if scenario.name == "synthetic-3rel":
+                continue  # the big inconclusive instance; covered by benchmarks
+            vocabulary = AccLTLSolver(scenario.access_schema).vocabulary
+            automaton = ltr_automaton(
+                vocabulary, scenario.probe_access, scenario.query_one
+            )
+            memo, plain = self._assert_equivalent(
+                automaton, vocabulary, max_paths=25000
+            )
+            # Memoization may only prune work, never add it.
+            assert memo.paths_explored <= plain.paths_explored
