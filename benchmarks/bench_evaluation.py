@@ -11,9 +11,21 @@ compare against:
   bottom-up (rule bodies run through the compiled engine);
 * ``emptiness_memo`` / ``emptiness_nomemo`` — A-automaton emptiness on the
   directory LTR scenario with the search memoisation on vs off;
+* ``snapshot_depth_copy`` / ``snapshot_depth_store`` — a search-stack
+  simulation (snapshot, extend, fingerprint, at depth) contrasting O(n)
+  ``Instance.copy``/``freeze`` per node against the persistent store's
+  O(1) snapshots (:mod:`repro.store.snapshot`);
+* ``parallel_chains_seq`` / ``parallel_chains_par`` — emptiness of a
+  multi-chain union automaton with the Lemma 4.9 chain restrictions
+  checked sequentially vs fanned out across worker processes
+  (:mod:`repro.store.parallel`); identical verdicts are asserted;
 * ``pipeline_end_to_end`` — the full containment + relevance pipeline of
   ``bench_pipeline_vs_bruteforce.py`` (automata pipeline and bounded
   brute-force checker side by side) at the largest configured size.
+
+``benchmarks/check_regression.py`` compares a fresh run against the
+committed ``BENCH_evaluation.json`` and fails on slowdowns beyond its
+threshold.
 
 Usage::
 
@@ -36,6 +48,7 @@ from typing import Callable, Dict, List, Optional
 from repro.access.answerability import accessible_part_program
 from repro.automata.emptiness import automaton_emptiness
 from repro.automata.library import containment_automaton, ltr_automaton
+from repro.automata.operations import union_automaton
 from repro.core import properties
 from repro.core.bounded_check import Bounds, bounded_satisfiability
 from repro.core.solver import AccLTLSolver
@@ -47,6 +60,7 @@ from repro.queries.evaluation import (
 )
 from repro.queries.plan_cache import clear_plan_cache, plan_cache_info
 from repro.relational.instance import Instance
+from repro.store.snapshot import SnapshotInstance
 from repro.workloads.directory import (
     directory_access_schema,
     join_query,
@@ -159,6 +173,108 @@ def bench_emptiness(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
     return results
 
 
+def bench_snapshots(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
+    """Search-stack simulation: snapshot + extend + fingerprint at depth.
+
+    Mimics what every decision-procedure search does per node — capture
+    the configuration, extend it with a small delta, fingerprint it for
+    the visited set — over an instance large enough that the O(n) copies
+    and frozen-set fingerprints of the dict-backed instance dominate.
+    """
+    generator = WorkloadGenerator(seed=31)
+    schema = generator.schema(num_relations=4, min_arity=2, max_arity=3)
+    tuples = 120 if smoke else 500
+    depth = 80 if smoke else 300
+    seeded = generator.instance(schema, tuples_per_relation=tuples, domain_size=40)
+    relations = [relation.name for relation in schema]
+
+    def fresh_facts(step: int):
+        name = relations[step % len(relations)]
+        arity = schema.arity(name)
+        return name, [
+            tuple(f"~d{step}_{j}_{position}" for position in range(arity))
+            for j in range(2)
+        ]
+
+    def run_copy():
+        config = seeded
+        fingerprints = []
+        for step in range(depth):
+            child = config.copy()
+            name, facts = fresh_facts(step)
+            for tup in facts:
+                child.add_unchecked(name, tup)
+            fingerprints.append(child.fingerprint())
+            config = child
+        return config.size()
+
+    def run_store():
+        store = SnapshotInstance.from_instance(seeded)
+        snapshots = []
+        for step in range(depth):
+            snapshots.append(store.snapshot())
+            name, facts = fresh_facts(step)
+            for tup in facts:
+                store.add_unchecked(name, tup)
+            snapshots.append(store.fingerprint())
+        return store.size()
+
+    copy_row = _median_of(repeats, run_copy)
+    store_row = _median_of(repeats, run_store)
+    assert copy_row["checksum"] == store_row["checksum"], "backends disagree"
+    return {"snapshot_depth_copy": copy_row, "snapshot_depth_store": store_row}
+
+
+def bench_parallel_chains(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
+    """Sequential vs process-pool checking of the Lemma 4.9 chains.
+
+    The union of three relabelled copies of the directory LTR automaton
+    decomposes into six independent chain restrictions of balanced
+    weight — the scaling shape parallel chain checking targets.  The
+    Datalog precheck is disabled so every chain runs a real witness
+    search, and the verdict must be identical in both modes.  The worker
+    pool is warmed up outside the timed region (it is reused across
+    calls in production, so steady state is what the number should show).
+    On a single-core host the executor transparently degrades to the
+    in-process loop and both rows coincide; the speedup is a multicore
+    property by nature.
+    """
+    from repro.automata.operations import relabel
+
+    scenario = next(s for s in standard_scenarios() if s.name == "directory")
+    vocabulary = AccLTLSolver(scenario.access_schema).vocabulary
+    ltr = ltr_automaton(vocabulary, scenario.probe_access, scenario.query_one)
+    automaton = union_automaton(
+        union_automaton(relabel(ltr, "c1_"), relabel(ltr, "c2_")),
+        relabel(ltr, "c3_"),
+    )
+    max_paths = 1200 if smoke else 12000
+
+    def run(parallel: bool):
+        return automaton_emptiness(
+            automaton,
+            vocabulary,
+            max_paths=max_paths,
+            use_datalog_precheck=False,
+            parallel=parallel,
+        ).empty
+
+    run(True)  # warm the worker pool outside the timed region
+    results: Dict[str, Dict[str, object]] = {}
+    for label, parallel in (
+        ("parallel_chains_seq", False),
+        ("parallel_chains_par", True),
+    ):
+        results[label] = _median_of(
+            repeats, lambda parallel=parallel: run(parallel)
+        )
+    assert (
+        results["parallel_chains_seq"]["checksum"]
+        == results["parallel_chains_par"]["checksum"]
+    ), "parallel chain checking changed the emptiness verdict"
+    return results
+
+
 def bench_pipeline(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
     """The bench_pipeline_vs_bruteforce workload, timed end to end."""
     schema = directory_access_schema()
@@ -222,15 +338,27 @@ def run_benchmarks(
     results.update(bench_cq_evaluation(smoke, repeats))
     results.update(bench_datalog(smoke, repeats))
     results.update(bench_emptiness(smoke, repeats))
+    results.update(bench_snapshots(smoke, repeats))
+    results.update(bench_parallel_chains(smoke, repeats))
     results.update(bench_pipeline(smoke, repeats))
     compiled = results["cq_compiled"]["median_s"]
     naive = results["cq_naive"]["median_s"]
+    snap_copy = results["snapshot_depth_copy"]["median_s"]
+    snap_store = results["snapshot_depth_store"]["median_s"]
+    chains_seq = results["parallel_chains_seq"]["median_s"]
+    chains_par = results["parallel_chains_par"]["median_s"]
     return {
         "benchmark": "bench_evaluation",
         "mode": "smoke" if smoke else "full",
         "repeats": repeats,
         "speedup_cq_naive_over_compiled": round(naive / compiled, 2)
         if compiled
+        else None,
+        "speedup_snapshot_store_over_copy": round(snap_copy / snap_store, 2)
+        if snap_store
+        else None,
+        "speedup_parallel_chains": round(chains_seq / chains_par, 2)
+        if chains_par
         else None,
         "plan_cache": plan_cache_info(),
         "results": results,
@@ -264,6 +392,14 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
     print(
         "cq naive/compiled speedup:",
         report["speedup_cq_naive_over_compiled"],
+    )
+    print(
+        "snapshot store/copy speedup:",
+        report["speedup_snapshot_store_over_copy"],
+    )
+    print(
+        "parallel chains speedup:",
+        report["speedup_parallel_chains"],
     )
     if args.json:
         with open(args.json_path, "w") as handle:

@@ -1,0 +1,223 @@
+"""Regression guard for the performance-subsystem benchmarks.
+
+Compares a ``bench_evaluation`` run against the committed baseline
+(``BENCH_evaluation.json``) and **fails (exit 1) when a shared benchmark
+slows down by more than the threshold** (default 25%) on *both* the
+median and the min-of-N estimator — ambient load spikes inflate medians
+but barely touch mins, while a real code regression shifts both.  Ratios
+are additionally calibrated against the frozen ``cq_naive`` oracle row
+(machine-speed canary).  Benchmarks present on only one side (newly
+added, or removed) are reported but never fail the check; rows below the
+noise floor are skipped, since micro-benchmarks under a few milliseconds
+flap with machine load, and runs recorded in different modes
+(smoke vs full) are never enforced against each other.
+
+Usage::
+
+    # compare a fresh JSON you already produced
+    python benchmarks/check_regression.py --baseline BENCH_evaluation.json \
+        --current /tmp/new.json
+
+    # run the benchmark suite here and now, then compare
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --baseline BENCH_evaluation.json --run --smoke
+
+Intended CI wiring: run ``bench_evaluation.py --json --json-path new.json``
+on the merge candidate, then ``check_regression.py --baseline
+BENCH_evaluation.json --current new.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+#: Fail when current_median > baseline_median * (1 + THRESHOLD).
+DEFAULT_THRESHOLD = 0.25
+
+#: Rows whose baseline median is below this many seconds are informational
+#: only — their variance exceeds any signal.
+DEFAULT_NOISE_FLOOR_S = 0.005
+
+#: Machine-drift calibration row.  ``cq_naive`` is the frozen oracle
+#: implementation (the testing convention forbids optimising it), so any
+#: change in its timing between two runs measures the machine, not the
+#: code; every other row's ratio is divided by it.  Set to ``None`` to
+#: compare raw wall-clock.
+DEFAULT_CALIBRATION_ROW = "cq_naive"
+
+
+def compare(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S,
+    calibration_row: Optional[str] = DEFAULT_CALIBRATION_ROW,
+) -> List[Dict[str, object]]:
+    """Row-by-row comparison of two ``bench_evaluation`` reports.
+
+    Returns one row per benchmark name (union of both reports) with a
+    ``status`` of ``ok``, ``regression``, ``improved``, ``noise``
+    (baseline below the floor), ``new`` or ``removed``.  Only
+    ``regression`` rows should fail a build.  Ratios are normalised by
+    the *calibration_row*'s own ratio when that row exists in both
+    reports (see :data:`DEFAULT_CALIBRATION_ROW`); the calibration row
+    itself is always reported with status ``calibration``.
+    """
+    baseline_results = baseline.get("results", {})
+    current_results = current.get("results", {})
+
+    def _ratio(name: str, field: str) -> Optional[float]:
+        base = float(baseline_results[name].get(field, 0.0))
+        cur = float(current_results[name].get(field, 0.0))
+        return (cur / base) if base > 0 and cur > 0 else None
+
+    # Calibration factors, one per estimator.
+    calibrations = {"median_s": 1.0, "min_s": 1.0}
+    if (
+        calibration_row is not None
+        and calibration_row in baseline_results
+        and calibration_row in current_results
+    ):
+        for field in calibrations:
+            factor = _ratio(calibration_row, field)
+            if factor is not None:
+                calibrations[field] = factor
+    else:
+        calibration_row = None
+    rows: List[Dict[str, object]] = []
+    for name in sorted(set(baseline_results) | set(current_results)):
+        base_row = baseline_results.get(name)
+        cur_row = current_results.get(name)
+        if base_row is None:
+            rows.append({"name": name, "status": "new",
+                         "current_s": cur_row["median_s"]})
+            continue
+        if cur_row is None:
+            rows.append({"name": name, "status": "removed",
+                         "baseline_s": base_row["median_s"]})
+            continue
+        base_median = float(base_row["median_s"])
+        cur_median = float(cur_row["median_s"])
+        # A row regresses only when BOTH estimators moved: ambient load
+        # spikes inflate medians but barely touch min-of-N, while a real
+        # code regression shifts both.  The reported ratio is the more
+        # favourable (calibrated) one.
+        candidate_ratios = []
+        for field in ("median_s", "min_s"):
+            raw = _ratio(name, field)
+            if raw is not None:
+                candidate_ratios.append(raw / calibrations[field])
+        ratio = min(candidate_ratios) if candidate_ratios else None
+        row = {
+            "name": name,
+            "baseline_s": base_median,
+            "current_s": cur_median,
+            "ratio": round(ratio, 3) if ratio is not None else None,
+        }
+        if name == calibration_row:
+            row["status"] = "calibration"
+            row["ratio"] = round(cur_median / base_median, 3)
+        elif base_median < noise_floor_s:
+            row["status"] = "noise"
+        elif ratio is not None and ratio > 1.0 + threshold:
+            row["status"] = "regression"
+        elif ratio is not None and ratio < 1.0 - threshold:
+            row["status"] = "improved"
+        else:
+            row["status"] = "ok"
+        rows.append(row)
+    return rows
+
+
+def render(rows: List[Dict[str, object]]) -> str:
+    lines = [f"{'benchmark':26s} {'baseline':>10s} {'current':>10s} "
+             f"{'ratio':>7s}  status"]
+    for row in rows:
+        baseline_s = row.get("baseline_s")
+        current_s = row.get("current_s")
+        ratio = row.get("ratio")
+        lines.append(
+            f"{row['name']:26s} "
+            f"{'' if baseline_s is None else format(baseline_s, '10.4f')!s:>10s} "
+            f"{'' if current_s is None else format(current_s, '10.4f')!s:>10s} "
+            f"{'' if ratio is None else format(ratio, '7.3f')!s:>7s}  "
+            f"{row['status']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", default="BENCH_evaluation.json",
+        help="committed baseline JSON",
+    )
+    parser.add_argument(
+        "--current", default=None, help="fresh run JSON to compare"
+    )
+    parser.add_argument(
+        "--run", action="store_true",
+        help="run bench_evaluation here instead of reading --current",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="with --run: smoke sizes"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="fractional slowdown that fails the check (default 0.25)",
+    )
+    parser.add_argument(
+        "--noise-floor-ms", type=float, default=DEFAULT_NOISE_FLOOR_S * 1000,
+        help="baseline medians below this are informational only",
+    )
+    parser.add_argument(
+        "--calibration-row", default=DEFAULT_CALIBRATION_ROW,
+        help="row whose drift normalises all ratios (machine-speed canary); "
+        "pass an empty string to compare raw wall-clock",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    if args.run:
+        from bench_evaluation import run_benchmarks
+
+        current = run_benchmarks(smoke=args.smoke)
+    elif args.current is not None:
+        with open(args.current) as handle:
+            current = json.load(handle)
+    else:
+        parser.error("pass --current FILE or --run")
+
+    rows = compare(
+        baseline,
+        current,
+        threshold=args.threshold,
+        noise_floor_s=args.noise_floor_ms / 1000.0,
+        calibration_row=args.calibration_row or None,
+    )
+    print(render(rows))
+    regressions = [row for row in rows if row["status"] == "regression"]
+    if baseline.get("mode") != current.get("mode"):
+        # Smoke and full runs use different sizes; absolute times are not
+        # comparable, so a mode mismatch is informational only (never a
+        # CI failure — compare like against like for the guard to bite).
+        print(
+            "note: baseline and current were recorded in different modes "
+            f"({baseline.get('mode')!r} vs {current.get('mode')!r}); "
+            "timings are not comparable, regressions not enforced."
+        )
+        return 0
+    if regressions:
+        names = ", ".join(str(row["name"]) for row in regressions)
+        print(f"FAIL: regression beyond {args.threshold:.0%} on: {names}")
+        return 1
+    print("OK: no benchmark regressed beyond the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ from repro.queries.evaluation import holds
 from repro.queries.terms import Variable
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
 from repro.relational.instance import Instance
+from repro.store.snapshot import Snapshot, SnapshotInstance
 
 
 @dataclass(frozen=True)
@@ -120,15 +121,20 @@ def _frozen_candidate(
     disjunct: ConjunctiveQuery,
     identification: Dict[Variable, Variable],
     schema: AccessSchema,
-    initial: Instance,
-) -> Optional[Tuple[Instance, List[Tuple[str, Tuple[object, ...]]]]]:
-    """Freeze an identified disjunct into a candidate counterexample instance."""
+    initial_snap: Snapshot,
+) -> Optional[Tuple[SnapshotInstance, List[Tuple[str, Tuple[object, ...]]]]]:
+    """Freeze an identified disjunct into a candidate counterexample instance.
+
+    The candidate branches off the initial instance's snapshot in
+    O(#relations) — the enumeration below builds one candidate per
+    variable identification, so deep copies would dominate it.
+    """
     try:
         identified = disjunct.rename_variables(identification)
     except Exception:
         return None
     assignment = {v: f"~{v.name}" for v in identified.variables()}
-    candidate = initial.copy()
+    candidate = SnapshotInstance.from_snapshot(initial_snap)
     facts: List[Tuple[str, Tuple[object, ...]]] = []
     for atom in identified.atoms:
         fact = (atom.relation, atom.substitute(assignment))
@@ -163,11 +169,14 @@ def contained_under_access_patterns(
 
     # The initial instance itself is the configuration of the empty path; if
     # it already separates the queries, containment fails immediately.
+    # (``initial.copy()`` here is a justified one-off deep copy: the
+    # counterexample is handed to the caller, who owns and may mutate it.)
     if holds(q1, initial) and not holds(q2, initial):
         return APContainmentResult(
             contained=False, counterexample=initial.copy(), complete=True
         )
 
+    initial_snap = SnapshotInstance.from_instance(initial).snapshot()
     initial_values = set(initial.active_domain())
     complete = True
     for disjunct in q1.disjuncts:
@@ -182,7 +191,7 @@ def contained_under_access_patterns(
         else:
             identifications = _identifications(variables)
         for identification in identifications:
-            frozen = _frozen_candidate(disjunct, identification, schema, initial)
+            frozen = _frozen_candidate(disjunct, identification, schema, initial_snap)
             if frozen is None:
                 continue
             candidate, facts = frozen
@@ -191,8 +200,13 @@ def contained_under_access_patterns(
             if holds(q2, candidate):
                 continue
             if grounded_reachable(facts, initial_values, schema):
+                # Materialise the reported counterexample as a dict-backed
+                # Instance (O(n), once per report) so the result type
+                # matches the dataclass contract on every return path.
                 return APContainmentResult(
-                    contained=False, counterexample=candidate, complete=True
+                    contained=False,
+                    counterexample=candidate.to_instance(),
+                    complete=True,
                 )
     return APContainmentResult(contained=True, complete=complete)
 

@@ -129,7 +129,13 @@ def path_from_pairs(
 # Configurations
 # ----------------------------------------------------------------------
 def conf(path: AccessPath, initial: Instance) -> Instance:
-    """``Conf(p, I0)``: the configuration resulting from *path* on *initial*."""
+    """``Conf(p, I0)``: the configuration resulting from *path* on *initial*.
+
+    The deep copy is deliberate: this is the witness *replay* path (one
+    call per path, not per search node — the searches themselves run on
+    :mod:`repro.store.snapshot` snapshots) and the caller owns the
+    returned instance, mutations included.
+    """
     result = initial.copy()
     for step in path:
         for tup in step.response:
@@ -138,7 +144,12 @@ def conf(path: AccessPath, initial: Instance) -> Instance:
 
 
 def configurations(path: AccessPath, initial: Instance) -> List[Instance]:
-    """The sequence ``I0, I1, ..., In`` of configurations along the path."""
+    """The sequence ``I0, I1, ..., In`` of configurations along the path.
+
+    Like :func:`conf`, this replays a single concrete path for
+    verification/reporting, so the per-step deep copies are O(n·|p|) once
+    per path — acceptable where an in-search copy would not be.
+    """
     result = [initial.copy()]
     for step in path:
         nxt = result[-1].copy()

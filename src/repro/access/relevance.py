@@ -45,6 +45,7 @@ from repro.queries.evaluation import evaluate_ucq, holds
 from repro.queries.terms import Constant, Variable
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
 from repro.relational.instance import Instance
+from repro.store.snapshot import Snapshot, SnapshotInstance
 
 
 @dataclass(frozen=True)
@@ -110,19 +111,20 @@ def _witness_instance(
     disjunct: ConjunctiveQuery,
     assignment: Dict[Variable, object],
     schema: AccessSchema,
-    initial: Instance,
-) -> Tuple[Instance, List[Tuple[str, Tuple[object, ...]]], Dict[Variable, object]]:
+    initial_snap: Snapshot,
+) -> Tuple[SnapshotInstance, List[Tuple[str, Tuple[object, ...]]], Dict[Variable, object]]:
     """Freeze the disjunct under *assignment*.
 
-    Returns the witness instance (initial facts plus the frozen image), the
-    frozen facts, and the complete frozen assignment (used to read off the
-    answer tuple the witness produces).
+    Returns the witness instance (initial facts plus the frozen image,
+    branched off the initial snapshot in O(#relations) instead of a deep
+    copy), the frozen facts, and the complete frozen assignment (used to
+    read off the answer tuple the witness produces).
     """
     frozen_assignment = dict(assignment)
     for variable in disjunct.variables():
         if variable not in frozen_assignment:
             frozen_assignment[variable] = f"~{variable.name}"
-    witness = initial.copy()
+    witness = SnapshotInstance.from_snapshot(initial_snap)
     facts: List[Tuple[str, Tuple[object, ...]]] = []
     for atom in disjunct.atoms:
         fact = (atom.relation, atom.substitute(frozen_assignment))
@@ -136,7 +138,7 @@ def _revealing_path(
     schema: AccessSchema,
     first_step: PathStep,
     facts_to_reveal: List[Tuple[str, Tuple[object, ...]]],
-    initial: Instance,
+    initial_snap: Snapshot,
     grounded: bool,
 ) -> Optional[AccessPath]:
     """Build a path starting with *first_step* revealing the remaining facts.
@@ -147,12 +149,13 @@ def _revealing_path(
     iterating to a fixedpoint.
     """
     steps: List[PathStep] = [first_step]
-    known: Set[object] = set(initial.active_domain()) | set(
+    # The configuration after the first step, used only to seed `known` and
+    # `remaining` (the greedy loop below tracks progress through them); an
+    # O(#relations) branch of the caller's snapshot avoids the deep copy.
+    revealed = SnapshotInstance.from_snapshot(initial_snap)
+    known: Set[object] = set(revealed.active_domain()) | set(
         first_step.returned_values()
     ) | set(first_step.access.binding)
-    # The configuration after the first step, used only to seed `remaining`
-    # (the greedy loop below tracks progress through `remaining`/`known`).
-    revealed = initial.copy()
     for tup in first_step.response:
         revealed.add(first_step.relation, tup)
     remaining = [fact for fact in facts_to_reveal if fact not in revealed]
@@ -208,6 +211,10 @@ def long_term_relevant(
     binding_map = access.binding_map()
     free_positions = [i for i in range(arity) if i not in binding_map]
 
+    # Candidate witnesses below branch off this snapshot in O(#relations)
+    # per candidate instead of deep-copying the initial instance.
+    initial_snap = SnapshotInstance.from_instance(initial).snapshot()
+
     complete = True
     for disjunct in target.disjuncts:
         candidate_tuples: List[Tuple[object, ...]] = []
@@ -225,9 +232,9 @@ def long_term_relevant(
         for accessed_tuple in candidate_tuples:
             for assignment in _unifications(disjunct, relation, accessed_tuple):
                 witness, facts, frozen_assignment = _witness_instance(
-                    disjunct, assignment, schema, initial
+                    disjunct, assignment, schema, initial_snap
                 )
-                witness_with_access = witness.copy()
+                witness_with_access = witness.copy()  # O(#relations) branch
                 if (relation, accessed_tuple) not in witness_with_access:
                     witness_with_access.add(relation, accessed_tuple)
                 # The answer tuple this witness uncovers (the empty tuple for
@@ -237,7 +244,7 @@ def long_term_relevant(
                 if answer not in evaluate_ucq(target, witness_with_access):
                     continue
                 # Without the accessed tuple the new answer must be lost.
-                dropped = initial.copy()
+                dropped = SnapshotInstance.from_snapshot(initial_snap)
                 for fact in facts:
                     if fact != (relation, accessed_tuple) and fact not in dropped:
                         dropped.add_fact(fact)
@@ -248,7 +255,7 @@ def long_term_relevant(
                     fact for fact in facts if fact != (relation, accessed_tuple)
                 ]
                 path = _revealing_path(
-                    schema, first_step, remaining_facts, initial, grounded
+                    schema, first_step, remaining_facts, initial_snap, grounded
                 )
                 if path is None:
                     if grounded:

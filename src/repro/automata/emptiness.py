@@ -40,7 +40,12 @@ from repro.access.path import AccessPath, PathStep
 from repro.automata.aautomaton import AAutomaton
 from repro.automata.progressive import chain_restrictions
 from repro.core.bounded_check import candidate_accesses_for_search, fact_pool_from_sentences
-from repro.core.transition import TransitionStructure, transition_structure
+from repro.core.transition import (
+    TransitionStructure,
+    prepost_names,
+    seed_structure_mirror,
+    validated_candidate_facts,
+)
 from repro.core.vocabulary import (
     AccessVocabulary,
     base_relation_of,
@@ -58,6 +63,7 @@ from repro.queries.terms import Constant, Variable
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
 from repro.relational.instance import Instance
 from repro.relational.schema import Relation, Schema
+from repro.store.snapshot import Snapshot, SnapshotInstance
 
 Fact = Tuple[str, Tuple[object, ...]]
 
@@ -120,23 +126,6 @@ def _candidate_responses(
     return responses
 
 
-def _candidate_structure(
-    vocabulary: AccessVocabulary,
-    config: Instance,
-    access: Access,
-    response: FrozenSet[Tuple[object, ...]],
-) -> TransitionStructure:
-    """The combined ``M(t)``/``M'(t)`` structure of a candidate step.
-
-    Built directly from the *current* configuration plus the response delta
-    (the ``response=`` fast path of
-    :func:`repro.core.transition.transition_structure`), so the search
-    never materialises the successor configuration just to evaluate guards
-    (the old code paid one full ``Instance.copy`` per candidate here).
-    """
-    return transition_structure(vocabulary, config, access, response=response)
-
-
 def _search_accepted_path(
     automaton: AAutomaton,
     vocabulary: AccessVocabulary,
@@ -166,10 +155,18 @@ def _search_accepted_path(
       configuration fingerprint, candidate step)``; iterative deepening
       re-enters the same prefixes every round, and distinct state sets
       share transitions, so most guard evaluations are repeats;
-    * **delta log** — the configuration is a single mutable
-      :class:`~repro.relational.instance.Instance`; a candidate's response
-      tuples are added before recursing and discarded afterwards, instead
-      of copying the configuration per candidate.
+    * **persistent snapshots** — the configuration is a single
+      :class:`~repro.store.snapshot.SnapshotInstance`; each node takes an
+      O(1) snapshot, candidates layer their response on top, and
+      backtracking is an O(1) ``restore`` (this replaced the old add/undo
+      delta log, and the configuration fingerprints above became O(1)
+      snapshot tokens instead of O(n) frozen sets).
+
+    A second store, ``base``, mirrors the configuration into the combined
+    ``R_pre``/``R_post`` transition structure and is maintained
+    incrementally alongside it, so evaluating a candidate's guards costs
+    O(|response|) instead of rebuilding an O(|configuration|) structure
+    per candidate.
     """
     schema = vocabulary.access_schema
     if fact_pool is None or value_pool is None:
@@ -245,6 +242,16 @@ def _search_accepted_path(
                 2 if mentions_bind else (1 if mentions_post else 0)
             )
 
+    # Transitions per source state with their guards pre-resolved into
+    # canonicalised (positives, negated) sentence tuples, so the inner
+    # candidate loop does no per-transition dict lookups.
+    compiled_transitions: Dict[str, List[Tuple[str, Tuple, Tuple]]] = {}
+    for source, source_transitions in transitions_by_source.items():
+        compiled_transitions[source] = [
+            (transition.target,) + guard_parts[id(transition.guard)]
+            for transition in source_transitions
+        ]
+
     explored = 0
     aborted = False
     # Sentence cache: (sentence identity, config fingerprint, candidate
@@ -257,8 +264,34 @@ def _search_accepted_path(
     sentence_verdicts: Dict[Tuple, bool] = {}
     # Expansion memo: node key -> largest remaining budget already expanded.
     expanded: Dict[Tuple, int] = {}
+    # Snapshot interning: revisiting a configuration (the norm under
+    # iterative deepening) produces a structurally equal but distinct
+    # Snapshot; mapping it to the first-seen object makes every later
+    # memo lookup resolve through the identity fast path instead of a
+    # structural comparison.
+    interned_fingerprints: Dict[Snapshot, Snapshot] = {}
 
-    config = initial.copy()
+    # The configuration lives in the persistent fact store: per-node
+    # snapshots are O(1), backtracking is an O(1) restore, and the
+    # snapshots double as the memo fingerprints below.  The combined
+    # transition structure ``base`` mirrors the configuration into the
+    # ``R_pre``/``R_post`` relations *once* and is then maintained by
+    # bounded local deltas: a candidate's facts are laid on top, the
+    # guards evaluated, and exactly those facts removed again.  The
+    # structure never outlives a candidate, so it deliberately stays a
+    # dict-backed ``Instance`` — persistence would buy nothing there,
+    # while the delta maintenance turns the old O(|configuration|)
+    # per-candidate structure rebuild into O(|response|), keeping the
+    # untouched relations' caches and indexes warm across candidates.
+    config = SnapshotInstance.from_instance(initial)
+    base = Instance(vocabulary.schema)
+    structure_names = prepost_names(schema.schema)
+    seed_structure_mirror(base, structure_names, initial)
+    # Pre-validated structure facts, one entry per candidate step.
+    candidate_facts = validated_candidate_facts(
+        vocabulary, structure_names, candidates
+    )
+
     steps: List[PathStep] = []
     initial_known = frozenset(initial.active_domain())
 
@@ -270,8 +303,13 @@ def _search_accepted_path(
         if depth >= depth_limit:
             return None
         remaining = depth_limit - depth
+        node_config = config.snapshot()
         if memoize:
-            fingerprint = config.freeze()
+            # The snapshot is an exact content fingerprint: O(1) to hash,
+            # structural (identity-short-circuited) equality on collision.
+            fingerprint: Optional[Snapshot] = interned_fingerprints.setdefault(
+                node_config, node_config
+            )
             node_key = (
                 (states, fingerprint, known)
                 if grounded_only
@@ -292,12 +330,40 @@ def _search_accepted_path(
                 aborted = True
                 return None
             structure = None
+            stage = 0
+            applied: List[Tuple[str, Tuple[object, ...]]] = []
             local_verdicts: Dict[int, bool] = {}
+            pre_rel, post_rel, isbind_rel, binding_tup, isbind0_rel = (
+                candidate_facts[index]
+            )
+
+            def ensure_stage(required: int) -> None:
+                # Lay the candidate's delta over the node's base structure
+                # in stages matched to what the sentence can observe:
+                # kind-0 sentences read the base as-is, kind-1 needs the
+                # response in the post relations, only kind-2 needs the
+                # binding facts.  Each stage is O(its delta), applied at
+                # most once per candidate, and recorded for the undo.
+                nonlocal stage, structure
+                if stage < 1 <= required:
+                    for tup in response:
+                        if base.add_unchecked(post_rel, tup):
+                            applied.append((post_rel, tup))
+                    stage = 1
+                if stage < 2 <= required:
+                    if base.add_unchecked(isbind_rel, binding_tup):
+                        applied.append((isbind_rel, binding_tup))
+                    if base.add_unchecked(isbind0_rel, ()):
+                        applied.append((isbind0_rel, ()))
+                    stage = 2
+                if structure is None:
+                    structure = TransitionStructure(
+                        vocabulary=vocabulary, access=access, structure=base
+                    )
 
             def sentence_holds(sentence) -> bool:
-                nonlocal structure
+                kind = sentence_kinds[id(sentence)]
                 if memoize:
-                    kind = sentence_kinds[id(sentence)]
                     if kind == 0 or (kind == 1 and not response):
                         key = (id(sentence), fingerprint)
                     elif kind == 1:
@@ -309,10 +375,7 @@ def _search_accepted_path(
                     key = id(sentence)
                     verdict = local_verdicts.get(key)
                 if verdict is None:
-                    if structure is None:
-                        structure = _candidate_structure(
-                            vocabulary, config, access, response
-                        )
+                    ensure_stage(kind)
                     verdict = holds(sentence.query, structure.structure)
                     if memoize:
                         sentence_verdicts[key] = verdict
@@ -322,14 +385,19 @@ def _search_accepted_path(
 
             following: Set[str] = set()
             for state in states:
-                for transition in transitions_by_source.get(state, ()):
-                    if transition.target in following:
+                for target, positives, negated in compiled_transitions.get(
+                    state, ()
+                ):
+                    if target in following:
                         continue
-                    positives, negated = guard_parts[id(transition.guard)]
                     if all(sentence_holds(s) for s in positives) and not any(
                         sentence_holds(s) for s in negated
                     ):
-                        following.add(transition.target)
+                        following.add(target)
+            if applied:
+                # Undo exactly the candidate facts laid over the base.
+                for relation_name, tup in applied:
+                    base.discard(relation_name, tup)
             if not following:
                 continue
             step = PathStep(access, response)
@@ -341,20 +409,25 @@ def _search_accepted_path(
                 # automaton is a stutter: any accepting continuation from
                 # the child is also available from the current node.
                 continue
-            # Apply the delta, recurse, then undo exactly what was new.
-            added = [
-                tup
-                for tup in response
-                if config.add_unchecked(access.relation, tup)
-            ]
+            # Apply the delta to the configuration (snapshot-restored on
+            # the way back: O(1) undo) and its structure mirror (undone
+            # by the recorded delta), then recurse.
+            descended: List[Tuple[object, ...]] = []
+            for tup in response:
+                if config.add_unchecked(access.relation, tup):
+                    base.add_unchecked(pre_rel, tup)
+                    base.add_unchecked(post_rel, tup)
+                    descended.append(tup)
             steps.append(step)
             new_known = known | frozenset(access.binding) | frozenset(
                 value for tup in response for value in tup
             )
             witness = dfs(following_frozen, new_known, depth_limit)
             steps.pop()
-            for tup in added:
-                config.discard(access.relation, tup)
+            config.restore(node_config)
+            for tup in descended:
+                base.discard(pre_rel, tup)
+                base.discard(post_rel, tup)
             if witness is not None or aborted:
                 return witness
         return None
@@ -372,6 +445,80 @@ def _search_accepted_path(
     return None, explored, True
 
 
+@dataclass(frozen=True)
+class ChainOutcome:
+    """The verdict of one Lemma 4.9 chain restriction."""
+
+    prechecked_empty: bool
+    witness: Optional[AccessPath]
+    explored: int
+    exhausted: bool
+
+
+def check_restriction(
+    restriction: AAutomaton,
+    vocabulary: AccessVocabulary,
+    initial: Instance,
+    search_kwargs: Dict[str, object],
+    use_datalog_precheck: bool,
+) -> ChainOutcome:
+    """Precheck + witness search for a single chain restriction.
+
+    This is the unit of work of both the sequential chain loop and the
+    process-pool fan-out in :mod:`repro.store.parallel`; sharing it (and
+    the fold in :func:`_fold_chain_outcomes`) is what makes the two modes
+    return bit-identical :class:`EmptinessResult` values.
+    """
+    if use_datalog_precheck:
+        if datalog_emptiness_precheck(restriction, vocabulary) is True:
+            return ChainOutcome(
+                prechecked_empty=True, witness=None, explored=0, exhausted=True
+            )
+    witness, explored, exhausted = _search_accepted_path(
+        restriction, vocabulary, initial, **search_kwargs
+    )
+    return ChainOutcome(
+        prechecked_empty=False,
+        witness=witness,
+        explored=explored,
+        exhausted=exhausted,
+    )
+
+
+def _fold_chain_outcomes(
+    outcomes: Iterable[ChainOutcome], num_chains: int
+) -> EmptinessResult:
+    """Aggregate per-chain outcomes exactly like the sequential loop.
+
+    Consumes *outcomes* lazily and stops at the first witness, so feeding
+    it a generator reproduces the sequential early exit, while feeding it
+    the fully computed list from the parallel executor yields the same
+    result fields (any chains after the witness are simply discarded).
+    """
+    total_explored = 0
+    all_exhausted = True
+    for outcome in outcomes:
+        if outcome.prechecked_empty:
+            continue
+        total_explored += outcome.explored
+        if outcome.witness is not None:
+            return EmptinessResult(
+                empty=False,
+                witness=outcome.witness,
+                exhausted=False,
+                paths_explored=total_explored,
+                chains_checked=num_chains,
+            )
+        all_exhausted = all_exhausted and outcome.exhausted
+    return EmptinessResult(
+        empty=True,
+        witness=None,
+        exhausted=all_exhausted,
+        paths_explored=total_explored,
+        chains_checked=num_chains,
+    )
+
+
 def automaton_emptiness(
     automaton: AAutomaton,
     vocabulary: AccessVocabulary,
@@ -385,6 +532,8 @@ def automaton_emptiness(
     value_pool: Optional[Sequence[object]] = None,
     grounded_only: bool = False,
     memoize: bool = True,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
 ) -> EmptinessResult:
     """Decide (within bounds) whether ``L(A)`` is empty.
 
@@ -398,6 +547,15 @@ def automaton_emptiness(
     caches (see :func:`_search_accepted_path`); it exists so tests and the
     ablation benchmark can demonstrate that memoisation changes only the
     work performed, never the verdict or the validity of the witness.
+
+    ``parallel`` fans the independent chain restrictions out across worker
+    processes (:mod:`repro.store.parallel`) — the per-search caches are
+    process-local already and the store snapshots are picklable by
+    construction.  ``None`` defers to the ``REPRO_PARALLEL_CHAINS``
+    environment toggle (off by default); the parallel path falls back to
+    the sequential loop whenever a pool is unavailable and returns
+    bit-identical results either way (both modes share
+    :func:`check_restriction` and :func:`_fold_chain_outcomes`).
     """
     if initial is None:
         initial = vocabulary.access_schema.empty_instance()
@@ -419,42 +577,37 @@ def automaton_emptiness(
     if max_length is None:
         max_length = max(2, len(derived_fact_pool) + 2)
 
-    total_explored = 0
-    all_exhausted = True
-    for restriction in restrictions:
-        if use_datalog_precheck:
-            verdict = datalog_emptiness_precheck(restriction, vocabulary)
-            if verdict is True:
-                continue
-        witness, explored, exhausted = _search_accepted_path(
-            restriction,
+    search_kwargs: Dict[str, object] = {
+        "max_length": max_length,
+        "max_response_size": max_response_size,
+        "max_paths": max_paths,
+        "fact_pool": fact_pool,
+        "value_pool": value_pool,
+        "grounded_only": grounded_only,
+        "memoize": memoize,
+    }
+
+    from repro.store.parallel import map_chain_outcomes, parallel_chains_enabled
+
+    if parallel is None:
+        parallel = parallel_chains_enabled()
+    if parallel and len(restrictions) > 1:
+        outcomes: Iterable[ChainOutcome] = map_chain_outcomes(
+            restrictions,
             vocabulary,
             initial,
-            max_length=max_length,
-            max_response_size=max_response_size,
-            max_paths=max_paths,
-            fact_pool=fact_pool,
-            value_pool=value_pool,
-            grounded_only=grounded_only,
-            memoize=memoize,
+            search_kwargs,
+            use_datalog_precheck,
+            max_workers=max_workers,
         )
-        total_explored += explored
-        if witness is not None:
-            return EmptinessResult(
-                empty=False,
-                witness=witness,
-                exhausted=False,
-                paths_explored=total_explored,
-                chains_checked=len(restrictions),
+    else:
+        outcomes = (
+            check_restriction(
+                restriction, vocabulary, initial, search_kwargs, use_datalog_precheck
             )
-        all_exhausted = all_exhausted and exhausted
-    return EmptinessResult(
-        empty=True,
-        witness=None,
-        exhausted=all_exhausted,
-        paths_explored=total_explored,
-        chains_checked=len(restrictions),
-    )
+            for restriction in restrictions
+        )
+    return _fold_chain_outcomes(outcomes, len(restrictions))
 
 
 # ----------------------------------------------------------------------

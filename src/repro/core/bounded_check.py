@@ -32,7 +32,12 @@ from repro.access.methods import Access, AccessSchema
 from repro.access.path import AccessPath, PathStep, is_grounded, satisfies_sanity_conditions
 from repro.core.formulas import AccFormula
 from repro.core.semantics import AtomCache, structures_satisfy
-from repro.core.transition import TransitionStructure, transition_structure
+from repro.core.transition import (
+    TransitionStructure,
+    prepost_names,
+    seed_structure_mirror,
+    validated_candidate_facts,
+)
 from repro.core.vocabulary import (
     AccessVocabulary,
     base_relation_of,
@@ -45,6 +50,7 @@ from repro.core.vocabulary import (
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.terms import Constant, Variable
 from repro.relational.instance import Instance
+from repro.store.snapshot import Snapshot, SnapshotInstance
 
 Fact = Tuple[str, Tuple[object, ...]]
 
@@ -373,27 +379,63 @@ def bounded_satisfiability(
     # Atomic-formula verdicts are cached by (atom, structure content) across
     # the whole search: candidate extensions share their prefix structures,
     # so without the cache every prefix atom is re-evaluated once per
-    # extension.
+    # extension.  Structures live in the persistent store, so the content
+    # keys are O(1) snapshots rather than O(n) frozen sets.
     atom_cache: AtomCache = {}
+
+    # Search state lives in the persistent fact store: stack nodes hold
+    # O(1) snapshots of the configuration and of its ``R_pre``/``R_post``
+    # mirror (``base``) instead of O(n) ``Instance.copy()`` clones.  Per
+    # candidate, the transition structure is branched off the node's base
+    # snapshot and only the response and binding facts are layered on
+    # top — O(|response|) instead of rebuilding an O(|configuration|)
+    # structure — and the branch shares its untouched shards (and their
+    # lazily built indexes) with every sibling candidate.
+    base_schema = schema.schema
+    structure_names = prepost_names(base_schema)
+    # Pre-validated per-candidate facts (the old code validated response
+    # tuples against the relation signature on every expansion; validating
+    # the candidate pool once up front is equivalent because every
+    # expansion draws from this fixed pool).
+    for access, response in candidates:
+        relation = base_schema.relation(access.relation)
+        for tup in response:
+            relation.validate_tuple(tup)
+    candidate_meta = validated_candidate_facts(
+        vocabulary, structure_names, candidates
+    )
+
+    config = SnapshotInstance.from_instance(initial)
+    initial_config_snap = config.snapshot()
+    base = SnapshotInstance(vocabulary.schema)
+    seed_structure_mirror(base, structure_names, initial)
+    initial_base_snap = base.snapshot()
+    # Iterative deepening rebuilds equal structures round after round;
+    # interning their snapshots makes every atom-cache lookup on a rebuilt
+    # structure resolve through the identity fast path (one structural
+    # comparison per candidate instead of one per cached atom).
+    interned_structures: Dict[Snapshot, Snapshot] = {}
 
     # Iterative-deepening depth-first search over paths: short witnesses are
     # found before the search commits to deep branches, and the final round
     # (depth = max_path_length) determines exhaustiveness.  Search states
-    # carry the current path, the current configuration, the set of known
+    # carry the current path, the configuration snapshot, the set of known
     # values (for groundedness) and the incrementally built transition
     # structures of the path (so candidate extensions reuse the prefix's
-    # structures instead of replaying the whole path).
+    # structures instead of replaying the whole path), plus the snapshot of
+    # the configuration's structure mirror.
     for depth_limit in range(1, bounds.max_path_length + 1):
         stack: List[
             Tuple[
                 Tuple[PathStep, ...],
-                Instance,
+                Snapshot,
                 Set[object],
                 Tuple[TransitionStructure, ...],
+                Snapshot,
             ]
-        ] = [((), initial.copy(), set(initial_known), ())]
+        ] = [((), initial_config_snap, set(initial_known), (), initial_base_snap)]
         while stack:
-            steps, config, known, structures = stack.pop()
+            steps, config_snap, known, structures, base_snap = stack.pop()
             if explored >= bounds.max_paths:
                 return BoundedCheckResult(
                     satisfiable=False,
@@ -406,12 +448,13 @@ def bounded_satisfiability(
             children: List[
                 Tuple[
                     Tuple[PathStep, ...],
-                    Instance,
+                    Snapshot,
                     Set[object],
                     Tuple[TransitionStructure, ...],
+                    Snapshot,
                 ]
             ] = []
-            for access, response in candidates:
+            for candidate_index, (access, response) in enumerate(candidates):
                 if grounded_only and not all(
                     value in known for value in access.binding
                 ):
@@ -436,11 +479,24 @@ def bounded_satisfiability(
                     require_grounded=grounded_only,
                 ):
                     continue
-                new_config = config.copy()
+                pre_rel, post_rel, isbind_rel, binding_tup, isbind0_rel = (
+                    candidate_meta[candidate_index]
+                )
+                # Branch the candidate's structure off the node's base
+                # snapshot and lay the delta on top.
+                struct_store = SnapshotInstance.from_snapshot(base_snap)
                 for tup in response:
-                    new_config.add(access.relation, tup)
+                    struct_store.add_unchecked(post_rel, tup)
+                struct_store.add_unchecked(isbind_rel, binding_tup)
+                struct_store.add_unchecked(isbind0_rel, ())
+                struct_snap = struct_store.snapshot()
+                canonical = interned_structures.setdefault(struct_snap, struct_snap)
+                if canonical is not struct_snap:
+                    struct_store.restore(canonical)
                 new_structures = structures + (
-                    transition_structure(vocabulary, config, access, new_config),
+                    TransitionStructure(
+                        vocabulary=vocabulary, access=access, structure=struct_store
+                    ),
                 )
                 if structures_satisfy(new_structures, formula, atom_cache):
                     return BoundedCheckResult(
@@ -449,10 +505,30 @@ def bounded_satisfiability(
                         paths_explored=explored,
                         exhausted=False,
                     )
+                # Child state: configuration plus the genuinely new
+                # response tuples, snapshotted in O(#relations).
+                config.restore(config_snap)
+                new_tuples = [
+                    tup
+                    for tup in response
+                    if config.add_unchecked(access.relation, tup)
+                ]
+                new_config_snap = config.snapshot()
+                if new_tuples:
+                    base.restore(base_snap)
+                    for tup in new_tuples:
+                        base.add_unchecked(pre_rel, tup)
+                        base.add_unchecked(post_rel, tup)
+                    new_base_snap = base.snapshot()
+                else:
+                    new_base_snap = base_snap
                 new_known = known | set(access.binding) | {
                     v for tup in response for v in tup
                 }
-                children.append((new_steps, new_config, new_known, new_structures))
+                children.append(
+                    (new_steps, new_config_snap, new_known, new_structures,
+                     new_base_snap)
+                )
             stack.extend(reversed(children))
     return BoundedCheckResult(
         satisfiable=False, witness=None, paths_explored=explored, exhausted=True

@@ -34,9 +34,11 @@ from repro.relational.instance import Instance
 #: callers that evaluate many paths over overlapping structure sequences
 #: (the bounded model checker re-checks every path prefix once per
 #: candidate extension).  Keys pair the atom's identity with the *content*
-#: fingerprint of the structure it is evaluated on; each entry stores the
-#: atom alongside its verdict, pinning the atom alive so the identity key
-#: cannot be recycled while the cache holds it.
+#: fingerprint of the structure it is evaluated on — ``freeze()`` for a
+#: dict-backed ``Instance``, the O(1) store snapshot for a
+#: :class:`~repro.store.snapshot.SnapshotInstance`; both are exact.  Each
+#: entry stores the atom alongside its verdict, pinning the atom alive so
+#: the identity key cannot be recycled while the cache holds it.
 AtomCache = Dict[Tuple[int, object], Tuple["AccAtom", bool]]
 
 
@@ -45,7 +47,7 @@ def _atom_holds(
 ) -> bool:
     if cache is None:
         return holds(formula.sentence.query, structure.structure)
-    key = (id(formula), structure.structure.freeze())
+    key = (id(formula), structure.structure.fingerprint())
     entry = cache.get(key)
     if entry is None:
         verdict = holds(formula.sentence.query, structure.structure)

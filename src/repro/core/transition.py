@@ -92,6 +92,47 @@ def transition_structure(
     return TransitionStructure(vocabulary=vocabulary, access=access, structure=structure)
 
 
+def prepost_names(schema) -> dict:
+    """Per base relation, its ``(R_pre, R_post)`` vocabulary names."""
+    return {
+        relation.name: (pre_name(relation.name), post_name(relation.name))
+        for relation in schema
+    }
+
+
+def seed_structure_mirror(structure, names: dict, initial: Instance) -> None:
+    """Mirror *initial* into the ``R_pre``/``R_post`` relations of *structure*.
+
+    This is the shared seeding step of the search procedures that
+    maintain one combined transition structure incrementally (the
+    emptiness DFS and the bounded checker): the mirror starts as
+    ``pre = post = initial`` and candidate deltas are layered on top.
+    Works on any instance backend exposing ``add_unchecked``.
+    """
+    for name, (pre, post) in names.items():
+        for tup in initial.tuples_view(name):
+            structure.add_unchecked(pre, tup)
+            structure.add_unchecked(post, tup)
+
+
+def validated_candidate_facts(vocabulary, names: dict, candidates):
+    """Pre-validated structure facts, one entry per ``(access, response)``.
+
+    Each entry is ``(pre, post, isbind, validated_binding, isbind0)`` for
+    the candidate's access: the relation names its delta touches and the
+    binding tuple validated once against the vocabulary (the searches
+    then use the unchecked bulk path per node instead of re-validating
+    per expansion).
+    """
+    entries = []
+    for access, _response in candidates:
+        pre, post = names[access.relation]
+        isbind = isbind_name(access.method.name)
+        binding = vocabulary.schema.relation(isbind).validate_tuple(access.binding)
+        entries.append((pre, post, isbind, binding, isbind0_name(access.method.name)))
+    return entries
+
+
 def path_structures(
     vocabulary: AccessVocabulary,
     path: AccessPath,

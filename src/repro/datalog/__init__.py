@@ -13,7 +13,7 @@ evaluation, expansion (proof-tree) enumeration and the containment checks.
 """
 
 from repro.datalog.program import Rule, DatalogProgram
-from repro.datalog.evaluation import evaluate_program, accepts
+from repro.datalog.evaluation import accepts, evaluate_program, fixedpoint_generations
 from repro.datalog.expansion import expansions, expansion_to_cq
 from repro.datalog.containment import (
     datalog_contained_in_ucq,
@@ -24,6 +24,7 @@ __all__ = [
     "Rule",
     "DatalogProgram",
     "evaluate_program",
+    "fixedpoint_generations",
     "accepts",
     "expansions",
     "expansion_to_cq",

@@ -16,13 +16,14 @@ rules round after round compiles each rule exactly once.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.datalog.program import DatalogProgram, Rule
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.evaluation import satisfying_assignments
 from repro.queries.terms import Constant, Variable
 from repro.relational.instance import Instance
+from repro.store.snapshot import Snapshot, SnapshotInstance
 
 Fact = Tuple[str, Tuple[object, ...]]
 
@@ -89,14 +90,23 @@ def evaluate_program(
     database: Instance,
     max_rounds: Optional[int] = None,
     semi_naive: bool = True,
-) -> Instance:
+    generation_log: Optional[List[Snapshot]] = None,
+) -> Union[Instance, SnapshotInstance]:
     """Compute the least fixedpoint ``P(D)`` of *program* on *database*.
 
     The result is an instance over the combined (EDB ∪ IDB) schema that
     contains the database facts plus every derivable IDB fact.
+
+    When *generation_log* is given, the fixedpoint runs on the persistent
+    fact store and one O(1) :class:`~repro.store.snapshot.Snapshot` per
+    generation (the seeded database, then the state after every round) is
+    appended to the list — the per-round provenance that deep copies
+    would make O(n·rounds).  The snapshots share structure with each
+    other and with the returned instance; the rule engine runs on the
+    store facade unchanged.
     """
     combined = program.combined_schema()
-    state = Instance(combined)
+    state = Instance(combined) if generation_log is None else SnapshotInstance(combined)
     delta: Set[Fact] = set()
     for name in database.relation_names():
         tuples = database.tuples_view(name)
@@ -120,6 +130,8 @@ def evaluate_program(
             else:
                 tup = state.add(name, tup)
             delta.add((name, tup))
+    if generation_log is not None:
+        generation_log.append(state.snapshot())
     rounds = 0
     while True:
         rounds += 1
@@ -137,8 +149,33 @@ def evaluate_program(
             break
         for fact in new_facts:
             state.add_fact(fact)
+        if generation_log is not None:
+            generation_log.append(state.snapshot())
         delta = new_facts
     return state
+
+
+def fixedpoint_generations(
+    program: DatalogProgram,
+    database: Instance,
+    max_rounds: Optional[int] = None,
+    semi_naive: bool = True,
+) -> List[Snapshot]:
+    """The per-round snapshots ``D = G0 ⊆ G1 ⊆ ... ⊆ P(D)`` of the fixedpoint.
+
+    Convenience wrapper around ``evaluate_program(generation_log=...)``:
+    returns the generation chain alone.  The last snapshot is the least
+    fixedpoint; all snapshots share structure.
+    """
+    log: List[Snapshot] = []
+    evaluate_program(
+        program,
+        database,
+        max_rounds=max_rounds,
+        semi_naive=semi_naive,
+        generation_log=log,
+    )
+    return log
 
 
 def goal_facts(program: DatalogProgram, database: Instance) -> FrozenSet[Tuple[object, ...]]:

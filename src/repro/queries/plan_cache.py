@@ -38,12 +38,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.queries.atoms import Atom, Equality, Inequality
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.terms import Constant, Variable
 from repro.relational.instance import Instance
+from repro.store.snapshot import SnapshotInstance
 
 Assignment = Dict[Variable, object]
 
@@ -106,25 +107,47 @@ class QueryPlan:
     always_false: bool = False
 
 
-def atom_order(atoms: Sequence[Atom]) -> List[Atom]:
+def atom_order(
+    atoms: Sequence[Atom],
+    cardinalities: Optional[Mapping[str, int]] = None,
+) -> List[Atom]:
     """Greedy connected ordering (fewest unbound, then most bound overlap).
 
     Selects the minimum directly instead of re-sorting the remaining list
     on every pick.  This is the single shared implementation of the
     ordering heuristic: the naive oracle
     (:func:`repro.queries.evaluation.naive_satisfying_assignments`)
-    delegates here too, so plan and oracle can never disagree on atom
-    order.
+    delegates here too (always without statistics), so plan and oracle
+    enumerate the same assignment *set* by construction.
+
+    When *cardinalities* is given, structural ties are broken towards the
+    smaller relation, so a plan compiled against a skewed instance scans
+    the thin side of a join first instead of relying purely on the
+    run-time bucket-size probe.  In practice :func:`get_plan` feeds this
+    only from statistics recorded on the persistent store (``Shard.count``
+    via :func:`_stats_signature`); the dict-backed ``Instance`` exposes
+    the same ``relation_count(s)`` API for parity, but keeps the
+    statistics-free fast path.
     """
     remaining = list(atoms)
     ordered: List[Atom] = []
     bound: Set[Variable] = set()
     while remaining:
         best_index = 0
-        best_key: Optional[Tuple[int, int]] = None
+        best_key: Optional[Tuple[int, ...]] = None
         for index, candidate in enumerate(remaining):
             variables = candidate.variables()
-            key = (len(variables - bound), -len(variables & bound))
+            if cardinalities is None:
+                key: Tuple[int, ...] = (
+                    len(variables - bound),
+                    -len(variables & bound),
+                )
+            else:
+                key = (
+                    len(variables - bound),
+                    -len(variables & bound),
+                    cardinalities.get(candidate.relation, 0),
+                )
             if best_key is None or key < best_key:
                 best_key = key
                 best_index = index
@@ -153,9 +176,17 @@ def _compile_comparison(
     )
 
 
-def compile_plan(query: ConjunctiveQuery) -> QueryPlan:
-    """Compile *query* into a :class:`QueryPlan` (no instance required)."""
-    ordered = atom_order(query.atoms)
+def compile_plan(
+    query: ConjunctiveQuery,
+    cardinalities: Optional[Mapping[str, int]] = None,
+) -> QueryPlan:
+    """Compile *query* into a :class:`QueryPlan` (no instance required).
+
+    *cardinalities* optionally feeds recorded per-relation statistics into
+    the atom ordering (see :func:`atom_order`); the compiled plan is
+    correct for any instance regardless.
+    """
+    ordered = atom_order(query.atoms, cardinalities)
 
     atom_variables: Set[Variable] = set()
     for atom in ordered:
@@ -254,48 +285,117 @@ _hits = 0
 _misses = 0
 
 
+#: Statistics-driven planning engages only on the persistent store (whose
+#: shards *record* per-relation cardinalities as O(1) statistics) and only
+#: once the instance holds enough facts for join order to matter; below
+#: the threshold the signature stays ``None`` and the fast path costs
+#: exactly what it did without statistics.
+_STATS_MIN_COUNT = 64
+
+
+def _stats_signature(
+    query: ConjunctiveQuery, instance: "SnapshotInstance"
+) -> Optional[Tuple[int, ...]]:
+    """The bucketed cardinality signature driving statistics-aware plans.
+
+    Per relation mentioned by the query, the recorded cardinality
+    statistic (``Shard.count``) bucketed to its binary magnitude — so a
+    growing instance re-plans only when a relation crosses a power of
+    two, and equal signatures provably yield equal plans.  Queries for
+    which statistics cannot change the ordering (fewer than two atoms, or
+    all atoms over one relation) return ``None`` and skip the bookkeeping
+    entirely.
+    """
+    rels = query.__dict__.get("_stat_relations", _UNSET)
+    if rels is _UNSET:
+        distinct = {atom.relation for atom in query.atoms}
+        rels = (
+            tuple(sorted(distinct))
+            if len(query.atoms) >= 2 and len(distinct) >= 2
+            else None
+        )
+        object.__setattr__(query, "_stat_relations", rels)
+    if rels is None:
+        return None
+    return tuple(instance.relation_count(name).bit_length() for name in rels)
+
+
+_UNSET = object()
+
+
 def get_plan(query: ConjunctiveQuery, instance: Optional[Instance] = None) -> QueryPlan:
     """The compiled plan of *query*, memoised at two levels.
 
-    * **Per-object fast path** — the plan is attached to the (frozen) query
-      object itself, so the hot pattern "evaluate this exact guard query
-      against thousands of configurations" costs one attribute lookup, not
-      a recursive hash of the whole query.
+    * **Per-object fast path** — a small ``signature -> plan`` table is
+      attached to the (frozen) query object itself, so the hot pattern
+      "evaluate this exact guard query against thousands of
+      configurations" costs one attribute lookup and one small-dict get
+      plus (for multi-relation queries on large stores) a handful of O(1)
+      statistics reads, not a recursive hash of the whole query.
     * **Value-keyed LRU** — distinct-but-equal query objects (e.g. the
       boolean versions rebuilt per ``holds`` call) share one compilation
-      through an LRU keyed by ``(query, schema relation names)``.  Plans
-      contain no schema-specific data (the executor treats relations
-      outside the instance's schema as empty at run time), so sharing a
-      plan across instances of the same vocabulary is sound; the schema
-      component of the key only keeps cache statistics honest when the same
-      query value is evaluated over different vocabularies.
+      through an LRU keyed by ``(query, schema relation names,
+      signature)``.  Plans contain no schema-specific data (the executor
+      treats relations outside the instance's schema as empty at run
+      time), so sharing a plan across instances of the same vocabulary is
+      sound; the schema component of the key only keeps cache statistics
+      honest when the same query value is evaluated over different
+      vocabularies.
+
+    Plans are *statistics-driven* on the persistent store: the cardinality
+    statistics its shards record (see :func:`_stats_signature`) feed the
+    atom ordering once the instance passes :data:`_STATS_MIN_COUNT` facts,
+    and each signature bucket compiles (and caches) its own plan.  Small
+    instances and the dict-backed ``Instance`` keep the statistics-free
+    fast path (and its exact cost).
     """
     global _hits, _misses
-    plan = query.__dict__.get("_compiled_plan")
-    if plan is not None:
-        _hits += 1
-        return plan
+    sig = (
+        _stats_signature(query, instance)
+        if type(instance) is SnapshotInstance
+        and instance.size() >= _STATS_MIN_COUNT
+        else None
+    )
+    # The per-object attach maps signature -> plan, so a query evaluated
+    # against instances in different signature buckets (or alternating
+    # between backends) keeps the fast path for every bucket it has seen.
+    entry = query.__dict__.get("_compiled_plan")
+    if entry is not None:
+        plan = entry.get(sig)
+        if plan is not None:
+            _hits += 1
+            return plan
+    cardinalities = (
+        dict(zip(query.__dict__["_stat_relations"], sig)) if sig is not None else None
+    )
     schema_key = instance.schema.names() if instance is not None else None
+
+    def attach(plan: QueryPlan) -> None:
+        if entry is not None:
+            entry[sig] = plan
+        else:
+            object.__setattr__(query, "_compiled_plan", {sig: plan})
+
     try:
-        key = (query, schema_key)
+        key = (query, schema_key, sig)
         plan = _PLAN_CACHE.get(key)
     except TypeError:
         # Unhashable constant somewhere in the query: the value-keyed LRU
         # cannot hold it, but the per-object attach (plain setattr) can.
         _misses += 1
-        plan = compile_plan(query)
-        object.__setattr__(query, "_compiled_plan", plan)
+        plan = compile_plan(query, cardinalities)
+        attach(plan)
         return plan
     if plan is not None:
         _hits += 1
         _PLAN_CACHE.move_to_end(key)
     else:
         _misses += 1
-        plan = compile_plan(query)
+        plan = compile_plan(query, cardinalities)
         _PLAN_CACHE[key] = plan
         if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
             _PLAN_CACHE.popitem(last=False)
-    object.__setattr__(query, "_compiled_plan", plan)
+    attach(plan)
     return plan
 
 

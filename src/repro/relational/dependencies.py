@@ -247,6 +247,10 @@ def chase_fds(
     merging two distinct constants is a failure (the FD set is inconsistent
     with the instance).
     """
+    # A genuine deep copy is required here: the chase destructively
+    # rewrites tuples in place across every relation (value merging), and
+    # the caller's instance must stay untouched — a store branch would
+    # only defer the same copying work to the rewrite loop.
     current = instance.copy()
     for _ in range(max_rounds):
         substitution: Dict[object, object] = {}

@@ -123,30 +123,52 @@ class Instance:
         The caller guarantees that *tup* is a well-typed tuple of the right
         arity for *relation_name* (e.g. it was previously returned by
         :meth:`add` on an instance over the same schema).  This is the bulk
-        path used by transition-structure construction and the emptiness
-        search's delta log, where re-validation would dominate the cost.
+        path used by transition-structure construction and the search
+        code's scratch structures, where re-validation (or even the
+        function-call overhead of the index/cache helpers, hence the
+        inlined bodies) would dominate the cost.
         """
         tuples = self._data[relation_name]
         if tup in tuples:
             return False
         tuples.add(tup)
-        self._index_add(relation_name, tup)
-        self._invalidate(relation_name)
+        indexes = self._indexes.get(relation_name)
+        if indexes:
+            for position, buckets in indexes.items():
+                value = tup[position]
+                bucket = buckets.get(value)
+                if bucket is None:
+                    buckets[value] = {tup}
+                else:
+                    bucket.add(tup)
+        self._freeze_cache = None
+        self._tuples_cache.pop(relation_name, None)
+        self._sorted_cache.pop(relation_name, None)
         return True
 
     def discard(self, relation_name: str, tup: Tuple[object, ...]) -> bool:
         """Remove a tuple if present, returning whether it was removed.
 
-        Together with :meth:`add_unchecked` this supports the add/undo
-        delta discipline of the search code: apply a candidate response,
-        recurse, then discard exactly the tuples that were new.
+        Together with :meth:`add_unchecked` this supports the bounded
+        apply/undo discipline of the search code's scratch structures:
+        apply a candidate's facts, evaluate, then discard exactly the
+        facts that were new.  (The search *configurations* themselves now
+        roll back via O(1) store snapshots instead —
+        :mod:`repro.store.snapshot`.)
         """
         tuples = self._data.get(relation_name)
         if tuples is None or tup not in tuples:
             return False
         tuples.discard(tup)
-        self._index_discard(relation_name, tup)
-        self._invalidate(relation_name)
+        indexes = self._indexes.get(relation_name)
+        if indexes:
+            for position, buckets in indexes.items():
+                bucket = buckets.get(tup[position])
+                if bucket is not None:
+                    bucket.discard(tup)
+        self._freeze_cache = None
+        self._tuples_cache.pop(relation_name, None)
+        self._sorted_cache.pop(relation_name, None)
         return True
 
     def add_all(
@@ -256,6 +278,18 @@ class Instance:
         return self.schema.names()
 
     # ------------------------------------------------------------------
+    # Cardinality statistics (the same API as the persistent store)
+    # ------------------------------------------------------------------
+    def relation_count(self, relation_name: str) -> int:
+        """Cardinality of one relation (0 for relations outside the schema)."""
+        tuples = self._data.get(relation_name)
+        return len(tuples) if tuples is not None else 0
+
+    def relation_counts(self) -> Dict[str, int]:
+        """Per-relation cardinality statistics."""
+        return {name: len(tuples) for name, tuples in self._data.items()}
+
+    # ------------------------------------------------------------------
     # Algebra
     # ------------------------------------------------------------------
     def copy(self) -> "Instance":
@@ -332,6 +366,17 @@ class Instance:
             )
             self._freeze_cache = cached
         return cached
+
+    def fingerprint(self) -> FrozenInstance:
+        """An exact content fingerprint usable as a memo key.
+
+        For the dict-backed instance this is :meth:`freeze` (O(n) per
+        mutation, cached in between); the persistent
+        :class:`~repro.store.snapshot.SnapshotInstance` offers the same
+        method returning its O(1) snapshot token.  Callers that memoise
+        on content should use this method so either backend works.
+        """
+        return self.freeze()
 
     @classmethod
     def from_frozen(cls, schema: Schema, frozen: FrozenInstance) -> "Instance":

@@ -1,0 +1,15 @@
+"""Persistent fact-store subsystem: O(1) snapshots + parallel chain checking.
+
+See ``src/repro/store/README.md`` for the architecture note.
+"""
+
+from repro.store.hamt import EMPTY_PMAP, PMap
+from repro.store.snapshot import Shard, Snapshot, SnapshotInstance
+
+__all__ = [
+    "EMPTY_PMAP",
+    "PMap",
+    "Shard",
+    "Snapshot",
+    "SnapshotInstance",
+]

@@ -1,0 +1,190 @@
+"""Parallel checking of the Lemma 4.9 chain restrictions.
+
+The emptiness procedure of Theorem 4.6 decomposes an A-automaton into
+SCC-chain restrictions whose emptiness checks are *independent*: the
+guard/sentence caches of the witness search are per-search already, and
+the initial configuration ships as a store snapshot, which is picklable
+by construction (:mod:`repro.store.snapshot`).  This module fans those
+checks out across a process pool.
+
+Guarantees:
+
+* **Identical verdicts.**  Workers run exactly
+  :func:`repro.automata.emptiness.check_restriction` — the same unit of
+  work as the sequential loop — and the caller folds the ordered outcome
+  list with the same fold as the sequential path, so the resulting
+  :class:`~repro.automata.emptiness.EmptinessResult` is bit-identical
+  (verdict, witness, ``paths_explored``, ``exhausted``) whether or not a
+  pool was used.  The determinism test in
+  ``tests/test_parallel_chains.py`` asserts this field by field.
+
+* **Sequential fallback.**  One restriction, one worker, an unavailable
+  pool (restricted environments without ``fork``/semaphores) or a worker
+  failure all degrade to in-process sequential checking.
+
+The pool prefers the ``fork`` start method (cheap on Linux, inherits the
+parent's hash seed); under ``spawn`` correctness is preserved because
+snapshots and the persistent maps inside them rebuild themselves from
+their fact lists on unpickling instead of shipping hash-seed-dependent
+trie layouts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.store.snapshot import Snapshot, SnapshotInstance
+
+#: Environment toggle consulted when ``automaton_emptiness(parallel=None)``.
+PARALLEL_CHAINS_ENV = "REPRO_PARALLEL_CHAINS"
+
+#: Upper bound on workers regardless of core count: chain counts are small
+#: and each worker pays a full search setup, so very wide pools only add
+#: startup latency.
+_MAX_WORKERS_CAP = 8
+
+
+def parallel_chains_enabled() -> bool:
+    """Whether the environment opts in to parallel chain checking."""
+    value = os.environ.get(PARALLEL_CHAINS_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+def _worker_count(num_chains: int, max_workers: Optional[int]) -> int:
+    if max_workers is not None:
+        # An explicit worker count is honoured as given (minus idle
+        # workers): tests use it to exercise the real pool on single-core
+        # machines, operators to oversubscribe or restrict deliberately.
+        return max(1, min(num_chains, max_workers))
+    available = os.cpu_count() or 1
+    return max(1, min(num_chains, available, _MAX_WORKERS_CAP))
+
+
+# A lazily created, reused pool: spawning workers costs hundreds of
+# milliseconds (fork of a large parent, interpreter warm-up), which would
+# otherwise be paid by every emptiness call.  The pool is replaced when a
+# caller needs more workers than it has, and discarded on any failure
+# (the next call recreates it).
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS >= workers:
+        return _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    _POOL_WORKERS = workers
+    return _POOL
+
+
+def _discard_pool() -> None:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        try:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+def _check_chain_payload(payload):
+    """Top-level worker entry point (must be picklable by name)."""
+    restriction, vocabulary, initial_snapshot, search_kwargs, use_precheck = payload
+    from repro.automata.emptiness import check_restriction
+
+    initial = SnapshotInstance.from_snapshot(initial_snapshot)
+    return check_restriction(
+        restriction, vocabulary, initial, search_kwargs, use_precheck
+    )
+
+
+def _sequential(
+    restrictions: Sequence,
+    vocabulary,
+    initial,
+    search_kwargs: Dict[str, object],
+    use_datalog_precheck: bool,
+) -> List:
+    from repro.automata.emptiness import check_restriction
+
+    outcomes = []
+    for restriction in restrictions:
+        outcome = check_restriction(
+            restriction, vocabulary, initial, search_kwargs, use_datalog_precheck
+        )
+        outcomes.append(outcome)
+        if outcome.witness is not None:
+            break  # the fold stops here; later chains are dead work
+    return outcomes
+
+
+def map_chain_outcomes(
+    restrictions: Sequence,
+    vocabulary,
+    initial,
+    search_kwargs: Dict[str, object],
+    use_datalog_precheck: bool,
+    max_workers: Optional[int] = None,
+):
+    """Chain outcomes in restriction order, up to the first witness.
+
+    Dispatches the per-chain checks to a process pool and collects the
+    ordered outcomes; once an outcome carries a witness the remaining
+    chains are dead work (the caller's fold stops there, mirroring the
+    sequential early exit), so not-yet-started tasks are cancelled and
+    the list is truncated at that point.  Falls back to in-process
+    sequential checking whenever parallelism cannot help (a single
+    chain, one worker) or cannot be obtained (no pool, a worker
+    failure) — by construction the folded result is the same.
+    """
+    num_chains = len(restrictions)
+    workers = _worker_count(num_chains, max_workers)
+    if num_chains <= 1 or workers <= 1:
+        return _sequential(
+            restrictions, vocabulary, initial, search_kwargs, use_datalog_precheck
+        )
+
+    if isinstance(initial, Snapshot):
+        initial_snapshot = initial
+    else:
+        initial_snapshot = SnapshotInstance.from_instance(initial).snapshot()
+    payloads = [
+        (restriction, vocabulary, initial_snapshot, search_kwargs, use_datalog_precheck)
+        for restriction in restrictions
+    ]
+    try:
+        pool = _get_pool(workers)
+        futures = [pool.submit(_check_chain_payload, payload) for payload in payloads]
+        outcomes = []
+        for index, future in enumerate(futures):
+            outcome = future.result()
+            outcomes.append(outcome)
+            if outcome.witness is not None:
+                # The fold stops at the first witness in restriction
+                # order, so everything after this chain is dead work:
+                # cancel what has not started (running tasks finish in
+                # the background and are discarded).
+                for later in futures[index + 1 :]:
+                    later.cancel()
+                break
+        return outcomes
+    except Exception:
+        # Pools can be unavailable (sandboxes without semaphores) and
+        # exotic payloads can fail to pickle; verdicts must not depend on
+        # either, so recompute everything in process.
+        _discard_pool()
+        return _sequential(
+            restrictions, vocabulary, initial, search_kwargs, use_datalog_precheck
+        )

@@ -1,0 +1,148 @@
+"""Determinism of the parallel Lemma 4.9 chain checking.
+
+The process-pool fan-out (:mod:`repro.store.parallel`) must be invisible
+in the results: for every automaton, ``automaton_emptiness`` returns a
+bit-identical :class:`~repro.automata.emptiness.EmptinessResult` with
+``parallel=True`` and ``parallel=False`` — verdict, witness, exploration
+counters and all.  The fallback paths (no pool, single chain) must be
+equally invisible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.emptiness import automaton_emptiness, check_restriction
+from repro.automata.library import containment_automaton, ltr_automaton
+from repro.automata.operations import union_automaton
+from repro.automata.progressive import chain_restrictions
+from repro.automata.run import accepts_path
+from repro.core.solver import AccLTLSolver
+from repro.store import parallel as parallel_module
+from repro.workloads.directory import (
+    directory_access_schema,
+    join_query,
+    resident_names_query,
+)
+from repro.workloads.scenarios import standard_scenarios
+
+
+def _result_fields(result):
+    return (
+        result.empty,
+        result.witness,
+        result.exhausted,
+        result.paths_explored,
+        result.chains_checked,
+    )
+
+
+def _multi_chain_automaton(vocabulary, empty_language: bool):
+    """A union automaton whose condensation has several chains."""
+    scenario = next(s for s in standard_scenarios() if s.name == "directory")
+    ltr = ltr_automaton(vocabulary, scenario.probe_access, scenario.query_one)
+    if empty_language:
+        containment = containment_automaton(
+            vocabulary, join_query(), resident_names_query(), grounded=False
+        )
+    else:
+        containment = containment_automaton(
+            vocabulary, resident_names_query(), join_query(), grounded=False
+        )
+    return union_automaton(containment, ltr)
+
+
+@pytest.fixture(scope="module")
+def vocabulary():
+    return AccLTLSolver(directory_access_schema()).vocabulary
+
+
+class TestParallelMatchesSequential:
+    @pytest.mark.parametrize("empty_language", [True, False])
+    def test_bit_identical_results(self, vocabulary, empty_language):
+        automaton = _multi_chain_automaton(vocabulary, empty_language)
+        assert len(chain_restrictions(automaton.trim())) > 1
+        kwargs = dict(max_paths=4000, use_datalog_precheck=False)
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        # max_workers=2 forces a real process pool even on one-core boxes,
+        # so this test genuinely exercises cross-process pickling.
+        parallel = automaton_emptiness(
+            automaton, vocabulary, parallel=True, max_workers=2, **kwargs
+        )
+        assert _result_fields(sequential) == _result_fields(parallel)
+        if sequential.witness is not None:
+            assert accepts_path(automaton, vocabulary, sequential.witness)
+
+    def test_bit_identical_with_precheck(self, vocabulary):
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True)
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, max_paths=4000
+        )
+        parallel = automaton_emptiness(
+            automaton, vocabulary, parallel=True, max_workers=2, max_paths=4000
+        )
+        assert _result_fields(sequential) == _result_fields(parallel)
+
+    def test_single_chain_skips_the_pool(self, vocabulary):
+        scenario = next(s for s in standard_scenarios() if s.name == "directory-jones")
+        voc = AccLTLSolver(scenario.access_schema).vocabulary
+        automaton = ltr_automaton(voc, scenario.probe_access, scenario.query_one)
+        sequential = automaton_emptiness(
+            automaton, voc, parallel=False, max_paths=4000
+        )
+        parallel = automaton_emptiness(automaton, voc, parallel=True, max_paths=4000)
+        assert _result_fields(sequential) == _result_fields(parallel)
+
+
+class TestSequentialFallback:
+    def test_pool_failure_falls_back_to_sequential(self, vocabulary, monkeypatch):
+        class _BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process pool in this environment")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", _BrokenPool)
+        monkeypatch.setattr(parallel_module, "_POOL", None)
+        monkeypatch.setattr(parallel_module, "_POOL_WORKERS", 0)
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True)
+        kwargs = dict(max_paths=3000, use_datalog_precheck=False)
+        fallback = automaton_emptiness(
+            automaton, vocabulary, parallel=True, max_workers=2, **kwargs
+        )
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        assert _result_fields(fallback) == _result_fields(sequential)
+
+    def test_env_toggle_controls_default(self, vocabulary, monkeypatch):
+        monkeypatch.delenv(parallel_module.PARALLEL_CHAINS_ENV, raising=False)
+        assert parallel_module.parallel_chains_enabled() is False
+        monkeypatch.setenv(parallel_module.PARALLEL_CHAINS_ENV, "1")
+        assert parallel_module.parallel_chains_enabled() is True
+        monkeypatch.setenv(parallel_module.PARALLEL_CHAINS_ENV, "off")
+        assert parallel_module.parallel_chains_enabled() is False
+
+
+class TestWorkerUnit:
+    def test_check_restriction_matches_inline_fold(self, vocabulary):
+        """The worker unit itself is the sequential unit (shared code)."""
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True).trim()
+        restrictions = chain_restrictions(automaton)
+        kwargs = dict(
+            max_length=4,
+            max_response_size=2,
+            max_paths=1500,
+            fact_pool=None,
+            value_pool=None,
+            grounded_only=False,
+            memoize=True,
+        )
+        initial = vocabulary.access_schema.empty_instance()
+        outcomes = [
+            check_restriction(r, vocabulary, initial, kwargs, True)
+            for r in restrictions
+        ]
+        assert len(outcomes) == len(restrictions)
+        for outcome in outcomes:
+            assert outcome.explored >= 0

@@ -1,0 +1,108 @@
+"""Unit tests for the benchmark regression guard (pure comparison logic)."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def _report(**medians):
+    return {
+        "results": {
+            name: {"median_s": value, "min_s": value, "max_s": value}
+            for name, value in medians.items()
+        }
+    }
+
+
+class TestCompare:
+    def test_flags_regressions_beyond_threshold(self):
+        rows = check_regression.compare(
+            _report(pipeline=1.0), _report(pipeline=1.3), threshold=0.25
+        )
+        assert rows[0]["status"] == "regression"
+        rows = check_regression.compare(
+            _report(pipeline=1.0), _report(pipeline=1.2), threshold=0.25
+        )
+        assert rows[0]["status"] == "ok"
+
+    def test_flags_improvements(self):
+        rows = check_regression.compare(
+            _report(pipeline=1.0), _report(pipeline=0.5)
+        )
+        assert rows[0]["status"] == "improved"
+
+    def test_noise_floor_suppresses_micro_rows(self):
+        rows = check_regression.compare(
+            _report(tiny=0.001), _report(tiny=0.004), noise_floor_s=0.005
+        )
+        assert rows[0]["status"] == "noise"
+
+    def test_new_and_removed_rows_never_fail(self):
+        rows = check_regression.compare(
+            _report(old_only=1.0), _report(new_only=1.0)
+        )
+        statuses = {row["name"]: row["status"] for row in rows}
+        assert statuses == {"old_only": "removed", "new_only": "new"}
+
+    def test_calibration_normalises_machine_drift(self):
+        # The machine got 40% slower (the frozen oracle row proves it);
+        # a row that slowed down by the same factor is NOT a regression.
+        baseline = _report(cq_naive=1.0, pipeline=5.0)
+        current = _report(cq_naive=1.4, pipeline=7.0)
+        rows = {
+            row["name"]: row
+            for row in check_regression.compare(baseline, current)
+        }
+        assert rows["cq_naive"]["status"] == "calibration"
+        assert rows["pipeline"]["status"] == "ok"
+        assert abs(rows["pipeline"]["ratio"] - 1.0) < 1e-6
+        # A genuine slowdown on top of the drift still fails.
+        current_bad = _report(cq_naive=1.4, pipeline=10.0)
+        rows = {
+            row["name"]: row
+            for row in check_regression.compare(baseline, current_bad)
+        }
+        assert rows["pipeline"]["status"] == "regression"
+
+    def test_render_includes_every_row(self):
+        rows = check_regression.compare(
+            _report(a=1.0, b=2.0), _report(a=1.0, b=2.0)
+        )
+        text = check_regression.render(rows)
+        assert "a" in text and "b" in text and "ok" in text
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        baseline.write_text(json.dumps(_report(pipeline=1.0)))
+        good.write_text(json.dumps(_report(pipeline=1.05)))
+        bad.write_text(json.dumps(_report(pipeline=2.0)))
+        assert (
+            check_regression.main(
+                ["--baseline", str(baseline), "--current", str(good)]
+            )
+            == 0
+        )
+        assert (
+            check_regression.main(
+                ["--baseline", str(baseline), "--current", str(bad)]
+            )
+            == 1
+        )
+        output = capsys.readouterr().out
+        assert "FAIL" in output

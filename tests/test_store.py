@@ -1,0 +1,350 @@
+"""Property tests for the persistent fact store (:mod:`repro.store`).
+
+Testing convention of the performance subsystem: the dict-backed
+:class:`~repro.relational.instance.Instance` is the oracle.  The store
+facade must agree with it under arbitrary interleavings of mutation,
+snapshot, restore and branching, and the compiled join engine must
+enumerate the same assignments on either backend.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datalog.evaluation import evaluate_program, fixedpoint_generations
+from repro.queries.evaluation import (
+    naive_satisfying_assignments,
+    satisfying_assignments,
+)
+from repro.queries.plan_cache import clear_plan_cache, compile_plan, get_plan
+from repro.relational.instance import Instance
+from repro.relational.schema import Relation, Schema, make_schema
+from repro.store.hamt import EMPTY_PMAP, PMap
+from repro.store.snapshot import SMALL_SHARD_LIMIT, Snapshot, SnapshotInstance
+from repro.workloads.generators import WorkloadGenerator
+
+
+def _multiset(assignments):
+    return Counter(frozenset(a.items()) for a in assignments)
+
+
+class TestPMap:
+    def test_random_ops_agree_with_dict(self):
+        rng = random.Random(42)
+        pmap = EMPTY_PMAP
+        reference = {}
+        for step in range(3000):
+            key = rng.randint(0, 400)
+            if rng.random() < 0.6:
+                pmap = pmap.set(key, step)
+                reference[key] = step
+            else:
+                pmap = pmap.delete(key)
+                reference.pop(key, None)
+            assert len(pmap) == len(reference)
+        assert dict(pmap.items()) == reference
+        for key in range(420):
+            assert (key in pmap) == (key in reference)
+            assert pmap.get(key, "missing") == reference.get(key, "missing")
+
+    def test_structural_equality_is_insertion_order_independent(self):
+        items = [(f"k{i}", i) for i in range(200)]
+        forward = PMap(items)
+        rng = random.Random(7)
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        backward = PMap(shuffled)
+        assert forward == backward
+        # Insert-then-delete collapses back to the canonical shape.
+        with_extra = forward.set("extra", 1).delete("extra")
+        assert with_extra == forward
+
+    def test_updates_do_not_mutate_the_receiver(self):
+        base = PMap([("a", 1), ("b", 2)])
+        grown = base.set("c", 3)
+        shrunk = base.delete("a")
+        assert dict(base.items()) == {"a": 1, "b": 2}
+        assert dict(grown.items()) == {"a": 1, "b": 2, "c": 3}
+        assert dict(shrunk.items()) == {"b": 2}
+
+    def test_pickle_round_trip(self):
+        pmap = PMap([(("tup", i), True) for i in range(100)])
+        loaded = pickle.loads(pickle.dumps(pmap))
+        assert loaded == pmap
+        assert dict(loaded.items()) == dict(pmap.items())
+
+
+def _random_schema() -> Schema:
+    return Schema([Relation("R", 2), Relation("S", 3), Relation("Z", 0)])
+
+
+def _random_tuple(rng: random.Random, arity: int):
+    return tuple(f"v{rng.randint(0, 6)}" for _ in range(arity))
+
+
+class TestSnapshotInstanceAgreesWithInstance:
+    def test_random_interleavings(self):
+        """The satellite property: store == dict-backed oracle throughout
+        random add/discard/snapshot interleavings, and every snapshot
+        restores to exactly the state it captured."""
+        schema = _random_schema()
+        arities = {"R": 2, "S": 3, "Z": 0}
+        rng = random.Random(20260730)
+        store = SnapshotInstance(schema)
+        oracle = Instance(schema)
+        snapshots = []
+        for step in range(600):
+            name = rng.choice(["R", "S", "Z"])
+            tup = _random_tuple(rng, arities[name])
+            if rng.random() < 0.6:
+                assert store.add_unchecked(name, tup) == oracle.add_unchecked(
+                    name, tup
+                )
+            else:
+                assert store.discard(name, tup) == oracle.discard(name, tup)
+            if rng.random() < 0.08:
+                snapshots.append((store.snapshot(), oracle.freeze()))
+            if step % 50 == 0:
+                assert store.freeze() == oracle.freeze()
+                assert store.size() == oracle.size()
+                assert store.active_domain() == oracle.active_domain()
+                for relation in schema:
+                    assert store.tuples(relation.name) == oracle.tuples(
+                        relation.name
+                    )
+                    assert store.relation_count(relation.name) == (
+                        oracle.relation_count(relation.name)
+                    )
+                    for position in range(relation.arity):
+                        for value in [f"v{i}" for i in range(8)]:
+                            assert set(
+                                store.index(relation.name, position, value)
+                            ) == set(oracle.index(relation.name, position, value))
+                assert store.relation_counts() == oracle.relation_counts()
+        assert store == oracle  # freeze-level equality across backends
+        rng.shuffle(snapshots)
+        for snap, frozen in snapshots:
+            store.restore(snap)
+            assert store.freeze() == frozen
+            branch = SnapshotInstance.from_snapshot(snap)
+            assert branch.freeze() == frozen
+
+    def test_branches_are_independent(self):
+        schema = make_schema({"R": 2})
+        store = SnapshotInstance(schema, {"R": [("a", "b")]})
+        snap = store.snapshot()
+        branch = SnapshotInstance.from_snapshot(snap)
+        branch.add("R", ("c", "d"))
+        store.add("R", ("e", "f"))
+        assert branch.contains("R", ("c", "d"))
+        assert not branch.contains("R", ("e", "f"))
+        assert not store.contains("R", ("c", "d"))
+        assert SnapshotInstance.from_snapshot(snap).tuples("R") == frozenset(
+            {("a", "b")}
+        )
+
+    def test_promotion_and_demotion_across_the_shard_limit(self, monkeypatch):
+        monkeypatch.setattr("repro.store.snapshot.SMALL_SHARD_LIMIT", 4)
+        schema = make_schema({"R": 1})
+        store = SnapshotInstance(schema)
+        oracle = Instance(schema)
+        rng = random.Random(3)
+        for step in range(400):
+            tup = (f"v{rng.randint(0, 9)}",)
+            if rng.random() < 0.55:
+                store.add_unchecked("R", tup)
+                oracle.add_unchecked("R", tup)
+            else:
+                store.discard("R", tup)
+                oracle.discard("R", tup)
+            assert store.tuples("R") == oracle.tuples("R")
+            # Representation is a pure function of the cardinality.
+            expected_small = store.relation_count("R") <= 4
+            assert (
+                type(store._shards["R"].tuples) is frozenset
+            ) == expected_small
+
+    def test_indexes_survive_snapshot_restore_and_branch(self):
+        schema = make_schema({"R": 2})
+        store = SnapshotInstance(schema)
+        for i in range(10):
+            store.add("R", (f"a{i % 3}", f"b{i}"))
+        # Force the index, snapshot, mutate, restore: the shard (and its
+        # index) for the snapshot comes back shared, not rebuilt.
+        assert len(store.index("R", 0, "a0")) == 4
+        snap = store.snapshot()
+        shard_before = store._shards["R"]
+        store.add("R", ("a0", "extra"))
+        assert len(store.index("R", 0, "a0")) == 5
+        store.restore(snap)
+        assert store._shards["R"] is shard_before
+        assert len(store.index("R", 0, "a0")) == 4
+
+    def test_instance_and_store_fingerprints(self):
+        schema = make_schema({"R": 1})
+        instance = Instance(schema, {"R": [("a",)]})
+        store = SnapshotInstance.from_instance(instance)
+        assert instance.fingerprint() == instance.freeze()
+        assert isinstance(store.fingerprint(), Snapshot)
+        assert store.fingerprint() is store.snapshot()
+
+
+class TestSnapshotSemantics:
+    def test_equality_and_hash_are_content_based(self):
+        schema = make_schema({"R": 2, "S": 1})
+        one = SnapshotInstance(schema)
+        two = SnapshotInstance(schema)
+        for tup in [("a", "b"), ("c", "d")]:
+            one.add("R", tup)
+        for tup in [("c", "d"), ("a", "b")]:
+            two.add("R", tup)
+        assert one.snapshot() == two.snapshot()
+        assert hash(one.snapshot()) == hash(two.snapshot())
+        two.add("S", ("x",))
+        assert one.snapshot() != two.snapshot()
+
+    def test_snapshot_pickle_round_trip(self):
+        schema = make_schema({"R": 2})
+        store = SnapshotInstance(schema)
+        for i in range(50):
+            store.add("R", (f"a{i}", f"b{i % 5}"))
+        snap = store.snapshot()
+        loaded = pickle.loads(pickle.dumps(snap))
+        assert loaded == snap
+        rebuilt = SnapshotInstance.from_snapshot(loaded)
+        assert rebuilt.freeze() == store.freeze()
+        assert set(rebuilt.index("R", 1, "b0")) == set(store.index("R", 1, "b0"))
+
+    def test_snapshot_instance_pickle_round_trip(self):
+        schema = make_schema({"R": 1})
+        store = SnapshotInstance(schema, {"R": [("a",), ("b",)]})
+        loaded = pickle.loads(pickle.dumps(store))
+        assert loaded.freeze() == store.freeze()
+
+
+class TestCompiledEngineOnStore:
+    def test_randomized_cqs_agree_with_oracle(self):
+        generator = WorkloadGenerator(seed=99)
+        rng = random.Random(5)
+        for trial in range(60):
+            schema = generator.schema(num_relations=rng.randint(1, 3))
+            instance = generator.instance(
+                schema,
+                tuples_per_relation=rng.randint(0, 8),
+                domain_size=rng.randint(2, 6),
+            )
+            query = generator.conjunctive_query(
+                schema,
+                num_atoms=rng.randint(1, 4),
+                num_variables=rng.randint(1, 5),
+                constant_probability=0.25,
+            )
+            store = SnapshotInstance.from_instance(instance)
+            assert _multiset(satisfying_assignments(query, store)) == _multiset(
+                naive_satisfying_assignments(query, instance)
+            ), f"trial {trial}: {query}"
+
+    def test_mutation_during_lazy_consumption_is_safe(self):
+        from repro.queries.atoms import Atom
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.queries.terms import Constant, Variable
+
+        schema = make_schema({"R": 1})
+        store = SnapshotInstance(schema, {"R": [("a",), ("b",), ("c",)]})
+        scan = ConjunctiveQuery(atoms=(Atom("R", (Variable("x"),)),))
+        seen = 0
+        for _ in satisfying_assignments(scan, store):
+            store.add("R", (f"scan{seen}",))
+            seen += 1
+        assert seen == 3
+
+
+class TestStatisticsDrivenPlans:
+    def test_statistics_reorder_ties_towards_small_relations(self):
+        from repro.queries.atoms import Atom
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.queries.terms import Variable
+
+        clear_plan_cache()
+        schema = make_schema({"Big": 2, "Small": 2})
+        store = SnapshotInstance(schema)
+        for i in range(200):
+            store.add("Big", (f"a{i}", f"b{i % 7}"))
+        store.add("Small", ("b1", "c"))
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        query = ConjunctiveQuery(
+            atoms=(Atom("Big", (x, y)), Atom("Small", (y, z)))
+        )
+        plan = get_plan(query, store)
+        assert [atom.relation for atom in plan.atoms] == ["Small", "Big"]
+        # The static (statistics-free) compilation keeps the textual order.
+        static = compile_plan(query)
+        assert [atom.relation for atom in static.atoms] == ["Big", "Small"]
+        # Same signature bucket -> the exact same cached plan object.
+        assert get_plan(query, store) is plan
+        # The result set is identical either way (the oracle property).
+        oracle = Instance(schema)
+        for name in schema.names():
+            for tup in store.tuples(name):
+                oracle.add_unchecked(name, tup)
+        assert _multiset(satisfying_assignments(query, store)) == _multiset(
+            naive_satisfying_assignments(query, oracle)
+        )
+
+    def test_small_instances_skip_statistics(self):
+        from repro.queries.atoms import Atom
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.queries.terms import Variable
+
+        clear_plan_cache()
+        schema = make_schema({"Big": 2, "Small": 2})
+        store = SnapshotInstance(schema, {"Big": [("a", "b")]})
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        query = ConjunctiveQuery(
+            atoms=(Atom("Big", (x, y)), Atom("Small", (y, z)))
+        )
+        plan = get_plan(query, store)
+        assert [atom.relation for atom in plan.atoms] == ["Big", "Small"]
+        assert set(query.__dict__["_compiled_plan"]) == {None}  # no signature
+
+
+class TestDatalogGenerations:
+    def _setup(self):
+        from repro.access.answerability import accessible_part_program
+
+        generator = WorkloadGenerator(seed=23)
+        access_schema = generator.access_schema(
+            num_relations=2, methods_per_relation=2, max_inputs=1
+        )
+        hidden = generator.instance(
+            access_schema.schema, tuples_per_relation=8, domain_size=6
+        )
+        query = generator.conjunctive_query(
+            access_schema.schema, num_atoms=2, num_variables=3
+        )
+        program = accessible_part_program(access_schema, query)
+        database = Instance(program.edb_schema)
+        for name in hidden.relation_names():
+            for tup in hidden.tuples_view(name):
+                database.add(name, tup)
+        database.add("Init", ("v0",))
+        return program, database
+
+    def test_generation_log_matches_plain_evaluation(self):
+        program, database = self._setup()
+        plain = evaluate_program(program, database)
+        generations = fixedpoint_generations(program, database)
+        assert generations, "at least the seeded database generation"
+        # Generations grow monotonically and end at the fixedpoint.
+        sizes = [snap.size() for snap in generations]
+        assert sizes == sorted(sizes)
+        final = SnapshotInstance.from_snapshot(generations[-1])
+        assert final.freeze() == plain.freeze()
+        # Earlier generations are subsets of later ones (structure shared).
+        for earlier, later in zip(generations, generations[1:]):
+            facts = set(earlier.facts())
+            assert facts <= set(later.facts())
