@@ -13,7 +13,12 @@ evaluation, expansion (proof-tree) enumeration and the containment checks.
 """
 
 from repro.datalog.program import Rule, DatalogProgram
-from repro.datalog.evaluation import accepts, evaluate_program, fixedpoint_generations
+from repro.datalog.evaluation import (
+    FixedpointTruncated,
+    accepts,
+    evaluate_program,
+    fixedpoint_generations,
+)
 from repro.datalog.expansion import expansions, expansion_to_cq
 from repro.datalog.containment import (
     datalog_contained_in_ucq,
@@ -23,6 +28,7 @@ from repro.datalog.containment import (
 __all__ = [
     "Rule",
     "DatalogProgram",
+    "FixedpointTruncated",
     "evaluate_program",
     "fixedpoint_generations",
     "accepts",

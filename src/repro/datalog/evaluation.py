@@ -1,16 +1,32 @@
 """Bottom-up evaluation of Datalog programs.
 
 We provide naive and semi-naive fixedpoint evaluation.  Semi-naive is the
-default: at each round only rule instantiations using at least one fact
-derived in the previous round are considered.  Both produce the least
-fixedpoint ``P(D)`` of the program on a database ``D`` (the notation of the
-paper, Section 4.1).
+default, and the delta restriction is **compiled into the join plans**:
+for a rule with k body atoms, round n executes (up to) k delta-variant
+plans (:func:`repro.queries.evaluation.satisfying_assignments_delta`),
+the i-th binding body atom i to the facts derived in round n-1, atoms
+before i to the previous generation and atoms after i to the full state —
+the classic delta-rule rewrite, so no derivation is ever re-joined over
+the whole instance and then discarded post hoc.  Naive evaluation
+(``semi_naive=False``) re-derives everything each round and serves as the
+oracle the property tests compare against.  Both produce the least
+fixedpoint ``P(D)`` of the program on a database ``D`` (the notation of
+the paper, Section 4.1), round by identical round.
+
+The fixedpoint state lives on the persistent fact store by default
+(:class:`~repro.store.snapshot.SnapshotInstance`): per-round snapshots
+are O(#relations), the previous-generation side of the delta plans is a
+shared :meth:`~repro.store.snapshot.Snapshot.view` of the round's
+snapshot (warm indexes included), and ``generation_log`` provenance is a
+by-product rather than a separate mode.  ``store_backed=False`` keeps the
+dict-backed :class:`~repro.relational.instance.Instance` as the oracle
+backend (the old-generation side then lags one round behind in a second
+plain instance).
 
 Rule bodies are evaluated through the compiled join engine
-(:mod:`repro.queries.plan_cache` via
-:func:`repro.queries.evaluation.satisfying_assignments`); the body query of
-each rule is built once and cached, so a fixedpoint that re-fires the same
-rules round after round compiles each rule exactly once.
+(:mod:`repro.queries.plan_cache`); the body query of each rule is built
+once and cached, so a fixedpoint that re-fires the same rules round after
+round compiles each rule (and each of its delta variants) exactly once.
 """
 
 from __future__ import annotations
@@ -20,12 +36,41 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.datalog.program import DatalogProgram, Rule
 from repro.queries.cq import ConjunctiveQuery
-from repro.queries.evaluation import satisfying_assignments
+from repro.queries.evaluation import (
+    satisfying_assignments,
+    satisfying_assignments_delta,
+)
+from repro.queries.plan_cache import get_plan
 from repro.queries.terms import Constant, Variable
 from repro.relational.instance import Instance
 from repro.store.snapshot import Snapshot, SnapshotInstance
 
 Fact = Tuple[str, Tuple[object, ...]]
+
+
+class FixedpointTruncated(RuntimeError):
+    """``evaluate_program(max_rounds=...)`` ran out of rounds unconverged.
+
+    A truncated run is *not* the least fixedpoint, and silently returning
+    it makes truncation indistinguishable from convergence — ``accepts``
+    or ``goal_facts`` built on it could report wrong verdicts.  The
+    exception carries the partial state for callers that want it; pass
+    ``allow_truncation=True`` to opt into receiving the truncated state
+    as a return value instead.
+
+    Note the semantics: the error means convergence was **not verified**
+    within the budget (the last executed round still derived new facts),
+    not necessarily that further rounds would derive more.
+    """
+
+    def __init__(self, rounds: int, state: Union[Instance, SnapshotInstance]) -> None:
+        super().__init__(
+            f"Datalog fixedpoint not reached within max_rounds={rounds}; "
+            "pass allow_truncation=True to accept the partial result"
+        )
+        self.rounds = rounds
+        self.state = state
+
 
 # Per-rule body queries, keyed by rule identity with LRU eviction (the
 # same idiom as the plan cache).  Rules are frozen dataclasses owned by
@@ -52,37 +97,61 @@ def _body_query(rule: Rule) -> ConjunctiveQuery:
     return query
 
 
-def _rule_derivations(
-    rule: Rule, instance: Instance, delta: Optional[Set[Fact]] = None
-) -> Set[Fact]:
-    """Head facts derivable by *rule* from *instance*.
+def _head_fact(rule: Rule, assignment: Dict[Variable, object]) -> Fact:
+    head_values = []
+    for term in rule.head.terms:
+        if isinstance(term, Constant):
+            head_values.append(term.value)
+        else:
+            head_values.append(assignment[term])
+    return (rule.head.relation, tuple(head_values))
 
-    When *delta* is given, only derivations whose body uses at least one
-    fact from *delta* are returned (the semi-naive restriction).  The check
-    is performed post-hoc on the homomorphic image of the body, which keeps
-    the join code simple while preserving the semi-naive guarantee that no
-    derivation is missed (supersets are re-derived but deduplicated).
-    """
+
+def _rule_derivations(rule: Rule, instance) -> Set[Fact]:
+    """Head facts derivable by *rule* from *instance* (the full join)."""
     derived: Set[Fact] = set()
     body_query = _body_query(rule)
     for assignment in satisfying_assignments(body_query, instance):
-        if delta is not None:
-            uses_delta = False
-            for atom in rule.body:
-                fact = (atom.relation, atom.substitute(assignment))
-                if fact in delta:
-                    uses_delta = True
-                    break
-            if not uses_delta:
-                continue
-        head_values = []
-        for term in rule.head.terms:
-            if isinstance(term, Constant):
-                head_values.append(term.value)
-            else:
-                head_values.append(assignment[term])
-        derived.add((rule.head.relation, tuple(head_values)))
+        derived.add(_head_fact(rule, assignment))
     return derived
+
+
+def _rule_delta_derivations(
+    rule: Rule,
+    state,
+    old,
+    delta: Dict[str, Set[Tuple[object, ...]]],
+) -> Set[Fact]:
+    """Head facts of *rule* whose body uses at least one delta fact.
+
+    One compiled delta-variant plan per body position whose relation has
+    delta facts this round; positions over delta-free relations are
+    skipped outright (their variants cannot match).  The variants
+    partition the delta-using derivations by the first delta-bound
+    position, so together they derive exactly the facts the semi-naive
+    restriction asks for — no full re-join, no post-hoc filtering.
+    """
+    derived: Set[Fact] = set()
+    body_query = _body_query(rule)
+    for position, atom in enumerate(rule.body):
+        if not delta.get(atom.relation):
+            continue
+        for assignment in satisfying_assignments_delta(
+            body_query, state, old, delta, position
+        ):
+            derived.add(_head_fact(rule, assignment))
+    return derived
+
+
+def _rule_supports_delta(rule: Rule) -> bool:
+    """Whether *rule* has compiled delta variants.
+
+    Empty-body rules have no delta-bound position, and bodies the slot
+    compiler cannot cover (comparison variables occurring in no
+    relational atom) have no delta plans; both evaluate via the full join
+    each round instead — always sound, merely re-deriving.
+    """
+    return bool(rule.body) and not get_plan(_body_query(rule)).fallback
 
 
 def evaluate_program(
@@ -91,23 +160,47 @@ def evaluate_program(
     max_rounds: Optional[int] = None,
     semi_naive: bool = True,
     generation_log: Optional[List[Snapshot]] = None,
+    store_backed: Optional[bool] = None,
+    allow_truncation: bool = False,
 ) -> Union[Instance, SnapshotInstance]:
     """Compute the least fixedpoint ``P(D)`` of *program* on *database*.
 
     The result is an instance over the combined (EDB ∪ IDB) schema that
-    contains the database facts plus every derivable IDB fact.
+    contains the database facts plus every derivable IDB fact.  It is a
+    :class:`~repro.store.snapshot.SnapshotInstance` by default
+    (*store_backed* ``None``/``True``); ``store_backed=False`` runs on
+    the dict-backed :class:`~repro.relational.instance.Instance` — the
+    oracle backend the property tests compare against.
 
-    When *generation_log* is given, the fixedpoint runs on the persistent
-    fact store and one O(1) :class:`~repro.store.snapshot.Snapshot` per
-    generation (the seeded database, then the state after every round) is
-    appended to the list — the per-round provenance that deep copies
-    would make O(n·rounds).  The snapshots share structure with each
-    other and with the returned instance; the rule engine runs on the
-    store facade unchanged.
+    When *generation_log* is given, one O(1)
+    :class:`~repro.store.snapshot.Snapshot` per generation (the seeded
+    database, then the state after every round) is appended to the list —
+    per-round provenance that deep copies would make O(n·rounds).  The
+    snapshots share structure with each other and with the returned
+    instance; this requires the store backend.
+
+    When *max_rounds* is exhausted before a round derives nothing new,
+    the run is **truncated**, not converged, and
+    :class:`FixedpointTruncated` is raised (carrying the partial state);
+    pass ``allow_truncation=True`` to receive the truncated state as the
+    return value instead.
     """
+    if store_backed is None:
+        store_backed = True
+    if generation_log is not None and not store_backed:
+        raise ValueError("generation_log requires the store backend")
     combined = program.combined_schema()
-    state = Instance(combined) if generation_log is None else SnapshotInstance(combined)
-    delta: Set[Fact] = set()
+    state = SnapshotInstance(combined) if store_backed else Instance(combined)
+    # ``old`` is the previous-generation side of the delta plans: on the
+    # store it is a shared view of the last pre-round snapshot; on the
+    # dict backend it is a second instance lagging exactly one delta
+    # behind (each fact is added to it once, O(n) over the whole run).
+    old: Union[Instance, SnapshotInstance]
+    if store_backed:
+        old = state.snapshot().view()  # the empty pre-seed generation
+    else:
+        old = Instance(combined)
+    delta: Dict[str, Set[Tuple[object, ...]]] = {}
     for name in database.relation_names():
         tuples = database.tuples_view(name)
         if not tuples:
@@ -124,34 +217,52 @@ def evaluate_program(
             name in combined
             and combined.relation(name) == database.schema.relation(name)
         )
+        bucket = delta.setdefault(name, set())
         for tup in tuples:
             if compatible:
                 state.add_unchecked(name, tup)
             else:
                 tup = state.add(name, tup)
-            delta.add((name, tup))
+            bucket.add(tup)
     if generation_log is not None:
         generation_log.append(state.snapshot())
     rounds = 0
+    converged = False
     while True:
-        rounds += 1
-        if max_rounds is not None and rounds > max_rounds:
+        if max_rounds is not None and rounds >= max_rounds:
             break
+        rounds += 1
         new_facts: Set[Fact] = set()
         for rule in program.rules:
-            derivations = _rule_derivations(
-                rule, state, delta if semi_naive else None
-            )
+            if semi_naive and _rule_supports_delta(rule):
+                derivations = _rule_delta_derivations(rule, state, old, delta)
+            else:
+                derivations = _rule_derivations(rule, state)
             for fact in derivations:
                 if fact not in state:
                     new_facts.add(fact)
         if not new_facts:
+            converged = True
             break
+        if semi_naive:
+            # Advance the previous-generation side before mutating the
+            # state (naive mode reads neither ``old`` nor ``delta``).
+            if store_backed:
+                old = state.snapshot().view()
+            else:
+                for name, bucket in delta.items():
+                    for tup in bucket:
+                        old.add_unchecked(name, tup)
         for fact in new_facts:
             state.add_fact(fact)
         if generation_log is not None:
             generation_log.append(state.snapshot())
-        delta = new_facts
+        if semi_naive:
+            delta = {}
+            for name, tup in new_facts:
+                delta.setdefault(name, set()).add(tup)
+    if not converged and not allow_truncation:
+        raise FixedpointTruncated(rounds, state)
     return state
 
 
@@ -160,12 +271,14 @@ def fixedpoint_generations(
     database: Instance,
     max_rounds: Optional[int] = None,
     semi_naive: bool = True,
+    allow_truncation: bool = False,
 ) -> List[Snapshot]:
     """The per-round snapshots ``D = G0 ⊆ G1 ⊆ ... ⊆ P(D)`` of the fixedpoint.
 
     Convenience wrapper around ``evaluate_program(generation_log=...)``:
     returns the generation chain alone.  The last snapshot is the least
-    fixedpoint; all snapshots share structure.
+    fixedpoint (unless ``allow_truncation=True`` swallowed a truncated
+    run); all snapshots share structure.
     """
     log: List[Snapshot] = []
     evaluate_program(
@@ -174,6 +287,7 @@ def fixedpoint_generations(
         max_rounds=max_rounds,
         semi_naive=semi_naive,
         generation_log=log,
+        allow_truncation=allow_truncation,
     )
     return log
 

@@ -26,11 +26,27 @@ of adapting it.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.queries.atoms import Atom
 from repro.queries.cq import ConjunctiveQuery
-from repro.queries.plan_cache import atom_order, execute_plan, get_plan
+from repro.queries.plan_cache import (
+    atom_order,
+    execute_delta_plan,
+    execute_plan,
+    get_delta_plan,
+    get_plan,
+)
 from repro.queries.terms import Constant, Variable
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
 from repro.relational.instance import Instance
@@ -135,6 +151,38 @@ def satisfying_assignments(
         yield from naive_satisfying_assignments(query, instance)
         return
     yield from execute_plan(plan, query, instance)
+
+
+def satisfying_assignments_delta(
+    query: ConjunctiveQuery,
+    instance: Instance,
+    old_instance: Instance,
+    delta: Mapping[str, Iterable[Tuple[object, ...]]],
+    delta_atom: int,
+) -> Iterator[Assignment]:
+    """Assignments of the *delta_atom*-th semi-naive variant of *query*.
+
+    Enumerates exactly the satisfying assignments whose homomorphic image
+    binds body atom ``delta_atom`` to a fact of *delta*, every earlier
+    body atom to a fact of *old_instance* (the previous generation) and
+    every later one to a fact of *instance* (the full current state) —
+    the standard delta-rule decomposition, so the union over all body
+    positions is precisely the set of assignments using at least one
+    delta fact, each found exactly once (at its first delta-bound
+    position).
+
+    Production-only entry point: queries the slot compiler cannot cover
+    (comparisons over variables occurring in no relational atom) have no
+    delta plan and raise ``ValueError`` — callers fall back to the full
+    join for those (re-deriving is always sound, just slower).
+    """
+    plan = get_delta_plan(query, delta_atom, instance)
+    if plan.fallback:
+        raise ValueError(
+            "query cannot be slot-compiled; no delta variant exists: "
+            f"{query}"
+        )
+    yield from execute_delta_plan(plan, query, instance, old_instance, delta)
 
 
 def evaluate_cq(

@@ -23,6 +23,15 @@ names)`` (:func:`get_plan`), so the pattern "evaluate the same guard query
 against thousands of configurations" — the hot loop of every decision
 procedure in this repository — compiles exactly once.
 
+For semi-naive Datalog evaluation the same machinery compiles **delta
+variants** (:func:`get_delta_plan` / ``compile_plan(delta_atom=i)``): one
+plan per body position, with that atom bound to the per-round delta fact
+set and every other atom tagged with the side it reads from (previous
+generation for earlier positions, full state for later ones).  The delta
+executor (:func:`execute_delta_plan`) dispatches each atom to its source,
+scanning the small delta set directly instead of probing a per-position
+index for it.
+
 The compiled executor is *semantics-preserving* with respect to the naive
 backtracking oracle
 (:func:`repro.queries.evaluation.naive_satisfying_assignments`): both
@@ -38,7 +47,17 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.queries.atoms import Atom, Equality, Inequality
 from repro.queries.cq import ConjunctiveQuery
@@ -62,6 +81,15 @@ UNBOUND = _Unbound()
 _OP_CONST = 0  # tup[pos] must equal a constant value
 _OP_CHECK = 1  # tup[pos] must equal the value already in a slot
 _OP_BIND = 2  # write tup[pos] into a slot (first occurrence)
+
+# Per-atom sources for delta-variant plans (semi-naive evaluation).  A
+# plain plan reads every atom from the one instance it is executed
+# against (``SRC_NEW``); a delta variant reads the delta-bound atom from
+# the small per-round fact set and the atoms *preceding* it (in original
+# body order) from the previous generation.  See :func:`compile_plan`.
+SRC_NEW = 0  # the full current state
+SRC_OLD = 1  # the previous generation
+SRC_DELTA = 2  # the per-round delta fact set
 
 
 @dataclass(frozen=True)
@@ -94,6 +122,7 @@ class CompiledAtom:
     probes: Tuple[Tuple[int, bool, object], ...]  # (position, is_const, payload)
     binds: Tuple[int, ...]
     checks: Tuple[CompiledComparison, ...]  # comparisons decidable after this atom
+    source: int = SRC_NEW  # which side a delta-variant executor reads from
 
 
 @dataclass(frozen=True)
@@ -129,14 +158,34 @@ def atom_order(
     the same ``relation_count(s)`` API for parity, but keeps the
     statistics-free fast path.
     """
-    remaining = list(atoms)
-    ordered: List[Atom] = []
-    bound: Set[Variable] = set()
+    atoms_list = list(atoms)
+    order = _greedy_order(
+        atoms_list, range(len(atoms_list)), set(), cardinalities
+    )
+    return [atoms_list[index] for index in order]
+
+
+def _greedy_order(
+    atoms: Sequence[Atom],
+    candidates: Iterable[int],
+    bound: Set[Variable],
+    cardinalities: Optional[Mapping[str, int]],
+) -> List[int]:
+    """The greedy ordering of :func:`atom_order`, over atom *indices*.
+
+    Working on indices (rather than atom values) lets the delta-variant
+    compiler keep track of each atom's original body position even when
+    the same atom value occurs at several positions; *bound* seeds the
+    already-bound variable set (the delta-bound atom's variables).
+    """
+    remaining = list(candidates)
+    ordered: List[int] = []
+    bound = set(bound)
     while remaining:
         best_index = 0
         best_key: Optional[Tuple[int, ...]] = None
         for index, candidate in enumerate(remaining):
-            variables = candidate.variables()
+            variables = atoms[candidate].variables()
             if cardinalities is None:
                 key: Tuple[int, ...] = (
                     len(variables - bound),
@@ -146,14 +195,14 @@ def atom_order(
                 key = (
                     len(variables - bound),
                     -len(variables & bound),
-                    cardinalities.get(candidate.relation, 0),
+                    cardinalities.get(atoms[candidate].relation, 0),
                 )
             if best_key is None or key < best_key:
                 best_key = key
                 best_index = index
         chosen = remaining.pop(best_index)
         ordered.append(chosen)
-        bound |= chosen.variables()
+        bound |= atoms[chosen].variables()
     return ordered
 
 
@@ -179,14 +228,39 @@ def _compile_comparison(
 def compile_plan(
     query: ConjunctiveQuery,
     cardinalities: Optional[Mapping[str, int]] = None,
+    delta_atom: Optional[int] = None,
 ) -> QueryPlan:
     """Compile *query* into a :class:`QueryPlan` (no instance required).
 
     *cardinalities* optionally feeds recorded per-relation statistics into
     the atom ordering (see :func:`atom_order`); the compiled plan is
     correct for any instance regardless.
+
+    *delta_atom* selects the **semi-naive delta variant** bound at that
+    original body position: the chosen atom reads from the per-round
+    delta fact set (``SRC_DELTA``) and is scheduled first (the delta is
+    the small side of the join by construction), atoms at earlier body
+    positions read from the previous generation (``SRC_OLD``) and atoms
+    at later positions from the full current state (``SRC_NEW``) — the
+    classic delta-rule rewrite, partitioning the delta-using derivations
+    by the first body position bound to a delta fact.  Delta variants
+    execute through :func:`execute_delta_plan`.
     """
-    ordered = atom_order(query.atoms, cardinalities)
+    atoms_list = list(query.atoms)
+    if delta_atom is None:
+        order = _greedy_order(atoms_list, range(len(atoms_list)), set(), cardinalities)
+        sources = [SRC_NEW] * len(atoms_list)
+    else:
+        rest = [index for index in range(len(atoms_list)) if index != delta_atom]
+        order = [delta_atom] + _greedy_order(
+            atoms_list, rest, set(atoms_list[delta_atom].variables()), cardinalities
+        )
+        sources = [
+            SRC_OLD if index < delta_atom else SRC_NEW
+            for index in range(len(atoms_list))
+        ]
+        sources[delta_atom] = SRC_DELTA
+    ordered = [atoms_list[index] for index in order]
 
     atom_variables: Set[Variable] = set()
     for atom in ordered:
@@ -225,9 +299,10 @@ def compile_plan(
             continue
         pending.append((comparison, is_equality))
 
+    ordered_sources = [sources[index] for index in order]
     compiled_atoms: List[CompiledAtom] = []
     bound_before: Set[Variable] = set()
-    for atom in ordered:
+    for atom, atom_source in zip(ordered, ordered_sources):
         ops: List[Tuple[int, int, object]] = []
         probes: List[Tuple[int, bool, object]] = []
         binds: List[int] = []
@@ -264,6 +339,7 @@ def compile_plan(
                 probes=tuple(probes),
                 binds=tuple(binds),
                 checks=tuple(checks),
+                source=atom_source,
             )
         )
     assert not pending  # every comparison variable occurs in some atom
@@ -349,6 +425,34 @@ def get_plan(query: ConjunctiveQuery, instance: Optional[Instance] = None) -> Qu
     instances and the dict-backed ``Instance`` keep the statistics-free
     fast path (and its exact cost).
     """
+    return _get_plan_memoized(query, instance, None)
+
+
+def get_delta_plan(
+    query: ConjunctiveQuery,
+    delta_atom: int,
+    instance: Optional[Instance] = None,
+) -> QueryPlan:
+    """The compiled semi-naive delta variant of *query* (see :func:`compile_plan`).
+
+    Memoised exactly like :func:`get_plan` (the two share one
+    implementation) — a per-object fast path keyed by ``(delta_atom,
+    signature)`` plus the shared value-keyed LRU — so a Datalog
+    fixedpoint that re-fires the same rules round after round compiles
+    each of the k delta variants of a k-atom rule exactly once.
+    """
+    return _get_plan_memoized(query, instance, delta_atom)
+
+
+def _get_plan_memoized(
+    query: ConjunctiveQuery,
+    instance: Optional[Instance],
+    delta_atom: Optional[int],
+) -> QueryPlan:
+    """The shared two-level memoisation behind :func:`get_plan` /
+    :func:`get_delta_plan` — one caching policy, so the plain and delta
+    paths can never diverge on thresholds, eviction or the
+    unhashable-constant fallback."""
     global _hits, _misses
     sig = (
         _stats_signature(query, instance)
@@ -356,12 +460,20 @@ def get_plan(query: ConjunctiveQuery, instance: Optional[Instance] = None) -> Qu
         and instance.size() >= _STATS_MIN_COUNT
         else None
     )
-    # The per-object attach maps signature -> plan, so a query evaluated
-    # against instances in different signature buckets (or alternating
-    # between backends) keeps the fast path for every bucket it has seen.
-    entry = query.__dict__.get("_compiled_plan")
+    # The per-object attach maps signature -> plan (delta variants use a
+    # separate attribute keyed by ``(delta_atom, sig)``), so a query
+    # evaluated against instances in different signature buckets (or
+    # alternating between backends) keeps the fast path for every bucket
+    # it has seen.
+    if delta_atom is None:
+        attach_attr = "_compiled_plan"
+        attach_key: object = sig
+    else:
+        attach_attr = "_compiled_delta_plans"
+        attach_key = (delta_atom, sig)
+    entry = query.__dict__.get(attach_attr)
     if entry is not None:
-        plan = entry.get(sig)
+        plan = entry.get(attach_key)
         if plan is not None:
             _hits += 1
             return plan
@@ -372,18 +484,22 @@ def get_plan(query: ConjunctiveQuery, instance: Optional[Instance] = None) -> Qu
 
     def attach(plan: QueryPlan) -> None:
         if entry is not None:
-            entry[sig] = plan
+            entry[attach_key] = plan
         else:
-            object.__setattr__(query, "_compiled_plan", {sig: plan})
+            object.__setattr__(query, attach_attr, {attach_key: plan})
 
     try:
-        key = (query, schema_key, sig)
+        key = (
+            (query, schema_key, sig)
+            if delta_atom is None
+            else (query, schema_key, sig, delta_atom)
+        )
         plan = _PLAN_CACHE.get(key)
     except TypeError:
         # Unhashable constant somewhere in the query: the value-keyed LRU
         # cannot hold it, but the per-object attach (plain setattr) can.
         _misses += 1
-        plan = compile_plan(query, cardinalities)
+        plan = compile_plan(query, cardinalities, delta_atom=delta_atom)
         attach(plan)
         return plan
     if plan is not None:
@@ -391,7 +507,7 @@ def get_plan(query: ConjunctiveQuery, instance: Optional[Instance] = None) -> Qu
         _PLAN_CACHE.move_to_end(key)
     else:
         _misses += 1
-        plan = compile_plan(query, cardinalities)
+        plan = compile_plan(query, cardinalities, delta_atom=delta_atom)
         _PLAN_CACHE[key] = plan
         if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
             _PLAN_CACHE.popitem(last=False)
@@ -423,6 +539,9 @@ def plan_cache_info() -> Dict[str, int]:
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
+_EMPTY_DELTA: Mapping[str, Tuple[Tuple[object, ...], ...]] = {}
+
+
 def execute_plan(
     plan: QueryPlan, query: ConjunctiveQuery, instance: Instance
 ) -> Iterator[Assignment]:
@@ -430,7 +549,38 @@ def execute_plan(
 
     Yields one dictionary per solution (mapping every body variable to its
     value); intermediate join states live in a single mutable slot array,
-    so no per-extension dictionaries are allocated.
+    so no per-extension dictionaries are allocated.  A plain plan is a
+    delta plan whose atoms all read the current state, so this is the
+    all-``SRC_NEW`` instantiation of :func:`execute_delta_plan` (one
+    shared matcher — the path the engine-oracle property tests pin down).
+    """
+    return execute_delta_plan(plan, query, instance, instance, _EMPTY_DELTA)
+
+
+def execute_delta_plan(
+    plan: QueryPlan,
+    query: ConjunctiveQuery,
+    instance: Instance,
+    old_instance: Instance,
+    delta: Mapping[str, Iterable[Tuple[object, ...]]],
+) -> Iterator[Assignment]:
+    """Enumerate the satisfying assignments of a (delta-variant) plan.
+
+    Per-atom source dispatch (:data:`SRC_NEW` / :data:`SRC_OLD` /
+    :data:`SRC_DELTA`): new-side atoms probe *instance*, old-side atoms
+    probe *old_instance* (the previous generation), and the delta-bound
+    atom scans ``delta[relation]`` directly — the per-round fact set is
+    small by construction, so a linear scan beats building any index for
+    it.
+
+    For non-delta atoms the most selective available index bucket is
+    probed, falling back to a full scan only for atoms with no bound
+    position; the chosen source is snapshotted before iteration (the
+    cached frozenset for a full scan, a tuple copy for a bucket), so
+    callers may mutate the instance while lazily consuming the generator
+    — the same contract as the naive oracle.  The *delta* mapping itself
+    must not be mutated mid-consumption (the Datalog evaluator
+    materialises each round's derivations before mutating anything).
     """
     if plan.always_false:
         return
@@ -438,37 +588,37 @@ def execute_plan(
     num_atoms = len(atoms)
     slots: List[object] = [UNBOUND] * plan.num_slots
     slot_variables = plan.slot_variables
-    data = instance._data  # len/existence checks only; never iterated
 
     def matches(index: int) -> Iterator[Assignment]:
         if index == num_atoms:
             yield dict(zip(slot_variables, slots))
             return
         compiled = atoms[index]
-        relation_tuples = data.get(compiled.relation)
-        if relation_tuples is None or not relation_tuples:
-            return
-        # Pick the most selective available index bucket; fall back to a
-        # full scan only for atoms with no bound position.  The chosen
-        # source is snapshotted before iteration (the cached frozenset for
-        # a full scan, a tuple copy for a bucket) so callers may mutate the
-        # instance while lazily consuming the generator — the same
-        # contract as the naive oracle.
-        bucket_size = len(relation_tuples)
-        best_bucket = None
-        for position, is_const, payload in compiled.probes:
-            value = payload if is_const else slots[payload]
-            bucket = instance.index(compiled.relation, position, value)
-            if len(bucket) < bucket_size:
-                bucket_size = len(bucket)
-                best_bucket = bucket
-                if not bucket:
-                    return
-        candidates = (
-            instance.tuples(compiled.relation)
-            if best_bucket is None
-            else tuple(best_bucket)
-        )
+        source = compiled.source
+        if source == SRC_DELTA:
+            candidates = delta.get(compiled.relation)
+            if not candidates:
+                return
+        else:
+            side = instance if source == SRC_NEW else old_instance
+            relation_tuples = side._data.get(compiled.relation)
+            if relation_tuples is None or not relation_tuples:
+                return
+            bucket_size = len(relation_tuples)
+            best_bucket = None
+            for position, is_const, payload in compiled.probes:
+                value = payload if is_const else slots[payload]
+                bucket = side.index(compiled.relation, position, value)
+                if len(bucket) < bucket_size:
+                    bucket_size = len(bucket)
+                    best_bucket = bucket
+                    if not bucket:
+                        return
+            candidates = (
+                side.tuples(compiled.relation)
+                if best_bucket is None
+                else tuple(best_bucket)
+            )
         ops = compiled.ops
         binds = compiled.binds
         checks = compiled.checks

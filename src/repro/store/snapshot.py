@@ -204,7 +204,15 @@ class Snapshot:
     search revisits, which share almost all of their structure.
     """
 
-    __slots__ = ("schema", "shards", "count", "hash_sum", "hash_xor", "_hash")
+    __slots__ = (
+        "schema",
+        "shards",
+        "count",
+        "hash_sum",
+        "hash_xor",
+        "_hash",
+        "_view",
+    )
 
     def __init__(
         self,
@@ -220,6 +228,7 @@ class Snapshot:
         self.hash_sum = hash_sum
         self.hash_xor = hash_xor
         self._hash = hash((count, hash_sum, hash_xor))
+        self._view: Optional["SnapshotInstance"] = None
 
     def size(self) -> int:
         """Total number of facts in the snapshotted state."""
@@ -244,6 +253,24 @@ class Snapshot:
         for name, tup in self.facts():
             instance.add_unchecked(name, tup)
         return instance
+
+    def view(self) -> "SnapshotInstance":
+        """A shared **read-only** facade positioned at this snapshot.
+
+        O(#relations) on first call, O(1) afterwards (the facade is cached
+        on the snapshot), and it runs the compiled join plans unchanged —
+        this is how the semi-naive Datalog evaluator reads the
+        previous-generation side of its delta plans off the same snapshot
+        chain it logs.  The shards (and therefore their warm per-position
+        indexes) are shared with every other holder of this snapshot, so
+        callers must treat the view as immutable: mutate a private branch
+        from :meth:`SnapshotInstance.from_snapshot` instead.
+        """
+        view = self._view
+        if view is None:
+            view = SnapshotInstance.from_snapshot(self)
+            self._view = view
+        return view
 
     def __hash__(self) -> int:
         return self._hash

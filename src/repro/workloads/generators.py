@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.access.methods import Access, AccessMethod, AccessSchema
 from repro.access.path import AccessPath, PathStep
-from repro.queries.atoms import Atom
+from repro.datalog.program import DatalogProgram, Rule
+from repro.queries.atoms import Atom, Equality, Inequality
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.terms import Constant, Variable
 from repro.queries.ucq import UnionOfConjunctiveQueries
@@ -99,6 +100,23 @@ class WorkloadGenerator:
                 )
         return instance
 
+    def chain_instance(
+        self, schema: Schema, relation: str, length: int
+    ) -> Instance:
+        """A simple path ``c0 -> c1 -> ... -> c{length}`` in binary *relation*.
+
+        The deep-recursion Datalog workload: transitive closure over this
+        chain needs ``length - 1`` semi-naive rounds and derives a
+        quadratic number of facts, which is exactly the shape where
+        re-joining the whole instance every round dominates.
+        """
+        if schema.arity(relation) != 2:
+            raise ValueError(f"chain_instance needs a binary relation, got {relation!r}")
+        instance = Instance(schema)
+        for index in range(length):
+            instance.add(relation, (f"c{index}", f"c{index + 1}"))
+        return instance
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -149,6 +167,86 @@ class WorkloadGenerator:
                     candidate = candidate.boolean_version()
                 disjuncts.append(candidate)
         return UnionOfConjunctiveQueries(tuple(disjuncts))
+
+    # ------------------------------------------------------------------
+    # Datalog programs
+    # ------------------------------------------------------------------
+    def datalog_program(
+        self,
+        schema: Schema,
+        num_idb: int = 2,
+        rules_per_idb: int = 2,
+        max_body_atoms: int = 3,
+        idb_body_probability: float = 0.5,
+        constant_probability: float = 0.1,
+        comparison_probability: float = 0.25,
+        domain: Sequence[object] = ("v0", "v1", "v2"),
+    ) -> DatalogProgram:
+        """A random (possibly recursive) Datalog program over EDB *schema*.
+
+        IDB predicates ``P0 .. P{num_idb-1}`` get random small arities;
+        rule bodies mix EDB and IDB atoms (so recursion arises naturally),
+        sprinkle constants, and occasionally carry an equality or
+        inequality between body variables.  Head variables are always
+        drawn from the body, so every generated rule is safe, and heads
+        never invent values, so every fixedpoint is finite.  The goal is
+        ``P0``.  Used by the semi-naive/naive agreement property tests.
+        """
+        idb_relations = [
+            Relation(f"P{index}", self._rng.randint(1, 2))
+            for index in range(num_idb)
+        ]
+        edb_relations = list(schema)
+        variables = [Variable(f"x{i}") for i in range(6)]
+        values = list(domain)
+        rules: List[Rule] = []
+        for head_relation in idb_relations:
+            for _ in range(rules_per_idb):
+                body: List[Atom] = []
+                for _ in range(self._rng.randint(1, max_body_atoms)):
+                    if self._rng.random() < idb_body_probability:
+                        relation = self._rng.choice(idb_relations)
+                    else:
+                        relation = self._rng.choice(edb_relations)
+                    terms = tuple(
+                        Constant(self._rng.choice(values))
+                        if self._rng.random() < constant_probability
+                        else self._rng.choice(variables)
+                        for _ in range(relation.arity)
+                    )
+                    body.append(Atom(relation.name, terms))
+                body_variables = sorted(
+                    {v for atom in body for v in atom.variables()},
+                    key=lambda v: v.name,
+                )
+                head_terms = tuple(
+                    self._rng.choice(body_variables)
+                    if body_variables
+                    else Constant(self._rng.choice(values))
+                    for _ in range(head_relation.arity)
+                )
+                equalities: List[Equality] = []
+                inequalities: List[Inequality] = []
+                if (
+                    len(body_variables) >= 2
+                    and self._rng.random() < comparison_probability
+                ):
+                    left, right = self._rng.sample(body_variables, 2)
+                    if self._rng.random() < 0.5:
+                        equalities.append(Equality(left, right))
+                    else:
+                        inequalities.append(Inequality(left, right))
+                rules.append(
+                    Rule(
+                        head=Atom(head_relation.name, head_terms),
+                        body=tuple(body),
+                        equalities=tuple(equalities),
+                        inequalities=tuple(inequalities),
+                    )
+                )
+        return DatalogProgram(
+            rules=rules, edb_schema=schema, goal=idb_relations[0].name
+        )
 
     # ------------------------------------------------------------------
     # Paths

@@ -19,6 +19,15 @@ from repro.workloads.directory import (
 )
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "regression_guard: runs the benchmark suite (smoke) through "
+        "benchmarks/check_regression.py against the committed baseline; "
+        "deselect with -m 'not regression_guard' for fast local loops",
+    )
+
+
 @pytest.fixture
 def simple_schema() -> Schema:
     """A small untyped schema used by the relational/query tests."""

@@ -1,5 +1,8 @@
 """Tests for the Datalog substrate: programs, evaluation, expansions, containment."""
 
+import gc
+import weakref
+
 import pytest
 
 from repro.datalog.containment import (
@@ -8,14 +11,24 @@ from repro.datalog.containment import (
     find_counterexample_database,
     nonrecursive_program_to_ucq,
 )
-from repro.datalog.evaluation import accepts, evaluate_program, goal_facts
+from repro.datalog import evaluation as datalog_evaluation
+from repro.datalog.evaluation import (
+    FixedpointTruncated,
+    _BODY_QUERY_CACHE,
+    _body_query,
+    accepts,
+    evaluate_program,
+    fixedpoint_generations,
+    goal_facts,
+)
 from repro.datalog.expansion import count_expansions, expansions
 from repro.datalog.program import DatalogError, DatalogProgram, Rule
-from repro.queries.atoms import Atom
+from repro.queries.atoms import Atom, Equality, Inequality
 from repro.queries.parser import parse_cq, parse_ucq
 from repro.queries.terms import Constant, Variable
 from repro.relational.instance import Instance
 from repro.relational.schema import make_schema
+from repro.store.snapshot import SnapshotInstance
 
 
 def var(name):
@@ -112,8 +125,161 @@ class TestEvaluation:
         assert goal_facts(program, chain_db) == frozenset({("b",)})
 
     def test_max_rounds_limits_fixedpoint(self, tc_program, chain_db):
-        limited = evaluate_program(tc_program, chain_db, max_rounds=1)
+        limited = evaluate_program(
+            tc_program, chain_db, max_rounds=1, allow_truncation=True
+        )
         assert len(limited.tuples("Path")) < 6
+
+    def test_store_backed_by_default(self, tc_program, chain_db):
+        fixedpoint = evaluate_program(tc_program, chain_db)
+        assert isinstance(fixedpoint, SnapshotInstance)
+        legacy = evaluate_program(tc_program, chain_db, store_backed=False)
+        assert isinstance(legacy, Instance)
+        assert fixedpoint.freeze() == legacy.freeze()
+
+    def test_generation_log_requires_store(self, tc_program, chain_db):
+        with pytest.raises(ValueError):
+            evaluate_program(
+                tc_program, chain_db, store_backed=False, generation_log=[]
+            )
+
+    def test_empty_body_rule_fires(self, edge_schema, chain_db):
+        # No delta variant exists for an empty body; the full-join path
+        # must still derive the constant fact.
+        rules = [
+            Rule(head=Atom("Seed", (Constant("k"),)), body=()),
+            Rule(
+                head=Atom("Both", (var("y"),)),
+                body=(Atom("Seed", (var("y"),)),),
+            ),
+        ]
+        program = DatalogProgram(rules=rules, edb_schema=edge_schema, goal="Both")
+        assert goal_facts(program, chain_db) == frozenset({("k",)})
+
+    def test_rules_with_comparisons(self, edge_schema, chain_db):
+        rules = [
+            Rule(
+                head=Atom("Hop", (var("x"), var("z"))),
+                body=(
+                    Atom("Edge", (var("x"), var("y"))),
+                    Atom("Edge", (var("y"), var("z"))),
+                ),
+                inequalities=(Inequality(var("x"), var("z")),),
+            )
+        ]
+        program = DatalogProgram(rules=rules, edb_schema=edge_schema, goal="Hop")
+        for store in (True, False):
+            result = evaluate_program(program, chain_db, store_backed=store)
+            assert result.tuples("Hop") == frozenset({("a", "c"), ("b", "d")})
+
+
+class TestTruncationSurfaced:
+    def test_truncated_run_raises_by_default(self, tc_program, chain_db):
+        with pytest.raises(FixedpointTruncated) as excinfo:
+            evaluate_program(tc_program, chain_db, max_rounds=1)
+        # The exception carries the partial state for diagnostics.
+        assert excinfo.value.rounds == 1
+        assert len(excinfo.value.state.tuples("Path")) < 6
+
+    def test_sufficient_budget_converges_without_raising(
+        self, tc_program, chain_db
+    ):
+        # The chain needs 3 derivation rounds plus one empty round to
+        # *verify* convergence; a budget of 4 therefore succeeds.
+        full = evaluate_program(tc_program, chain_db, max_rounds=4)
+        assert len(full.tuples("Path")) == 6
+
+    def test_exact_round_budget_is_still_truncation(self, tc_program, chain_db):
+        # Round 3 derives the last fact, so a 3-round budget never
+        # observes an empty round: convergence is unverified and the run
+        # must be reported truncated, not silently returned.
+        with pytest.raises(FixedpointTruncated):
+            evaluate_program(tc_program, chain_db, max_rounds=3)
+        truncated = evaluate_program(
+            tc_program, chain_db, max_rounds=3, allow_truncation=True
+        )
+        assert len(truncated.tuples("Path")) == 6
+
+    def test_truncated_accepts_cannot_report_wrong_verdict(
+        self, tc_program, chain_db
+    ):
+        # accepts/goal_facts run with no round budget, so they can never
+        # silently build a verdict on a truncated fixedpoint.
+        assert accepts(tc_program, chain_db)
+        assert len(goal_facts(tc_program, chain_db)) == 6
+
+    def test_fixedpoint_generations_surfaces_truncation(
+        self, tc_program, chain_db
+    ):
+        with pytest.raises(FixedpointTruncated):
+            fixedpoint_generations(tc_program, chain_db, max_rounds=1)
+        partial = fixedpoint_generations(
+            tc_program, chain_db, max_rounds=1, allow_truncation=True
+        )
+        assert len(partial) == 2  # the seed generation + one round
+
+    def test_naive_mode_truncates_identically(self, tc_program, chain_db):
+        with pytest.raises(FixedpointTruncated):
+            evaluate_program(tc_program, chain_db, max_rounds=1, semi_naive=False)
+
+
+class TestBodyQueryCache:
+    def _rule(self, tag):
+        return Rule(
+            head=Atom("P", (var("x"),)),
+            body=(Atom("Edge", (var("x"), Constant(tag))),),
+        )
+
+    def test_stale_identity_entry_is_rejected(self):
+        # The id()-recycling scenario the ``cached[0] is rule`` guard
+        # defends against: an entry keyed at this rule's id() but pinning
+        # a *different* rule must never be served.
+        r1 = self._rule("t1")
+        r2 = self._rule("t2")
+        q1 = _body_query(r1)
+        _BODY_QUERY_CACHE[id(r2)] = (r1, q1)  # plant the stale entry
+        try:
+            q2 = _body_query(r2)
+            assert q2 is not q1
+            assert q2.atoms == r2.body
+        finally:
+            _BODY_QUERY_CACHE.pop(id(r1), None)
+            _BODY_QUERY_CACHE.pop(id(r2), None)
+
+    def test_entry_pins_rule_until_eviction(self, monkeypatch):
+        # While an entry lives it holds a strong reference to its rule,
+        # so the identity key *cannot* be recycled; only LRU eviction
+        # unpins it — and then the entry is gone, so a new rule allocated
+        # at the recycled id() compiles fresh instead of seeing stale
+        # state.  This is the invariant that makes the id() keying sound.
+        monkeypatch.setattr(datalog_evaluation, "_BODY_QUERY_CACHE_MAX", 4)
+        _BODY_QUERY_CACHE.clear()
+        pinned = self._rule("pinned")
+        pinned_id = id(pinned)
+        reference = weakref.ref(pinned)
+        _body_query(pinned)
+        del pinned
+        gc.collect()
+        assert reference() is not None, "live cache entry must pin its rule"
+        # Force eviction of the pinned entry by filling the tiny cache.
+        for index in range(8):
+            _body_query(self._rule(f"filler{index}"))
+        assert len(_BODY_QUERY_CACHE) <= 5
+        gc.collect()
+        assert reference() is None, "eviction must unpin the rule"
+        # If the allocator recycled the evicted rule's id for a filler,
+        # the entry at that key pins the *new* rule (the identity guard's
+        # precondition) — never the dead one.
+        entry = _BODY_QUERY_CACHE.get(pinned_id)
+        if entry is not None:
+            assert id(entry[0]) == pinned_id
+        # A new rule (possibly allocated at the recycled id) gets a
+        # fresh compilation keyed to itself.
+        fresh = self._rule("fresh")
+        query = _body_query(fresh)
+        assert _BODY_QUERY_CACHE[id(fresh)][0] is fresh
+        assert query.atoms == fresh.body
+        _BODY_QUERY_CACHE.clear()
 
 
 class TestExpansions:

@@ -124,6 +124,43 @@ class TestSequentialFallback:
         assert parallel_module.parallel_chains_enabled() is False
 
 
+class TestParallelChainsEnvParsing:
+    """``REPRO_PARALLEL_CHAINS`` value parsing, case by case."""
+
+    @pytest.mark.parametrize(
+        "value",
+        ["0", "false", "False", "FALSE", "no", "No", "off", "OFF", "", "  ", " 0 "],
+    )
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(parallel_module.PARALLEL_CHAINS_ENV, value)
+        assert parallel_module.parallel_chains_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "True", "yes", "on", "2", " 1 "])
+    def test_enabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(parallel_module.PARALLEL_CHAINS_ENV, value)
+        assert parallel_module.parallel_chains_enabled() is True
+
+    def test_unset_disables(self, monkeypatch):
+        monkeypatch.delenv(parallel_module.PARALLEL_CHAINS_ENV, raising=False)
+        assert parallel_module.parallel_chains_enabled() is False
+
+    def test_zero_verifiably_bypasses_the_pool(self, vocabulary, monkeypatch):
+        # With REPRO_PARALLEL_CHAINS=0 and parallel=None, the emptiness
+        # pipeline must stay on the in-process loop: the pool fan-out is
+        # rigged to explode if touched.
+        monkeypatch.setenv(parallel_module.PARALLEL_CHAINS_ENV, "0")
+
+        def _explode(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("process pool used despite REPRO_PARALLEL_CHAINS=0")
+
+        monkeypatch.setattr(parallel_module, "map_chain_outcomes", _explode)
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True)
+        result = automaton_emptiness(
+            automaton, vocabulary, max_paths=1500, use_datalog_precheck=False
+        )
+        assert result.chains_checked >= 1
+
+
 class TestWorkerUnit:
     def test_check_restriction_matches_inline_fold(self, vocabulary):
         """The worker unit itself is the sequential unit (shared code)."""

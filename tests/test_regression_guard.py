@@ -1,15 +1,18 @@
-"""Unit tests for the benchmark regression guard (pure comparison logic)."""
+"""Tests for the benchmark regression guard: comparison logic + CI wiring."""
 
 from __future__ import annotations
 
 import importlib.util
 import pathlib
+import sys
+
+import pytest
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 _SPEC = importlib.util.spec_from_file_location(
     "check_regression",
-    pathlib.Path(__file__).resolve().parent.parent
-    / "benchmarks"
-    / "check_regression.py",
+    _REPO_ROOT / "benchmarks" / "check_regression.py",
 )
 check_regression = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(check_regression)
@@ -80,6 +83,50 @@ class TestCompare:
         )
         text = check_regression.render(rows)
         assert "a" in text and "b" in text and "ok" in text
+
+
+@pytest.mark.regression_guard
+def test_guard_smoke_run_against_committed_baseline(capsys):
+    """The tier-1 wiring of ROADMAP's "Regression guard in CI" item.
+
+    Runs the real benchmark suite in smoke mode and feeds it through
+    ``check_regression.main`` against the committed
+    ``BENCH_evaluation_smoke.json`` — a like-for-like (smoke vs smoke)
+    comparison, so the guard genuinely **enforces**: a calibrated
+    slowdown beyond the threshold on both estimators fails the tier-1
+    suite.  Machine drift is normalised by the frozen ``cq_naive`` oracle
+    row and sub-noise-floor rows are skipped; because smoke sizes make
+    the calibration row itself only a few milliseconds (so its own noise
+    leaks into every calibrated ratio), the smoke guard runs with a wider
+    threshold (40%) and a higher floor (20 ms) than CI's full-mode
+    comparison — still far below the multi-x effects it exists to catch
+    (losing the compiled deltas is a 6x+ regression on
+    ``datalog_fixedpoint_delta``).  The separate full-mode
+    ``BENCH_evaluation.json`` remains the perf-trajectory record for CI's
+    full runs at the default 25%.  Deselect with
+    ``-m 'not regression_guard'`` when iterating locally.
+    """
+    bench_dir = str(_REPO_ROOT / "benchmarks")
+    sys.path.insert(0, bench_dir)
+    try:
+        exit_code = check_regression.main(
+            [
+                "--baseline",
+                str(_REPO_ROOT / "BENCH_evaluation_smoke.json"),
+                "--run",
+                "--smoke",
+                "--threshold",
+                "0.4",
+                "--noise-floor-ms",
+                "20",
+            ]
+        )
+    finally:
+        sys.path.remove(bench_dir)
+    output = capsys.readouterr().out
+    assert "datalog_fixedpoint_delta" in output
+    assert "datalog_fixedpoint_posthoc" in output
+    assert exit_code == 0, f"benchmark regression detected:\n{output}"
 
 
 class TestMain:

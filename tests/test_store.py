@@ -312,6 +312,30 @@ class TestStatisticsDrivenPlans:
         assert set(query.__dict__["_compiled_plan"]) == {None}  # no signature
 
 
+class TestSnapshotView:
+    def test_view_is_cached_and_positioned_at_the_snapshot(self):
+        schema = make_schema({"R": 2})
+        store = SnapshotInstance(schema, {"R": [("a", "b")]})
+        snap = store.snapshot()
+        view = snap.view()
+        assert view is snap.view()  # cached on the snapshot
+        assert view.tuples("R") == frozenset({("a", "b")})
+        # Later mutations of the originating facade never leak into the view.
+        store.add("R", ("c", "d"))
+        assert view.tuples("R") == frozenset({("a", "b")})
+        assert view.snapshot() == snap
+
+    def test_view_shares_warm_indexes_with_the_source(self):
+        schema = make_schema({"R": 2})
+        store = SnapshotInstance(schema, {"R": [("a", "b"), ("a", "c")]})
+        # Probe through the facade first so the shard index is built.
+        assert store.index("R", 0, "a") == frozenset({("a", "b"), ("a", "c")})
+        view = store.snapshot().view()
+        # Same shard object => the derived index came along for free.
+        assert view._shards["R"] is store._shards["R"]
+        assert view.index("R", 0, "a") == frozenset({("a", "b"), ("a", "c")})
+
+
 class TestDatalogGenerations:
     def _setup(self):
         from repro.access.answerability import accessible_part_program
