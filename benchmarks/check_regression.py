@@ -69,10 +69,20 @@ def compare(
     baseline_results = baseline.get("results", {})
     current_results = current.get("results", {})
 
+    def _seconds(row, field: str) -> Optional[float]:
+        # Rows from other benchmark versions may miss fields or carry
+        # non-numeric values; treat those as absent rather than crashing
+        # (benchmark growth must never break the guard).
+        try:
+            value = float(row.get(field, 0.0))
+        except (TypeError, ValueError):
+            return None
+        return value if value > 0 else None
+
     def _ratio(name: str, field: str) -> Optional[float]:
-        base = float(baseline_results[name].get(field, 0.0))
-        cur = float(current_results[name].get(field, 0.0))
-        return (cur / base) if base > 0 and cur > 0 else None
+        base = _seconds(baseline_results[name], field)
+        cur = _seconds(current_results[name], field)
+        return (cur / base) if base is not None and cur is not None else None
 
     # Calibration factors, one per estimator.
     calibrations = {"median_s": 1.0, "min_s": 1.0}
@@ -93,14 +103,18 @@ def compare(
         cur_row = current_results.get(name)
         if base_row is None:
             rows.append({"name": name, "status": "new",
-                         "current_s": cur_row["median_s"]})
+                         "current_s": _seconds(cur_row, "median_s")})
             continue
         if cur_row is None:
             rows.append({"name": name, "status": "removed",
-                         "baseline_s": base_row["median_s"]})
+                         "baseline_s": _seconds(base_row, "median_s")})
             continue
-        base_median = float(base_row["median_s"])
-        cur_median = float(cur_row["median_s"])
+        base_median = _seconds(base_row, "median_s")
+        cur_median = _seconds(cur_row, "median_s")
+        if base_median is None or cur_median is None:
+            rows.append({"name": name, "status": "incomparable",
+                         "baseline_s": base_median, "current_s": cur_median})
+            continue
         # A row regresses only when BOTH estimators moved: ambient load
         # spikes inflate medians but barely touch min-of-N, while a real
         # code regression shifts both.  The reported ratio is the more
@@ -200,6 +214,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         calibration_row=args.calibration_row or None,
     )
     print(render(rows))
+    new_rows = [row for row in rows if row["status"] == "new"]
+    if new_rows:
+        # Benchmark suites grow; a row the baseline has never seen is
+        # reported, never enforced — refresh the baseline to start
+        # guarding it.
+        names = ", ".join(str(row["name"]) for row in new_rows)
+        print(f"note: {len(new_rows)} new row(s) not in the baseline "
+              f"(reported only): {names}")
     regressions = [row for row in rows if row["status"] == "regression"]
     if baseline.get("mode") != current.get("mode"):
         # Smoke and full runs use different sizes; absolute times are not

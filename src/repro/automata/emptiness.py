@@ -32,8 +32,8 @@ This module provides two procedures:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.access.methods import Access, AccessSchema
 from repro.access.path import AccessPath, PathStep
@@ -70,13 +70,22 @@ Fact = Tuple[str, Tuple[object, ...]]
 
 @dataclass(frozen=True)
 class EmptinessResult:
-    """Result of an A-automaton emptiness check."""
+    """Result of an A-automaton emptiness check.
+
+    ``stats`` carries informational search instrumentation (memo hit/miss
+    counters, subtree work-item counts — see :class:`_WitnessSearch`); it
+    is excluded from equality so that the determinism guarantees of the
+    parallel modes are stated over the five semantic fields only.  Cache
+    hit rates legitimately depend on how work was scheduled; verdicts,
+    witnesses and exploration counters do not.
+    """
 
     empty: bool
     witness: Optional[AccessPath]
     exhausted: bool
     paths_explored: int
     chains_checked: int = 1
+    stats: Optional[Dict[str, int]] = field(default=None, compare=False)
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.empty
@@ -126,6 +135,704 @@ def _candidate_responses(
     return responses
 
 
+#: Effectively-unbounded exploration cap for trunk rounds: a trunk round
+#: expands exactly one node (the root of the decomposed search), so its
+#: candidate loop is bounded by the candidate count and needs no budget.
+_UNBOUNDED = 1 << 62
+
+
+@dataclass(frozen=True)
+class SubtreeItem:
+    """A self-contained, picklable witness-search subtree work item.
+
+    Captures everything a worker needs to re-enter the DFS at a frontier
+    node: the automaton state set, the configuration as an O(1) store
+    :class:`~repro.store.snapshot.Snapshot` (picklable by construction —
+    it rebuilds from its fact list on the receiving side, so layouts
+    never cross hash seeds), the known-value set of the grounded-access
+    discipline, and the remaining depth budget.  The trunk-side
+    bookkeeping that accompanies an item (path prefix, exploration
+    counter at export) stays in :class:`ExportRecord` and never crosses
+    the process boundary.
+    """
+
+    states: FrozenSet[str]
+    snapshot: Snapshot
+    known: FrozenSet[object]
+    budget: int
+
+
+@dataclass(frozen=True)
+class SubtreeOutcome:
+    """What one subtree run produced.
+
+    ``status`` is ``"witness"`` (accepted path found; ``steps`` holds the
+    path suffix relative to the item's node and ``explored`` the local
+    exploration count at which it was found), ``"done"`` (subtree
+    exhausted within its depth budget), ``"overflow"`` (the node budget
+    was hit first — the caller re-splits the item one level deeper), or
+    ``"aborted"`` (the global ``max_paths`` cap was hit — the sequential
+    search would have aborted too).  ``stats`` carries the worker's
+    instrumentation deltas when the item ran in another process.
+    """
+
+    status: str
+    steps: Optional[Tuple[PathStep, ...]]
+    explored: int
+    stats: Optional[Dict[str, int]] = None
+
+
+@dataclass(frozen=True)
+class ExportRecord:
+    """Trunk-side record of one exported subtree item.
+
+    ``prefix`` is the path step leading from the expanded node to the
+    item's node (used to stitch a worker's witness suffix back into a
+    full path) and ``explored_at`` the trunk's exploration counter right
+    after the candidate that produced the item — the two pieces the
+    deterministic fold needs to reproduce the sequential interleaving of
+    trunk and subtree exploration counts.
+    """
+
+    item: SubtreeItem
+    prefix: Tuple[PathStep, ...]
+    explored_at: int
+
+
+@dataclass(frozen=True)
+class RoundExpansion:
+    """One node level expanded with subtree export.
+
+    ``records`` are the exported children in DFS (canonical candidate)
+    order; ``witness_steps``/``witness_at`` describe an accepting step
+    found inline at this level (it truncates the candidate loop exactly
+    like the sequential search would); ``explored`` is the expansion's
+    own candidate count.
+    """
+
+    records: Tuple[ExportRecord, ...]
+    witness_steps: Optional[Tuple[PathStep, ...]]
+    witness_at: int
+    explored: int
+
+
+class _WitnessSearch:
+    """The guided witness search, set up once and re-enterable anywhere.
+
+    The search is an iterative-deepening DFS over ``(automaton state set,
+    configuration)`` nodes.  Construction performs all the per-automaton
+    work (candidate pools, compiled transitions, canonicalised guard
+    sentences); the entry points then share one DFS driver:
+
+    * :meth:`run` — the sequential search (the historical
+      ``_search_accepted_path`` behaviour, bit for bit);
+    * :meth:`run_round_exporting` / :meth:`expand_item` — expand one node
+      level, exporting each viable child as a :class:`SubtreeItem`
+      instead of descending (the *trunk* side of the subtree-parallel
+      decomposition; the sequential path is the exact same code with the
+      export hook disabled);
+    * :meth:`run_subtree` — re-enter the DFS at a shipped item (the
+      *worker* side).
+
+    Three memoisation layers (disabled together by ``memoize=False``,
+    which must not change any verdict — a property the regression tests
+    assert) keep the re-exploration inherent in iterative deepening
+    cheap:
+
+    * **expansion memo** — a visited table mapping ``(state set, frozen
+      configuration[, known values])`` to the largest remaining depth
+      budget with which the node was already expanded; a node is pruned
+      whenever it reappears with no more budget than before (the revisit
+      is dominated: every continuation available now was available then).
+      The memo is *scope-local*: the sequential search keeps one table
+      for the whole search, while each subtree item gets a fresh table
+      (a shared table across processes would make exploration counters
+      scheduling-dependent).  With ``memoize=False`` the exploration
+      counters are additive over subtrees and every result field is
+      identical across modes.  With memoisation on, the scope-local
+      tables prune less, so the decomposed search can consume the
+      ``max_paths`` budget earlier than the globally-memoised sequential
+      search: away from that boundary (neither run aborts, or both do)
+      the modes agree on ``empty``/``witness``/``exhausted``; at the
+      boundary the decomposed search may abort first and return a
+      *sound but less conclusive* result (``exhausted=False`` — never a
+      wrong witness, and ``exhausted=True`` still implies full coverage,
+      since pruning only ever skips dominated revisits).
+    * **guard cache** — sentence verdicts keyed by ``(sentence identity,
+      configuration fingerprint, candidate step)``; a pure cache of
+      deterministic computations, so sharing it (or not) never affects
+      results, only time.
+    * **persistent snapshots** — the configuration is a single
+      :class:`~repro.store.snapshot.SnapshotInstance`; each node takes an
+      O(1) snapshot, candidates layer their response on top, and
+      backtracking is an O(1) ``restore``.  The snapshots double as memo
+      fingerprints and as the configuration payload of subtree items.
+
+    A second store, ``base``, mirrors the configuration into the combined
+    ``R_pre``/``R_post`` transition structure and is maintained
+    incrementally alongside it, so evaluating a candidate's guards costs
+    O(|response|) instead of rebuilding an O(|configuration|) structure
+    per candidate.
+
+    ``stats`` accumulates instrumentation: ``node_memo_hits`` /
+    ``node_memo_expansions`` for the expansion memo,
+    ``sentence_cache_hits`` / ``sentence_cache_misses`` for the guard
+    cache.  The subtree executor adds ``subtree_items``,
+    ``subtree_overflows`` and ``subtree_pooled_items``.
+    """
+
+    def __init__(
+        self,
+        automaton: AAutomaton,
+        vocabulary: AccessVocabulary,
+        initial: Instance,
+        *,
+        max_length: int,
+        max_response_size: int,
+        max_paths: int,
+        fact_pool: Optional[Sequence[Fact]] = None,
+        value_pool: Optional[Sequence[object]] = None,
+        grounded_only: bool = False,
+        memoize: bool = True,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.max_length = max_length
+        self.max_response_size = max_response_size
+        self.max_paths = max_paths
+        self.grounded_only = grounded_only
+        self.memoize = memoize
+        schema = vocabulary.access_schema
+        if fact_pool is None or value_pool is None:
+            derived_facts, derived_values = _guard_pools(automaton, vocabulary)
+            fact_pool = derived_facts if fact_pool is None else fact_pool
+            value_pool = derived_values if value_pool is None else value_pool
+        # Resolved pools are kept (and shipped to subtree workers) so the
+        # candidate enumeration below is reproduced verbatim elsewhere.
+        self.fact_pool: List[Fact] = list(fact_pool)
+        self.value_pool: List[object] = list(value_pool)
+        facts_by_relation: Dict[str, List[Tuple[object, ...]]] = {}
+        for relation, tup in self.fact_pool:
+            facts_by_relation.setdefault(relation, []).append(tup)
+        nary = any(
+            sentence.mentions_nary_binding()
+            for sentence in automaton.guard_sentences()
+        )
+        accesses = candidate_accesses_for_search(
+            schema, self.fact_pool, self.value_pool, nary_bindings=nary
+        )
+
+        # Pre-compute the candidate (access, response) steps, preferring
+        # revealing responses over empty ones so the depth-first search
+        # reaches data-dependent guards quickly.
+        candidates: List[Tuple[Access, FrozenSet[Tuple[object, ...]]]] = []
+        for access in accesses:
+            for response in _candidate_responses(
+                access, facts_by_relation, max_response_size
+            ):
+                candidates.append((access, response))
+        candidates.sort(key=lambda pair: len(pair[1]), reverse=True)
+        self.candidates = candidates
+
+        transitions_by_source: Dict[str, List] = {}
+        for transition in automaton.transitions:
+            transitions_by_source.setdefault(transition.source, []).append(
+                transition
+            )
+        self.accepting = automaton.accepting
+
+        # Canonicalise guard sentences (different guards frequently embed
+        # equal sentences) and pre-split every guard into its
+        # positive/negated parts, so guard evaluation becomes a handful of
+        # cached sentence lookups.
+        canonical: Dict[object, object] = {}
+
+        def _canon(sentence):
+            try:
+                return canonical.setdefault(sentence, sentence)
+            except TypeError:  # pragma: no cover - unhashable constants
+                return sentence
+
+        guard_parts: Dict[int, Tuple[Tuple, Tuple]] = {}
+        for transition in automaton.transitions:
+            guard = transition.guard
+            if id(guard) not in guard_parts:
+                guard_parts[id(guard)] = (
+                    tuple(_canon(s) for s in guard.positives),
+                    tuple(_canon(s) for s in guard.negated),
+                )
+        self._canonical = canonical
+
+        # How much of the candidate step a sentence's verdict can depend
+        # on: 0 — only the pre configuration (same verdict for every
+        # candidate at a node); 1 — also the post relations (verdict
+        # depends on the response, not on which method/binding produced
+        # it); 2 — the binding predicates too (fully candidate-dependent).
+        # The coarser the class, the wider the memo sharing.
+        sentence_kinds: Dict[int, int] = {}
+        for parts in guard_parts.values():
+            for sentence in parts[0] + parts[1]:
+                if id(sentence) in sentence_kinds:
+                    continue
+                mentions_bind = False
+                mentions_post = False
+                for disjunct in sentence.query.disjuncts:
+                    for atom in disjunct.atoms:
+                        if is_isbind(atom.relation) or is_isbind0(atom.relation):
+                            mentions_bind = True
+                        elif is_post(atom.relation):
+                            mentions_post = True
+                sentence_kinds[id(sentence)] = (
+                    2 if mentions_bind else (1 if mentions_post else 0)
+                )
+        self.sentence_kinds = sentence_kinds
+
+        # Transitions per source state with their guards pre-resolved into
+        # canonicalised (positives, negated) sentence tuples, so the inner
+        # candidate loop does no per-transition dict lookups.
+        compiled_transitions: Dict[str, List[Tuple[str, Tuple, Tuple]]] = {}
+        for source, source_transitions in transitions_by_source.items():
+            compiled_transitions[source] = [
+                (transition.target,) + guard_parts[id(transition.guard)]
+                for transition in source_transitions
+            ]
+        self.compiled_transitions = compiled_transitions
+
+        # Sentence cache: (sentence identity, config fingerprint,
+        # candidate index) -> verdict.  Canonical sentence objects live as
+        # long as the search, so ``id`` is a stable key.  Keying sentences
+        # instead of whole guards shares work between guards that embed
+        # the same sentence and across the re-exploration inherent in
+        # iterative deepening.
+        self.sentence_verdicts: Dict[Tuple, bool] = {}
+        # Snapshot interning: revisiting a configuration (the norm under
+        # iterative deepening) produces a structurally equal but distinct
+        # Snapshot; mapping it to the first-seen object makes every later
+        # memo lookup resolve through the identity fast path instead of a
+        # structural comparison.
+        self.interned_fingerprints: Dict[Snapshot, Snapshot] = {}
+        # Trunk-side expansion memo for the decomposed search: it only
+        # ever holds depth-0/depth-1 nodes, whose prune decisions coincide
+        # with the sequential search's (deeper nodes can never dominate
+        # them — their remaining budgets are strictly smaller).
+        self._trunk_expanded: Dict[Tuple, int] = {}
+
+        self.structure_names = prepost_names(schema.schema)
+        # Pre-validated structure facts, one entry per candidate step.
+        self.candidate_facts = validated_candidate_facts(
+            vocabulary, self.structure_names, candidates
+        )
+
+        self.initial_snapshot = SnapshotInstance.from_instance(initial).snapshot()
+        self.initial_known = frozenset(initial.active_domain())
+        self.start_states = frozenset({automaton.initial})
+
+        self.stats: Dict[str, int] = {
+            "node_memo_hits": 0,
+            "node_memo_expansions": 0,
+            "sentence_cache_hits": 0,
+            "sentence_cache_misses": 0,
+        }
+        self.config: Optional[SnapshotInstance] = None
+        self.base: Optional[Instance] = None
+
+    # ------------------------------------------------------------------
+    # Worker shipping
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, object]:
+        """Constructor kwargs reproducing this search in another process."""
+        return {
+            "max_length": self.max_length,
+            "max_response_size": self.max_response_size,
+            "max_paths": self.max_paths,
+            "fact_pool": self.fact_pool,
+            "value_pool": self.value_pool,
+            "grounded_only": self.grounded_only,
+            "memoize": self.memoize,
+        }
+
+    # ------------------------------------------------------------------
+    # Positioning
+    # ------------------------------------------------------------------
+    def _position(self, snapshot: Snapshot) -> None:
+        """Point the configuration (and its structure mirror) at *snapshot*.
+
+        The configuration lives in the persistent fact store: per-node
+        snapshots are O(1), backtracking is an O(1) restore.  The combined
+        transition structure ``base`` mirrors the configuration into the
+        ``R_pre``/``R_post`` relations *once* and is then maintained by
+        bounded local deltas: a candidate's facts are laid on top, the
+        guards evaluated, and exactly those facts removed again.  The
+        structure never outlives a candidate, so it deliberately stays a
+        dict-backed ``Instance`` — persistence would buy nothing there,
+        while the delta maintenance turns the old O(|configuration|)
+        per-candidate structure rebuild into O(|response|), keeping the
+        untouched relations' caches and indexes warm across candidates.
+        """
+        config = SnapshotInstance.from_snapshot(snapshot)
+        base = Instance(self.vocabulary.schema)
+        seed_structure_mirror(base, self.structure_names, config)
+        self.config = config
+        self.base = base
+
+    # ------------------------------------------------------------------
+    # The DFS driver
+    # ------------------------------------------------------------------
+    def _run_dfs(
+        self,
+        start_states: FrozenSet[str],
+        start_known: FrozenSet[object],
+        depth_limit: int,
+        *,
+        explored_start: int,
+        abort_limit: int,
+        expanded: Dict[Tuple, int],
+        export_depth: Optional[int] = None,
+        sink: Optional[Callable[[SubtreeItem, Tuple[PathStep, ...], int], None]] = None,
+    ) -> Tuple[Optional[Tuple[PathStep, ...]], int, bool]:
+        """One DFS from the current configuration position.
+
+        Returns ``(witness steps or None, explored counter, aborted)``.
+        With ``export_depth`` set, a node reached at that depth is handed
+        to *sink* as a :class:`SubtreeItem` (after the same expansion-memo
+        check the sequential search would apply at its entry) instead of
+        being explored — the only difference between the sequential and
+        the trunk mode of the search.
+        """
+        vocabulary = self.vocabulary
+        config = self.config
+        base = self.base
+        candidates = self.candidates
+        candidate_facts = self.candidate_facts
+        compiled_transitions = self.compiled_transitions
+        accepting = self.accepting
+        sentence_kinds = self.sentence_kinds
+        sentence_verdicts = self.sentence_verdicts
+        interned_fingerprints = self.interned_fingerprints
+        memoize = self.memoize
+        grounded_only = self.grounded_only
+
+        explored = explored_start
+        aborted = False
+        node_hits = 0
+        node_expansions = 0
+        sentence_hits = 0
+        sentence_misses = 0
+        steps: List[PathStep] = []
+
+        def dfs(
+            states: FrozenSet[str], known: FrozenSet[object]
+        ) -> Optional[Tuple[PathStep, ...]]:
+            nonlocal explored, aborted, node_hits, node_expansions
+            nonlocal sentence_hits, sentence_misses
+            depth = len(steps)
+            if depth >= depth_limit:
+                return None
+            remaining = depth_limit - depth
+            node_config = config.snapshot()
+            if memoize:
+                # The snapshot is an exact content fingerprint: O(1) to
+                # hash, structural (identity-short-circuited) equality on
+                # collision.
+                fingerprint: Optional[Snapshot] = interned_fingerprints.setdefault(
+                    node_config, node_config
+                )
+                node_key = (
+                    (states, fingerprint, known)
+                    if grounded_only
+                    else (states, fingerprint)
+                )
+                if expanded.get(node_key, 0) >= remaining:
+                    node_hits += 1
+                    return None
+                expanded[node_key] = remaining
+                node_expansions += 1
+            else:
+                fingerprint = None  # unused: local_verdicts keys by sentence only
+            if export_depth is not None and depth >= export_depth:
+                # Trunk mode: the child survives the same memo check the
+                # sequential search applies at its entry, so ship it as a
+                # self-contained work item instead of descending.
+                sink(
+                    SubtreeItem(states, node_config, known, remaining),
+                    tuple(steps),
+                    explored,
+                )
+                return None
+            for index, (access, response) in enumerate(candidates):
+                if grounded_only and not all(
+                    value in known for value in access.binding
+                ):
+                    continue
+                explored += 1
+                if explored > abort_limit:
+                    aborted = True
+                    return None
+                structure = None
+                stage = 0
+                applied: List[Tuple[str, Tuple[object, ...]]] = []
+                local_verdicts: Dict[int, bool] = {}
+                pre_rel, post_rel, isbind_rel, binding_tup, isbind0_rel = (
+                    candidate_facts[index]
+                )
+
+                def ensure_stage(required: int) -> None:
+                    # Lay the candidate's delta over the node's base
+                    # structure in stages matched to what the sentence can
+                    # observe: kind-0 sentences read the base as-is,
+                    # kind-1 needs the response in the post relations,
+                    # only kind-2 needs the binding facts.  Each stage is
+                    # O(its delta), applied at most once per candidate,
+                    # and recorded for the undo.
+                    nonlocal stage, structure
+                    if stage < 1 <= required:
+                        for tup in response:
+                            if base.add_unchecked(post_rel, tup):
+                                applied.append((post_rel, tup))
+                        stage = 1
+                    if stage < 2 <= required:
+                        if base.add_unchecked(isbind_rel, binding_tup):
+                            applied.append((isbind_rel, binding_tup))
+                        if base.add_unchecked(isbind0_rel, ()):
+                            applied.append((isbind0_rel, ()))
+                        stage = 2
+                    if structure is None:
+                        structure = TransitionStructure(
+                            vocabulary=vocabulary, access=access, structure=base
+                        )
+
+                def sentence_holds(sentence) -> bool:
+                    nonlocal sentence_hits, sentence_misses
+                    kind = sentence_kinds[id(sentence)]
+                    if memoize:
+                        if kind == 0 or (kind == 1 and not response):
+                            key = (id(sentence), fingerprint)
+                        elif kind == 1:
+                            key = (
+                                id(sentence),
+                                fingerprint,
+                                access.relation,
+                                response,
+                            )
+                        else:
+                            key = (id(sentence), fingerprint, index)
+                        verdict = sentence_verdicts.get(key)
+                    else:
+                        key = id(sentence)
+                        verdict = local_verdicts.get(key)
+                    if verdict is None:
+                        sentence_misses += 1
+                        ensure_stage(kind)
+                        verdict = holds(sentence.query, structure.structure)
+                        if memoize:
+                            sentence_verdicts[key] = verdict
+                        else:
+                            local_verdicts[key] = verdict
+                    else:
+                        sentence_hits += 1
+                    return verdict
+
+                following: Set[str] = set()
+                for state in states:
+                    for target, positives, negated in compiled_transitions.get(
+                        state, ()
+                    ):
+                        if target in following:
+                            continue
+                        if all(sentence_holds(s) for s in positives) and not any(
+                            sentence_holds(s) for s in negated
+                        ):
+                            following.add(target)
+                if applied:
+                    # Undo exactly the candidate facts laid over the base.
+                    for relation_name, tup in applied:
+                        base.discard(relation_name, tup)
+                if not following:
+                    continue
+                step = PathStep(access, response)
+                if following & accepting:
+                    return tuple(steps) + (step,)
+                following_frozen = frozenset(following)
+                if not response and following_frozen == states:
+                    # An information-free step that does not move the
+                    # automaton is a stutter: any accepting continuation
+                    # from the child is also available from the current
+                    # node.
+                    continue
+                # Apply the delta to the configuration (snapshot-restored
+                # on the way back: O(1) undo) and its structure mirror
+                # (undone by the recorded delta), then recurse.
+                descended: List[Tuple[object, ...]] = []
+                for tup in response:
+                    if config.add_unchecked(access.relation, tup):
+                        base.add_unchecked(pre_rel, tup)
+                        base.add_unchecked(post_rel, tup)
+                        descended.append(tup)
+                steps.append(step)
+                new_known = known | frozenset(access.binding) | frozenset(
+                    value for tup in response for value in tup
+                )
+                witness = dfs(following_frozen, new_known)
+                steps.pop()
+                config.restore(node_config)
+                for tup in descended:
+                    base.discard(pre_rel, tup)
+                    base.discard(post_rel, tup)
+                if witness is not None or aborted:
+                    return witness
+            return None
+
+        witness = dfs(start_states, start_known)
+        stats = self.stats
+        stats["node_memo_hits"] += node_hits
+        stats["node_memo_expansions"] += node_expansions
+        stats["sentence_cache_hits"] += sentence_hits
+        stats["sentence_cache_misses"] += sentence_misses
+        return witness, explored, aborted
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(self) -> Tuple[Optional[AccessPath], int, bool, Dict[str, int]]:
+        """Sequential iterative-deepening search (the historical behaviour).
+
+        Short witnesses are found before the search commits to deep
+        branches, and the final round (depth = ``max_length``) determines
+        exhaustiveness.
+        """
+        self._position(self.initial_snapshot)
+        expanded: Dict[Tuple, int] = {}
+        explored = 0
+        for depth_limit in range(1, self.max_length + 1):
+            witness, explored, aborted = self._run_dfs(
+                self.start_states,
+                self.initial_known,
+                depth_limit,
+                explored_start=explored,
+                abort_limit=self.max_paths,
+                expanded=expanded,
+            )
+            if witness is not None:
+                return AccessPath(witness), explored, False, dict(self.stats)
+            if aborted:
+                return None, explored, False, dict(self.stats)
+        return None, explored, True, dict(self.stats)
+
+    def run_round_exporting(self, depth_limit: int) -> RoundExpansion:
+        """One deepening round of the trunk: expand the root, export children."""
+        self._position(self.initial_snapshot)
+        records: List[ExportRecord] = []
+
+        def sink(
+            item: SubtreeItem, prefix: Tuple[PathStep, ...], explored_at: int
+        ) -> None:
+            records.append(ExportRecord(item, prefix, explored_at))
+
+        witness, explored, _ = self._run_dfs(
+            self.start_states,
+            self.initial_known,
+            depth_limit,
+            explored_start=0,
+            abort_limit=_UNBOUNDED,
+            expanded=self._trunk_expanded,
+            export_depth=1,
+            sink=sink,
+        )
+        return RoundExpansion(
+            tuple(records),
+            witness,
+            explored if witness is not None else 0,
+            explored,
+        )
+
+    def expand_item(self, item: SubtreeItem) -> RoundExpansion:
+        """Re-split an overflowed item one level deeper (deterministic).
+
+        Runs the item's own candidate loop in-process — with a fresh
+        expansion memo, exactly as the worker entered it — exporting each
+        viable child as a new item with one less depth budget.  Overflow
+        is a pure function of ``(item, node budget)``, so whether and how
+        an item is re-split never depends on pool scheduling.
+        """
+        self._position(item.snapshot)
+        records: List[ExportRecord] = []
+
+        def sink(
+            child: SubtreeItem, prefix: Tuple[PathStep, ...], explored_at: int
+        ) -> None:
+            records.append(ExportRecord(child, prefix, explored_at))
+
+        witness, explored, _ = self._run_dfs(
+            item.states,
+            item.known,
+            item.budget,
+            explored_start=0,
+            abort_limit=_UNBOUNDED,
+            expanded={},
+            export_depth=1,
+            sink=sink,
+        )
+        return RoundExpansion(
+            tuple(records),
+            witness,
+            explored if witness is not None else 0,
+            explored,
+        )
+
+    def run_subtree(
+        self,
+        item: SubtreeItem,
+        node_budget: Optional[int] = None,
+        hard_limit: Optional[int] = None,
+    ) -> SubtreeOutcome:
+        """Run one subtree item to completion, overflow, witness or abort.
+
+        ``node_budget`` is the re-split threshold (exceeding it yields
+        ``overflow``); ``hard_limit`` is the remaining global exploration
+        budget at the item's sequential position (exceeding it yields
+        ``aborted`` — the sequential search would have hit ``max_paths``
+        exactly there).  Workers run with the loose default
+        (``hard_limit=None`` ⇒ ``max_paths``) because their entry offset
+        is unknown at dispatch time; the fold re-checks their results
+        against the true horizon, so the verdict is identical — a tight
+        limit only avoids exploring past a crossing the coordinator can
+        already predict.
+        """
+        self._position(item.snapshot)
+        hard = (
+            self.max_paths
+            if hard_limit is None
+            else min(self.max_paths, int(hard_limit))
+        )
+        limit = hard if node_budget is None else min(hard, int(node_budget))
+        witness, explored, aborted = self._run_dfs(
+            item.states,
+            item.known,
+            item.budget,
+            explored_start=0,
+            abort_limit=limit,
+            expanded={},
+        )
+        if witness is not None:
+            return SubtreeOutcome("witness", witness, explored)
+        if aborted:
+            status = "aborted" if explored > hard else "overflow"
+            return SubtreeOutcome(status, None, explored)
+        return SubtreeOutcome("done", None, explored)
+
+
+def search_from_payload(payload) -> _WitnessSearch:
+    """Rebuild a :class:`_WitnessSearch` from a shipped context payload.
+
+    The payload is ``(automaton, vocabulary, initial snapshot, params)``
+    as produced by the subtree dispatch in ``_search_accepted_path``; the
+    worker-side cache in :mod:`repro.store.workqueue` calls this once per
+    context and then feeds the search many cheap items.
+    """
+    automaton, vocabulary, initial_snapshot, params = payload
+    initial = SnapshotInstance.from_snapshot(initial_snapshot)
+    return _WitnessSearch(automaton, vocabulary, initial, **params)
+
+
 def _search_accepted_path(
     automaton: AAutomaton,
     vocabulary: AccessVocabulary,
@@ -137,312 +844,46 @@ def _search_accepted_path(
     value_pool: Optional[Sequence[object]] = None,
     grounded_only: bool = False,
     memoize: bool = True,
-) -> Tuple[Optional[AccessPath], int, bool]:
-    """Guided search for an accepted path; returns (witness, explored, exhausted).
+    subtree_mode: bool = False,
+    split_budget: Optional[int] = None,
+    executor=None,
+) -> Tuple[Optional[AccessPath], int, bool, Dict[str, int]]:
+    """Guided search for an accepted path.
 
-    The search is an iterative-deepening DFS over ``(automaton state set,
-    configuration)`` nodes.  Three memoisation layers (disabled together by
-    ``memoize=False``, which must not change any verdict — a property the
-    regression tests assert) keep the re-exploration inherent in iterative
-    deepening cheap:
-
-    * **expansion memo** — a visited table mapping ``(state set, frozen
-      configuration[, known values])`` to the largest remaining depth
-      budget with which the node was already expanded; a node is pruned
-      whenever it reappears with no more budget than before (the revisit
-      is dominated: every continuation available now was available then);
-    * **guard cache** — guard verdicts keyed by ``(guard identity,
-      configuration fingerprint, candidate step)``; iterative deepening
-      re-enters the same prefixes every round, and distinct state sets
-      share transitions, so most guard evaluations are repeats;
-    * **persistent snapshots** — the configuration is a single
-      :class:`~repro.store.snapshot.SnapshotInstance`; each node takes an
-      O(1) snapshot, candidates layer their response on top, and
-      backtracking is an O(1) ``restore`` (this replaced the old add/undo
-      delta log, and the configuration fingerprints above became O(1)
-      snapshot tokens instead of O(n) frozen sets).
-
-    A second store, ``base``, mirrors the configuration into the combined
-    ``R_pre``/``R_post`` transition structure and is maintained
-    incrementally alongside it, so evaluating a candidate's guards costs
-    O(|response|) instead of rebuilding an O(|configuration|) structure
-    per candidate.
+    Returns ``(witness, explored, exhausted, stats)``.  With
+    ``subtree_mode`` the search runs as the deterministic trunk/fold
+    decomposition of :mod:`repro.store.workqueue`: the same result
+    whether *executor* dispatches items to a worker pool or everything
+    resolves in-process.  Under ``memoize=False`` every field coincides
+    with the plain sequential search (scope-local expansion memos make
+    counts additive over subtrees); with memoisation on, agreement on
+    verdict/witness/``exhausted`` holds away from the ``max_paths``
+    boundary — see :class:`_WitnessSearch` for the exact statement.
     """
-    schema = vocabulary.access_schema
-    if fact_pool is None or value_pool is None:
-        derived_facts, derived_values = _guard_pools(automaton, vocabulary)
-        fact_pool = derived_facts if fact_pool is None else fact_pool
-        value_pool = derived_values if value_pool is None else value_pool
-    facts_by_relation: Dict[str, List[Tuple[object, ...]]] = {}
-    for relation, tup in fact_pool:
-        facts_by_relation.setdefault(relation, []).append(tup)
-    nary = any(
-        sentence.mentions_nary_binding() for sentence in automaton.guard_sentences()
+    search = _WitnessSearch(
+        automaton,
+        vocabulary,
+        initial,
+        max_length=max_length,
+        max_response_size=max_response_size,
+        max_paths=max_paths,
+        fact_pool=fact_pool,
+        value_pool=value_pool,
+        grounded_only=grounded_only,
+        memoize=memoize,
     )
-    accesses = candidate_accesses_for_search(
-        schema, fact_pool, value_pool, nary_bindings=nary
+    if not subtree_mode:
+        return search.run()
+    from repro.store.workqueue import run_decomposed_search
+
+    context = None
+    if executor is not None:
+        context = (automaton, vocabulary, search.initial_snapshot, search.params())
+    steps, explored, exhausted, stats = run_decomposed_search(
+        search, split_budget=split_budget, executor=executor, context=context
     )
-
-    # Pre-compute the candidate (access, response) steps, preferring
-    # revealing responses over empty ones so the depth-first search reaches
-    # data-dependent guards quickly.
-    candidates: List[Tuple[Access, FrozenSet[Tuple[object, ...]]]] = []
-    for access in accesses:
-        for response in _candidate_responses(
-            access, facts_by_relation, max_response_size
-        ):
-            candidates.append((access, response))
-    candidates.sort(key=lambda pair: len(pair[1]), reverse=True)
-
-    transitions_by_source: Dict[str, List] = {}
-    for transition in automaton.transitions:
-        transitions_by_source.setdefault(transition.source, []).append(transition)
-    accepting = automaton.accepting
-
-    # Canonicalise guard sentences (different guards frequently embed equal
-    # sentences) and pre-split every guard into its positive/negated parts,
-    # so guard evaluation becomes a handful of cached sentence lookups.
-    canonical: Dict[object, object] = {}
-
-    def _canon(sentence):
-        try:
-            return canonical.setdefault(sentence, sentence)
-        except TypeError:  # pragma: no cover - unhashable constants
-            return sentence
-
-    guard_parts: Dict[int, Tuple[Tuple, Tuple]] = {}
-    for transition in automaton.transitions:
-        guard = transition.guard
-        if id(guard) not in guard_parts:
-            guard_parts[id(guard)] = (
-                tuple(_canon(s) for s in guard.positives),
-                tuple(_canon(s) for s in guard.negated),
-            )
-
-    # How much of the candidate step a sentence's verdict can depend on:
-    # 0 — only the pre configuration (same verdict for every candidate at a
-    #     node); 1 — also the post relations (verdict depends on the
-    #     response, not on which method/binding produced it); 2 — the
-    #     binding predicates too (fully candidate-dependent).  The coarser
-    #     the class, the wider the memo sharing across candidates.
-    sentence_kinds: Dict[int, int] = {}
-    for parts in guard_parts.values():
-        for sentence in parts[0] + parts[1]:
-            if id(sentence) in sentence_kinds:
-                continue
-            mentions_bind = False
-            mentions_post = False
-            for disjunct in sentence.query.disjuncts:
-                for atom in disjunct.atoms:
-                    if is_isbind(atom.relation) or is_isbind0(atom.relation):
-                        mentions_bind = True
-                    elif is_post(atom.relation):
-                        mentions_post = True
-            sentence_kinds[id(sentence)] = (
-                2 if mentions_bind else (1 if mentions_post else 0)
-            )
-
-    # Transitions per source state with their guards pre-resolved into
-    # canonicalised (positives, negated) sentence tuples, so the inner
-    # candidate loop does no per-transition dict lookups.
-    compiled_transitions: Dict[str, List[Tuple[str, Tuple, Tuple]]] = {}
-    for source, source_transitions in transitions_by_source.items():
-        compiled_transitions[source] = [
-            (transition.target,) + guard_parts[id(transition.guard)]
-            for transition in source_transitions
-        ]
-
-    explored = 0
-    aborted = False
-    # Sentence cache: (sentence identity, config fingerprint, candidate
-    # index) -> verdict.  Canonical sentence objects live as long as the
-    # search, so ``id`` is a stable key; the candidate index determines
-    # (access, response); the configuration fingerprint is the cached
-    # frozen snapshot.  Keying sentences instead of whole guards shares
-    # work between guards that embed the same sentence and across the
-    # re-exploration inherent in iterative deepening.
-    sentence_verdicts: Dict[Tuple, bool] = {}
-    # Expansion memo: node key -> largest remaining budget already expanded.
-    expanded: Dict[Tuple, int] = {}
-    # Snapshot interning: revisiting a configuration (the norm under
-    # iterative deepening) produces a structurally equal but distinct
-    # Snapshot; mapping it to the first-seen object makes every later
-    # memo lookup resolve through the identity fast path instead of a
-    # structural comparison.
-    interned_fingerprints: Dict[Snapshot, Snapshot] = {}
-
-    # The configuration lives in the persistent fact store: per-node
-    # snapshots are O(1), backtracking is an O(1) restore, and the
-    # snapshots double as the memo fingerprints below.  The combined
-    # transition structure ``base`` mirrors the configuration into the
-    # ``R_pre``/``R_post`` relations *once* and is then maintained by
-    # bounded local deltas: a candidate's facts are laid on top, the
-    # guards evaluated, and exactly those facts removed again.  The
-    # structure never outlives a candidate, so it deliberately stays a
-    # dict-backed ``Instance`` — persistence would buy nothing there,
-    # while the delta maintenance turns the old O(|configuration|)
-    # per-candidate structure rebuild into O(|response|), keeping the
-    # untouched relations' caches and indexes warm across candidates.
-    config = SnapshotInstance.from_instance(initial)
-    base = Instance(vocabulary.schema)
-    structure_names = prepost_names(schema.schema)
-    seed_structure_mirror(base, structure_names, initial)
-    # Pre-validated structure facts, one entry per candidate step.
-    candidate_facts = validated_candidate_facts(
-        vocabulary, structure_names, candidates
-    )
-
-    steps: List[PathStep] = []
-    initial_known = frozenset(initial.active_domain())
-
-    def dfs(
-        states: FrozenSet[str], known: FrozenSet[object], depth_limit: int
-    ) -> Optional[AccessPath]:
-        nonlocal explored, aborted
-        depth = len(steps)
-        if depth >= depth_limit:
-            return None
-        remaining = depth_limit - depth
-        node_config = config.snapshot()
-        if memoize:
-            # The snapshot is an exact content fingerprint: O(1) to hash,
-            # structural (identity-short-circuited) equality on collision.
-            fingerprint: Optional[Snapshot] = interned_fingerprints.setdefault(
-                node_config, node_config
-            )
-            node_key = (
-                (states, fingerprint, known)
-                if grounded_only
-                else (states, fingerprint)
-            )
-            if expanded.get(node_key, 0) >= remaining:
-                return None
-            expanded[node_key] = remaining
-        else:
-            fingerprint = None  # unused: local_verdicts keys by sentence only
-        for index, (access, response) in enumerate(candidates):
-            if grounded_only and not all(
-                value in known for value in access.binding
-            ):
-                continue
-            explored += 1
-            if explored > max_paths:
-                aborted = True
-                return None
-            structure = None
-            stage = 0
-            applied: List[Tuple[str, Tuple[object, ...]]] = []
-            local_verdicts: Dict[int, bool] = {}
-            pre_rel, post_rel, isbind_rel, binding_tup, isbind0_rel = (
-                candidate_facts[index]
-            )
-
-            def ensure_stage(required: int) -> None:
-                # Lay the candidate's delta over the node's base structure
-                # in stages matched to what the sentence can observe:
-                # kind-0 sentences read the base as-is, kind-1 needs the
-                # response in the post relations, only kind-2 needs the
-                # binding facts.  Each stage is O(its delta), applied at
-                # most once per candidate, and recorded for the undo.
-                nonlocal stage, structure
-                if stage < 1 <= required:
-                    for tup in response:
-                        if base.add_unchecked(post_rel, tup):
-                            applied.append((post_rel, tup))
-                    stage = 1
-                if stage < 2 <= required:
-                    if base.add_unchecked(isbind_rel, binding_tup):
-                        applied.append((isbind_rel, binding_tup))
-                    if base.add_unchecked(isbind0_rel, ()):
-                        applied.append((isbind0_rel, ()))
-                    stage = 2
-                if structure is None:
-                    structure = TransitionStructure(
-                        vocabulary=vocabulary, access=access, structure=base
-                    )
-
-            def sentence_holds(sentence) -> bool:
-                kind = sentence_kinds[id(sentence)]
-                if memoize:
-                    if kind == 0 or (kind == 1 and not response):
-                        key = (id(sentence), fingerprint)
-                    elif kind == 1:
-                        key = (id(sentence), fingerprint, access.relation, response)
-                    else:
-                        key = (id(sentence), fingerprint, index)
-                    verdict = sentence_verdicts.get(key)
-                else:
-                    key = id(sentence)
-                    verdict = local_verdicts.get(key)
-                if verdict is None:
-                    ensure_stage(kind)
-                    verdict = holds(sentence.query, structure.structure)
-                    if memoize:
-                        sentence_verdicts[key] = verdict
-                    else:
-                        local_verdicts[key] = verdict
-                return verdict
-
-            following: Set[str] = set()
-            for state in states:
-                for target, positives, negated in compiled_transitions.get(
-                    state, ()
-                ):
-                    if target in following:
-                        continue
-                    if all(sentence_holds(s) for s in positives) and not any(
-                        sentence_holds(s) for s in negated
-                    ):
-                        following.add(target)
-            if applied:
-                # Undo exactly the candidate facts laid over the base.
-                for relation_name, tup in applied:
-                    base.discard(relation_name, tup)
-            if not following:
-                continue
-            step = PathStep(access, response)
-            if following & accepting:
-                return AccessPath(tuple(steps) + (step,))
-            following_frozen = frozenset(following)
-            if not response and following_frozen == states:
-                # An information-free step that does not move the
-                # automaton is a stutter: any accepting continuation from
-                # the child is also available from the current node.
-                continue
-            # Apply the delta to the configuration (snapshot-restored on
-            # the way back: O(1) undo) and its structure mirror (undone
-            # by the recorded delta), then recurse.
-            descended: List[Tuple[object, ...]] = []
-            for tup in response:
-                if config.add_unchecked(access.relation, tup):
-                    base.add_unchecked(pre_rel, tup)
-                    base.add_unchecked(post_rel, tup)
-                    descended.append(tup)
-            steps.append(step)
-            new_known = known | frozenset(access.binding) | frozenset(
-                value for tup in response for value in tup
-            )
-            witness = dfs(following_frozen, new_known, depth_limit)
-            steps.pop()
-            config.restore(node_config)
-            for tup in descended:
-                base.discard(pre_rel, tup)
-                base.discard(post_rel, tup)
-            if witness is not None or aborted:
-                return witness
-        return None
-
-    # Iterative deepening: short witnesses are found before the search
-    # commits to deep branches, and the final round (depth = max_length)
-    # determines exhaustiveness.
-    start_states = frozenset({automaton.initial})
-    for depth_limit in range(1, max_length + 1):
-        witness = dfs(start_states, initial_known, depth_limit)
-        if witness is not None:
-            return witness, explored, False
-        if aborted:
-            return None, explored, False
-    return None, explored, True
+    witness = AccessPath(steps) if steps is not None else None
+    return witness, explored, exhausted, stats
 
 
 @dataclass(frozen=True)
@@ -453,6 +894,7 @@ class ChainOutcome:
     witness: Optional[AccessPath]
     explored: int
     exhausted: bool
+    stats: Optional[Dict[str, int]] = None
 
 
 def check_restriction(
@@ -461,27 +903,32 @@ def check_restriction(
     initial: Instance,
     search_kwargs: Dict[str, object],
     use_datalog_precheck: bool,
+    executor=None,
 ) -> ChainOutcome:
     """Precheck + witness search for a single chain restriction.
 
     This is the unit of work of both the sequential chain loop and the
     process-pool fan-out in :mod:`repro.store.parallel`; sharing it (and
     the fold in :func:`_fold_chain_outcomes`) is what makes the two modes
-    return bit-identical :class:`EmptinessResult` values.
+    return bit-identical :class:`EmptinessResult` values.  *executor* is
+    the optional subtree work-queue executor a coordinator passes for a
+    chain whose search should fan its own DFS subtrees out
+    (:mod:`repro.store.workqueue`); workers never pass one.
     """
     if use_datalog_precheck:
         if datalog_emptiness_precheck(restriction, vocabulary) is True:
             return ChainOutcome(
                 prechecked_empty=True, witness=None, explored=0, exhausted=True
             )
-    witness, explored, exhausted = _search_accepted_path(
-        restriction, vocabulary, initial, **search_kwargs
+    witness, explored, exhausted, stats = _search_accepted_path(
+        restriction, vocabulary, initial, executor=executor, **search_kwargs
     )
     return ChainOutcome(
         prechecked_empty=False,
         witness=witness,
         explored=explored,
         exhausted=exhausted,
+        stats=stats,
     )
 
 
@@ -497,10 +944,18 @@ def _fold_chain_outcomes(
     """
     total_explored = 0
     all_exhausted = True
+    stats: Dict[str, int] = {}
+
+    def merge_stats(outcome_stats: Optional[Dict[str, int]]) -> None:
+        if outcome_stats:
+            for key, value in outcome_stats.items():
+                stats[key] = stats.get(key, 0) + value
+
     for outcome in outcomes:
         if outcome.prechecked_empty:
             continue
         total_explored += outcome.explored
+        merge_stats(outcome.stats)
         if outcome.witness is not None:
             return EmptinessResult(
                 empty=False,
@@ -508,6 +963,7 @@ def _fold_chain_outcomes(
                 exhausted=False,
                 paths_explored=total_explored,
                 chains_checked=num_chains,
+                stats=stats or None,
             )
         all_exhausted = all_exhausted and outcome.exhausted
     return EmptinessResult(
@@ -516,6 +972,7 @@ def _fold_chain_outcomes(
         exhausted=all_exhausted,
         paths_explored=total_explored,
         chains_checked=num_chains,
+        stats=stats or None,
     )
 
 
@@ -534,6 +991,8 @@ def automaton_emptiness(
     memoize: bool = True,
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    subtree_parallel: Optional[bool] = None,
+    split_budget: Optional[int] = None,
 ) -> EmptinessResult:
     """Decide (within bounds) whether ``L(A)`` is empty.
 
@@ -544,18 +1003,35 @@ def automaton_emptiness(
     remaining chain for an accepted path.
 
     ``memoize`` toggles the witness search's visited-node and guard-verdict
-    caches (see :func:`_search_accepted_path`); it exists so tests and the
+    caches (see :class:`_WitnessSearch`); it exists so tests and the
     ablation benchmark can demonstrate that memoisation changes only the
     work performed, never the verdict or the validity of the witness.
 
-    ``parallel`` fans the independent chain restrictions out across worker
-    processes (:mod:`repro.store.parallel`) — the per-search caches are
+    ``parallel`` fans independent work out across worker processes
+    (:mod:`repro.store.parallel`) — the per-search caches are
     process-local already and the store snapshots are picklable by
     construction.  ``None`` defers to the ``REPRO_PARALLEL_CHAINS``
-    environment toggle (off by default); the parallel path falls back to
-    the sequential loop whenever a pool is unavailable and returns
-    bit-identical results either way (both modes share
-    :func:`check_restriction` and :func:`_fold_chain_outcomes`).
+    environment toggle (off by default).  Dispatch is cost-gated: small
+    inputs (or hosts without usable extra CPUs) degrade to the in-process
+    loop, and the parallel path falls back to it whenever a pool is
+    unavailable — returning bit-identical results in every case (all
+    modes share :func:`check_restriction` and
+    :func:`_fold_chain_outcomes`).
+
+    ``subtree_parallel`` additionally decomposes each chain's witness
+    search into DFS-subtree work items (``None`` defers to
+    ``REPRO_PARALLEL_SUBTREES``).  The decomposition semantics are
+    deterministic — pooled and in-process execution return identical
+    results — and agree with the plain search on *every* field under
+    ``memoize=False``.  With memoisation on, the decomposed search can
+    consume the ``max_paths`` budget sooner (its expansion memos are
+    scope-local), so exactly at that boundary it may return a sound but
+    less conclusive result than the plain search (see
+    :class:`_WitnessSearch`); away from the boundary the verdicts
+    coincide.
+    ``split_budget`` caps the explored nodes a worker spends on one item
+    before it is re-split (default: ``REPRO_SUBTREE_SPLIT_BUDGET`` or
+    :data:`repro.store.workqueue.DEFAULT_SPLIT_BUDGET`).
     """
     if initial is None:
         initial = vocabulary.access_schema.empty_instance()
@@ -577,6 +1053,17 @@ def automaton_emptiness(
     if max_length is None:
         max_length = max(2, len(derived_fact_pool) + 2)
 
+    from repro.store.parallel import (
+        map_chain_outcomes,
+        parallel_chains_enabled,
+        subtree_parallel_enabled,
+    )
+
+    if parallel is None:
+        parallel = parallel_chains_enabled()
+    if subtree_parallel is None:
+        subtree_parallel = subtree_parallel_enabled()
+
     search_kwargs: Dict[str, object] = {
         "max_length": max_length,
         "max_response_size": max_response_size,
@@ -585,13 +1072,11 @@ def automaton_emptiness(
         "value_pool": value_pool,
         "grounded_only": grounded_only,
         "memoize": memoize,
+        "subtree_mode": bool(subtree_parallel),
+        "split_budget": split_budget,
     }
 
-    from repro.store.parallel import map_chain_outcomes, parallel_chains_enabled
-
-    if parallel is None:
-        parallel = parallel_chains_enabled()
-    if parallel and len(restrictions) > 1:
+    if parallel and (len(restrictions) > 1 or subtree_parallel):
         outcomes: Iterable[ChainOutcome] = map_chain_outcomes(
             restrictions,
             vocabulary,
@@ -599,6 +1084,7 @@ def automaton_emptiness(
             search_kwargs,
             use_datalog_precheck,
             max_workers=max_workers,
+            pool_size=len(derived_fact_pool),
         )
     else:
         outcomes = (

@@ -5,6 +5,13 @@ See ``src/repro/store/README.md`` for the architecture note.
 
 from repro.store.hamt import EMPTY_PMAP, PMap
 from repro.store.snapshot import Shard, Snapshot, SnapshotInstance
+from repro.store.workqueue import (
+    DEFAULT_SPLIT_BUDGET,
+    SubtreeExecutor,
+    discard_shared_pool,
+    shared_pool,
+    subtree_split_budget,
+)
 
 __all__ = [
     "EMPTY_PMAP",
@@ -12,4 +19,9 @@ __all__ = [
     "Shard",
     "Snapshot",
     "SnapshotInstance",
+    "DEFAULT_SPLIT_BUDGET",
+    "SubtreeExecutor",
+    "discard_shared_pool",
+    "shared_pool",
+    "subtree_split_budget",
 ]

@@ -5,7 +5,10 @@ SCC-chain restrictions whose emptiness checks are *independent*: the
 guard/sentence caches of the witness search are per-search already, and
 the initial configuration ships as a store snapshot, which is picklable
 by construction (:mod:`repro.store.snapshot`).  This module fans those
-checks out across a process pool.
+checks out across the shared persistent process pool
+(:mod:`repro.store.workqueue`), and — when subtree mode is on — fans the
+*dominant* chain's own DFS subtrees out alongside them, so the pool does
+not drain to one busy worker while a hard chain finishes alone.
 
 Guarantees:
 
@@ -15,8 +18,19 @@ Guarantees:
   list with the same fold as the sequential path, so the resulting
   :class:`~repro.automata.emptiness.EmptinessResult` is bit-identical
   (verdict, witness, ``paths_explored``, ``exhausted``) whether or not a
-  pool was used.  The determinism test in
-  ``tests/test_parallel_chains.py`` asserts this field by field.
+  pool was used.  The determinism tests in
+  ``tests/test_parallel_chains.py`` assert this field by field.
+
+* **Cost-gated dispatch.**  Pool dispatch pays startup and pickling
+  latency, so it engages only when it can win: there must be usable
+  extra CPUs (measured by *scheduling affinity*, not raw core count — a
+  container pinned to one CPU can fork a pool but never gains from it)
+  and the estimated work must clear ``REPRO_PARALLEL_MIN_COST``.  Below
+  either bar, ``parallel=True`` degrades to the in-process loop — the
+  gate makes parallel a strict non-loss, which is exactly what the
+  ``parallel_chains_par`` benchmark row asserts.  An explicit
+  ``max_workers`` overrides the gate (tests use it to exercise the real
+  pool on single-core machines; operators to force dispatch).
 
 * **Sequential fallback.**  One restriction, one worker, an unavailable
   pool (restricted environments without ``fork``/semaphores) or a worker
@@ -31,72 +45,130 @@ trie layouts.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
+from repro.store import workqueue
 from repro.store.snapshot import Snapshot, SnapshotInstance
+from repro.store.workqueue import SubtreeExecutor
 
 #: Environment toggle consulted when ``automaton_emptiness(parallel=None)``.
 PARALLEL_CHAINS_ENV = "REPRO_PARALLEL_CHAINS"
+
+#: Environment toggle consulted when
+#: ``automaton_emptiness(subtree_parallel=None)``: decompose each chain's
+#: witness search into subtree work items (deterministic semantics; pool
+#: dispatch still requires ``parallel`` and the cost gate).
+PARALLEL_SUBTREES_ENV = "REPRO_PARALLEL_SUBTREES"
+
+#: Environment override for the dispatch cost gate (see
+#: :func:`min_dispatch_cost`).
+PARALLEL_MIN_COST_ENV = "REPRO_PARALLEL_MIN_COST"
+
+#: Default for :func:`min_dispatch_cost`: estimated-work floor below
+#: which ``parallel=True`` stays in process.  The unit is the
+#: :func:`estimate_chain_cost` proxy — roughly ``automaton size ×
+#: exploration budget``; the default clears comfortably for the
+#: multi-second workloads parallelism targets and blocks the
+#: millisecond-scale calls where pool latency dominates.
+DEFAULT_MIN_DISPATCH_COST = 100_000
 
 #: Upper bound on workers regardless of core count: chain counts are small
 #: and each worker pays a full search setup, so very wide pools only add
 #: startup latency.
 _MAX_WORKERS_CAP = 8
 
+#: How many parallel units to assume when sizing a pool for subtree mode:
+#: a single chain still yields many subtree items, so the pool is sized
+#: by CPUs/cap rather than by the chain count.
+_SUBTREE_POOL_UNITS = 8
 
-def parallel_chains_enabled() -> bool:
-    """Whether the environment opts in to parallel chain checking."""
-    value = os.environ.get(PARALLEL_CHAINS_ENV, "").strip().lower()
+
+def _env_flag(name: str) -> bool:
+    value = os.environ.get(name, "").strip().lower()
     return value not in ("", "0", "false", "no", "off")
 
 
-def _worker_count(num_chains: int, max_workers: Optional[int]) -> int:
+def parallel_chains_enabled() -> bool:
+    """Whether the environment opts in to parallel chain checking."""
+    return _env_flag(PARALLEL_CHAINS_ENV)
+
+
+def subtree_parallel_enabled() -> bool:
+    """Whether the environment opts in to subtree-decomposed searches."""
+    return _env_flag(PARALLEL_SUBTREES_ENV)
+
+
+def min_dispatch_cost() -> int:
+    """Estimated-work floor for pool dispatch (env override or default)."""
+    raw = os.environ.get(PARALLEL_MIN_COST_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+            if value >= 0:
+                return value
+        except ValueError:
+            pass
+    return DEFAULT_MIN_DISPATCH_COST
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (scheduling affinity).
+
+    ``os.cpu_count()`` reports the machine; a containerised or
+    CPU-pinned process can see many cores it will never be scheduled
+    onto, in which case a worker pool only adds dispatch overhead — the
+    exact failure mode the cost gate exists to prevent.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def estimate_chain_cost(
+    restriction,
+    search_kwargs: Dict[str, object],
+    pool_size: Optional[int] = None,
+) -> int:
+    """Deterministic proxy for one chain's witness-search work.
+
+    ``automaton size × exploration budget``: the candidate loop is
+    per-transition guard work and the budget caps the explored nodes.
+    ``max_paths`` alone overestimates small searches badly (the default
+    cap is 40 000 but a three-fact pool exhausts after a few hundred
+    nodes), so the budget is additionally bounded by a branching proxy
+    of the search space, ``(pool + 2) ^ min(max_length, 8)``.  All
+    inputs are known before any search setup and the estimate is a pure
+    function of them — gate decisions never depend on machine state and
+    cannot perturb results (gating only chooses *where* identical work
+    runs).
+    """
+    budget = int(search_kwargs.get("max_paths") or 0)
+    if pool_size is None:
+        fact_pool = search_kwargs.get("fact_pool")
+        pool_size = len(fact_pool) if fact_pool is not None else None
+    max_length = search_kwargs.get("max_length")
+    if pool_size is not None and max_length:
+        space = (pool_size + 2) ** min(int(max_length), 8)
+        budget = min(budget, space)
+    states, transitions = restriction.size()
+    return (states + transitions) * budget
+
+
+def _worker_count(num_units: int, max_workers: Optional[int]) -> int:
     if max_workers is not None:
         # An explicit worker count is honoured as given (minus idle
         # workers): tests use it to exercise the real pool on single-core
         # machines, operators to oversubscribe or restrict deliberately.
-        return max(1, min(num_chains, max_workers))
-    available = os.cpu_count() or 1
-    return max(1, min(num_chains, available, _MAX_WORKERS_CAP))
+        return max(1, min(num_units, max_workers))
+    return max(1, min(num_units, available_cpus(), _MAX_WORKERS_CAP))
 
 
-# A lazily created, reused pool: spawning workers costs hundreds of
-# milliseconds (fork of a large parent, interpreter warm-up), which would
-# otherwise be paid by every emptiness call.  The pool is replaced when a
-# caller needs more workers than it has, and discarded on any failure
-# (the next call recreates it).
-_POOL: Optional[ProcessPoolExecutor] = None
-_POOL_WORKERS = 0
-
-
-def _get_pool(workers: int) -> ProcessPoolExecutor:
-    global _POOL, _POOL_WORKERS
-    if _POOL is not None and _POOL_WORKERS >= workers:
-        return _POOL
-    if _POOL is not None:
-        _POOL.shutdown(wait=False, cancel_futures=True)
-        _POOL = None
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-    _POOL_WORKERS = workers
-    return _POOL
-
-
-def _discard_pool() -> None:
-    global _POOL, _POOL_WORKERS
-    if _POOL is not None:
-        try:
-            _POOL.shutdown(wait=False, cancel_futures=True)
-        except Exception:  # pragma: no cover - best-effort cleanup
-            pass
-    _POOL = None
-    _POOL_WORKERS = 0
+def _should_dispatch(total_cost: int, max_workers: Optional[int]) -> bool:
+    if max_workers is not None:
+        return True
+    return total_cost >= min_dispatch_cost()
 
 
 def _check_chain_payload(payload):
@@ -130,6 +202,135 @@ def _sequential(
     return outcomes
 
 
+def _initial_snapshot(initial) -> Snapshot:
+    if isinstance(initial, Snapshot):
+        return initial
+    return SnapshotInstance.from_instance(initial).snapshot()
+
+
+def _chain_fanout(
+    pool,
+    restrictions: Sequence,
+    vocabulary,
+    initial,
+    search_kwargs: Dict[str, object],
+    use_datalog_precheck: bool,
+) -> List:
+    """Whole-chain fan-out: one pool task per restriction."""
+    initial_snapshot = _initial_snapshot(initial)
+    payloads = [
+        (restriction, vocabulary, initial_snapshot, search_kwargs, use_datalog_precheck)
+        for restriction in restrictions
+    ]
+    futures = [pool.submit(_check_chain_payload, payload) for payload in payloads]
+    outcomes = []
+    for index, future in enumerate(futures):
+        outcome = future.result()
+        outcomes.append(outcome)
+        if outcome.witness is not None:
+            # The fold stops at the first witness in restriction order,
+            # so everything after this chain is dead work: cancel what
+            # has not started (running tasks finish in the background
+            # and are discarded).
+            for later in futures[index + 1 :]:
+                later.cancel()
+            break
+    return outcomes
+
+
+def _hybrid_fanout(
+    pool,
+    restrictions: Sequence,
+    vocabulary,
+    initial,
+    search_kwargs: Dict[str, object],
+    use_datalog_precheck: bool,
+    pool_size: Optional[int] = None,
+) -> List:
+    """Subtree-aware placement: split the straggler, pool the rest.
+
+    The chain with the largest cost estimate is the straggler that makes
+    whole-chain granularity lose; its witness search runs in the
+    coordinator with its DFS subtrees dispatched to the shared pool,
+    while every other chain ships as a whole-chain task into the same
+    queue.  Workers therefore stay busy on the dominant chain's items as
+    the small chains drain — the sequential tail is split instead of
+    waited on.  Placement depends on runtime estimates, but the subtree
+    decomposition's results are placement-independent, so the folded
+    outcome never does.
+    """
+    from repro.automata.emptiness import check_restriction
+
+    costs = [
+        estimate_chain_cost(r, search_kwargs, pool_size) for r in restrictions
+    ]
+    dominant = max(range(len(restrictions)), key=lambda i: (costs[i], -i))
+    initial_snapshot = _initial_snapshot(initial)
+    futures = {}
+    for index, restriction in enumerate(restrictions):
+        if index == dominant:
+            continue
+        payload = (
+            restriction,
+            vocabulary,
+            initial_snapshot,
+            search_kwargs,
+            use_datalog_precheck,
+        )
+        futures[index] = pool.submit(_check_chain_payload, payload)
+
+    def _earlier_witness_already_found() -> bool:
+        # Non-blocking scan: a finished earlier-indexed chain carrying a
+        # witness makes the dominant chain dead work (the fold stops
+        # before it).  A chain that finishes *while* the dominant search
+        # runs is not seen — that race is inherent to running them
+        # concurrently — but the cheap chains often beat the coordinator
+        # to this point, and skipping a multi-second dominant search is
+        # worth the O(#chains) check.
+        for index in range(dominant):
+            future = futures.get(index)
+            if future is not None and future.done():
+                try:
+                    if future.result().witness is not None:
+                        return True
+                except Exception:
+                    return False  # broken future: the caller's fallback handles it
+        return False
+
+    if _earlier_witness_already_found():
+        dominant_outcome = None
+    else:
+        executor = SubtreeExecutor(pool)
+        dominant_outcome = check_restriction(
+            restrictions[dominant],
+            vocabulary,
+            initial,
+            search_kwargs,
+            use_datalog_precheck,
+            executor=executor,
+        )
+    outcomes = []
+    for index in range(len(restrictions)):
+        if index == dominant and dominant_outcome is None:
+            # Unreachable by the fold: an earlier chain's witness
+            # truncates the walk before this entry.  Assert the
+            # invariant rather than fabricating an outcome.
+            raise AssertionError(
+                "dominant chain skipped without an earlier witness"
+            )  # pragma: no cover - guarded by _earlier_witness_already_found
+        outcome = (
+            dominant_outcome if index == dominant else futures[index].result()
+        )
+        outcomes.append(outcome)
+        if outcome.witness is not None:
+            for later in range(index + 1, len(restrictions)):
+                future = futures.get(later)
+                if future is not None:
+                    future.cancel()
+            break
+    return outcomes
+
+
 def map_chain_outcomes(
     restrictions: Sequence,
     vocabulary,
@@ -137,54 +338,67 @@ def map_chain_outcomes(
     search_kwargs: Dict[str, object],
     use_datalog_precheck: bool,
     max_workers: Optional[int] = None,
+    pool_size: Optional[int] = None,
 ):
     """Chain outcomes in restriction order, up to the first witness.
 
-    Dispatches the per-chain checks to a process pool and collects the
+    *pool_size* is the caller's fact-pool cardinality hint for
+    :func:`estimate_chain_cost` (``automaton_emptiness`` derives the
+    pool anyway and passes its size along so the gate can bound the
+    exploration budget by the actual search space).
+
+    Dispatches the per-chain checks (and, in subtree mode, the dominant
+    chain's subtree items) to the shared process pool and collects the
     ordered outcomes; once an outcome carries a witness the remaining
     chains are dead work (the caller's fold stops there, mirroring the
     sequential early exit), so not-yet-started tasks are cancelled and
     the list is truncated at that point.  Falls back to in-process
-    sequential checking whenever parallelism cannot help (a single
-    chain, one worker) or cannot be obtained (no pool, a worker
+    sequential checking whenever parallelism cannot help (no usable
+    extra CPUs, estimated work below :func:`min_dispatch_cost`, a single
+    chain outside subtree mode) or cannot be obtained (no pool, a worker
     failure) — by construction the folded result is the same.
     """
     num_chains = len(restrictions)
-    workers = _worker_count(num_chains, max_workers)
-    if num_chains <= 1 or workers <= 1:
+    subtree = bool(search_kwargs.get("subtree_mode"))
+    units = num_chains if not subtree else max(num_chains, _SUBTREE_POOL_UNITS)
+    workers = _worker_count(units, max_workers)
+    total_cost = sum(
+        estimate_chain_cost(restriction, search_kwargs, pool_size)
+        for restriction in restrictions
+    )
+    if (
+        workers <= 1
+        or not _should_dispatch(total_cost, max_workers)
+        or (num_chains <= 1 and not subtree)
+    ):
         return _sequential(
             restrictions, vocabulary, initial, search_kwargs, use_datalog_precheck
         )
-
-    if isinstance(initial, Snapshot):
-        initial_snapshot = initial
-    else:
-        initial_snapshot = SnapshotInstance.from_instance(initial).snapshot()
-    payloads = [
-        (restriction, vocabulary, initial_snapshot, search_kwargs, use_datalog_precheck)
-        for restriction in restrictions
-    ]
     try:
-        pool = _get_pool(workers)
-        futures = [pool.submit(_check_chain_payload, payload) for payload in payloads]
-        outcomes = []
-        for index, future in enumerate(futures):
-            outcome = future.result()
-            outcomes.append(outcome)
-            if outcome.witness is not None:
-                # The fold stops at the first witness in restriction
-                # order, so everything after this chain is dead work:
-                # cancel what has not started (running tasks finish in
-                # the background and are discarded).
-                for later in futures[index + 1 :]:
-                    later.cancel()
-                break
-        return outcomes
+        pool = workqueue.shared_pool(workers)
+        if subtree:
+            return _hybrid_fanout(
+                pool,
+                restrictions,
+                vocabulary,
+                initial,
+                search_kwargs,
+                use_datalog_precheck,
+                pool_size,
+            )
+        return _chain_fanout(
+            pool,
+            restrictions,
+            vocabulary,
+            initial,
+            search_kwargs,
+            use_datalog_precheck,
+        )
     except Exception:
         # Pools can be unavailable (sandboxes without semaphores) and
         # exotic payloads can fail to pickle; verdicts must not depend on
         # either, so recompute everything in process.
-        _discard_pool()
+        workqueue.discard_shared_pool()
         return _sequential(
             restrictions, vocabulary, initial, search_kwargs, use_datalog_precheck
         )

@@ -1,0 +1,394 @@
+"""Shared-queue subtree execution for the emptiness witness search.
+
+The Lemma 4.9 chain decomposition (:mod:`repro.store.parallel`) gives
+whole-chain parallelism, which loses when one hard chain dominates: the
+pool drains to a single busy worker while the stragglers' subtrees sit
+inside it, unreachable.  This module parallelises *inside* a chain.
+Snapshots are picklable by construction, so a DFS frontier node ships as
+a self-contained :class:`~repro.automata.emptiness.SubtreeItem`
+``(states, snapshot, known, budget)``; workers pull items from the
+shared pool queue, run each to completion — or hand it back for
+**re-splitting** when it exceeds the per-item work budget — and the
+coordinator folds the outcomes deterministically.
+
+Guarantees:
+
+* **Deterministic results.**  :func:`run_decomposed_search` returns the
+  same ``(witness, explored, exhausted)`` whether items run in worker
+  processes, in-process (no pool), or any mix (individual worker
+  failures fall back to in-process resolution).  The fold consumes
+  outcomes in canonical DFS order — the first witness in that order
+  wins — and reconstructs the sequential interleaving of exploration
+  counts exactly, including the ``max_paths`` abort point: a witness a
+  worker found beyond the budget horizon the sequential search would
+  have aborted at is discarded, not reported.
+* **Re-splitting is deterministic too.**  A worker abandons an item once
+  its local explored-node count exceeds the *split budget*; whether that
+  happens is a pure function of ``(item, budget)``, never of
+  scheduling.  The coordinator then expands the overflowed node one
+  level (counting that node's own candidates itself) and enqueues the
+  children — adaptive granularity without nondeterminism, at the cost of
+  discarding the overflowed attempt (at most one budget's worth of
+  work).
+* **Warm shared pool.**  One persistent process pool (shared with the
+  chain-level fan-out) is reused across ``automaton_emptiness`` calls;
+  each worker caches the unpickled search context per coordinator token,
+  so after the first item of a context only the item itself is rebuilt
+  per task.
+
+Early cancellation: once the fold settles on a witness, not-yet-started
+items are cancelled (running ones finish in the background and are
+discarded), mirroring the chain-level early exit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+#: Default explored-nodes budget a worker spends on one subtree item
+#: before handing it back for re-splitting.  Override per call via
+#: ``automaton_emptiness(split_budget=...)`` or globally via the
+#: ``REPRO_SUBTREE_SPLIT_BUDGET`` environment variable.
+DEFAULT_SPLIT_BUDGET = 20_000
+
+#: Environment override for :data:`DEFAULT_SPLIT_BUDGET`.
+SPLIT_BUDGET_ENV = "REPRO_SUBTREE_SPLIT_BUDGET"
+
+
+def subtree_split_budget() -> int:
+    """The configured per-item work budget (env override or default)."""
+    raw = os.environ.get(SPLIT_BUDGET_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return DEFAULT_SPLIT_BUDGET
+
+
+# ----------------------------------------------------------------------
+# The shared persistent pool
+# ----------------------------------------------------------------------
+# A lazily created, reused pool: spawning workers costs hundreds of
+# milliseconds (fork of a large parent, interpreter warm-up), which would
+# otherwise be paid by every emptiness call.  The pool is replaced when a
+# caller needs more workers than it has, and discarded on any failure
+# (the next call recreates it).  Both the chain-level fan-out
+# (:mod:`repro.store.parallel`) and the subtree executor draw from it,
+# so chain tasks and subtree items interleave in one queue — which is
+# exactly how a dominant chain's subtrees fill workers that drained
+# their own chains.
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared pool, grown to at least *workers* workers."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS >= workers:
+        return _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    _POOL_WORKERS = workers
+    return _POOL
+
+
+def discard_shared_pool() -> None:
+    """Tear the shared pool down (the next call recreates it)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        try:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+# ----------------------------------------------------------------------
+# Worker side: per-process context cache
+# ----------------------------------------------------------------------
+#: Worker-process cache of unpickled search contexts, keyed by the
+#: coordinator's context token.  Bounded: coordinators churn through
+#: contexts (one per chain restriction), workers must not accumulate
+#: them forever.
+_CONTEXT_CACHE: Dict[Tuple[int, int], object] = {}
+_CONTEXT_ORDER: List[Tuple[int, int]] = []
+_CONTEXT_CACHE_LIMIT = 4
+
+_TOKEN_COUNTER = 0
+
+
+def _next_context_token() -> Tuple[int, int]:
+    """A token unique per (coordinator process, executor instance)."""
+    global _TOKEN_COUNTER
+    _TOKEN_COUNTER += 1
+    return (os.getpid(), _TOKEN_COUNTER)
+
+
+def _cached_search(token: Tuple[int, int], blob: bytes):
+    search = _CONTEXT_CACHE.get(token)
+    if search is None:
+        from repro.automata.emptiness import search_from_payload
+
+        search = search_from_payload(pickle.loads(blob))
+        _CONTEXT_CACHE[token] = search
+        _CONTEXT_ORDER.append(token)
+        while len(_CONTEXT_ORDER) > _CONTEXT_CACHE_LIMIT:
+            evicted = _CONTEXT_ORDER.pop(0)
+            _CONTEXT_CACHE.pop(evicted, None)
+    return search
+
+
+def _subtree_worker(token: Tuple[int, int], blob: bytes, item, node_budget: int):
+    """Top-level worker entry point (must be picklable by name)."""
+    import dataclasses
+
+    search = _cached_search(token, blob)
+    before = dict(search.stats)
+    outcome = search.run_subtree(item, node_budget)
+    delta = {
+        key: value - before.get(key, 0)
+        for key, value in search.stats.items()
+        if value != before.get(key, 0)
+    }
+    return dataclasses.replace(outcome, stats=delta or None)
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+class SubtreeExecutor:
+    """Submits one search context's subtree items to the shared pool.
+
+    The context payload is pickled **once** (:meth:`bind`) and its bytes
+    shipped with every item; workers unpickle it on first sight and cache
+    the built search per context token, so steady-state per-item cost is
+    the item itself plus a bytes copy over the pipe.  Any submission or
+    result failure marks the executor dead — the fold then resolves the
+    remaining items in-process, with identical results.
+    """
+
+    def __init__(self, pool: ProcessPoolExecutor) -> None:
+        self._pool = pool
+        self._token: Optional[Tuple[int, int]] = None
+        self._blob: Optional[bytes] = None
+        self._node_budget: Optional[int] = None
+        self._dead = False
+
+    def bind(self, context_payload, node_budget: int) -> None:
+        """Attach the search context and the per-item work budget."""
+        if self._blob is None:
+            self._token = _next_context_token()
+            try:
+                self._blob = pickle.dumps(
+                    context_payload, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception:
+                self._dead = True
+        self._node_budget = node_budget
+
+    @property
+    def usable(self) -> bool:
+        return not self._dead and self._blob is not None
+
+    def mark_dead(self) -> None:
+        self._dead = True
+
+    def submit(self, item):
+        """A future for *item*, or ``None`` when the pool is unusable."""
+        if not self.usable:
+            return None
+        try:
+            return self._pool.submit(
+                _subtree_worker, self._token, self._blob, item, self._node_budget
+            )
+        except Exception:
+            self._dead = True
+            return None
+
+
+def _merge_stats(into: Dict[str, int], stats: Optional[Dict[str, int]]) -> None:
+    if stats:
+        for key, value in stats.items():
+            into[key] = into.get(key, 0) + value
+
+
+def _resolve_item(search, item, future, budget, executor, extra_stats, horizon):
+    """Resolve one item to ``(status, steps, count)`` relative to its node.
+
+    ``status`` is ``"witness"`` (``steps`` = path suffix from the item's
+    node, ``count`` = local exploration count at which it was found),
+    ``"aborted"`` (the remaining exploration budget *horizon* was hit
+    inside the subtree — the sequential search would have aborted there)
+    or ``"done"`` (``count`` = the subtree's total exploration count).
+    Overflowed items are re-split via :meth:`expand_item` and folded
+    recursively — a deterministic decision, see the module docstring.
+
+    In-process runs receive *horizon* as a hard cap so they stop at the
+    exact crossing point; pooled workers ran with the loose global cap
+    (their entry offset was unknown at dispatch), so their results are
+    re-checked against the horizon here — a witness located beyond it is
+    rejected by the caller, making both placements land on the same
+    result.
+    """
+    outcome = None
+    if future is not None:
+        try:
+            outcome = future.result()
+        except Exception:
+            # A failed item must not change verdicts: resolve it
+            # in-process and stop submitting new items.  The recovery is
+            # scoped to this executor — the shared pool may be carrying
+            # sibling whole-chain tasks (the hybrid fan-out), and
+            # tearing it down here would cancel their completed-or-
+            # running work for what might be a single bad item.  A
+            # genuinely broken pool makes those siblings fail on their
+            # own ``result()`` calls, where the chain-level fallback
+            # (and pool teardown) lives.
+            if executor is not None:
+                executor.mark_dead()
+            outcome = None
+    if outcome is None:
+        outcome = search.run_subtree(item, budget, hard_limit=horizon)
+    else:
+        _merge_stats(extra_stats, outcome.stats)
+        extra_stats["subtree_pooled_items"] = (
+            extra_stats.get("subtree_pooled_items", 0) + 1
+        )
+    extra_stats["subtree_items"] = extra_stats.get("subtree_items", 0) + 1
+    if outcome.status == "overflow":
+        extra_stats["subtree_overflows"] = (
+            extra_stats.get("subtree_overflows", 0) + 1
+        )
+        expansion = search.expand_item(item)
+        return _fold_expansion(
+            search, expansion, budget, executor, extra_stats, horizon
+        )
+    if outcome.status == "witness":
+        if outcome.explored > horizon:
+            # The sequential search crosses max_paths before reaching
+            # this candidate (a loose-cap worker ran past the horizon).
+            return ("aborted", None, outcome.explored)
+        return ("witness", outcome.steps, outcome.explored)
+    if outcome.status == "aborted" or outcome.explored > horizon:
+        return ("aborted", None, outcome.explored)
+    return ("done", None, outcome.explored)
+
+
+def _fold_expansion(search, expansion, budget, executor, extra_stats, horizon):
+    """Deterministically fold one expanded node level.
+
+    Items are submitted to the pool eagerly (they are independent) but
+    consumed strictly in canonical DFS order, reconstructing the exact
+    sequential interleaving of the expansion's own candidate counts
+    (``record.explored_at``) with the subtree totals.  *horizon* is the
+    remaining global exploration budget relative to this node: the walk
+    stops at the first count that crosses it, exactly where the
+    sequential search aborts — items past that point are never resolved
+    (their futures are cancelled).  Returns ``(status, steps, count)``
+    relative to the expansion's root node: for a witness, ``count`` is
+    the exploration count at which the sequential search would have
+    found it; for ``done``, the level's total count.  An inline witness
+    found by the expansion itself comes after every exported record,
+    exactly as in the sequential candidate loop (the loop stops at the
+    accepting candidate, so all exports precede it).
+    """
+    futures = {}
+    if executor is not None and executor.usable:
+        for index, record in enumerate(expansion.records):
+            future = executor.submit(record.item)
+            if future is None:
+                break
+            futures[index] = future
+    total = 0
+    try:
+        for index, record in enumerate(expansion.records):
+            entry = record.explored_at + total
+            if entry > horizon:
+                # The crossing happened in the expansion's own candidate
+                # increments (or an earlier subtree): the sequential
+                # search aborts before entering this item.
+                return ("aborted", None, entry)
+            status, steps, count = _resolve_item(
+                search,
+                record.item,
+                futures.pop(index, None),
+                budget,
+                executor,
+                extra_stats,
+                horizon - entry,
+            )
+            if status == "witness":
+                return ("witness", record.prefix + steps, entry + count)
+            if status == "aborted":
+                return ("aborted", None, entry + count)
+            total += count
+        if expansion.witness_steps is not None:
+            return ("witness", expansion.witness_steps, expansion.witness_at + total)
+        return ("done", None, expansion.explored + total)
+    finally:
+        for future in futures.values():
+            future.cancel()
+
+
+def run_decomposed_search(search, *, split_budget=None, executor=None, context=None):
+    """Trunk + deterministic fold execution of a decomposed witness search.
+
+    *search* exposes the trunk/worker protocol of
+    :class:`repro.automata.emptiness._WitnessSearch`
+    (``run_round_exporting`` / ``expand_item`` / ``run_subtree``, plus
+    ``max_length`` / ``max_paths`` / ``stats``).  Each iterative-deepening
+    round expands the root in the coordinator, exporting every viable
+    depth-1 child as a work item; items resolve via *executor* (when
+    bound and usable) or in-process, then fold in canonical order.
+
+    Returns ``(witness steps or None, explored, exhausted, stats)`` —
+    identical regardless of where items ran.  The ``max_paths`` horizon
+    is enforced by the fold exactly as the sequential search enforces it:
+    the first exploration count beyond the cap aborts the search with
+    ``explored == max_paths + 1``, and witnesses located beyond the
+    horizon are discarded.
+    """
+    budget = int(split_budget) if split_budget else subtree_split_budget()
+    if executor is not None and context is not None:
+        executor.bind(context, budget)
+    if executor is not None and not executor.usable:
+        executor = None
+    extra_stats: Dict[str, int] = {}
+    max_paths = search.max_paths
+    base = 0
+    for depth_limit in range(1, search.max_length + 1):
+        expansion = search.run_round_exporting(depth_limit)
+        status, steps, count = _fold_expansion(
+            search, expansion, budget, executor, extra_stats, max_paths - base
+        )
+        if status == "witness":
+            absolute = base + count
+            if absolute <= max_paths:
+                return steps, absolute, False, _final_stats(search, extra_stats)
+            # The sequential search would have aborted before reaching
+            # this candidate.
+            return None, max_paths + 1, False, _final_stats(search, extra_stats)
+        if status == "aborted" or base + count > max_paths:
+            return None, max_paths + 1, False, _final_stats(search, extra_stats)
+        base += count
+    return None, base, True, _final_stats(search, extra_stats)
+
+
+def _final_stats(search, extra_stats: Dict[str, int]) -> Dict[str, int]:
+    stats = dict(search.stats)
+    _merge_stats(stats, extra_stats)
+    return stats

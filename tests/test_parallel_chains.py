@@ -6,24 +6,42 @@ bit-identical :class:`~repro.automata.emptiness.EmptinessResult` with
 ``parallel=True`` and ``parallel=False`` — verdict, witness, exploration
 counters and all.  The fallback paths (no pool, single chain) must be
 equally invisible.
+
+The same contract extends to the intra-chain subtree decomposition
+(:mod:`repro.store.workqueue`): ``subtree_parallel=True`` returns
+identical results whether items run pooled or in-process, agrees with
+the plain search on verdict/witness/exhaustiveness always, and agrees on
+*every* field (including ``paths_explored``) under ``memoize=False``,
+where the scope-local expansion memos make exploration counts additive
+over subtrees.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
+
 import pytest
 
-from repro.automata.emptiness import automaton_emptiness, check_restriction
+from repro.automata import emptiness as emptiness_module
+from repro.automata.emptiness import (
+    SubtreeItem,
+    automaton_emptiness,
+    check_restriction,
+)
 from repro.automata.library import containment_automaton, ltr_automaton
 from repro.automata.operations import union_automaton
 from repro.automata.progressive import chain_restrictions
 from repro.automata.run import accepts_path
 from repro.core.solver import AccLTLSolver
 from repro.store import parallel as parallel_module
+from repro.store import workqueue as workqueue_module
 from repro.workloads.directory import (
     directory_access_schema,
     join_query,
     resident_names_query,
 )
+from repro.workloads.generators import WorkloadGenerator
 from repro.workloads.scenarios import standard_scenarios
 
 
@@ -102,13 +120,36 @@ class TestSequentialFallback:
             def __init__(self, *args, **kwargs):
                 raise OSError("no process pool in this environment")
 
-        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", _BrokenPool)
-        monkeypatch.setattr(parallel_module, "_POOL", None)
-        monkeypatch.setattr(parallel_module, "_POOL_WORKERS", 0)
+        monkeypatch.setattr(workqueue_module, "ProcessPoolExecutor", _BrokenPool)
+        monkeypatch.setattr(workqueue_module, "_POOL", None)
+        monkeypatch.setattr(workqueue_module, "_POOL_WORKERS", 0)
         automaton = _multi_chain_automaton(vocabulary, empty_language=True)
         kwargs = dict(max_paths=3000, use_datalog_precheck=False)
         fallback = automaton_emptiness(
             automaton, vocabulary, parallel=True, max_workers=2, **kwargs
+        )
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        assert _result_fields(fallback) == _result_fields(sequential)
+
+    def test_pool_failure_in_subtree_mode_falls_back(self, vocabulary, monkeypatch):
+        class _BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process pool in this environment")
+
+        monkeypatch.setattr(workqueue_module, "ProcessPoolExecutor", _BrokenPool)
+        monkeypatch.setattr(workqueue_module, "_POOL", None)
+        monkeypatch.setattr(workqueue_module, "_POOL_WORKERS", 0)
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True)
+        kwargs = dict(max_paths=800, use_datalog_precheck=False, memoize=False)
+        fallback = automaton_emptiness(
+            automaton,
+            vocabulary,
+            parallel=True,
+            subtree_parallel=True,
+            max_workers=2,
+            **kwargs,
         )
         sequential = automaton_emptiness(
             automaton, vocabulary, parallel=False, **kwargs
@@ -183,3 +224,444 @@ class TestWorkerUnit:
         assert len(outcomes) == len(restrictions)
         for outcome in outcomes:
             assert outcome.explored >= 0
+
+
+class TestSubtreeMatchesSequential:
+    """Sequential / chain-parallel / subtree-parallel mode agreement."""
+
+    @pytest.mark.parametrize("empty_language", [True, False])
+    def test_full_field_equality_memoize_off(self, vocabulary, empty_language):
+        """With memoize=False all three modes agree on every field.
+
+        The expansion memo is the one scope-dependent layer of the
+        search; without it, exploration counts are additive over
+        subtrees, so the subtree decomposition reproduces the sequential
+        counters exactly — in-process and pooled alike.
+        """
+        automaton = _multi_chain_automaton(vocabulary, empty_language)
+        kwargs = dict(max_paths=1200, use_datalog_precheck=False, memoize=False)
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        chain_parallel = automaton_emptiness(
+            automaton, vocabulary, parallel=True, max_workers=2, **kwargs
+        )
+        subtree_inprocess = automaton_emptiness(
+            automaton, vocabulary, parallel=False, subtree_parallel=True, **kwargs
+        )
+        subtree_pooled = automaton_emptiness(
+            automaton,
+            vocabulary,
+            parallel=True,
+            subtree_parallel=True,
+            max_workers=2,
+            **kwargs,
+        )
+        reference = _result_fields(sequential)
+        assert _result_fields(chain_parallel) == reference
+        assert _result_fields(subtree_inprocess) == reference
+        assert _result_fields(subtree_pooled) == reference
+        if sequential.witness is not None:
+            assert accepts_path(automaton, vocabulary, sequential.witness)
+
+    @pytest.mark.parametrize("empty_language", [True, False])
+    def test_verdict_equality_memoized(self, vocabulary, empty_language):
+        """Memoised subtree mode: verdicts coincide away from the cap.
+
+        The expansion memo is scope-local (per subtree), so the
+        decomposed search explores more than the globally memoised
+        sequential search when transpositions cross subtree boundaries.
+        Away from the ``max_paths`` boundary (here: both runs abort, or
+        neither does) verdict, witness and exhausted coincide; the
+        boundary itself is pinned in
+        ``test_memoized_boundary_abort_is_sound_not_identical``.
+        """
+        automaton = _multi_chain_automaton(vocabulary, empty_language)
+        kwargs = dict(max_paths=1500, use_datalog_precheck=False)
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        subtree = automaton_emptiness(
+            automaton, vocabulary, parallel=False, subtree_parallel=True, **kwargs
+        )
+        assert (subtree.empty, subtree.witness, subtree.exhausted) == (
+            sequential.empty,
+            sequential.witness,
+            sequential.exhausted,
+        )
+
+    def test_memoized_boundary_abort_is_sound_not_identical(self, vocabulary):
+        """At the ``max_paths`` boundary, memoised subtree mode is sound.
+
+        The scope-local memos prune less, so the decomposed search can
+        hit the cap where the globally memoised sequential search
+        finished exhaustively.  The documented contract: the decomposed
+        result is then *less conclusive* (``exhausted=False``), never
+        *wrong* — it must not claim exhaustion, and it must stay
+        deterministic (pooled == in-process).  ``memoize=False`` on the
+        same workload restores full field equality.
+        """
+        automaton = containment_automaton(
+            vocabulary, join_query(), resident_names_query(), grounded=False
+        )
+        kwargs = dict(max_paths=500, use_datalog_precheck=False)
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        inprocess = automaton_emptiness(
+            automaton, vocabulary, parallel=False, subtree_parallel=True, **kwargs
+        )
+        pooled = automaton_emptiness(
+            automaton,
+            vocabulary,
+            parallel=True,
+            subtree_parallel=True,
+            max_workers=2,
+            **kwargs,
+        )
+        # Deterministic across placements...
+        assert _result_fields(inprocess) == _result_fields(pooled)
+        # ...and sound versus the plain search: same emptiness verdict
+        # here, and exhaustion is only ever claimed when the plain
+        # search claims it too (the decomposition may be the less
+        # conclusive side, never the overclaiming one).
+        assert inprocess.empty == sequential.empty
+        if inprocess.exhausted:
+            assert sequential.exhausted
+        # With the cap out of the picture the fields align exactly.
+        exact = dict(kwargs, max_paths=100000, memoize=False)
+        assert _result_fields(
+            automaton_emptiness(
+                automaton, vocabulary, parallel=False, subtree_parallel=True, **exact
+            )
+        ) == _result_fields(
+            automaton_emptiness(automaton, vocabulary, parallel=False, **exact)
+        )
+
+    def test_resplit_budget_preserves_results(self, vocabulary):
+        """A tiny split budget forces the overflow/re-split protocol.
+
+        Re-splitting is a pure function of ``(item, budget)``, so pooled
+        and in-process execution still agree with each other and with
+        the plain sequential search (memoize=False: on every field).
+        """
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True)
+        kwargs = dict(max_paths=700, use_datalog_precheck=False, memoize=False)
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        inprocess = automaton_emptiness(
+            automaton,
+            vocabulary,
+            parallel=False,
+            subtree_parallel=True,
+            split_budget=25,
+            **kwargs,
+        )
+        pooled = automaton_emptiness(
+            automaton,
+            vocabulary,
+            parallel=True,
+            subtree_parallel=True,
+            max_workers=2,
+            split_budget=25,
+            **kwargs,
+        )
+        assert _result_fields(inprocess) == _result_fields(sequential)
+        assert _result_fields(pooled) == _result_fields(sequential)
+        assert (inprocess.stats or {}).get("subtree_overflows", 0) > 0
+
+    def test_single_chain_subtree_dispatch(self, vocabulary):
+        """Subtree mode parallelises even a single-chain automaton."""
+        scenario = next(s for s in standard_scenarios() if s.name == "directory")
+        voc = AccLTLSolver(scenario.access_schema).vocabulary
+        full = ltr_automaton(voc, scenario.probe_access, scenario.query_one)
+        # One chain restriction *is* a single-chain automaton — the shape
+        # whole-chain parallelism cannot split but subtree mode can.
+        automaton = chain_restrictions(full.trim())[0]
+        assert len(chain_restrictions(automaton.trim())) == 1
+        kwargs = dict(max_paths=2000, use_datalog_precheck=False, memoize=False)
+        sequential = automaton_emptiness(automaton, voc, parallel=False, **kwargs)
+        pooled = automaton_emptiness(
+            automaton,
+            voc,
+            parallel=True,
+            subtree_parallel=True,
+            max_workers=2,
+            **kwargs,
+        )
+        assert _result_fields(pooled) == _result_fields(sequential)
+        assert (pooled.stats or {}).get("subtree_items", 0) > 0
+
+
+class TestRandomizedDeterminism:
+    """Randomised workloads: field-by-field mode agreement (memoize=False)."""
+
+    @staticmethod
+    def _random_automaton(seed: int):
+        generator = WorkloadGenerator(seed=seed)
+        access_schema = generator.access_schema(
+            num_relations=2, methods_per_relation=2, max_inputs=1
+        )
+        vocabulary = AccLTLSolver(access_schema).vocabulary
+        q1 = generator.conjunctive_query(
+            access_schema.schema, num_atoms=2, num_variables=3
+        )
+        q2 = generator.conjunctive_query(
+            access_schema.schema, num_atoms=2, num_variables=3
+        )
+        return containment_automaton(vocabulary, q1, q2, grounded=False), vocabulary
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_modes_agree_field_by_field(self, seed):
+        automaton, vocabulary = self._random_automaton(seed)
+        kwargs = dict(max_paths=250, use_datalog_precheck=False, memoize=False)
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        subtree = automaton_emptiness(
+            automaton, vocabulary, parallel=False, subtree_parallel=True, **kwargs
+        )
+        assert _result_fields(subtree) == _result_fields(sequential)
+        if seed % 3 == 0:
+            # Exercise the real pool on a subset (pool dispatch is slow
+            # on single-core CI boxes; the in-process decomposition above
+            # is already the same code modulo placement).
+            pooled = automaton_emptiness(
+                automaton,
+                vocabulary,
+                parallel=True,
+                subtree_parallel=True,
+                max_workers=2,
+                **kwargs,
+            )
+            assert _result_fields(pooled) == _result_fields(sequential)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_memoized_verdicts_agree(self, seed):
+        automaton, vocabulary = self._random_automaton(seed)
+        kwargs = dict(max_paths=250, use_datalog_precheck=False)
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        subtree = automaton_emptiness(
+            automaton, vocabulary, parallel=False, subtree_parallel=True, **kwargs
+        )
+        assert (subtree.empty, subtree.witness, subtree.exhausted) == (
+            sequential.empty,
+            sequential.witness,
+            sequential.exhausted,
+        )
+
+
+def _harvest_items(vocabulary):
+    """A real search plus a few exported work items from its trunk."""
+    scenario = next(s for s in standard_scenarios() if s.name == "directory")
+    voc = AccLTLSolver(scenario.access_schema).vocabulary
+    automaton = ltr_automaton(
+        voc, scenario.probe_access, scenario.query_one
+    ).trim()
+    initial = voc.access_schema.empty_instance()
+    search = emptiness_module._WitnessSearch(
+        automaton,
+        voc,
+        initial,
+        max_length=4,
+        max_response_size=2,
+        max_paths=2000,
+        grounded_only=False,
+        memoize=False,
+    )
+    expansion = search.run_round_exporting(3)
+    assert expansion.records, "expected the trunk to export work items"
+    payload = (automaton, voc, search.initial_snapshot, search.params())
+    return search, [record.item for record in expansion.records], payload
+
+
+class TestWorkItemShipping:
+    """Subtree work items survive pickling — under fork *and* spawn.
+
+    Spawn is the adversarial case: the child process has a different
+    hash seed, so anything that serialises hash-dependent layout (a raw
+    HAMT trie, a dict order) would rebuild differently.  Snapshots
+    pickle as fact lists by construction, which these tests verify end
+    to end through the real worker entry point.
+    """
+
+    def test_plain_pickle_round_trip(self, vocabulary):
+        _, items, _ = _harvest_items(vocabulary)
+        for item in items[:5]:
+            clone = pickle.loads(pickle.dumps(item))
+            assert clone.states == item.states
+            assert clone.known == item.known
+            assert clone.budget == item.budget
+            assert clone.snapshot == item.snapshot  # exact structural equality
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_worker_round_trip_matches_inprocess(self, vocabulary, start_method):
+        from concurrent.futures import ProcessPoolExecutor
+
+        search, items, payload = _harvest_items(vocabulary)
+        item = items[0]
+        reference = search.run_subtree(item, 10**6)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        token = workqueue_module._next_context_token()
+        context = multiprocessing.get_context(start_method)
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            outcome = pool.submit(
+                workqueue_module._subtree_worker, token, blob, item, 10**6
+            ).result()
+        assert (outcome.status, outcome.steps, outcome.explored) == (
+            reference.status,
+            reference.steps,
+            reference.explored,
+        )
+
+
+class TestCostGate:
+    """Dispatch gating: parallel=True must never pay for a losing pool."""
+
+    @staticmethod
+    def _spy_pool(monkeypatch):
+        calls = []
+
+        def record(workers):
+            calls.append(workers)
+            raise RuntimeError("pool intentionally unavailable in this test")
+
+        monkeypatch.setattr(workqueue_module, "shared_pool", record)
+        return calls
+
+    def test_single_cpu_blocks_dispatch(self, vocabulary, monkeypatch):
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 1)
+        calls = self._spy_pool(monkeypatch)
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True)
+        kwargs = dict(max_paths=2000, use_datalog_precheck=False)
+        gated = automaton_emptiness(automaton, vocabulary, parallel=True, **kwargs)
+        assert calls == []
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        assert _result_fields(gated) == _result_fields(sequential)
+
+    def test_small_workload_blocks_dispatch_even_multicore(
+        self, vocabulary, monkeypatch
+    ):
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 8)
+        calls = self._spy_pool(monkeypatch)
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True)
+        # max_paths=3: estimated cost is far below the dispatch floor.
+        kwargs = dict(max_paths=3, use_datalog_precheck=False)
+        gated = automaton_emptiness(automaton, vocabulary, parallel=True, **kwargs)
+        assert calls == []
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        assert _result_fields(gated) == _result_fields(sequential)
+
+    def test_large_workload_dispatches_on_multicore(self, vocabulary, monkeypatch):
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 8)
+        calls = self._spy_pool(monkeypatch)
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True)
+        kwargs = dict(max_paths=2000, use_datalog_precheck=False)
+        result = automaton_emptiness(automaton, vocabulary, parallel=True, **kwargs)
+        # The gate opened (pool requested); the rigged pool failure then
+        # fell back to the sequential loop without changing the result.
+        assert calls
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        assert _result_fields(result) == _result_fields(sequential)
+
+    def test_explicit_max_workers_overrides_gate(self, vocabulary, monkeypatch):
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 1)
+        calls = self._spy_pool(monkeypatch)
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True)
+        kwargs = dict(max_paths=3, use_datalog_precheck=False)
+        automaton_emptiness(
+            automaton, vocabulary, parallel=True, max_workers=2, **kwargs
+        )
+        assert calls  # explicit worker count forces dispatch
+
+    def test_min_cost_env_override(self, vocabulary, monkeypatch):
+        monkeypatch.setattr(parallel_module, "available_cpus", lambda: 8)
+        monkeypatch.setenv(parallel_module.PARALLEL_MIN_COST_ENV, "1")
+        calls = self._spy_pool(monkeypatch)
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True)
+        kwargs = dict(max_paths=3, use_datalog_precheck=False)
+        automaton_emptiness(automaton, vocabulary, parallel=True, **kwargs)
+        assert calls  # the lowered floor lets the tiny workload through
+
+    def test_cost_estimate_is_deterministic(self, vocabulary):
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True).trim()
+        restrictions = chain_restrictions(automaton)
+        kwargs = {"max_paths": 1234}
+        costs = [
+            parallel_module.estimate_chain_cost(r, kwargs) for r in restrictions
+        ]
+        assert costs == [
+            parallel_module.estimate_chain_cost(r, kwargs) for r in restrictions
+        ]
+        assert all(cost > 0 for cost in costs)
+
+
+class TestSubtreeEnvParsing:
+    """``REPRO_PARALLEL_SUBTREES`` / knob env parsing."""
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "", " 0 "])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(parallel_module.PARALLEL_SUBTREES_ENV, value)
+        assert parallel_module.subtree_parallel_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_enabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(parallel_module.PARALLEL_SUBTREES_ENV, value)
+        assert parallel_module.subtree_parallel_enabled() is True
+
+    def test_unset_disables(self, monkeypatch):
+        monkeypatch.delenv(parallel_module.PARALLEL_SUBTREES_ENV, raising=False)
+        assert parallel_module.subtree_parallel_enabled() is False
+
+    def test_split_budget_env(self, monkeypatch):
+        monkeypatch.delenv(workqueue_module.SPLIT_BUDGET_ENV, raising=False)
+        assert (
+            workqueue_module.subtree_split_budget()
+            == workqueue_module.DEFAULT_SPLIT_BUDGET
+        )
+        monkeypatch.setenv(workqueue_module.SPLIT_BUDGET_ENV, "123")
+        assert workqueue_module.subtree_split_budget() == 123
+        monkeypatch.setenv(workqueue_module.SPLIT_BUDGET_ENV, "not-a-number")
+        assert (
+            workqueue_module.subtree_split_budget()
+            == workqueue_module.DEFAULT_SPLIT_BUDGET
+        )
+
+    def test_min_cost_env(self, monkeypatch):
+        monkeypatch.delenv(parallel_module.PARALLEL_MIN_COST_ENV, raising=False)
+        assert (
+            parallel_module.min_dispatch_cost()
+            == parallel_module.DEFAULT_MIN_DISPATCH_COST
+        )
+        monkeypatch.setenv(parallel_module.PARALLEL_MIN_COST_ENV, "42")
+        assert parallel_module.min_dispatch_cost() == 42
+        monkeypatch.setenv(parallel_module.PARALLEL_MIN_COST_ENV, "-5")
+        assert (
+            parallel_module.min_dispatch_cost()
+            == parallel_module.DEFAULT_MIN_DISPATCH_COST
+        )
+
+    def test_subtree_env_toggle_engages_decomposition(self, vocabulary, monkeypatch):
+        monkeypatch.setenv(parallel_module.PARALLEL_SUBTREES_ENV, "1")
+        automaton = _multi_chain_automaton(vocabulary, empty_language=True)
+        kwargs = dict(max_paths=500, use_datalog_precheck=False, memoize=False)
+        via_env = automaton_emptiness(automaton, vocabulary, parallel=False, **kwargs)
+        monkeypatch.delenv(parallel_module.PARALLEL_SUBTREES_ENV)
+        explicit = automaton_emptiness(
+            automaton, vocabulary, parallel=False, subtree_parallel=True, **kwargs
+        )
+        sequential = automaton_emptiness(
+            automaton, vocabulary, parallel=False, **kwargs
+        )
+        assert _result_fields(via_env) == _result_fields(explicit)
+        assert _result_fields(via_env) == _result_fields(sequential)
+        assert (via_env.stats or {}).get("subtree_items", 0) > 0

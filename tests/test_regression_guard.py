@@ -57,6 +57,25 @@ class TestCompare:
         statuses = {row["name"]: row["status"] for row in rows}
         assert statuses == {"old_only": "removed", "new_only": "new"}
 
+    def test_malformed_rows_are_incomparable_not_fatal(self):
+        # Rows written by another benchmark version can miss fields or
+        # carry junk; the guard must report, not crash.
+        baseline = {"results": {"broken": {"median_s": 1.0, "min_s": 1.0}}}
+        current = {"results": {"broken": {"note": "no timing fields"}}}
+        rows = check_regression.compare(baseline, current)
+        assert rows[0]["status"] == "incomparable"
+        current = {"results": {"broken": {"median_s": "n/a", "min_s": None}}}
+        rows = check_regression.compare(baseline, current)
+        assert rows[0]["status"] == "incomparable"
+
+    def test_new_row_without_median_does_not_crash(self):
+        baseline = {"results": {}}
+        current = {"results": {"fresh": {"note": "stats only"}}}
+        rows = check_regression.compare(baseline, current)
+        assert rows[0]["status"] == "new"
+        assert rows[0]["current_s"] is None
+        assert "fresh" in check_regression.render(rows)
+
     def test_calibration_normalises_machine_drift(self):
         # The machine got 40% slower (the frozen oracle row proves it);
         # a row that slowed down by the same factor is NOT a regression.
@@ -130,6 +149,24 @@ def test_guard_smoke_run_against_committed_baseline(capsys):
 
 
 class TestMain:
+    def test_rows_new_to_the_baseline_are_noted_not_fatal(self, tmp_path, capsys):
+        """Benchmark growth must never break the guard (CI tolerance)."""
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(_report(pipeline=1.0)))
+        current.write_text(
+            json.dumps(_report(pipeline=1.0, emptiness_subtree_par=0.5))
+        )
+        exit_code = check_regression.main(
+            ["--baseline", str(baseline), "--current", str(current)]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "new row" in output
+        assert "emptiness_subtree_par" in output
+
     def test_exit_codes(self, tmp_path, capsys):
         import json
 
