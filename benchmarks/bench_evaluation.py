@@ -33,6 +33,14 @@ compare against:
   multi-chain union automaton with the Lemma 4.9 chain restrictions
   checked sequentially vs fanned out across worker processes
   (:mod:`repro.store.parallel`); identical verdicts are asserted;
+* ``relevance_matrix_seq`` / ``relevance_matrix_batched`` and
+  ``containment_matrix_seq`` / ``containment_matrix_batched`` — matrix
+  workloads (long-term relevance of every candidate access; pairwise
+  AP-containment over a query set with re-submitted duplicates) as the
+  per-call legacy loop vs one batched
+  :class:`repro.engine.DecisionEngine` call sharing fingerprint dedup
+  and the cross-request memo (engine counters are reported as
+  ``matrix_engine_stats``); identical verdicts are asserted;
 * ``pipeline_end_to_end`` — the full containment + relevance pipeline of
   ``bench_pipeline_vs_bruteforce.py`` (automata pipeline and bounded
   brute-force checker side by side) at the largest configured size.
@@ -482,6 +490,121 @@ def bench_parallel_chains(smoke: bool, repeats: int) -> Dict[str, Dict[str, obje
     return results
 
 
+def bench_matrices(
+    smoke: bool, repeats: int, matrix_stats_out: Optional[Dict[str, object]] = None
+) -> Dict[str, Dict[str, object]]:
+    """Per-call loops vs the batched decision engine on matrix workloads.
+
+    The relevance matrix probes every access projected from the observed
+    tuples (duplicate-heavy by nature: distinct tuples share bindings);
+    the containment matrix checks all ordered pairs of a query set that
+    contains re-submitted, structurally equal copies.  The ``_seq`` rows
+    run the legacy per-call procedures in a loop; the ``_batched`` rows
+    run one :class:`repro.engine.DecisionEngine` batch, whose fingerprint
+    dedup solves each unique request once — so batched can only win, and
+    on this 1-CPU host the win *is* the dedup (pool dispatch stays
+    cost-gated off).  Verdict equality between the modes is asserted, and
+    the engine counters of the batched runs (dedup hits, cross-request
+    hit rate) are reported via *matrix_stats_out*.
+    """
+    from repro.access.containment_ap import contained_under_access_patterns_legacy
+    from repro.access.relevance import long_term_relevant_legacy
+    from repro.engine import DecisionEngine
+    from repro.workloads.matrices import probe_accesses, query_workload
+
+    generator = WorkloadGenerator(seed=29)
+    schema = generator.access_schema(
+        num_relations=3, methods_per_relation=2, max_inputs=1
+    )
+    hidden = generator.instance(
+        schema.schema,
+        tuples_per_relation=12 if smoke else 40,
+        domain_size=8,
+    )
+    # A non-empty initial instance is the realistic shape (the query
+    # processor already knows facts when it asks which probes matter) and
+    # the architectural point: the per-call loop re-snapshots it for
+    # every candidate, the engine snapshots it once per unique request.
+    initial = generator.instance(
+        schema.schema,
+        tuples_per_relation=8 if smoke else 25,
+        domain_size=8,
+    )
+    relevance_query = generator.ucq(
+        schema.schema, num_disjuncts=2, num_atoms=2, num_variables=3
+    )
+    accesses = probe_accesses(schema, hidden)
+
+    base_queries = [
+        generator.conjunctive_query(schema.schema, num_atoms=2, num_variables=4)
+        for _ in range(3)
+    ]
+    queries = query_workload(base_queries, resubmissions=2 if smoke else 3)
+
+    def relevance_seq():
+        return tuple(
+            long_term_relevant_legacy(
+                schema,
+                access,
+                relevance_query,
+                initial=initial,
+                require_boolean_access=False,
+            ).relevant
+            for access in accesses
+        )
+
+    def relevance_batched(stats_out=None):
+        engine = DecisionEngine()
+        results = engine.relevance_matrix(
+            schema,
+            accesses,
+            relevance_query,
+            initial=initial,
+            require_boolean_access=False,
+        )
+        if stats_out is not None:
+            stats_out.update(engine.stats())
+        return tuple(result.relevant for result in results)
+
+    def containment_seq():
+        return tuple(
+            contained_under_access_patterns_legacy(schema, q1, q2).contained
+            for q1 in queries
+            for q2 in queries
+        )
+
+    def containment_batched(stats_out=None):
+        engine = DecisionEngine()
+        matrix = engine.containment_matrix(schema, queries)
+        if stats_out is not None:
+            stats_out.update(engine.stats())
+        return tuple(cell.contained for row in matrix for cell in row)
+
+    results = {
+        "relevance_matrix_seq": _median_of(repeats, relevance_seq),
+        "relevance_matrix_batched": _median_of(repeats, relevance_batched),
+        "containment_matrix_seq": _median_of(repeats, containment_seq),
+        "containment_matrix_batched": _median_of(repeats, containment_batched),
+    }
+    # Verdict equality is asserted on the full tuples (the stored row
+    # checksums are repr-truncated, which would only cover a prefix of
+    # these wide boolean vectors).
+    assert relevance_seq() == relevance_batched(), (
+        "batched relevance matrix changed a verdict"
+    )
+    assert containment_seq() == containment_batched(), (
+        "batched containment matrix changed a verdict"
+    )
+    if matrix_stats_out is not None:
+        relevance_stats: Dict[str, object] = {}
+        containment_stats: Dict[str, object] = {}
+        relevance_batched(stats_out=relevance_stats)
+        containment_batched(stats_out=containment_stats)
+        matrix_stats_out["relevance"] = relevance_stats
+        matrix_stats_out["containment"] = containment_stats
+    return results
+
+
 def bench_pipeline(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
     """The bench_pipeline_vs_bruteforce workload, timed end to end."""
     schema = directory_access_schema()
@@ -543,12 +666,14 @@ def run_benchmarks(
     clear_plan_cache()
     results: Dict[str, Dict[str, object]] = {}
     memo_stats: Dict[str, object] = {}
+    matrix_stats: Dict[str, object] = {}
     results.update(bench_cq_evaluation(smoke, repeats))
     results.update(bench_datalog(smoke, repeats))
     results.update(bench_emptiness(smoke, repeats, memo_stats_out=memo_stats))
     results.update(bench_subtree_emptiness(smoke, repeats))
     results.update(bench_snapshots(smoke, repeats))
     results.update(bench_parallel_chains(smoke, repeats))
+    results.update(bench_matrices(smoke, repeats, matrix_stats_out=matrix_stats))
     results.update(bench_pipeline(smoke, repeats))
     compiled = results["cq_compiled"]["median_s"]
     naive = results["cq_naive"]["median_s"]
@@ -560,6 +685,10 @@ def run_benchmarks(
     subtree_par = results["emptiness_subtree_par"]["median_s"]
     datalog_posthoc = results["datalog_fixedpoint_posthoc"]["median_s"]
     datalog_delta = results["datalog_fixedpoint_delta_dict"]["median_s"]
+    relevance_seq = results["relevance_matrix_seq"]["median_s"]
+    relevance_batched = results["relevance_matrix_batched"]["median_s"]
+    containment_seq = results["containment_matrix_seq"]["median_s"]
+    containment_batched = results["containment_matrix_batched"]["median_s"]
     return {
         "benchmark": "bench_evaluation",
         "mode": "smoke" if smoke else "full",
@@ -581,6 +710,17 @@ def run_benchmarks(
         "speedup_subtree_parallel": round(subtree_seq / subtree_par, 2)
         if subtree_par
         else None,
+        "speedup_relevance_matrix_batched": round(
+            relevance_seq / relevance_batched, 2
+        )
+        if relevance_batched
+        else None,
+        "speedup_containment_matrix_batched": round(
+            containment_seq / containment_batched, 2
+        )
+        if containment_batched
+        else None,
+        "matrix_engine_stats": matrix_stats,
         "emptiness_memo_stats": memo_stats,
         "plan_cache": plan_cache_info(),
         "results": results,
@@ -630,6 +770,18 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
     print(
         "subtree parallel speedup:",
         report["speedup_subtree_parallel"],
+    )
+    print(
+        "relevance matrix batched speedup:",
+        report["speedup_relevance_matrix_batched"],
+    )
+    print(
+        "containment matrix batched speedup:",
+        report["speedup_containment_matrix_batched"],
+    )
+    print(
+        "matrix engine stats:",
+        report["matrix_engine_stats"],
     )
     print(
         "emptiness memo stats:",

@@ -28,9 +28,17 @@ from repro.access.answerability import (
     accessible_part,
     maximal_answers,
     is_answerable_exactly,
+    is_answerable_exactly_legacy,
 )
-from repro.access.relevance import long_term_relevant, RelevanceResult
-from repro.access.containment_ap import contained_under_access_patterns
+from repro.access.relevance import (
+    long_term_relevant,
+    long_term_relevant_legacy,
+    RelevanceResult,
+)
+from repro.access.containment_ap import (
+    contained_under_access_patterns,
+    contained_under_access_patterns_legacy,
+)
 
 __all__ = [
     "AccessMethod",
@@ -50,7 +58,10 @@ __all__ = [
     "accessible_part",
     "maximal_answers",
     "is_answerable_exactly",
+    "is_answerable_exactly_legacy",
     "long_term_relevant",
+    "long_term_relevant_legacy",
     "RelevanceResult",
     "contained_under_access_patterns",
+    "contained_under_access_patterns_legacy",
 ]

@@ -185,7 +185,36 @@ def is_answerable_exactly(
     hidden_instance: Instance,
     initial_values: Iterable[object] = (),
 ) -> bool:
-    """Whether the maximal answers equal the true answers on this instance."""
+    """Whether the maximal answers equal the true answers on this instance.
+
+    This public signature is a thin wrapper that normalises the request
+    into a :class:`~repro.engine.reduction.ReductionTask` and runs it
+    through the single-shot decision engine; the direct implementation
+    remains available as :func:`is_answerable_exactly_legacy` (the oracle
+    path the equivalence tests compare against).  Sweeps over many hidden
+    instances should prefer
+    :meth:`repro.engine.DecisionEngine.answerability_sweep`, which
+    deduplicates repeated instances by their store fingerprints.
+    """
+    from repro.engine import single_shot_engine
+
+    return single_shot_engine().answerability(
+        schema, query, hidden_instance, initial_values
+    )
+
+
+def is_answerable_exactly_legacy(
+    schema: AccessSchema,
+    query,
+    hidden_instance: Instance,
+    initial_values: Iterable[object] = (),
+) -> bool:
+    """The direct per-call check behind :func:`is_answerable_exactly`.
+
+    This is the reduction the engine executes for ``answerability`` tasks
+    and the oracle the randomized equivalence suite checks the batched
+    engine against.
+    """
     return maximal_answers(schema, query, hidden_instance, initial_values) == true_answers(
         query, hidden_instance
     )

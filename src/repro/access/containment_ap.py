@@ -38,10 +38,11 @@ compares this direct procedure against the automata pipeline.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.access.methods import AccessSchema
+from repro.engine.reduction import Deduper
 from repro.queries.containment import ucq_contained_in
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.evaluation import holds
@@ -53,11 +54,19 @@ from repro.store.snapshot import Snapshot, SnapshotInstance
 
 @dataclass(frozen=True)
 class APContainmentResult:
-    """Outcome of a containment-under-access-patterns check."""
+    """Outcome of a containment-under-access-patterns check.
+
+    ``stats`` carries informational counters from the counterexample
+    enumeration (``identification_candidates``,
+    ``identification_dedup_hits``); it is excluded from equality, like
+    :class:`~repro.automata.emptiness.EmptinessResult.stats`, so verdict
+    comparisons between execution paths ignore instrumentation.
+    """
 
     contained: bool
     counterexample: Optional[Instance] = None
     complete: bool = True
+    stats: Optional[Dict[str, int]] = field(default=None, compare=False)
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.contained
@@ -158,6 +167,48 @@ def contained_under_access_patterns(
     non-boolean queries are compared via their boolean versions conjoined
     with head-equality, which matches the containment semantics used in the
     paper's Example 2.2.
+
+    This public signature is a thin wrapper that normalises the request
+    into a :class:`~repro.engine.reduction.ReductionTask` and runs it
+    through the single-shot decision engine; the direct implementation
+    remains available as :func:`contained_under_access_patterns_legacy`
+    (the oracle path the equivalence tests compare against).  Batch
+    callers should prefer
+    :meth:`repro.engine.DecisionEngine.containment_matrix`, which
+    deduplicates structurally equal query pairs across a workload.
+    """
+    from repro.engine import single_shot_engine
+
+    return single_shot_engine().containment(
+        schema,
+        query_one,
+        query_two,
+        initial=initial,
+        max_identified_variables=max_identified_variables,
+    )
+
+
+def contained_under_access_patterns_legacy(
+    schema: AccessSchema,
+    query_one,
+    query_two,
+    initial: Optional[Instance] = None,
+    max_identified_variables: int = 8,
+) -> APContainmentResult:
+    """The direct per-call procedure behind
+    :func:`contained_under_access_patterns`.
+
+    This is the reduction the engine executes for ``containment_ap``
+    tasks and the oracle the randomized equivalence suite checks the
+    batched engine against.  The candidate enumeration short-circuits
+    identical frozen candidates through the engine's
+    :class:`~repro.engine.reduction.Deduper`: :func:`_identifications`
+    enumerates *set partitions* of the disjunct's variables (a Bell
+    number of them), and distinct partitions frequently freeze to the
+    same candidate instance — e.g. whenever they differ only on
+    variables occurring in comparison atoms — which previously re-solved
+    the identical ``holds``/reachability checks once per partition.  The
+    dedup counters are reported in the result's ``stats``.
     """
     if initial is None:
         initial = schema.empty_instance()
@@ -179,6 +230,12 @@ def contained_under_access_patterns(
     initial_snap = SnapshotInstance.from_instance(initial).snapshot()
     initial_values = set(initial.active_domain())
     complete = True
+    # Distinct identifications that freeze to the same fact set yield the
+    # same candidate instance, and every check below (Q1/Q2 satisfaction,
+    # grounded reachability) is a function of that fact set alone — so
+    # the first occurrence decides for all of them.
+    candidate_dedup = Deduper()
+    candidates_seen = 0
     for disjunct in q1.disjuncts:
         variables = sorted(disjunct.variables(), key=lambda v: v.name)
         if len(variables) > max_identified_variables:
@@ -195,6 +252,9 @@ def contained_under_access_patterns(
             if frozen is None:
                 continue
             candidate, facts = frozen
+            candidates_seen += 1
+            if candidate_dedup.register(frozenset(facts), True) is not None:
+                continue
             if not holds(q1, candidate):
                 continue
             if holds(q2, candidate):
@@ -207,8 +267,22 @@ def contained_under_access_patterns(
                     contained=False,
                     counterexample=candidate.to_instance(),
                     complete=True,
+                    stats=_identification_stats(candidates_seen, candidate_dedup),
                 )
-    return APContainmentResult(contained=True, complete=complete)
+    return APContainmentResult(
+        contained=True,
+        complete=complete,
+        stats=_identification_stats(candidates_seen, candidate_dedup),
+    )
+
+
+def _identification_stats(
+    candidates_seen: int, dedup: Deduper
+) -> Dict[str, int]:
+    return {
+        "identification_candidates": candidates_seen,
+        "identification_dedup_hits": dedup.hits,
+    }
 
 
 def equivalent_under_access_patterns(

@@ -195,6 +195,40 @@ def long_term_relevant(
     check a non-boolean access by treating its single returned tuple as the
     full binding extension (the witness search then fixes the free
     positions with fresh values).
+
+    This public signature is a thin wrapper that normalises the request
+    into a :class:`~repro.engine.reduction.ReductionTask` and runs it
+    through the single-shot decision engine; the direct implementation
+    remains available as :func:`long_term_relevant_legacy` (the oracle
+    path the equivalence tests compare against).  Batch callers should
+    prefer :meth:`repro.engine.DecisionEngine.relevance_matrix`, which
+    shares the memo and snapshot store across every access of a workload.
+    """
+    from repro.engine import single_shot_engine
+
+    return single_shot_engine().relevance(
+        schema,
+        access,
+        query,
+        initial=initial,
+        grounded=grounded,
+        require_boolean_access=require_boolean_access,
+    )
+
+
+def long_term_relevant_legacy(
+    schema: AccessSchema,
+    access: Access,
+    query,
+    initial: Optional[Instance] = None,
+    grounded: bool = False,
+    require_boolean_access: bool = True,
+) -> RelevanceResult:
+    """The direct per-call procedure behind :func:`long_term_relevant`.
+
+    This is the reduction the engine executes for ``relevance`` tasks and
+    the oracle the randomized equivalence suite checks the batched engine
+    against; its verdicts are a pure function of its arguments.
     """
     if initial is None:
         initial = schema.empty_instance()
@@ -307,13 +341,18 @@ def relevant_accesses(
 
     This is the optimisation loop sketched in the paper's introduction:
     a query processor inspects candidate accesses and skips those that
-    cannot contribute to a new query answer.
+    cannot contribute to a new query answer.  It now runs as one batched
+    :meth:`~repro.engine.DecisionEngine.relevance_matrix` call, so the
+    initial-instance snapshot is taken once and duplicate candidates
+    (common when accesses are projected from observed tuples) are solved
+    once instead of per occurrence.
     """
-    relevant: List[Access] = []
-    for access in candidate_accesses:
-        result = long_term_relevant(
-            schema, access, query, initial=initial, grounded=grounded
-        )
-        if result.relevant:
-            relevant.append(access)
-    return relevant
+    from repro.engine import DecisionEngine
+
+    accesses = list(candidate_accesses)  # bind once: the input may be an iterator
+    results = DecisionEngine().relevance_matrix(
+        schema, accesses, query, initial=initial, grounded=grounded
+    )
+    return [
+        access for access, result in zip(accesses, results) if result.relevant
+    ]

@@ -294,6 +294,7 @@ class _WitnessSearch:
         value_pool: Optional[Sequence[object]] = None,
         grounded_only: bool = False,
         memoize: bool = True,
+        node_memo: Optional[bool] = None,
     ) -> None:
         self.vocabulary = vocabulary
         self.max_length = max_length
@@ -301,6 +302,12 @@ class _WitnessSearch:
         self.max_paths = max_paths
         self.grounded_only = grounded_only
         self.memoize = memoize
+        # The expansion memo used to be welded to ``memoize``; the PR 4
+        # instrumentation showed a 0.0 hit rate for it on the benchmark
+        # workload, so it is now independently switchable (the decision
+        # engine turns it off by default as a cache policy) while the
+        # guard cache — which earns the memo speedup — follows ``memoize``.
+        self.node_memo = memoize if node_memo is None else bool(node_memo)
         schema = vocabulary.access_schema
         if fact_pool is None or value_pool is None:
             derived_facts, derived_values = _guard_pools(automaton, vocabulary)
@@ -448,6 +455,7 @@ class _WitnessSearch:
             "value_pool": self.value_pool,
             "grounded_only": self.grounded_only,
             "memoize": self.memoize,
+            "node_memo": self.node_memo,
         }
 
     # ------------------------------------------------------------------
@@ -509,6 +517,7 @@ class _WitnessSearch:
         sentence_verdicts = self.sentence_verdicts
         interned_fingerprints = self.interned_fingerprints
         memoize = self.memoize
+        node_memo = self.node_memo
         grounded_only = self.grounded_only
 
         explored = explored_start
@@ -529,13 +538,18 @@ class _WitnessSearch:
                 return None
             remaining = depth_limit - depth
             node_config = config.snapshot()
-            if memoize:
+            if memoize or node_memo:
                 # The snapshot is an exact content fingerprint: O(1) to
                 # hash, structural (identity-short-circuited) equality on
-                # collision.
+                # collision.  The guard cache (``memoize``) and the
+                # expansion memo (``node_memo``) both key on it but toggle
+                # independently — see the constructor.
                 fingerprint: Optional[Snapshot] = interned_fingerprints.setdefault(
                     node_config, node_config
                 )
+            else:
+                fingerprint = None  # unused: local_verdicts keys by sentence only
+            if node_memo:
                 node_key = (
                     (states, fingerprint, known)
                     if grounded_only
@@ -546,8 +560,6 @@ class _WitnessSearch:
                     return None
                 expanded[node_key] = remaining
                 node_expansions += 1
-            else:
-                fingerprint = None  # unused: local_verdicts keys by sentence only
             if export_depth is not None and depth >= export_depth:
                 # Trunk mode: the child survives the same memo check the
                 # sequential search applies at its entry, so ship it as a
@@ -844,6 +856,7 @@ def _search_accepted_path(
     value_pool: Optional[Sequence[object]] = None,
     grounded_only: bool = False,
     memoize: bool = True,
+    node_memo: Optional[bool] = None,
     subtree_mode: bool = False,
     split_budget: Optional[int] = None,
     executor=None,
@@ -871,6 +884,7 @@ def _search_accepted_path(
         value_pool=value_pool,
         grounded_only=grounded_only,
         memoize=memoize,
+        node_memo=node_memo,
     )
     if not subtree_mode:
         return search.run()
@@ -989,6 +1003,7 @@ def automaton_emptiness(
     value_pool: Optional[Sequence[object]] = None,
     grounded_only: bool = False,
     memoize: bool = True,
+    node_memo: Optional[bool] = None,
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
     subtree_parallel: Optional[bool] = None,
@@ -1006,6 +1021,12 @@ def automaton_emptiness(
     caches (see :class:`_WitnessSearch`); it exists so tests and the
     ablation benchmark can demonstrate that memoisation changes only the
     work performed, never the verdict or the validity of the witness.
+    ``node_memo`` independently overrides the visited-node expansion memo
+    alone (``None`` follows ``memoize``, the historical coupling): the
+    PR 4 instrumentation measured a 0.0 hit rate for it on the benchmark
+    workload, so the decision engine (:mod:`repro.engine`) disables it by
+    default as a per-workload cache policy while keeping the guard cache —
+    either way ``EmptinessResult.stats`` keeps reporting both caches.
 
     ``parallel`` fans independent work out across worker processes
     (:mod:`repro.store.parallel`) — the per-search caches are
@@ -1072,6 +1093,7 @@ def automaton_emptiness(
         "value_pool": value_pool,
         "grounded_only": grounded_only,
         "memoize": memoize,
+        "node_memo": node_memo,
         "subtree_mode": bool(subtree_parallel),
         "split_budget": split_budget,
     }

@@ -32,6 +32,12 @@ web-directory schema (or any named workload scenario):
 ``repro scenarios``
     List the named workload scenarios shipped with the library.
 
+``repro matrix``
+    Run a batched matrix workload (relevance of every candidate access,
+    pairwise containment over a query set, or an answerability sweep)
+    through the unified reduction engine (:mod:`repro.engine`) and report
+    the verdicts together with the engine's dedup/memo statistics.
+
 Run ``repro <command> --help`` for the options of each command.
 """
 
@@ -191,6 +197,73 @@ def cmd_lts(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.engine import DecisionEngine
+    from repro.workloads.matrices import (
+        instance_prefixes,
+        probe_accesses,
+        query_workload,
+    )
+
+    if getattr(args, "scenario", None):
+        scenario = _scenario_by_name(args.scenario)
+        schema = scenario.access_schema
+        hidden = scenario.hidden_instance
+        query_one, query_two = scenario.query_one, scenario.query_two
+    else:
+        from repro.workloads.directory import join_query, resident_names_query
+
+        schema = directory_access_schema()
+        hidden = directory_hidden_instance(getattr(args, "size", "small"))
+        query_one, query_two = join_query(), resident_names_query()
+
+    engine = DecisionEngine(parallel=args.parallel or None)
+    if args.kind == "relevance":
+        accesses = probe_accesses(schema, hidden, limit=args.limit)
+        results = engine.relevance_matrix(
+            schema,
+            accesses,
+            query_one,
+            grounded=args.grounded,
+            require_boolean_access=False,
+        )
+        relevant = sum(1 for result in results if result.relevant)
+        print(f"relevance matrix: {len(accesses)} candidate accesses, "
+              f"{relevant} long-term relevant")
+        if args.verbose:
+            for access, result in zip(accesses, results):
+                print(f"  {'+' if result.relevant else '-'} {access}")
+    elif args.kind == "containment":
+        queries = query_workload([query_one, query_two], resubmissions=args.resubmissions)
+        matrix = engine.containment_matrix(schema, queries)
+        print(f"containment matrix: {len(queries)}x{len(queries)} pairs")
+        for row_index, row in enumerate(matrix):
+            cells = " ".join("⊑" if cell.contained else "⋢" for cell in row)
+            print(f"  Q{row_index}: {cells}")
+    else:  # answerability
+        prefixes = instance_prefixes(hidden, steps=args.steps)
+        verdicts = engine.answerability_sweep(
+            schema, query_one, prefixes, initial_values=scenario_initial(args)
+        )
+        print(f"answerability sweep over {len(prefixes)} instance prefixes:")
+        for prefix, verdict in zip(prefixes, verdicts):
+            print(f"  |hidden|={prefix.size():4d}  answerable={verdict}")
+    stats = engine.stats()
+    print(
+        f"engine: {stats['requests']} requests, {stats['computed']} computed, "
+        f"{stats['batch_dedup_hits']} dedup hits, {stats['memo_hits']} memo hits "
+        f"(cross-request hit rate {stats['cross_request_hit_rate']})"
+    )
+    return 0
+
+
+def scenario_initial(args: argparse.Namespace) -> tuple:
+    """Initial known values for the answerability sweep (scenario's, if any)."""
+    if getattr(args, "scenario", None):
+        return tuple(_scenario_by_name(args.scenario).initial_values)
+    return ("Smith",)
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     for scenario in standard_scenarios():
         print(scenario.describe())
@@ -277,6 +350,30 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios = subparsers.add_parser("scenarios", help="list the named workload scenarios")
     scenarios.add_argument("--verbose", action="store_true", help="show queries and probe accesses")
     scenarios.set_defaults(func=cmd_scenarios)
+
+    matrix = subparsers.add_parser(
+        "matrix",
+        help="run a batched matrix workload through the unified reduction engine",
+    )
+    matrix.add_argument(
+        "kind",
+        choices=("relevance", "containment", "answerability"),
+        help="which decision procedure to run as a matrix workload",
+    )
+    matrix.add_argument("--limit", type=int, default=None, help="cap the candidate access list")
+    matrix.add_argument("--grounded", action="store_true", help="grounded accesses only (relevance)")
+    matrix.add_argument(
+        "--resubmissions",
+        type=int,
+        default=2,
+        help="structurally-equal copies of each query (containment; shows dedup)",
+    )
+    matrix.add_argument("--steps", type=int, default=4, help="sweep granularity (answerability)")
+    matrix.add_argument("--parallel", action="store_true", help="allow cost-gated pool dispatch")
+    matrix.add_argument("--verbose", action="store_true", help="per-request verdicts")
+    matrix.add_argument("--size", default="small", help="hidden instance size (small/medium/large)")
+    add_scenario_option(matrix)
+    matrix.set_defaults(func=cmd_matrix)
 
     return parser
 

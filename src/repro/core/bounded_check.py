@@ -331,7 +331,40 @@ def bounded_satisfiability(
 
     See the module docstring for the meaning of the pools and the soundness
     guarantees of each verdict.
+
+    This public signature is a thin wrapper that normalises the request
+    into a ``BOUNDED_CHECK`` :class:`~repro.engine.reduction.ReductionTask`
+    and runs it through the single-shot decision engine — this is the
+    back-end half of the unified reduction layer, so batch workloads can
+    interleave bounded checks with the access-layer decisions behind one
+    memo.  The direct implementation remains available as
+    :func:`bounded_satisfiability_legacy` (the oracle path).
     """
+    from repro.engine import single_shot_engine
+
+    return single_shot_engine().bounded_check(
+        vocabulary,
+        formula,
+        bounds,
+        initial=initial,
+        fact_pool=fact_pool,
+        value_pool=value_pool,
+        grounded_only=grounded_only,
+        enforce_schema_sanity=enforce_schema_sanity,
+    )
+
+
+def bounded_satisfiability_legacy(
+    vocabulary: AccessVocabulary,
+    formula: AccFormula,
+    bounds: Bounds,
+    initial: Optional[Instance] = None,
+    fact_pool: Optional[Sequence[Fact]] = None,
+    value_pool: Optional[Sequence[object]] = None,
+    grounded_only: bool = False,
+    enforce_schema_sanity: bool = True,
+) -> BoundedCheckResult:
+    """The direct bounded search behind :func:`bounded_satisfiability`."""
     schema = vocabulary.access_schema
     if initial is None:
         initial = schema.empty_instance()

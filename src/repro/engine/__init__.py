@@ -1,0 +1,53 @@
+"""Unified reduction engine: one batched decision layer under the access procedures.
+
+See ``src/repro/engine/README.md`` for the reduction taxonomy and cache
+keys, and :mod:`repro.engine.engine` for the dispatch semantics.
+"""
+
+from repro.engine.reduction import (
+    BOUNDED_CHECK,
+    EMPTINESS,
+    CachePolicy,
+    Deduper,
+    ReductionResult,
+    ReductionTask,
+    SINGLE_SHOT_POLICY,
+    instance_key,
+    query_key,
+    schema_key,
+    values_key,
+    vocabulary_key,
+)
+from repro.engine.engine import (
+    DecisionEngine,
+    answerability_task,
+    bounded_check_task,
+    containment_task,
+    emptiness_task,
+    execute_task,
+    relevance_task,
+    single_shot_engine,
+)
+
+__all__ = [
+    "BOUNDED_CHECK",
+    "EMPTINESS",
+    "CachePolicy",
+    "Deduper",
+    "DecisionEngine",
+    "ReductionResult",
+    "ReductionTask",
+    "SINGLE_SHOT_POLICY",
+    "answerability_task",
+    "bounded_check_task",
+    "containment_task",
+    "emptiness_task",
+    "execute_task",
+    "instance_key",
+    "query_key",
+    "relevance_task",
+    "schema_key",
+    "single_shot_engine",
+    "values_key",
+    "vocabulary_key",
+]

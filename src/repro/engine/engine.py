@@ -1,0 +1,816 @@
+"""The batched decision engine: one reduction layer under the access procedures.
+
+:class:`DecisionEngine` turns the per-call decision procedures of
+:mod:`repro.access` and :mod:`repro.core` into a batched service:
+
+* every request is normalised into a :class:`~repro.engine.reduction.ReductionTask`
+  (canonical fingerprint payload + back-end tag);
+* identical tasks inside one batch compute **once** (order-preserving
+  dedup on the canonical fingerprints);
+* results are memoized **across** requests, keyed by the
+  ``Snapshot.fingerprint()`` / canonical-structure keys of
+  :mod:`repro.engine.reduction`, so matrix-style workloads (relevance of
+  every access in a schema, pairwise containment over a query set,
+  answerability sweeps) share one memo, one plan cache and one snapshot
+  store;
+* independent tasks of a batch can be dispatched through the shared
+  persistent worker pool of :mod:`repro.store.workqueue`, behind the same
+  affinity-aware cost gate as the PR 4 chain fan-out: dispatch engages
+  only when there are usable extra CPUs and the estimated work clears
+  :func:`repro.store.parallel.min_dispatch_cost`, so batching can never
+  lose to the sequential loop, and a pool failure falls back to identical
+  in-process execution.
+
+The single-shot wrappers (``long_term_relevant`` & friends) route through
+a module-level engine with :data:`~repro.engine.reduction.SINGLE_SHOT_POLICY`
+(no cross-request state, node memo off per the PR 4 instrumentation), so
+their behaviour is field-identical to the legacy per-call paths — which
+remain available as the ``*_legacy`` oracle functions the tests compare
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.reduction import (
+    BOUNDED_CHECK,
+    EMPTINESS,
+    CachePolicy,
+    Deduper,
+    ReductionResult,
+    ReductionTask,
+    SINGLE_SHOT_POLICY,
+    instance_key,
+    query_key,
+    schema_key,
+    try_key,
+    values_key,
+    vocabulary_key,
+)
+
+#: Environment toggle consulted when ``DecisionEngine(parallel=None)``:
+#: allow batch dispatch through the shared worker pool (still cost-gated).
+PARALLEL_TASKS_ENV = "REPRO_PARALLEL_TASKS"
+
+#: Upper bound on batch workers (mirrors the chain fan-out's cap: each
+#: worker pays interpreter warm-up, and batches are rarely that wide).
+_MAX_WORKERS_CAP = 8
+
+
+# ----------------------------------------------------------------------
+# Task normalisers
+# ----------------------------------------------------------------------
+def relevance_shared_key(
+    schema, query, snap, grounded: bool, require_boolean_access: bool
+):
+    """The access-independent part of a relevance task key.
+
+    Batch callers compute this once per matrix; per-access keys then cost
+    one small tuple concatenation instead of re-fingerprinting the schema
+    and query for every candidate.
+    """
+    return try_key(
+        lambda: (
+            schema_key(schema),
+            query_key(query),
+            snap,
+            grounded,
+            require_boolean_access,
+        )
+    )
+
+
+def relevance_task(
+    schema,
+    access,
+    query,
+    initial=None,
+    grounded: bool = False,
+    require_boolean_access: bool = True,
+    build_key: bool = True,
+    shared_key=None,
+    cost_hint: Optional[int] = None,
+) -> ReductionTask:
+    """Normalise a long-term-relevance request (Example 2.3)."""
+    snap = _instance_payload(initial, build_key)
+    key = None
+    if build_key:
+        if shared_key is None:
+            shared_key = relevance_shared_key(
+                schema, query, snap, grounded, require_boolean_access
+            )
+        if shared_key is not None:
+            key = try_key(lambda: shared_key + (access,))
+    if cost_hint is None:
+        size = snap.size() if snap is not None else 0
+        cost_hint = (1 + size) * (1 + _query_size(query))
+    return ReductionTask(
+        kind="relevance",
+        backend=BOUNDED_CHECK,
+        args=(schema, access, query, snap, grounded, require_boolean_access),
+        key=key,
+        cost_hint=cost_hint,
+    )
+
+
+def containment_task(
+    schema,
+    query_one,
+    query_two,
+    initial=None,
+    max_identified_variables: int = 8,
+    build_key: bool = True,
+    key_parts=None,
+    cost_hint: Optional[int] = None,
+) -> ReductionTask:
+    """Normalise an AP-containment request (Example 2.2).
+
+    *key_parts*, when given, is ``(schema_key, q1_key, q2_key)`` computed
+    by a batch caller (the matrix fingerprints each query once instead of
+    once per pair).
+    """
+    snap = _instance_payload(initial, build_key)
+    key = None
+    if build_key:
+        if key_parts is None:
+            key_parts = try_key(
+                lambda: (
+                    schema_key(schema),
+                    query_key(query_one),
+                    query_key(query_two),
+                )
+            )
+        if key_parts is not None:
+            key = try_key(
+                lambda: key_parts + (snap, max_identified_variables)
+            )
+    if cost_hint is None:
+        size = snap.size() if snap is not None else 0
+        cost_hint = (1 + size) * (
+            1 + _query_size(query_one) * _query_size(query_two)
+        )
+    return ReductionTask(
+        kind="containment_ap",
+        backend=BOUNDED_CHECK,
+        args=(schema, query_one, query_two, snap, max_identified_variables),
+        key=key,
+        cost_hint=cost_hint,
+    )
+
+
+def answerability_task(
+    schema,
+    query,
+    hidden_instance,
+    initial_values=(),
+    build_key: bool = True,
+) -> ReductionTask:
+    """Normalise an exact-answerability request (accessible-part check)."""
+    # Materialise the values first: the iterable feeds both the key and
+    # the args, and a one-shot iterator consumed twice would silently
+    # empty one of them.
+    values = tuple(initial_values)
+    snap = _instance_payload(hidden_instance, build_key)
+    key = (
+        try_key(
+            lambda: (
+                schema_key(schema),
+                query_key(query),
+                snap,
+                values_key(values),
+            )
+        )
+        if build_key
+        else None
+    )
+    size = snap.size() if snap is not None else 0
+    return ReductionTask(
+        kind="answerability",
+        backend=BOUNDED_CHECK,
+        args=(schema, query, snap, values),
+        key=key,
+        cost_hint=(1 + size) * (1 + _query_size(query)),
+    )
+
+
+def emptiness_task(
+    automaton,
+    vocabulary,
+    initial=None,
+    build_key: bool = True,
+    **kwargs,
+) -> ReductionTask:
+    """Normalise an A-automaton emptiness request (Theorem 4.6)."""
+    snap = _instance_payload(initial, build_key)
+    key = (
+        try_key(
+            lambda: (
+                vocabulary_key(vocabulary),
+                automaton.initial,
+                tuple(automaton.states),
+                automaton.accepting,
+                tuple(automaton.transitions),
+                snap,
+                tuple(sorted(kwargs.items())),
+            )
+        )
+        if build_key
+        else None
+    )
+    states, transitions = automaton.size()
+    return ReductionTask(
+        kind="emptiness",
+        backend=EMPTINESS,
+        args=(automaton, vocabulary, snap, dict(kwargs)),
+        key=key,
+        cost_hint=(states + transitions) * int(kwargs.get("max_paths") or 40000),
+    )
+
+
+def bounded_check_task(
+    vocabulary,
+    formula,
+    bounds,
+    initial=None,
+    fact_pool=None,
+    value_pool=None,
+    grounded_only: bool = False,
+    enforce_schema_sanity: bool = True,
+    build_key: bool = True,
+) -> ReductionTask:
+    """Normalise a bounded witness-path satisfiability request."""
+    snap = _instance_payload(initial, build_key)
+    fact_pool = tuple(fact_pool) if fact_pool is not None else None
+    value_pool = tuple(value_pool) if value_pool is not None else None
+    key = (
+        try_key(
+            lambda: (
+                vocabulary_key(vocabulary),
+                formula,
+                bounds,
+                snap,
+                fact_pool,
+                value_pool,
+                grounded_only,
+                enforce_schema_sanity,
+            )
+        )
+        if build_key
+        else None
+    )
+    return ReductionTask(
+        kind="bounded_check",
+        backend=BOUNDED_CHECK,
+        args=(
+            vocabulary,
+            formula,
+            bounds,
+            snap,
+            fact_pool,
+            value_pool,
+            grounded_only,
+            enforce_schema_sanity,
+        ),
+        key=key,
+        cost_hint=bounds.max_paths,
+    )
+
+
+def _query_size(query) -> int:
+    from repro.queries.ucq import as_ucq
+
+    return as_ucq(query).size()
+
+
+def _instance_payload(instance, build_key: bool):
+    """An instance as task payload.
+
+    With a key to build (memoizable / poolable tasks) the payload is the
+    canonical :class:`~repro.store.snapshot.Snapshot`; without one (the
+    single-shot wrappers, whose one-task batches never dispatch) the
+    object passes through untouched, so those calls pay no O(n)
+    snapshot/rebuild round-trip over the legacy paths.
+    """
+    if instance is None or not build_key:
+        return instance
+    return instance_key(instance)
+
+
+# ----------------------------------------------------------------------
+# Task executors (the worker entry points — top-level, picklable by name)
+# ----------------------------------------------------------------------
+def _materialise(payload):
+    from repro.store.snapshot import Snapshot
+
+    if payload is None:
+        return None
+    if isinstance(payload, Snapshot):
+        return payload.to_instance()
+    return payload  # single-shot pass-through: the caller's own instance
+
+
+def _execute_relevance(args):
+    from repro.access.relevance import long_term_relevant_legacy
+
+    schema, access, query, snap, grounded, require_boolean = args
+    return long_term_relevant_legacy(
+        schema,
+        access,
+        query,
+        initial=_materialise(snap),
+        grounded=grounded,
+        require_boolean_access=require_boolean,
+    )
+
+
+def _execute_containment(args):
+    from repro.access.containment_ap import contained_under_access_patterns_legacy
+
+    schema, query_one, query_two, snap, max_identified = args
+    return contained_under_access_patterns_legacy(
+        schema,
+        query_one,
+        query_two,
+        initial=_materialise(snap),
+        max_identified_variables=max_identified,
+    )
+
+
+def _execute_answerability(args):
+    from repro.access.answerability import is_answerable_exactly_legacy
+
+    schema, query, snap, initial_values = args
+    return is_answerable_exactly_legacy(
+        schema, query, _materialise(snap), initial_values
+    )
+
+
+def _execute_emptiness(args):
+    from repro.automata.emptiness import automaton_emptiness
+
+    automaton, vocabulary, snap, kwargs = args
+    return automaton_emptiness(
+        automaton, vocabulary, initial=_materialise(snap), **kwargs
+    )
+
+
+def _execute_bounded_check(args):
+    from repro.core.bounded_check import bounded_satisfiability_legacy
+
+    (
+        vocabulary,
+        formula,
+        bounds,
+        snap,
+        fact_pool,
+        value_pool,
+        grounded_only,
+        enforce_schema_sanity,
+    ) = args
+    return bounded_satisfiability_legacy(
+        vocabulary,
+        formula,
+        bounds,
+        initial=_materialise(snap),
+        fact_pool=fact_pool,
+        value_pool=value_pool,
+        grounded_only=grounded_only,
+        enforce_schema_sanity=enforce_schema_sanity,
+    )
+
+
+_EXECUTORS = {
+    "relevance": _execute_relevance,
+    "containment_ap": _execute_containment,
+    "answerability": _execute_answerability,
+    "emptiness": _execute_emptiness,
+    "bounded_check": _execute_bounded_check,
+}
+
+
+def _refresh_containment(value):
+    import dataclasses
+
+    if value.counterexample is None and value.stats is None:
+        return value
+    return dataclasses.replace(
+        value,
+        counterexample=(
+            value.counterexample.copy()
+            if value.counterexample is not None
+            else None
+        ),
+        stats=dict(value.stats) if value.stats is not None else None,
+    )
+
+
+def _refresh_emptiness(value):
+    import dataclasses
+
+    if value.stats is None:
+        return value
+    return dataclasses.replace(value, stats=dict(value.stats))
+
+
+#: Per-kind isolation of caller-owned mutable state.  Result dataclasses
+#: are frozen, but an AP-containment counterexample is an Instance the
+#: caller owns and may mutate (the legacy contract), and stats dicts are
+#: plain dicts — so a value served from the memo (or shared by in-batch
+#: dedup) is refreshed: the memo keeps the pristine original and every
+#: requester gets its own copy of the mutable parts.  Kinds whose results
+#: are fully immutable (witness paths are frozen dataclasses of
+#: frozensets) serve identity.
+_REFRESHERS = {
+    "containment_ap": _refresh_containment,
+    "emptiness": _refresh_emptiness,
+}
+
+
+def _refresh(kind: str, value):
+    refresher = _REFRESHERS.get(kind)
+    return refresher(value) if refresher is not None else value
+
+
+def execute_task(task: ReductionTask):
+    """Execute one task (in-process or inside a pool worker)."""
+    try:
+        executor = _EXECUTORS[task.kind]
+    except KeyError:
+        raise ValueError(f"unknown reduction task kind {task.kind!r}") from None
+    return executor(task.args)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class DecisionEngine:
+    """Normalise, deduplicate, memoize and dispatch reduction tasks.
+
+    Parameters
+    ----------
+    cache_policy:
+        Per-workload cache configuration (defaults to
+        :class:`~repro.engine.reduction.CachePolicy`: cross-request memo
+        on, emptiness node memo off per the PR 4 finding).
+    parallel:
+        Allow batch dispatch through the shared worker pool.  ``None``
+        defers to the :data:`PARALLEL_TASKS_ENV` environment toggle (off
+        by default); dispatch additionally requires usable extra CPUs and
+        estimated work above the PR 4 cost gate, so batching never loses
+        to the in-process loop.
+    max_workers:
+        Explicit worker count; overrides the gate (tests use it to
+        exercise the real pool on single-CPU hosts).
+    """
+
+    def __init__(
+        self,
+        cache_policy: Optional[CachePolicy] = None,
+        parallel: Optional[bool] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.cache_policy = cache_policy if cache_policy is not None else CachePolicy()
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self._memo: Dict[Tuple[object, ...], object] = {}
+        self._stats: Dict[str, int] = {
+            "requests": 0,
+            "computed": 0,
+            "memo_hits": 0,
+            "batch_dedup_hits": 0,
+            "pooled_tasks": 0,
+            "uncacheable": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Core execution
+    # ------------------------------------------------------------------
+    def run(self, task: ReductionTask) -> ReductionResult:
+        """Execute one task through the memo (single-shot entry point)."""
+        return self.run_batch([task])[0]
+
+    def run_batch(self, tasks: Sequence[ReductionTask]) -> List[ReductionResult]:
+        """Execute a batch, deduplicating and memoizing across requests.
+
+        Results come back in input order with per-task provenance; tasks
+        with equal fingerprints resolve to one computation, and fingerprints
+        already answered by an earlier batch (or single call) on this
+        engine are served from the memo without touching a solver.
+        """
+        memoize = self.cache_policy.memoize_results
+        stats = self._stats
+        stats["requests"] += len(tasks)
+        results: List[Optional[ReductionResult]] = [None] * len(tasks)
+        dedup = Deduper()
+        pending: List[Tuple[int, ReductionTask, Optional[Tuple]]] = []
+        followers: Dict[int, List[int]] = {}
+        for index, task in enumerate(tasks):
+            fingerprint = task.fingerprint()
+            if fingerprint is None:
+                stats["uncacheable"] += 1
+                pending.append((index, task, None))
+                continue
+            if memoize and fingerprint in self._memo:
+                stats["memo_hits"] += 1
+                results[index] = ReductionResult(
+                    _refresh(task.kind, self._memo[fingerprint]),
+                    task.kind,
+                    task.backend,
+                    "memo",
+                    fingerprint,
+                )
+                continue
+            first = dedup.register(fingerprint, index)
+            if first is not None:
+                stats["batch_dedup_hits"] += 1
+                followers.setdefault(first, []).append(index)
+                continue
+            pending.append((index, task, fingerprint))
+        computed = self._compute(pending)
+        for (index, task, fingerprint), (value, pooled) in zip(pending, computed):
+            stats["computed"] += 1
+            if pooled:
+                stats["pooled_tasks"] += 1
+            shared = False
+            if memoize and fingerprint is not None:
+                # The memo keeps the pristine value; every requester —
+                # including this first one — receives its own copy of any
+                # caller-owned mutable state (see _REFRESHERS).
+                self._memo[fingerprint] = value
+                shared = True
+            duplicates = followers.get(index, ())
+            results[index] = ReductionResult(
+                _refresh(task.kind, value) if shared or duplicates else value,
+                task.kind,
+                task.backend,
+                "pooled" if pooled else "computed",
+                fingerprint,
+            )
+            for follower in duplicates:
+                follower_task = tasks[follower]
+                results[follower] = ReductionResult(
+                    _refresh(follower_task.kind, value),
+                    follower_task.kind,
+                    follower_task.backend,
+                    "dedup",
+                    fingerprint,
+                )
+        return results  # type: ignore[return-value]
+
+    def _compute(
+        self, pending: Sequence[Tuple[int, ReductionTask]]
+    ) -> List[Tuple[object, bool]]:
+        """Compute the unique tasks of a batch, pooled when the gate opens.
+
+        Returns ``(value, ran_in_pool)`` per pending task, in order.  A
+        pool (or single-worker) failure recomputes the affected task
+        in-process, so the values — like the chain fan-out's — never
+        depend on where they ran.
+        """
+        if len(pending) > 1 and self._dispatch_allowed(pending):
+            values = self._compute_pooled(pending)
+            if values is not None:
+                return values
+        return [(execute_task(task), False) for _, task, _ in pending]
+
+    def _dispatch_allowed(self, pending) -> bool:
+        if self.max_workers is not None:
+            return True
+        import os
+
+        if self.parallel is None:
+            flag = os.environ.get(PARALLEL_TASKS_ENV, "").strip().lower()
+            if flag in ("", "0", "false", "no", "off"):
+                return False
+        elif not self.parallel:
+            return False
+        from repro.store.parallel import available_cpus, min_dispatch_cost
+
+        if available_cpus() <= 1:
+            return False
+        total_cost = sum(task.cost_hint for _, task, _ in pending)
+        return total_cost >= min_dispatch_cost()
+
+    def _compute_pooled(self, pending) -> Optional[List[Tuple[object, bool]]]:
+        from repro.store import workqueue
+        from repro.store.parallel import available_cpus
+
+        workers = self.max_workers
+        if workers is None:
+            workers = min(len(pending), available_cpus(), _MAX_WORKERS_CAP)
+        workers = max(1, min(workers, len(pending)))
+        try:
+            pool = workqueue.shared_pool(workers)
+            futures = [pool.submit(execute_task, task) for _, task, _ in pending]
+        except Exception:
+            workqueue.discard_shared_pool()
+            return None
+        values: List[Tuple[object, bool]] = []
+        for (_, task, _), future in zip(pending, futures):
+            try:
+                values.append((future.result(), True))
+            except Exception:
+                # A failed worker (or an unpicklable payload) must not
+                # change outcomes: recompute that task here.  A genuine
+                # task error re-raises identically in-process.
+                values.append((execute_task(task), False))
+        return values
+
+    # ------------------------------------------------------------------
+    # Single-shot conveniences (the normalised forms of the old calls)
+    # ------------------------------------------------------------------
+    def relevance(self, schema, access, query, **kwargs):
+        """Long-term relevance of one access (Example 2.3)."""
+        task = relevance_task(
+            schema,
+            access,
+            query,
+            build_key=self.cache_policy.memoize_results,
+            **kwargs,
+        )
+        return self.run(task).value
+
+    def containment(self, schema, query_one, query_two, **kwargs):
+        """Containment under access patterns of one query pair."""
+        task = containment_task(
+            schema,
+            query_one,
+            query_two,
+            build_key=self.cache_policy.memoize_results,
+            **kwargs,
+        )
+        return self.run(task).value
+
+    def answerability(self, schema, query, hidden_instance, initial_values=()):
+        """Exact answerability of *query* on one hidden instance."""
+        task = answerability_task(
+            schema,
+            query,
+            hidden_instance,
+            initial_values,
+            build_key=self.cache_policy.memoize_results,
+        )
+        return self.run(task).value
+
+    def emptiness(self, automaton, vocabulary, initial=None, **kwargs):
+        """A-automaton emptiness with the engine's node-memo policy."""
+        kwargs.setdefault("node_memo", self.cache_policy.node_memo)
+        task = emptiness_task(
+            automaton,
+            vocabulary,
+            initial,
+            build_key=self.cache_policy.memoize_results,
+            **kwargs,
+        )
+        return self.run(task).value
+
+    def bounded_check(self, vocabulary, formula, bounds, **kwargs):
+        """Bounded witness-path satisfiability of one formula."""
+        task = bounded_check_task(
+            vocabulary,
+            formula,
+            bounds,
+            build_key=self.cache_policy.memoize_results,
+            **kwargs,
+        )
+        return self.run(task).value
+
+    # ------------------------------------------------------------------
+    # Batch entry points (the matrix workloads)
+    # ------------------------------------------------------------------
+    def relevance_matrix(
+        self,
+        schema,
+        accesses: Sequence,
+        query,
+        initial=None,
+        grounded: bool = False,
+        require_boolean_access: bool = True,
+    ) -> List[object]:
+        """Long-term relevance of *every* access, in order.
+
+        The instance snapshot and canonical query/schema keys are built
+        once; duplicate accesses (the norm when candidates are projected
+        from observed tuples) compute once.
+        """
+        snap = instance_key(initial)
+        shared = relevance_shared_key(
+            schema, query, snap, grounded, require_boolean_access
+        )
+        size = snap.size() if snap is not None else 0
+        cost = (1 + size) * (1 + _query_size(query))
+        tasks = [
+            relevance_task(
+                schema,
+                access,
+                query,
+                initial=snap,
+                grounded=grounded,
+                require_boolean_access=require_boolean_access,
+                shared_key=shared,
+                cost_hint=cost,
+            )
+            for access in accesses
+        ]
+        return [result.value for result in self.run_batch(tasks)]
+
+    def containment_matrix(
+        self,
+        schema,
+        queries: Sequence,
+        others: Optional[Sequence] = None,
+        initial=None,
+        max_identified_variables: int = 8,
+    ) -> List[List[object]]:
+        """Pairwise AP-containment: ``matrix[i][j]`` is ``Q_i ⊆ Q_j``.
+
+        With *others* unset the matrix is square over *queries*.
+        Structurally equal queries (regardless of their cosmetic names)
+        deduplicate, so a workload's repeated submissions are solved once.
+        """
+        snap = instance_key(initial)
+        column_queries = queries if others is None else others
+        sk = try_key(lambda: schema_key(schema))
+        row_keys = [try_key(lambda q=q: query_key(q)) for q in queries]
+        column_keys = (
+            row_keys
+            if others is None
+            else [try_key(lambda q=q: query_key(q)) for q in column_queries]
+        )
+        row_sizes = [_query_size(q) for q in queries]
+        column_sizes = (
+            row_sizes if others is None else [_query_size(q) for q in column_queries]
+        )
+        size = snap.size() if snap is not None else 0
+        tasks = [
+            containment_task(
+                schema,
+                query_one,
+                query_two,
+                initial=snap,
+                max_identified_variables=max_identified_variables,
+                key_parts=(
+                    (sk, row_keys[i], column_keys[j])
+                    if sk is not None
+                    and row_keys[i] is not None
+                    and column_keys[j] is not None
+                    else None
+                ),
+                cost_hint=(1 + size) * (1 + row_sizes[i] * column_sizes[j]),
+            )
+            for i, query_one in enumerate(queries)
+            for j, query_two in enumerate(column_queries)
+        ]
+        values = [result.value for result in self.run_batch(tasks)]
+        width = len(column_queries)
+        return [values[row * width : (row + 1) * width] for row in range(len(queries))]
+
+    def answerability_sweep(
+        self,
+        schema,
+        query,
+        hidden_instances: Sequence,
+        initial_values=(),
+    ) -> List[bool]:
+        """Exact answerability of *query* across a sweep of hidden instances."""
+        values = tuple(initial_values)  # one shared iterable, many tasks
+        tasks = [
+            answerability_task(schema, query, hidden, values)
+            for hidden in hidden_instances
+        ]
+        return [result.value for result in self.run_batch(tasks)]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Request/compute counters plus the derived cross-request hit rate."""
+        stats: Dict[str, object] = dict(self._stats)
+        requests = self._stats["requests"]
+        saved = self._stats["memo_hits"] + self._stats["batch_dedup_hits"]
+        stats["memo_entries"] = len(self._memo)
+        stats["cross_request_hit_rate"] = (
+            round(saved / requests, 4) if requests else None
+        )
+        return stats
+
+    def clear(self) -> None:
+        """Drop the cross-request memo (counters are kept)."""
+        self._memo.clear()
+
+
+_SINGLE_SHOT_ENGINE: Optional[DecisionEngine] = None
+
+
+def single_shot_engine() -> DecisionEngine:
+    """The shared engine behind the old per-call public signatures.
+
+    Runs with :data:`~repro.engine.reduction.SINGLE_SHOT_POLICY`: no
+    cross-request memo, node memo off — each call computes exactly what
+    the legacy path computes, just normalised through the reduction layer.
+    """
+    global _SINGLE_SHOT_ENGINE
+    if _SINGLE_SHOT_ENGINE is None:
+        _SINGLE_SHOT_ENGINE = DecisionEngine(cache_policy=SINGLE_SHOT_POLICY)
+    return _SINGLE_SHOT_ENGINE

@@ -1,0 +1,245 @@
+"""Reduction tasks: the common currency of the unified decision layer.
+
+The paper's three headline procedures — exact answerability via the
+accessible part, long-term relevance of an access (Example 2.3), and CQ
+containment under access patterns (Example 2.2) — are all *reductions* to
+the same pair of back-ends: A-automaton emptiness (Theorem 4.6) and
+bounded witness-path satisfiability (the reference model checker the
+decision procedures are cross-validated against).  Before this layer each
+module in :mod:`repro.access` re-implemented its own candidate
+enumeration, instance branching and solver invocation, so none of them
+could share the memoization, snapshot store or worker pool built for the
+emptiness pipeline.
+
+A :class:`ReductionTask` normalises one decision request into
+
+* a ``kind`` (which procedure is being reduced),
+* a ``backend`` tag — :data:`EMPTINESS` or :data:`BOUNDED_CHECK` — naming
+  the back-end the reduction bottoms out in,
+* ``args`` — the executable payload.  Instances travel as store
+  :class:`~repro.store.snapshot.Snapshot` tokens, which are canonical,
+  exactly comparable and picklable by construction, so a task can be
+  executed in-process or shipped to a pool worker with identical results;
+* ``key`` — the canonical fingerprint used for deduplication and
+  cross-request memoization.  Content-addressed pieces (instances) key by
+  their ``Snapshot.fingerprint()``; structural pieces (schemas, queries,
+  formulas) by canonical tuples that ignore irrelevant identity such as
+  query names.  ``key`` is ``None`` when a payload resists canonical
+  hashing — such a task simply always computes.
+
+Results come back as :class:`ReductionResult`, which wraps the
+procedure's own result object together with provenance: whether the value
+was computed, served from the cross-request memo, or deduplicated against
+an identical task earlier in the same batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.queries.ucq import as_ucq
+from repro.store.snapshot import Snapshot, SnapshotInstance
+
+#: Back-end tag: the task bottoms out in A-automaton emptiness
+#: (:func:`repro.automata.emptiness.automaton_emptiness`).
+EMPTINESS = "emptiness"
+
+#: Back-end tag: the task bottoms out in an explicit bounded witness
+#: search (:func:`repro.core.bounded_check.bounded_satisfiability` or one
+#: of the small-witness enumerations of :mod:`repro.access`).
+BOUNDED_CHECK = "bounded_check"
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Per-workload cache configuration of a :class:`DecisionEngine`.
+
+    Attributes
+    ----------
+    memoize_results:
+        Cross-request memoization of task results keyed by the canonical
+        task fingerprint.  On for explicitly constructed engines (matrix
+        workloads are exactly where requests repeat); off for the
+        single-shot wrappers that preserve the old per-call signatures.
+    node_memo:
+        The emptiness search's visited-node expansion memo.  The PR 4
+        instrumentation measured a 0.0 hit rate for it on the benchmark
+        workload (the sentence-level guard cache earns the memo row's
+        speedup), so it is now an engine policy defaulting **off**; a
+        workload whose configurations genuinely revisit can opt back in.
+        The guard cache is unaffected and stays on with ``memoize``.
+    """
+
+    memoize_results: bool = True
+    node_memo: bool = False
+
+
+#: Policy of the single-shot wrappers (``long_term_relevant`` and
+#: friends): no cross-request state at all, node memo off per the PR 4
+#: finding.  Every call computes exactly what the legacy path computes.
+SINGLE_SHOT_POLICY = CachePolicy(memoize_results=False, node_memo=False)
+
+
+@dataclass(frozen=True, eq=False)
+class ReductionTask:
+    """One normalised decision request (see the module docstring)."""
+
+    kind: str
+    backend: str
+    args: Tuple[object, ...]
+    key: Optional[Tuple[object, ...]] = None
+    cost_hint: int = 1
+
+    def fingerprint(self) -> Optional[Tuple[object, ...]]:
+        """The memo/dedup key, or ``None`` when the task is uncacheable."""
+        if self.key is None:
+            return None
+        return (self.kind, self.key)
+
+
+@dataclass(frozen=True, eq=False)
+class ReductionResult:
+    """A task's outcome plus provenance.
+
+    ``value`` is the underlying procedure's own result object
+    (:class:`~repro.access.relevance.RelevanceResult`,
+    :class:`~repro.access.containment_ap.APContainmentResult`, a bool,
+    :class:`~repro.automata.emptiness.EmptinessResult`, ...), so callers
+    that only want the verdict unwrap one attribute.  ``provenance`` is
+    ``"computed"`` (executed here), ``"pooled"`` (executed in a worker
+    process), ``"memo"`` (served from the engine's cross-request memo) or
+    ``"dedup"`` (an identical task earlier in the same batch supplied the
+    value).
+    """
+
+    value: object
+    kind: str
+    backend: str
+    provenance: str
+    fingerprint: Optional[Tuple[object, ...]] = None
+
+
+class Deduper:
+    """Order-preserving duplicate detection on canonical fingerprints.
+
+    Used by the engine's batch execution (identical tasks in one matrix
+    compute once) and by the AP-containment candidate enumeration
+    (distinct variable identifications frequently freeze to the *same*
+    candidate instance, which previously re-solved).  ``register`` returns
+    the value stored by the first holder of the key, or ``None`` for a
+    first sighting; unkeyable entries (``key is None``) are never
+    deduplicated.
+    """
+
+    __slots__ = ("_seen", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._seen: Dict[object, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def register(self, key: Optional[object], value: object) -> Optional[object]:
+        if key is None:
+            self.misses += 1
+            return None
+        existing = self._seen.get(key)
+        if existing is not None:
+            self.hits += 1
+            return existing
+        self._seen[key] = value
+        self.misses += 1
+        return None
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+# ----------------------------------------------------------------------
+# Canonical fingerprints of the payload pieces
+# ----------------------------------------------------------------------
+def schema_key(access_schema) -> Tuple[object, ...]:
+    """Canonical fingerprint of an access schema (relations + methods)."""
+    relations = tuple(
+        (
+            relation.name,
+            relation.arity,
+            tuple(t.name for t in relation.types),
+            tuple(repr(d) for d in relation.domains),
+        )
+        for relation in access_schema.schema
+    )
+    methods = tuple(
+        (
+            method.name,
+            method.relation,
+            method.input_positions,
+            method.exact,
+            method.idempotent,
+        )
+        for method in sorted(access_schema, key=lambda m: m.name)
+    )
+    return (relations, methods)
+
+
+def vocabulary_key(vocabulary) -> Tuple[object, ...]:
+    """Canonical fingerprint of an access vocabulary.
+
+    The combined pre/post/binding schema is a pure function of the access
+    schema (:meth:`AccessVocabulary.of`), so the access schema fingerprint
+    plus the combined relation signature identifies it exactly.
+    """
+    combined = tuple(
+        (relation.name, relation.arity) for relation in vocabulary.schema
+    )
+    return (schema_key(vocabulary.access_schema), combined)
+
+
+def query_key(query) -> Tuple[object, ...]:
+    """Canonical, name-insensitive fingerprint of a CQ/UCQ.
+
+    Disjunct order is preserved (the procedures' witnesses and
+    counterexamples depend on it), but the cosmetic ``name`` field is
+    dropped so a re-submitted query with a different label deduplicates.
+    """
+    ucq = as_ucq(query)
+    return tuple(
+        (disjunct.atoms, disjunct.head, disjunct.equalities, disjunct.inequalities)
+        for disjunct in ucq.disjuncts
+    )
+
+
+def instance_key(instance) -> Optional[Snapshot]:
+    """The ``Snapshot.fingerprint()`` content key of an instance.
+
+    O(#relations) for stores (the snapshot is the fingerprint the store
+    already maintains), O(n) once for dict-backed instances.  ``None``
+    stays ``None`` (the procedures substitute an empty instance).
+    """
+    if instance is None:
+        return None
+    if isinstance(instance, Snapshot):
+        return instance
+    if isinstance(instance, SnapshotInstance):
+        return instance.snapshot()
+    return SnapshotInstance.from_instance(instance).snapshot()
+
+
+def values_key(values) -> Tuple[object, ...]:
+    """Canonical fingerprint of a set of seed values (order-insensitive)."""
+    return tuple(sorted(values, key=repr))
+
+
+def try_key(builder) -> Optional[Tuple[object, ...]]:
+    """Run a key builder, degrading unhashable payloads to ``None``.
+
+    Guard sentences may embed exotic constants; a payload that cannot be
+    canonically hashed simply opts out of memoization instead of failing
+    the request.
+    """
+    try:
+        key = builder()
+        hash(key)
+        return key
+    except TypeError:
+        return None

@@ -9,9 +9,17 @@ from repro.workloads.directory import (
     smith_phone_query,
 )
 from repro.workloads.generators import WorkloadGenerator
+from repro.workloads.matrices import (
+    instance_prefixes,
+    probe_accesses,
+    query_workload,
+)
 from repro.workloads.scenarios import Scenario, standard_scenarios
 
 __all__ = [
+    "instance_prefixes",
+    "probe_accesses",
+    "query_workload",
     "directory_schema",
     "directory_access_schema",
     "directory_hidden_instance",

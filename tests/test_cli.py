@@ -180,4 +180,37 @@ class TestParser:
             "figure2",
             "lts",
             "scenarios",
+            "matrix",
         } <= commands
+
+
+# ----------------------------------------------------------------------
+# Batched matrix workloads (the unified reduction engine)
+# ----------------------------------------------------------------------
+class TestMatrix:
+    def test_relevance_matrix(self, capsys):
+        code, out = run_cli(capsys, "matrix", "relevance", "--limit", "10")
+        assert code == 0
+        assert "relevance matrix:" in out
+        assert "engine:" in out
+
+    def test_containment_matrix_reports_dedup(self, capsys):
+        code, out = run_cli(capsys, "matrix", "containment")
+        assert code == 0
+        assert "containment matrix:" in out
+        # The default workload re-submits each query once, so the engine
+        # must report dedup hits.
+        assert " 0 dedup hits" not in out
+
+    def test_answerability_sweep(self, capsys):
+        code, out = run_cli(capsys, "matrix", "answerability", "--steps", "3")
+        assert code == 0
+        assert "answerability sweep" in out
+        assert out.count("answerable=") == 3
+
+    def test_matrix_on_scenario(self, capsys):
+        code, out = run_cli(
+            capsys, "matrix", "relevance", "--scenario", "directory", "--limit", "6"
+        )
+        assert code == 0
+        assert "relevance matrix:" in out
