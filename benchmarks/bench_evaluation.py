@@ -41,6 +41,16 @@ compare against:
   :class:`repro.engine.DecisionEngine` call sharing fingerprint dedup
   and the cross-request memo (engine counters are reported as
   ``matrix_engine_stats``); identical verdicts are asserted;
+* ``anytime_emptiness_deadline`` / ``anytime_resume`` — the anytime
+  decision layer: emptiness under a tight :class:`repro.core.budget.Budget`
+  returning a tagged ``UNKNOWN`` with a resume frontier (the row measures
+  bounded-latency interruption, not workload size), and the continuation
+  from that frontier to the uninterrupted verdict (field-identical by the
+  resume property; asserted here);
+* ``batch_streaming_first_verdict`` — a warm relevance matrix consumed
+  through ``DecisionEngine.iter_results``; the row times the full
+  streamed batch and the first-verdict latency is reported alongside as
+  ``anytime_stats``;
 * ``pipeline_end_to_end`` — the full containment + relevance pipeline of
   ``bench_pipeline_vs_bruteforce.py`` (automata pipeline and bounded
   brute-force checker side by side) at the largest configured size.
@@ -605,6 +615,121 @@ def bench_matrices(
     return results
 
 
+def bench_anytime(
+    smoke: bool, repeats: int, anytime_stats_out: Optional[Dict[str, object]] = None
+) -> Dict[str, Dict[str, object]]:
+    """The anytime decision layer: deadline, resume, streaming first verdict.
+
+    The interrupted emptiness call is produced once outside the timed
+    region (node caps expire at deterministic item boundaries; the cap is
+    halved until the run genuinely interrupts, so the rows never depend on
+    where the workload's verdict happens to land).  The timed rows then
+    measure (a) how fast a budget-capped call comes back ``UNKNOWN`` —
+    the serving guarantee is that this tracks the budget, not the
+    workload — and (b) what the continuation to the full verdict costs.
+    Field-identical resume is asserted against the uninterrupted oracle.
+    """
+    from repro.core.budget import Budget
+    from repro.engine import DecisionEngine
+    from repro.workloads.matrices import probe_accesses, stream_relevance_matrix
+
+    scenario = next(s for s in standard_scenarios() if s.name == "directory")
+    vocabulary = AccLTLSolver(scenario.access_schema).vocabulary
+    automaton = ltr_automaton(vocabulary, scenario.probe_access, scenario.query_one)
+    max_paths = 4000 if smoke else 30000
+    kwargs = dict(max_paths=max_paths, use_datalog_precheck=False, memoize=False)
+
+    oracle = automaton_emptiness(automaton, vocabulary, **kwargs)
+    cap = max(1, oracle.paths_explored // 2)
+    unknown = None
+    while cap >= 1:
+        candidate = automaton_emptiness(
+            automaton, vocabulary, budget=Budget(node_cap=cap), **kwargs
+        )
+        if candidate.unknown:
+            unknown = candidate
+            break
+        if cap == 1:
+            break
+        cap //= 2
+    assert unknown is not None and unknown.frontier is not None, (
+        "anytime benchmark could not interrupt the workload"
+    )
+    budget = Budget(deadline_s=0.25, node_cap=cap)
+
+    def run_deadline():
+        result = automaton_emptiness(
+            automaton, vocabulary, budget=budget, **kwargs
+        )
+        assert result.unknown, "budget-capped emptiness completed unexpectedly"
+        return result.verdict
+
+    def run_resume():
+        resumed = automaton_emptiness(
+            automaton, vocabulary, resume_from=unknown.frontier, **kwargs
+        )
+        fields = (
+            resumed.empty,
+            resumed.witness,
+            resumed.exhausted,
+            resumed.paths_explored,
+            resumed.chains_checked,
+        )
+        assert fields == (
+            oracle.empty,
+            oracle.witness,
+            oracle.exhausted,
+            oracle.paths_explored,
+            oracle.chains_checked,
+        ), "resumed emptiness disagrees with the uninterrupted run"
+        return resumed.verdict
+
+    # Streaming batch on a warm engine: the memo answers every request, so
+    # the row isolates the serving overhead of the streamed path and the
+    # first-verdict latency is the time to the first memo hit.
+    generator = WorkloadGenerator(seed=29)
+    schema = generator.access_schema(
+        num_relations=3, methods_per_relation=2, max_inputs=1
+    )
+    hidden = generator.instance(
+        schema.schema, tuples_per_relation=12 if smoke else 40, domain_size=8
+    )
+    relevance_query = generator.ucq(
+        schema.schema, num_disjuncts=2, num_atoms=2, num_variables=3
+    )
+    accesses = probe_accesses(schema, hidden)
+    engine = DecisionEngine()
+    stream_relevance_matrix(  # warm the memo outside the timed region
+        engine, schema, accesses, relevance_query, require_boolean_access=False
+    )
+
+    def run_stream():
+        streamed = stream_relevance_matrix(
+            engine,
+            schema,
+            accesses,
+            relevance_query,
+            require_boolean_access=False,
+        )
+        if anytime_stats_out is not None:
+            anytime_stats_out["first_verdict_ms"] = round(
+                streamed.first_verdict_s * 1000, 3
+            )
+            anytime_stats_out["batch_total_ms"] = round(streamed.total_s * 1000, 3)
+        return tuple(result.relevant for result in streamed.values)
+
+    results = {
+        "anytime_emptiness_deadline": _median_of(repeats, run_deadline),
+        "anytime_resume": _median_of(repeats, run_resume),
+        "batch_streaming_first_verdict": _median_of(repeats, run_stream),
+    }
+    if anytime_stats_out is not None:
+        anytime_stats_out["node_cap"] = cap
+        anytime_stats_out["interrupted_paths_explored"] = unknown.paths_explored
+        anytime_stats_out["oracle_paths_explored"] = oracle.paths_explored
+    return results
+
+
 def bench_pipeline(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
     """The bench_pipeline_vs_bruteforce workload, timed end to end."""
     schema = directory_access_schema()
@@ -667,6 +792,7 @@ def run_benchmarks(
     results: Dict[str, Dict[str, object]] = {}
     memo_stats: Dict[str, object] = {}
     matrix_stats: Dict[str, object] = {}
+    anytime_stats: Dict[str, object] = {}
     results.update(bench_cq_evaluation(smoke, repeats))
     results.update(bench_datalog(smoke, repeats))
     results.update(bench_emptiness(smoke, repeats, memo_stats_out=memo_stats))
@@ -674,6 +800,7 @@ def run_benchmarks(
     results.update(bench_snapshots(smoke, repeats))
     results.update(bench_parallel_chains(smoke, repeats))
     results.update(bench_matrices(smoke, repeats, matrix_stats_out=matrix_stats))
+    results.update(bench_anytime(smoke, repeats, anytime_stats_out=anytime_stats))
     results.update(bench_pipeline(smoke, repeats))
     compiled = results["cq_compiled"]["median_s"]
     naive = results["cq_naive"]["median_s"]
@@ -721,6 +848,7 @@ def run_benchmarks(
         if containment_batched
         else None,
         "matrix_engine_stats": matrix_stats,
+        "anytime_stats": anytime_stats,
         "emptiness_memo_stats": memo_stats,
         "plan_cache": plan_cache_info(),
         "results": results,
@@ -786,6 +914,16 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
     print(
         "emptiness memo stats:",
         report["emptiness_memo_stats"],
+    )
+    anytime = report["anytime_stats"]
+    print(
+        "anytime streaming: first verdict after",
+        anytime.get("first_verdict_ms"),
+        "ms, batch total",
+        anytime.get("batch_total_ms"),
+        "ms (node cap",
+        anytime.get("node_cap"),
+        ")",
     )
     if args.json:
         with open(args.json_path, "w") as handle:

@@ -40,6 +40,7 @@ from repro.access.path import AccessPath, PathStep
 from repro.automata.aautomaton import AAutomaton
 from repro.automata.progressive import chain_restrictions
 from repro.core.bounded_check import candidate_accesses_for_search, fact_pool_from_sentences
+from repro.core.budget import Budget, BudgetClock
 from repro.core.transition import (
     TransitionStructure,
     prepost_names,
@@ -73,11 +74,23 @@ class EmptinessResult:
     """Result of an A-automaton emptiness check.
 
     ``stats`` carries informational search instrumentation (memo hit/miss
-    counters, subtree work-item counts — see :class:`_WitnessSearch`); it
-    is excluded from equality so that the determinism guarantees of the
-    parallel modes are stated over the five semantic fields only.  Cache
-    hit rates legitimately depend on how work was scheduled; verdicts,
-    witnesses and exploration counters do not.
+    counters, subtree work-item counts, pool failure/retry/timeout
+    counters — see :class:`_WitnessSearch` and
+    :mod:`repro.store.workqueue`); it is excluded from equality so that
+    the determinism guarantees of the parallel modes are stated over the
+    semantic fields only.  Cache hit rates legitimately depend on how
+    work was scheduled; verdicts, witnesses and exploration counters do
+    not.
+
+    ``unknown`` tags the anytime verdict: a budget
+    (:class:`~repro.core.budget.Budget`) expired before the check could
+    conclude.  ``empty`` is then ``False`` by convention but carries no
+    information — consult :attr:`verdict`.  ``frontier`` holds the
+    picklable resume state (:class:`ResumeFrontier`); pass it back via
+    ``automaton_emptiness(resume_from=...)`` to continue exactly where
+    the interrupted run stopped.  The frontier is excluded from equality
+    (like ``stats``) so completed results compare over semantics alone —
+    ``unknown`` itself *is* semantic and does participate.
     """
 
     empty: bool
@@ -86,6 +99,15 @@ class EmptinessResult:
     paths_explored: int
     chains_checked: int = 1
     stats: Optional[Dict[str, int]] = field(default=None, compare=False)
+    unknown: bool = False
+    frontier: Optional["ResumeFrontier"] = field(default=None, compare=False)
+
+    @property
+    def verdict(self) -> str:
+        """``"EMPTY"``, ``"NONEMPTY"`` or ``"UNKNOWN"`` (budget expired)."""
+        if self.unknown:
+            return "UNKNOWN"
+        return "EMPTY" if self.empty else "NONEMPTY"
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.empty
@@ -214,6 +236,73 @@ class RoundExpansion:
     witness_steps: Optional[Tuple[PathStep, ...]]
     witness_at: int
     explored: int
+
+
+@dataclass(frozen=True)
+class ChainCheckpoint:
+    """Where a budget-interrupted witness search stopped inside one chain.
+
+    Everything here is picklable (the pending :class:`ExportRecord`\\ s
+    carry :class:`SubtreeItem`\\ s, whose snapshots rebuild themselves on
+    unpickling), so a checkpoint survives process boundaries and disk.
+
+    ``pending`` is the tail of the interrupted round's export records —
+    the not-yet-resolved subtree items in canonical fold order (the
+    record that was mid-flight when the budget fired is included: items
+    are pure, so it simply re-runs in full).  ``pending=None`` marks an
+    interruption *before* the round's trunk expansion completed; resume
+    re-expands that round from its beginning (trunk memoisation never
+    prunes across rounds, so the re-run reproduces the original counts).
+    The ``round_*`` fields are the already-known parts of the round's
+    :class:`RoundExpansion` plus the fold total accumulated so far, and
+    ``base_explored`` the exploration total of the completed earlier
+    rounds — exactly the state
+    :func:`repro.store.workqueue.run_budgeted_search` needs to make the
+    resumed arithmetic land where the uninterrupted fold would have.
+    """
+
+    depth_limit: int
+    pending: Optional[Tuple[ExportRecord, ...]]
+    round_total: int
+    round_witness_steps: Optional[Tuple[PathStep, ...]]
+    round_witness_at: int
+    round_explored: int
+    base_explored: int
+
+    @property
+    def items(self) -> Tuple[SubtreeItem, ...]:
+        """The pending subtree work items (the resumable frontier)."""
+        if not self.pending:
+            return ()
+        return tuple(record.item for record in self.pending)
+
+
+@dataclass(frozen=True)
+class ResumeFrontier:
+    """The picklable resume state of a budget-expired emptiness check.
+
+    Attached to the tagged ``UNKNOWN`` :class:`EmptinessResult`:
+    ``completed`` holds the chains already decided (in restriction
+    order), ``chain_index`` the chain the budget expired in, and
+    ``checkpoint`` where inside that chain (``None``: the chain had not
+    started — resume runs it from scratch, precheck included).
+    ``signature`` fingerprints the originating call; resuming against a
+    different automaton or different search parameters raises
+    ``ValueError`` instead of silently mixing incompatible state.
+    """
+
+    chain_index: int
+    checkpoint: Optional[ChainCheckpoint]
+    completed: Tuple[ChainOutcome, ...]
+    num_chains: int
+    signature: Tuple
+
+    @property
+    def items(self) -> Tuple[SubtreeItem, ...]:
+        """The pending subtree work items at the interruption point."""
+        if self.checkpoint is None:
+            return ()
+        return self.checkpoint.items
 
 
 class _WitnessSearch:
@@ -441,6 +530,13 @@ class _WitnessSearch:
         }
         self.config: Optional[SnapshotInstance] = None
         self.base: Optional[Instance] = None
+        # Ambient interruption hook for the anytime mode: a zero-argument
+        # callable (e.g. ``BudgetClock.interrupt_check``) invoked from the
+        # DFS candidate loop; it raises
+        # :class:`~repro.core.budget.BudgetExpired` when the wall clock
+        # runs out.  Coordinator-local state — deliberately not part of
+        # :meth:`params`, so shipped subtree workers never inherit it.
+        self.interrupt: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # Worker shipping
@@ -519,6 +615,7 @@ class _WitnessSearch:
         memoize = self.memoize
         node_memo = self.node_memo
         grounded_only = self.grounded_only
+        interrupt = self.interrupt
 
         explored = explored_start
         aborted = False
@@ -579,6 +676,8 @@ class _WitnessSearch:
                 if explored > abort_limit:
                     aborted = True
                     return None
+                if interrupt is not None:
+                    interrupt()
                 structure = None
                 stage = 0
                 applied: List[Tuple[str, Tuple[object, ...]]] = []
@@ -946,6 +1045,191 @@ def check_restriction(
     )
 
 
+def _check_restriction_budgeted(
+    restriction: AAutomaton,
+    vocabulary: AccessVocabulary,
+    initial: Instance,
+    search_kwargs: Dict[str, object],
+    use_datalog_precheck: bool,
+    clock: BudgetClock,
+    checkpoint: Optional[ChainCheckpoint] = None,
+    executor=None,
+) -> Tuple[ChainOutcome, Optional[ChainCheckpoint]]:
+    """Budgeted precheck + witness search for one chain restriction.
+
+    The anytime counterpart of :func:`check_restriction`: the witness
+    search runs as the decomposed trunk/fold under *clock*
+    (:func:`repro.store.workqueue.run_budgeted_search`), so it can stop
+    at a work-item boundary and hand back a :class:`ChainCheckpoint`.
+    Returns ``(outcome, checkpoint)``; a non-``None`` checkpoint means
+    the chain is *undecided* — the outcome then only carries the partial
+    exploration count and stats for the UNKNOWN result's accounting and
+    must not enter the chain fold.  A resumed call (*checkpoint* given)
+    skips the Datalog precheck: a chain that checkpoints necessarily
+    passed it already.  The precheck itself is not interruptible, so a
+    deadline can overshoot by at most one containment check.
+    """
+    if checkpoint is None and use_datalog_precheck:
+        if datalog_emptiness_precheck(restriction, vocabulary) is True:
+            return (
+                ChainOutcome(
+                    prechecked_empty=True, witness=None, explored=0, exhausted=True
+                ),
+                None,
+            )
+    kwargs = dict(search_kwargs)
+    kwargs.pop("subtree_mode", None)
+    split_budget = kwargs.pop("split_budget", None)
+    search = _WitnessSearch(restriction, vocabulary, initial, **kwargs)
+    context = None
+    if executor is not None:
+        context = (restriction, vocabulary, search.initial_snapshot, search.params())
+    from repro.store.workqueue import run_budgeted_search
+
+    steps, explored, exhausted, stats, new_checkpoint = run_budgeted_search(
+        search,
+        clock,
+        checkpoint=checkpoint,
+        split_budget=split_budget,
+        executor=executor,
+        context=context,
+    )
+    witness = AccessPath(steps) if steps is not None else None
+    return (
+        ChainOutcome(
+            prechecked_empty=False,
+            witness=witness,
+            explored=explored,
+            exhausted=exhausted,
+            stats=stats,
+        ),
+        new_checkpoint,
+    )
+
+
+def _frontier_signature(
+    trimmed: AAutomaton, num_chains: int, search_kwargs: Dict[str, object]
+) -> Tuple:
+    """A structural fingerprint of one anytime emptiness call.
+
+    Stored on the frontier and re-derived on resume: a mismatch means the
+    caller is trying to continue a different check (another automaton, or
+    the same one under different search parameters), which would silently
+    corrupt the resumed arithmetic — so it raises instead.  Budgets are
+    deliberately *not* part of the signature: resuming with a different
+    (or no) budget is the point of the anytime mode.
+    """
+    return (
+        getattr(trimmed, "name", None),
+        trimmed.size(),
+        num_chains,
+        tuple(sorted((key, repr(value)) for key, value in search_kwargs.items())),
+    )
+
+
+def _unknown_result(
+    completed: Sequence[ChainOutcome],
+    partial: Optional[ChainOutcome],
+    num_chains: int,
+    frontier: ResumeFrontier,
+) -> EmptinessResult:
+    """The tagged UNKNOWN verdict: budget spent, frontier attached."""
+    total_explored = 0
+    stats: Dict[str, int] = {}
+    for outcome in list(completed) + ([partial] if partial is not None else []):
+        if outcome.prechecked_empty:
+            continue
+        total_explored += outcome.explored
+        if outcome.stats:
+            for key, value in outcome.stats.items():
+                stats[key] = stats.get(key, 0) + value
+    return EmptinessResult(
+        empty=False,
+        witness=None,
+        exhausted=False,
+        paths_explored=total_explored,
+        chains_checked=num_chains,
+        stats=stats or None,
+        unknown=True,
+        frontier=frontier,
+    )
+
+
+def _anytime_emptiness(
+    restrictions: Sequence[AAutomaton],
+    vocabulary: AccessVocabulary,
+    initial: Instance,
+    search_kwargs: Dict[str, object],
+    use_datalog_precheck: bool,
+    clock: BudgetClock,
+    resume_from: Optional[ResumeFrontier],
+    signature: Tuple,
+    use_executor: bool,
+    max_workers: Optional[int],
+) -> EmptinessResult:
+    """The anytime chain loop: budgeted, interruptible, resumable.
+
+    Chains run sequentially in the coordinator (restriction order is the
+    resume order); when subtree pool dispatch is enabled each chain's own
+    DFS items still fan out to the shared pool.  The loop stops at the
+    first chain boundary where *clock* is spent — or mid-chain, via a
+    :class:`ChainCheckpoint` — and returns the tagged UNKNOWN result.
+    Completed runs fold through :func:`_fold_chain_outcomes`, so a
+    finished anytime call is field-identical to the uninterrupted one.
+    """
+    completed: List[ChainOutcome] = (
+        list(resume_from.completed) if resume_from is not None else []
+    )
+    start_chain = resume_from.chain_index if resume_from is not None else 0
+    checkpoint = resume_from.checkpoint if resume_from is not None else None
+    num_chains = len(restrictions)
+
+    executor = None
+    if use_executor:
+        try:
+            from repro.store.parallel import _SUBTREE_POOL_UNITS, _worker_count
+            from repro.store.workqueue import SubtreeExecutor, shared_pool
+
+            workers = _worker_count(_SUBTREE_POOL_UNITS, max_workers)
+            if workers > 1:
+                executor = SubtreeExecutor(shared_pool(workers))
+        except Exception:
+            executor = None  # pool-less environments degrade in process
+
+    for index in range(start_chain, num_chains):
+        if checkpoint is None and clock.expired():
+            return _unknown_result(
+                completed,
+                None,
+                num_chains,
+                ResumeFrontier(index, None, tuple(completed), num_chains, signature),
+            )
+        outcome, new_checkpoint = _check_restriction_budgeted(
+            restrictions[index],
+            vocabulary,
+            initial,
+            search_kwargs,
+            use_datalog_precheck,
+            clock,
+            checkpoint=checkpoint,
+            executor=executor,
+        )
+        checkpoint = None
+        if new_checkpoint is not None:
+            return _unknown_result(
+                completed,
+                outcome,
+                num_chains,
+                ResumeFrontier(
+                    index, new_checkpoint, tuple(completed), num_chains, signature
+                ),
+            )
+        completed.append(outcome)
+        if outcome.witness is not None:
+            break
+    return _fold_chain_outcomes(completed, num_chains)
+
+
 def _fold_chain_outcomes(
     outcomes: Iterable[ChainOutcome], num_chains: int
 ) -> EmptinessResult:
@@ -1008,6 +1292,8 @@ def automaton_emptiness(
     max_workers: Optional[int] = None,
     subtree_parallel: Optional[bool] = None,
     split_budget: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    resume_from: Optional[ResumeFrontier] = None,
 ) -> EmptinessResult:
     """Decide (within bounds) whether ``L(A)`` is empty.
 
@@ -1053,6 +1339,19 @@ def automaton_emptiness(
     ``split_budget`` caps the explored nodes a worker spends on one item
     before it is re-split (default: ``REPRO_SUBTREE_SPLIT_BUDGET`` or
     :data:`repro.store.workqueue.DEFAULT_SPLIT_BUDGET`).
+
+    ``budget`` makes the check *anytime*: when the
+    :class:`~repro.core.budget.Budget` (wall-clock deadline and/or
+    explored-node cap) expires before a verdict, the result is tagged
+    ``unknown=True`` and carries a picklable :class:`ResumeFrontier`;
+    pass it back via ``resume_from`` — with a fresh budget, or none — to
+    continue exactly where the interrupted call stopped.  Resuming to
+    completion yields a result field-identical to the uninterrupted run
+    (the property the anytime tests pin).  The anytime path always runs
+    the subtree-decomposed search (its work-item boundaries are the
+    deterministic interruption points), so its completed results coincide
+    with ``subtree_parallel=True`` runs; a ``resume_from`` whose
+    signature does not match this call raises ``ValueError``.
     """
     if initial is None:
         initial = vocabulary.access_schema.empty_instance()
@@ -1097,6 +1396,29 @@ def automaton_emptiness(
         "subtree_mode": bool(subtree_parallel),
         "split_budget": split_budget,
     }
+
+    if budget is not None or resume_from is not None:
+        anytime_kwargs = dict(search_kwargs)
+        anytime_kwargs["subtree_mode"] = True
+        signature = _frontier_signature(trimmed, len(restrictions), anytime_kwargs)
+        if resume_from is not None and resume_from.signature != signature:
+            raise ValueError(
+                "resume_from frontier does not match this emptiness call "
+                "(different automaton or search parameters)"
+            )
+        clock = (budget if budget is not None else Budget()).start()
+        return _anytime_emptiness(
+            restrictions,
+            vocabulary,
+            initial,
+            anytime_kwargs,
+            use_datalog_precheck,
+            clock,
+            resume_from,
+            signature,
+            use_executor=bool(parallel and subtree_parallel),
+            max_workers=max_workers,
+        )
 
     if parallel and (len(restrictions) > 1 or subtree_parallel):
         outcomes: Iterable[ChainOutcome] = map_chain_outcomes(

@@ -217,33 +217,68 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         hidden = directory_hidden_instance(getattr(args, "size", "small"))
         query_one, query_two = join_query(), resident_names_query()
 
+    budget = None
+    if getattr(args, "deadline", None) is not None:
+        from repro.core.budget import Budget
+
+        budget = Budget(deadline_s=args.deadline)
     engine = DecisionEngine(parallel=args.parallel or None)
     if args.kind == "relevance":
         accesses = probe_accesses(schema, hidden, limit=args.limit)
-        results = engine.relevance_matrix(
-            schema,
-            accesses,
-            query_one,
-            grounded=args.grounded,
-            require_boolean_access=False,
+        if args.stream or budget is not None:
+            from repro.workloads.matrices import stream_relevance_matrix
+
+            streamed = stream_relevance_matrix(
+                engine,
+                schema,
+                accesses,
+                query_one,
+                grounded=args.grounded,
+                require_boolean_access=False,
+                budget=budget,
+            )
+            results = streamed.values
+            print(
+                f"first verdict after {streamed.first_verdict_s * 1000:.1f} ms, "
+                f"batch total {streamed.total_s * 1000:.1f} ms"
+            )
+        else:
+            results = engine.relevance_matrix(
+                schema,
+                accesses,
+                query_one,
+                grounded=args.grounded,
+                require_boolean_access=False,
+            )
+        relevant = sum(
+            1 for result in results if result is not None and result.relevant
         )
-        relevant = sum(1 for result in results if result.relevant)
+        missed = sum(1 for result in results if result is None)
         print(f"relevance matrix: {len(accesses)} candidate accesses, "
-              f"{relevant} long-term relevant")
+              f"{relevant} long-term relevant"
+              + (f", {missed} past the deadline" if missed else ""))
         if args.verbose:
             for access, result in zip(accesses, results):
-                print(f"  {'+' if result.relevant else '-'} {access}")
+                tag = "?" if result is None else ("+" if result.relevant else "-")
+                print(f"  {tag} {access}")
     elif args.kind == "containment":
         queries = query_workload([query_one, query_two], resubmissions=args.resubmissions)
-        matrix = engine.containment_matrix(schema, queries)
+        matrix = engine.containment_matrix(schema, queries, budget=budget)
         print(f"containment matrix: {len(queries)}x{len(queries)} pairs")
         for row_index, row in enumerate(matrix):
-            cells = " ".join("⊑" if cell.contained else "⋢" for cell in row)
+            cells = " ".join(
+                "?" if cell is None else ("⊑" if cell.contained else "⋢")
+                for cell in row
+            )
             print(f"  Q{row_index}: {cells}")
     else:  # answerability
         prefixes = instance_prefixes(hidden, steps=args.steps)
         verdicts = engine.answerability_sweep(
-            schema, query_one, prefixes, initial_values=scenario_initial(args)
+            schema,
+            query_one,
+            prefixes,
+            initial_values=scenario_initial(args),
+            budget=budget,
         )
         print(f"answerability sweep over {len(prefixes)} instance prefixes:")
         for prefix, verdict in zip(prefixes, verdicts):
@@ -370,6 +405,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     matrix.add_argument("--steps", type=int, default=4, help="sweep granularity (answerability)")
     matrix.add_argument("--parallel", action="store_true", help="allow cost-gated pool dispatch")
+    matrix.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="batch budget in seconds: expired tasks report '?' instead of blocking",
+    )
+    matrix.add_argument(
+        "--stream",
+        action="store_true",
+        help="consume results as they land and report first-verdict latency (relevance)",
+    )
     matrix.add_argument("--verbose", action="store_true", help="per-request verdicts")
     matrix.add_argument("--size", default="small", help="hidden instance size (small/medium/large)")
     add_scenario_option(matrix)

@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 from repro.access.methods import Access, AccessSchema
 from repro.access.path import AccessPath, PathStep, is_grounded, satisfies_sanity_conditions
+from repro.core.budget import Budget
 from repro.core.formulas import AccFormula
 from repro.core.semantics import AtomCache, structures_satisfy
 from repro.core.transition import (
@@ -67,12 +68,19 @@ class Bounds:
 
 @dataclass(frozen=True)
 class BoundedCheckResult:
-    """Result of a bounded satisfiability search."""
+    """Result of a bounded satisfiability search.
+
+    ``interrupted`` marks a search cut short by an expired
+    :class:`~repro.core.budget.Budget` — sound in both directions: an
+    interrupted result never carries a wrong witness and never claims
+    exhaustion (``exhausted`` is ``False``).
+    """
 
     satisfiable: bool
     witness: Optional[AccessPath]
     paths_explored: int
     exhausted: bool
+    interrupted: bool = False
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.satisfiable
@@ -326,11 +334,15 @@ def bounded_satisfiability(
     value_pool: Optional[Sequence[object]] = None,
     grounded_only: bool = False,
     enforce_schema_sanity: bool = True,
+    budget: Optional[Budget] = None,
 ) -> BoundedCheckResult:
     """Search for a witness access path of the formula within *bounds*.
 
     See the module docstring for the meaning of the pools and the soundness
-    guarantees of each verdict.
+    guarantees of each verdict.  A *budget* caps the search in wall-clock
+    time and/or explored nodes; on expiry the result is tagged
+    ``interrupted=True`` (never a wrong witness, never a claimed
+    exhaustion) and is not memoised by the engine.
 
     This public signature is a thin wrapper that normalises the request
     into a ``BOUNDED_CHECK`` :class:`~repro.engine.reduction.ReductionTask`
@@ -351,6 +363,7 @@ def bounded_satisfiability(
         value_pool=value_pool,
         grounded_only=grounded_only,
         enforce_schema_sanity=enforce_schema_sanity,
+        budget=budget,
     )
 
 
@@ -363,8 +376,13 @@ def bounded_satisfiability_legacy(
     value_pool: Optional[Sequence[object]] = None,
     grounded_only: bool = False,
     enforce_schema_sanity: bool = True,
+    budget: Optional[Budget] = None,
 ) -> BoundedCheckResult:
     """The direct bounded search behind :func:`bounded_satisfiability`."""
+    from repro.core.budget import INTERRUPT_STRIDE
+
+    clock = (budget if budget is not None else Budget()).start()
+    check_budget = budget is not None and not budget.unbounded
     schema = vocabulary.access_schema
     if initial is None:
         initial = schema.empty_instance()
@@ -402,6 +420,18 @@ def bounded_satisfiability_legacy(
 
     explored = 0
     initial_known = set(initial.active_domain())
+
+    def _interrupted() -> BoundedCheckResult:
+        # Budget expiry: sound partial verdict — no witness, no claimed
+        # exhaustion, tagged so callers (and the engine memo) can tell it
+        # apart from a genuine bounds-exhausting negative.
+        return BoundedCheckResult(
+            satisfiable=False,
+            witness=None,
+            paths_explored=explored,
+            exhausted=False,
+            interrupted=True,
+        )
 
     # The schema-prescribed sanity conditions are vacuous unless some method
     # is declared exact/idempotent or groundedness is being enforced; in the
@@ -469,6 +499,8 @@ def bounded_satisfiability_legacy(
         ] = [((), initial_config_snap, set(initial_known), (), initial_base_snap)]
         while stack:
             steps, config_snap, known, structures, base_snap = stack.pop()
+            if check_budget and clock.expired():
+                return _interrupted()
             if explored >= bounds.max_paths:
                 return BoundedCheckResult(
                     satisfiable=False,
@@ -493,6 +525,15 @@ def bounded_satisfiability_legacy(
                 ):
                     continue
                 explored += 1
+                if check_budget:
+                    # Node accounting is per candidate expansion, so the
+                    # cap expires at an exact, scheduling-independent
+                    # point; the wall clock is consulted on a stride.
+                    clock.charge(1)
+                    if clock.node_cap_hit() or (
+                        explored % INTERRUPT_STRIDE == 0 and clock.deadline_hit()
+                    ):
+                        return _interrupted()
                 if explored > bounds.max_paths:
                     return BoundedCheckResult(
                         satisfiable=False,

@@ -4,6 +4,7 @@ See ``src/repro/engine/README.md`` for the reduction taxonomy and cache
 keys, and :mod:`repro.engine.engine` for the dispatch semantics.
 """
 
+from repro.core.budget import Budget, BudgetExpired
 from repro.engine.reduction import (
     BOUNDED_CHECK,
     EMPTINESS,
@@ -31,6 +32,8 @@ from repro.engine.engine import (
 
 __all__ = [
     "BOUNDED_CHECK",
+    "Budget",
+    "BudgetExpired",
     "EMPTINESS",
     "CachePolicy",
     "Deduper",

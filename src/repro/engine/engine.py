@@ -31,7 +31,7 @@ against.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.reduction import (
     BOUNDED_CHECK,
@@ -237,9 +237,18 @@ def bounded_check_task(
     value_pool=None,
     grounded_only: bool = False,
     enforce_schema_sanity: bool = True,
+    budget=None,
     build_key: bool = True,
 ) -> ReductionTask:
-    """Normalise a bounded witness-path satisfiability request."""
+    """Normalise a bounded witness-path satisfiability request.
+
+    An explicit *budget* becomes part of the fingerprint, so a
+    deadline-capped request never deduplicates against (or is served the
+    partial result of) an uncapped one.  Batch-level budgets injected by
+    :meth:`DecisionEngine.iter_results` happen *after* fingerprinting and
+    stay out of the key; the engine instead refuses to memoize partial
+    (``interrupted``/``unknown``) values.
+    """
     snap = _instance_payload(initial, build_key)
     fact_pool = tuple(fact_pool) if fact_pool is not None else None
     value_pool = tuple(value_pool) if value_pool is not None else None
@@ -254,6 +263,7 @@ def bounded_check_task(
                 value_pool,
                 grounded_only,
                 enforce_schema_sanity,
+                budget,
             )
         )
         if build_key
@@ -271,6 +281,7 @@ def bounded_check_task(
             value_pool,
             grounded_only,
             enforce_schema_sanity,
+            budget,
         ),
         key=key,
         cost_hint=bounds.max_paths,
@@ -367,6 +378,7 @@ def _execute_bounded_check(args):
         value_pool,
         grounded_only,
         enforce_schema_sanity,
+        budget,
     ) = args
     return bounded_satisfiability_legacy(
         vocabulary,
@@ -377,6 +389,7 @@ def _execute_bounded_check(args):
         value_pool=value_pool,
         grounded_only=grounded_only,
         enforce_schema_sanity=enforce_schema_sanity,
+        budget=budget,
     )
 
 
@@ -441,6 +454,72 @@ def execute_task(task: ReductionTask):
     return executor(task.args)
 
 
+def _pooled_execute(task: ReductionTask):
+    """Worker-side entry of a pooled reduction task (fault point ``task``)."""
+    from repro.store import faults
+
+    faults.fire("task")
+    return execute_task(task)
+
+
+def _bump(stats: Dict[str, int], key: str, amount: int = 1) -> None:
+    stats[key] = stats.get(key, 0) + amount
+
+
+#: Task kinds whose executors honour a :class:`~repro.core.budget.Budget`
+#: natively.  These always run — even on an expired batch clock — because
+#: a zero-remaining budget makes them return a *tagged* partial result
+#: (an UNKNOWN with a resume frontier, an interrupted bounded check)
+#: immediately, which is strictly more useful than a ``"deadline"`` skip.
+_BUDGET_AWARE_KINDS = frozenset({"emptiness", "bounded_check"})
+
+
+def _is_partial(value) -> bool:
+    """Whether a result is budget-truncated (never memoized).
+
+    An emptiness ``UNKNOWN`` or an ``interrupted`` bounded check depends
+    on *when* it was cut short, not just on the task fingerprint; serving
+    it from the memo would turn a transient deadline into a permanent
+    non-answer.
+    """
+    return bool(getattr(value, "unknown", False)) or bool(
+        getattr(value, "interrupted", False)
+    )
+
+
+def _with_budget(task: ReductionTask, clock) -> ReductionTask:
+    """Inject the batch budget's unspent portion into a budget-aware task.
+
+    Emptiness and bounded-check back-ends honour budgets natively; a task
+    already carrying its own budget (or a resume frontier) keeps it.
+    Injection happens after fingerprinting, so batch deadlines never
+    fragment the memo key space — the partial-result check in
+    :meth:`DecisionEngine.iter_results` keeps truncated values out of the
+    memo instead.
+    """
+    import dataclasses
+
+    if clock is None:
+        return task
+    remaining = clock.remaining_budget()
+    if remaining.unbounded:
+        return task
+    if task.kind == "emptiness":
+        automaton, vocabulary, snap, kwargs = task.args
+        if kwargs.get("budget") is not None or kwargs.get("resume_from") is not None:
+            return task
+        new_kwargs = dict(kwargs)
+        new_kwargs["budget"] = remaining
+        return dataclasses.replace(
+            task, args=(automaton, vocabulary, snap, new_kwargs)
+        )
+    if task.kind == "bounded_check":
+        if task.args[-1] is not None:
+            return task
+        return dataclasses.replace(task, args=task.args[:-1] + (remaining,))
+    return task
+
+
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
@@ -481,6 +560,13 @@ class DecisionEngine:
             "batch_dedup_hits": 0,
             "pooled_tasks": 0,
             "uncacheable": 0,
+            "deadline_tasks": 0,
+            "pool_payload_errors": 0,
+            "pool_submit_errors": 0,
+            "pool_worker_failures": 0,
+            "pool_retries": 0,
+            "pool_timeouts": 0,
+            "pool_inprocess_fallbacks": 0,
         }
 
     # ------------------------------------------------------------------
@@ -490,18 +576,46 @@ class DecisionEngine:
         """Execute one task through the memo (single-shot entry point)."""
         return self.run_batch([task])[0]
 
-    def run_batch(self, tasks: Sequence[ReductionTask]) -> List[ReductionResult]:
+    def run_batch(
+        self, tasks: Sequence[ReductionTask], budget=None
+    ) -> List[ReductionResult]:
         """Execute a batch, deduplicating and memoizing across requests.
 
         Results come back in input order with per-task provenance; tasks
         with equal fingerprints resolve to one computation, and fingerprints
         already answered by an earlier batch (or single call) on this
         engine are served from the memo without touching a solver.
+
+        A *budget* (:class:`repro.core.budget.Budget`) caps the whole
+        batch: budget-aware back-ends (emptiness, bounded check) receive
+        the unspent portion and return tagged partial results, and once
+        the deadline passes remaining tasks come back with provenance
+        ``"deadline"`` and ``value=None`` instead of blocking the batch.
+        """
+        results: List[Optional[ReductionResult]] = [None] * len(tasks)
+        for index, result in self.iter_results(tasks, budget=budget):
+            results[index] = result
+        return results  # type: ignore[return-value]
+
+    def iter_results(
+        self, tasks: Sequence[ReductionTask], budget=None
+    ) -> Iterator[Tuple[int, ReductionResult]]:
+        """Stream batch results as ``(input_index, result)`` pairs.
+
+        Memo hits are yielded immediately — before any solver runs — so a
+        caller watching for a particular verdict can act on cached answers
+        at first-verdict latency.  Remaining tasks follow in submission
+        order as their values land (each immediately followed by its
+        in-batch duplicates), with the same dedup/memo semantics as
+        :meth:`run_batch`.  Budget-truncated values (emptiness ``UNKNOWN``,
+        interrupted bounded checks) are never memoized.
         """
         memoize = self.cache_policy.memoize_results
         stats = self._stats
         stats["requests"] += len(tasks)
-        results: List[Optional[ReductionResult]] = [None] * len(tasks)
+        clock = (
+            budget.start() if budget is not None and not budget.unbounded else None
+        )
         dedup = Deduper()
         pending: List[Tuple[int, ReductionTask, Optional[Tuple]]] = []
         followers: Dict[int, List[int]] = {}
@@ -513,7 +627,7 @@ class DecisionEngine:
                 continue
             if memoize and fingerprint in self._memo:
                 stats["memo_hits"] += 1
-                results[index] = ReductionResult(
+                yield index, ReductionResult(
                     _refresh(task.kind, self._memo[fingerprint]),
                     task.kind,
                     task.backend,
@@ -527,52 +641,72 @@ class DecisionEngine:
                 followers.setdefault(first, []).append(index)
                 continue
             pending.append((index, task, fingerprint))
-        computed = self._compute(pending)
-        for (index, task, fingerprint), (value, pooled) in zip(pending, computed):
-            stats["computed"] += 1
-            if pooled:
+        for (index, task, fingerprint), value, provenance in self._compute_stream(
+            pending, clock
+        ):
+            if provenance == "deadline":
+                _bump(stats, "deadline_tasks")
+            else:
+                stats["computed"] += 1
+            if provenance in ("pooled", "pooled_retry"):
                 stats["pooled_tasks"] += 1
             shared = False
-            if memoize and fingerprint is not None:
+            if (
+                memoize
+                and fingerprint is not None
+                and value is not None
+                and provenance != "deadline"
+                and not _is_partial(value)
+            ):
                 # The memo keeps the pristine value; every requester —
                 # including this first one — receives its own copy of any
                 # caller-owned mutable state (see _REFRESHERS).
                 self._memo[fingerprint] = value
                 shared = True
             duplicates = followers.get(index, ())
-            results[index] = ReductionResult(
-                _refresh(task.kind, value) if shared or duplicates else value,
+            yield index, ReductionResult(
+                _refresh(task.kind, value)
+                if value is not None and (shared or duplicates)
+                else value,
                 task.kind,
                 task.backend,
-                "pooled" if pooled else "computed",
+                provenance,
                 fingerprint,
             )
             for follower in duplicates:
                 follower_task = tasks[follower]
-                results[follower] = ReductionResult(
-                    _refresh(follower_task.kind, value),
+                yield follower, ReductionResult(
+                    _refresh(follower_task.kind, value)
+                    if value is not None
+                    else None,
                     follower_task.kind,
                     follower_task.backend,
-                    "dedup",
+                    "deadline" if provenance == "deadline" else "dedup",
                     fingerprint,
                 )
-        return results  # type: ignore[return-value]
 
-    def _compute(
-        self, pending: Sequence[Tuple[int, ReductionTask]]
-    ) -> List[Tuple[object, bool]]:
-        """Compute the unique tasks of a batch, pooled when the gate opens.
+    def _compute_stream(self, pending, clock):
+        """Yield ``(pending_entry, value, provenance)`` in submission order.
 
-        Returns ``(value, ran_in_pool)`` per pending task, in order.  A
-        pool (or single-worker) failure recomputes the affected task
-        in-process, so the values — like the chain fan-out's — never
-        depend on where they ran.
+        Pooled when the gate opens; otherwise in-process.  Either way the
+        batch deadline is enforced between tasks: an expired clock skips
+        the remaining computations with provenance ``"deadline"``.
         """
         if len(pending) > 1 and self._dispatch_allowed(pending):
-            values = self._compute_pooled(pending)
-            if values is not None:
-                return values
-        return [(execute_task(task), False) for _, task, _ in pending]
+            pooled = self._pooled_stream(pending, clock)
+            if pooled is not None:
+                yield from pooled
+                return
+        for entry in pending:
+            _, task, _ = entry
+            if (
+                clock is not None
+                and clock.expired()
+                and task.kind not in _BUDGET_AWARE_KINDS
+            ):
+                yield entry, None, "deadline"
+                continue
+            yield entry, execute_task(_with_budget(task, clock)), "computed"
 
     def _dispatch_allowed(self, pending) -> bool:
         if self.max_workers is not None:
@@ -580,8 +714,14 @@ class DecisionEngine:
         import os
 
         if self.parallel is None:
-            flag = os.environ.get(PARALLEL_TASKS_ENV, "").strip().lower()
+            raw = os.environ.get(PARALLEL_TASKS_ENV, "")
+            flag = raw.strip().lower()
             if flag in ("", "0", "false", "no", "off"):
+                return False
+            if flag not in ("1", "true", "yes", "on"):
+                from repro.store.workqueue import warn_invalid_env
+
+                warn_invalid_env(PARALLEL_TASKS_ENV, raw, "off")
                 return False
         elif not self.parallel:
             return False
@@ -592,7 +732,16 @@ class DecisionEngine:
         total_cost = sum(task.cost_hint for _, task, _ in pending)
         return total_cost >= min_dispatch_cost()
 
-    def _compute_pooled(self, pending) -> Optional[List[Tuple[object, bool]]]:
+    def _pooled_stream(self, pending, clock):
+        """Submit the batch to the shared pool; ``None`` if that fails.
+
+        On success returns a generator draining the futures in submission
+        order with the full failure taxonomy of the subtree pool: payload
+        errors fail fast to an in-process recompute, transient worker
+        deaths retry with backoff on a rebuilt pool before falling back,
+        and per-item timeouts (:data:`repro.store.workqueue.POOL_ITEM_TIMEOUT_ENV`)
+        abandon the worker rather than stall the batch.
+        """
         from repro.store import workqueue
         from repro.store.parallel import available_cpus
 
@@ -602,20 +751,101 @@ class DecisionEngine:
         workers = max(1, min(workers, len(pending)))
         try:
             pool = workqueue.shared_pool(workers)
-            futures = [pool.submit(execute_task, task) for _, task, _ in pending]
-        except Exception:
+            futures = [
+                pool.submit(_pooled_execute, _with_budget(task, clock))
+                for _, task, _ in pending
+            ]
+        except Exception as error:
             workqueue.discard_shared_pool()
+            _bump(
+                self._stats,
+                "pool_payload_errors"
+                if workqueue._is_payload_error(error)
+                else "pool_submit_errors",
+            )
             return None
-        values: List[Tuple[object, bool]] = []
-        for (_, task, _), future in zip(pending, futures):
-            try:
-                values.append((future.result(), True))
-            except Exception:
-                # A failed worker (or an unpicklable payload) must not
-                # change outcomes: recompute that task here.  A genuine
-                # task error re-raises identically in-process.
-                values.append((execute_task(task), False))
-        return values
+        return self._drain_pooled(pending, futures, workers, clock)
+
+    def _drain_pooled(self, pending, futures, workers, clock):
+        import time as _time
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        from repro.store import workqueue
+
+        stats = self._stats
+        item_timeout = workqueue.pool_item_timeout()
+        retry_limit = workqueue.pool_retry_limit()
+        for entry, future in zip(pending, futures):
+            _, task, _ = entry
+            attempt = 0
+            retried = False
+            while True:
+                timeout = item_timeout
+                if clock is not None:
+                    remaining = clock.remaining_s()
+                    if remaining is not None:
+                        timeout = (
+                            remaining if timeout is None else min(timeout, remaining)
+                        )
+                try:
+                    value = (
+                        future.result()
+                        if timeout is None
+                        else future.result(timeout=timeout)
+                    )
+                    yield entry, value, ("pooled_retry" if retried else "pooled")
+                    break
+                except FuturesTimeout:
+                    future.cancel()
+                    if clock is not None and clock.expired():
+                        # Batch deadline, not a stalled worker.  Budget-aware
+                        # tasks recompute here with the (zero) remaining
+                        # budget — a tagged, resumable partial; the rest is
+                        # simply not available in time.
+                        if task.kind in _BUDGET_AWARE_KINDS:
+                            yield entry, self._fallback_value(task, clock), "fallback"
+                        else:
+                            yield entry, None, "deadline"
+                        break
+                    # A stalled worker must not stall the batch: abandon
+                    # the future and recompute here (workqueue semantics).
+                    _bump(stats, "pool_timeouts")
+                    yield entry, self._fallback_value(task, clock), "fallback"
+                    break
+                except Exception as error:
+                    if workqueue._is_payload_error(error):
+                        # Deterministic: a payload that cannot cross the
+                        # process boundary fails on every resubmit.
+                        _bump(stats, "pool_payload_errors")
+                        yield entry, self._fallback_value(task, clock), "fallback"
+                        break
+                    _bump(stats, "pool_worker_failures")
+                    if attempt >= retry_limit:
+                        yield entry, self._fallback_value(task, clock), "fallback"
+                        break
+                    _time.sleep(workqueue._RETRY_BACKOFF_S * (2 ** attempt))
+                    attempt += 1
+                    retried = True
+                    _bump(stats, "pool_retries")
+                    try:
+                        workqueue.discard_shared_pool()
+                        pool = workqueue.shared_pool(workers)
+                        future = pool.submit(
+                            _pooled_execute, _with_budget(task, clock)
+                        )
+                    except Exception:
+                        _bump(stats, "pool_submit_errors")
+                        yield entry, self._fallback_value(task, clock), "fallback"
+                        break
+
+    def _fallback_value(self, task, clock):
+        """In-process recompute after a pool failure (identical verdict).
+
+        A genuine task error re-raises identically here, preserving the
+        contract that pooling never changes outcomes.
+        """
+        _bump(self._stats, "pool_inprocess_fallbacks")
+        return execute_task(_with_budget(task, clock))
 
     # ------------------------------------------------------------------
     # Single-shot conveniences (the normalised forms of the old calls)
@@ -687,12 +917,14 @@ class DecisionEngine:
         initial=None,
         grounded: bool = False,
         require_boolean_access: bool = True,
+        budget=None,
     ) -> List[object]:
         """Long-term relevance of *every* access, in order.
 
         The instance snapshot and canonical query/schema keys are built
         once; duplicate accesses (the norm when candidates are projected
-        from observed tuples) compute once.
+        from observed tuples) compute once.  A *budget* bounds the whole
+        matrix (expired tasks yield ``None``).
         """
         snap = instance_key(initial)
         shared = relevance_shared_key(
@@ -713,7 +945,7 @@ class DecisionEngine:
             )
             for access in accesses
         ]
-        return [result.value for result in self.run_batch(tasks)]
+        return [result.value for result in self.run_batch(tasks, budget=budget)]
 
     def containment_matrix(
         self,
@@ -722,6 +954,7 @@ class DecisionEngine:
         others: Optional[Sequence] = None,
         initial=None,
         max_identified_variables: int = 8,
+        budget=None,
     ) -> List[List[object]]:
         """Pairwise AP-containment: ``matrix[i][j]`` is ``Q_i ⊆ Q_j``.
 
@@ -762,7 +995,7 @@ class DecisionEngine:
             for i, query_one in enumerate(queries)
             for j, query_two in enumerate(column_queries)
         ]
-        values = [result.value for result in self.run_batch(tasks)]
+        values = [result.value for result in self.run_batch(tasks, budget=budget)]
         width = len(column_queries)
         return [values[row * width : (row + 1) * width] for row in range(len(queries))]
 
@@ -772,6 +1005,7 @@ class DecisionEngine:
         query,
         hidden_instances: Sequence,
         initial_values=(),
+        budget=None,
     ) -> List[bool]:
         """Exact answerability of *query* across a sweep of hidden instances."""
         values = tuple(initial_values)  # one shared iterable, many tasks
@@ -779,7 +1013,7 @@ class DecisionEngine:
             answerability_task(schema, query, hidden, values)
             for hidden in hidden_instances
         ]
-        return [result.value for result in self.run_batch(tasks)]
+        return [result.value for result in self.run_batch(tasks, budget=budget)]
 
     # ------------------------------------------------------------------
     # Introspection

@@ -108,9 +108,13 @@ class ReductionResult:
     :class:`~repro.automata.emptiness.EmptinessResult`, ...), so callers
     that only want the verdict unwrap one attribute.  ``provenance`` is
     ``"computed"`` (executed here), ``"pooled"`` (executed in a worker
-    process), ``"memo"`` (served from the engine's cross-request memo) or
-    ``"dedup"`` (an identical task earlier in the same batch supplied the
-    value).
+    process), ``"pooled_retry"`` (executed in a worker after at least one
+    transient worker failure and pool rebuild), ``"fallback"`` (recomputed
+    in-process after the pool path failed — the value is identical, the
+    tag records the detour), ``"memo"`` (served from the engine's
+    cross-request memo), ``"dedup"`` (an identical task earlier in the
+    same batch supplied the value) or ``"deadline"`` (the batch budget
+    expired before this task ran — ``value`` is ``None``).
     """
 
     value: object

@@ -45,12 +45,13 @@ trie layouts.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from typing import Dict, List, Optional, Sequence
 
-from repro.store import workqueue
+from repro.store import faults, workqueue
 from repro.store.snapshot import Snapshot, SnapshotInstance
-from repro.store.workqueue import SubtreeExecutor
+from repro.store.workqueue import SubtreeExecutor, warn_invalid_env
 
 #: Environment toggle consulted when ``automaton_emptiness(parallel=None)``.
 PARALLEL_CHAINS_ENV = "REPRO_PARALLEL_CHAINS"
@@ -105,10 +106,11 @@ def min_dispatch_cost() -> int:
     if raw:
         try:
             value = int(raw)
-            if value >= 0:
-                return value
         except ValueError:
-            pass
+            value = None
+        if value is not None and value >= 0:
+            return value
+        warn_invalid_env(PARALLEL_MIN_COST_ENV, raw, DEFAULT_MIN_DISPATCH_COST)
     return DEFAULT_MIN_DISPATCH_COST
 
 
@@ -176,6 +178,7 @@ def _check_chain_payload(payload):
     restriction, vocabulary, initial_snapshot, search_kwargs, use_precheck = payload
     from repro.automata.emptiness import check_restriction
 
+    faults.fire("chain")
     initial = SnapshotInstance.from_snapshot(initial_snapshot)
     return check_restriction(
         restriction, vocabulary, initial, search_kwargs, use_precheck
@@ -397,8 +400,17 @@ def map_chain_outcomes(
     except Exception:
         # Pools can be unavailable (sandboxes without semaphores) and
         # exotic payloads can fail to pickle; verdicts must not depend on
-        # either, so recompute everything in process.
+        # either, so recompute everything in process — and say so: the
+        # fallback is recorded in the first outcome's stats instead of
+        # being swallowed (stats are excluded from result equality, so
+        # the determinism guarantees are untouched).
         workqueue.discard_shared_pool()
-        return _sequential(
+        outcomes = _sequential(
             restrictions, vocabulary, initial, search_kwargs, use_datalog_precheck
         )
+        if outcomes:
+            first = outcomes[0]
+            stats = dict(first.stats or {})
+            stats["pool_chain_fallbacks"] = stats.get("pool_chain_fallbacks", 0) + 1
+            outcomes[0] = dataclasses.replace(first, stats=stats)
+        return outcomes

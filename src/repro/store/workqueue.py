@@ -46,8 +46,17 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from concurrent.futures import TimeoutError as FuturesTimeout
+from typing import Dict, List, Optional, Set, Tuple
+
+# NOTE: repro.store is initialised very early (the query plan cache pulls
+# in the snapshot store), so this module must not import the repro.core
+# package at module level — the budget types are imported lazily inside
+# the budgeted entry points instead.
+from repro.store import faults
 
 #: Default explored-nodes budget a worker spends on one subtree item
 #: before handing it back for re-splitting.  Override per call via
@@ -58,6 +67,49 @@ DEFAULT_SPLIT_BUDGET = 20_000
 #: Environment override for :data:`DEFAULT_SPLIT_BUDGET`.
 SPLIT_BUDGET_ENV = "REPRO_SUBTREE_SPLIT_BUDGET"
 
+#: Environment override for the transient-failure retry count of the
+#: pool path (:func:`pool_retry_limit`).
+POOL_RETRIES_ENV = "REPRO_POOL_RETRIES"
+
+#: Default bounded retries for a transient worker failure before the
+#: in-process fallback.  Two retries with exponential backoff cover the
+#: common one-off worker death without stalling a genuinely broken pool.
+DEFAULT_POOL_RETRIES = 2
+
+#: Environment override for the per-item pooled result timeout in
+#: seconds (:func:`pool_item_timeout`).  Unset/empty means no timeout —
+#: the default, because a healthy pool's items always terminate (the DFS
+#: is budget-bounded) and a spurious timeout costs a full in-process
+#: recomputation.
+POOL_ITEM_TIMEOUT_ENV = "REPRO_POOL_ITEM_TIMEOUT"
+
+#: Base of the exponential retry backoff (seconds): 0.05, 0.1, 0.2, ...
+_RETRY_BACKOFF_S = 0.05
+
+
+# ----------------------------------------------------------------------
+# Environment parsing (with loud, one-time fallback warnings)
+# ----------------------------------------------------------------------
+_ENV_WARNED: Set[str] = set()
+
+
+def warn_invalid_env(name: str, raw: str, default: object) -> None:
+    """Warn (once per variable per process) about an ignored env value.
+
+    The silent ``except ValueError: pass`` fallbacks these parsers used
+    to have made a typo'd knob indistinguishable from an unset one; the
+    warning names the variable, the rejected value and the default that
+    is used instead.
+    """
+    if name in _ENV_WARNED:
+        return
+    _ENV_WARNED.add(name)
+    warnings.warn(
+        f"ignoring invalid value {raw!r} for {name}; using default {default!r}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
 
 def subtree_split_budget() -> int:
     """The configured per-item work budget (env override or default)."""
@@ -65,11 +117,59 @@ def subtree_split_budget() -> int:
     if raw:
         try:
             value = int(raw)
-            if value > 0:
-                return value
         except ValueError:
-            pass
+            value = None
+        if value is not None and value > 0:
+            return value
+        warn_invalid_env(SPLIT_BUDGET_ENV, raw, DEFAULT_SPLIT_BUDGET)
     return DEFAULT_SPLIT_BUDGET
+
+
+def pool_retry_limit() -> int:
+    """Bounded retries for transient worker failures (env override or default)."""
+    raw = os.environ.get(POOL_RETRIES_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = None
+        if value is not None and value >= 0:
+            return value
+        warn_invalid_env(POOL_RETRIES_ENV, raw, DEFAULT_POOL_RETRIES)
+    return DEFAULT_POOL_RETRIES
+
+
+def pool_item_timeout() -> Optional[float]:
+    """Per-item pooled result timeout in seconds (``None`` = no timeout)."""
+    raw = os.environ.get(POOL_ITEM_TIMEOUT_ENV, "").strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            value = None
+        if value is not None and value > 0:
+            return value
+        warn_invalid_env(POOL_ITEM_TIMEOUT_ENV, raw, None)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Worker-failure taxonomy
+# ----------------------------------------------------------------------
+def _is_payload_error(error: BaseException) -> bool:
+    """Whether *error* means the payload itself cannot cross the pipe.
+
+    Pickling/unpickling failures are deterministic properties of the
+    payload: retrying the exact same bytes reproduces them, so the right
+    response is to fail the pool path fast and resolve in-process.
+    Everything else (a dead worker breaking the pool, an OS-level pipe
+    error) is treated as transient and eligible for bounded retry.
+    """
+    return isinstance(error, (pickle.PicklingError, pickle.UnpicklingError, TypeError, AttributeError))
+
+
+def _bump(stats: Dict[str, int], key: str, amount: int = 1) -> None:
+    stats[key] = stats.get(key, 0) + amount
 
 
 # ----------------------------------------------------------------------
@@ -156,6 +256,7 @@ def _subtree_worker(token: Tuple[int, int], blob: bytes, item, node_budget: int)
     """Top-level worker entry point (must be picklable by name)."""
     import dataclasses
 
+    faults.fire("subtree")
     search = _cached_search(token, blob)
     before = dict(search.stats)
     outcome = search.run_subtree(item, node_budget)
@@ -183,10 +284,14 @@ class SubtreeExecutor:
 
     def __init__(self, pool: ProcessPoolExecutor) -> None:
         self._pool = pool
+        self._workers = max(2, getattr(pool, "_max_workers", 2))
         self._token: Optional[Tuple[int, int]] = None
         self._blob: Optional[bytes] = None
         self._node_budget: Optional[int] = None
         self._dead = False
+        #: Failure/retry/timeout occurrences, merged into the final
+        #: search stats (and from there into ``EmptinessResult.stats``).
+        self.counters: Dict[str, int] = {}
 
     def bind(self, context_payload, node_budget: int) -> None:
         """Attach the search context and the per-item work budget."""
@@ -196,7 +301,11 @@ class SubtreeExecutor:
                 self._blob = pickle.dumps(
                     context_payload, protocol=pickle.HIGHEST_PROTOCOL
                 )
-            except Exception:
+            except (pickle.PicklingError, TypeError, AttributeError, RecursionError):
+                # Unpicklable context: a deterministic payload property,
+                # so the pool path can never work for this search — fail
+                # fast to in-process resolution, no retries.
+                _bump(self.counters, "pool_payload_errors")
                 self._dead = True
         self._node_budget = node_budget
 
@@ -215,7 +324,34 @@ class SubtreeExecutor:
             return self._pool.submit(
                 _subtree_worker, self._token, self._blob, item, self._node_budget
             )
+        except Exception as error:
+            _bump(
+                self.counters,
+                "pool_payload_errors" if _is_payload_error(error) else "pool_submit_errors",
+            )
+            self._dead = True
+            return None
+
+    def retry_submit(self, item):
+        """Resubmit *item* on a freshly rebuilt shared pool (retry path).
+
+        A dead worker breaks the whole ``ProcessPoolExecutor``, so a
+        retry means replacing the shared pool.  Sibling futures from the
+        old pool fail on their own ``result()`` calls and take their own
+        recovery (retry or fallback) paths; new workers rebuild the
+        context cache from the blob on first sight.
+        """
+        if self._blob is None:
+            return None
+        try:
+            discard_shared_pool()
+            self._pool = shared_pool(self._workers)
+            self._dead = False
+            return self._pool.submit(
+                _subtree_worker, self._token, self._blob, item, self._node_budget
+            )
         except Exception:
+            _bump(self.counters, "pool_submit_errors")
             self._dead = True
             return None
 
@@ -224,6 +360,63 @@ def _merge_stats(into: Dict[str, int], stats: Optional[Dict[str, int]]) -> None:
     if stats:
         for key, value in stats.items():
             into[key] = into.get(key, 0) + value
+
+
+def _pooled_outcome(future, item, executor, extra_stats):
+    """The pooled outcome for *item*, or ``None`` when the pool gave up.
+
+    Failure taxonomy (each occurrence counted into *extra_stats*):
+
+    * **timeout** (``pool_timeouts``) — the per-item deadline
+      (:func:`pool_item_timeout`) passed without a result.  No retry: the
+      worker behind a stuck future is still busy, and queueing another
+      copy behind it would stall the fold further.  The executor is
+      marked dead and the item resolves in-process.
+    * **payload error** (``pool_payload_errors``) — pickling/unpickling
+      failed.  Deterministic, so retrying the same bytes is pointless:
+      fail fast to in-process.
+    * **transient worker failure** (``pool_worker_failures``) — a dead
+      worker (``BrokenProcessPool``), a severed pipe, a cancelled
+      sibling of a replaced pool.  Retried up to
+      :func:`pool_retry_limit` times (``pool_retries`` counts attempts)
+      with exponential backoff on a rebuilt pool, then in-process.
+
+    The recovery is scoped to this executor where possible — the shared
+    pool may be carrying sibling whole-chain tasks (the hybrid fan-out),
+    and those fail on their own ``result()`` calls, where the
+    chain-level fallback lives.
+    """
+    timeout = pool_item_timeout()
+    attempt = 0
+    while True:
+        try:
+            if timeout is None:
+                return future.result()
+            return future.result(timeout=timeout)
+        except FuturesTimeout:
+            _bump(extra_stats, "pool_timeouts")
+            future.cancel()
+            if executor is not None:
+                executor.mark_dead()
+            return None
+        except Exception as error:
+            if _is_payload_error(error):
+                _bump(extra_stats, "pool_payload_errors")
+                if executor is not None:
+                    executor.mark_dead()
+                return None
+            _bump(extra_stats, "pool_worker_failures")
+            resubmit = getattr(executor, "retry_submit", None)
+            if resubmit is None or attempt >= pool_retry_limit():
+                if executor is not None:
+                    executor.mark_dead()
+                return None
+            time.sleep(_RETRY_BACKOFF_S * (2 ** attempt))
+            attempt += 1
+            _bump(extra_stats, "pool_retries")
+            future = resubmit(item)
+            if future is None:
+                return None
 
 
 def _resolve_item(search, item, future, budget, executor, extra_stats, horizon):
@@ -246,21 +439,11 @@ def _resolve_item(search, item, future, budget, executor, extra_stats, horizon):
     """
     outcome = None
     if future is not None:
-        try:
-            outcome = future.result()
-        except Exception:
+        outcome = _pooled_outcome(future, item, executor, extra_stats)
+        if outcome is None:
             # A failed item must not change verdicts: resolve it
-            # in-process and stop submitting new items.  The recovery is
-            # scoped to this executor — the shared pool may be carrying
-            # sibling whole-chain tasks (the hybrid fan-out), and
-            # tearing it down here would cancel their completed-or-
-            # running work for what might be a single bad item.  A
-            # genuinely broken pool makes those siblings fail on their
-            # own ``result()`` calls, where the chain-level fallback
-            # (and pool teardown) lives.
-            if executor is not None:
-                executor.mark_dead()
-            outcome = None
+            # in-process (below) and record that the pool path lost it.
+            _bump(extra_stats, "pool_inprocess_fallbacks")
     if outcome is None:
         outcome = search.run_subtree(item, budget, hard_limit=horizon)
     else:
@@ -365,6 +548,7 @@ def run_decomposed_search(search, *, split_budget=None, executor=None, context=N
     budget = int(split_budget) if split_budget else subtree_split_budget()
     if executor is not None and context is not None:
         executor.bind(context, budget)
+    bound_executor = executor
     if executor is not None and not executor.usable:
         executor = None
     extra_stats: Dict[str, int] = {}
@@ -378,17 +562,228 @@ def run_decomposed_search(search, *, split_budget=None, executor=None, context=N
         if status == "witness":
             absolute = base + count
             if absolute <= max_paths:
-                return steps, absolute, False, _final_stats(search, extra_stats)
+                return steps, absolute, False, _final_stats(search, extra_stats, bound_executor)
             # The sequential search would have aborted before reaching
             # this candidate.
-            return None, max_paths + 1, False, _final_stats(search, extra_stats)
+            return None, max_paths + 1, False, _final_stats(search, extra_stats, bound_executor)
         if status == "aborted" or base + count > max_paths:
-            return None, max_paths + 1, False, _final_stats(search, extra_stats)
+            return None, max_paths + 1, False, _final_stats(search, extra_stats, bound_executor)
         base += count
-    return None, base, True, _final_stats(search, extra_stats)
+    return None, base, True, _final_stats(search, extra_stats, bound_executor)
 
 
-def _final_stats(search, extra_stats: Dict[str, int]) -> Dict[str, int]:
+def _final_stats(
+    search, extra_stats: Dict[str, int], executor=None
+) -> Dict[str, int]:
     stats = dict(search.stats)
     _merge_stats(stats, extra_stats)
+    counters = getattr(executor, "counters", None)
+    if counters:
+        _merge_stats(stats, counters)
     return stats
+
+
+# ----------------------------------------------------------------------
+# Budgeted (anytime) execution
+# ----------------------------------------------------------------------
+def _fold_expansion_budgeted(
+    search, expansion, budget, executor, extra_stats, horizon, clock, initial_total=0
+):
+    """Budgeted fold of one round: interruptible at record boundaries.
+
+    Identical to :func:`_fold_expansion` except that the walk consults
+    *clock* before each top-level record (both budget axes) and charges
+    each record's resolved count, and an ambient :class:`BudgetExpired`
+    raised mid-item (the wall-clock hook inside the DFS) abandons that
+    item — items are pure functions of ``(item, budget)``, so the
+    abandoned record simply re-runs in full on resume.
+
+    Returns ``(status, steps, count, interrupted_state)``; *status* gains
+    the value ``"interrupted"``, in which case *interrupted_state* is
+    ``(remaining_records, completed_total)`` — exactly what a
+    checkpoint needs to restart this round where it stopped.  On a resumed
+    round, pass the checkpoint's remaining records as *expansion.records*
+    and its completed total as *initial_total*: ``record.explored_at``
+    offsets are absolute within the round, so the entry arithmetic (and
+    therefore every abort/witness decision) lands exactly where the
+    uninterrupted fold would have landed.
+    """
+    from repro.core.budget import BudgetExpired
+
+    futures = {}
+    records = expansion.records
+    if executor is not None and executor.usable:
+        for index, record in enumerate(records):
+            future = executor.submit(record.item)
+            if future is None:
+                break
+            futures[index] = future
+    total = initial_total
+    try:
+        for index, record in enumerate(records):
+            entry = record.explored_at + total
+            if entry > horizon:
+                return ("aborted", None, entry, None)
+            if clock.expired():
+                return ("interrupted", None, total, (records[index:], total))
+            try:
+                status, steps, count = _resolve_item(
+                    search,
+                    record.item,
+                    futures.pop(index, None),
+                    budget,
+                    executor,
+                    extra_stats,
+                    horizon - entry,
+                )
+            except BudgetExpired:
+                return ("interrupted", None, total, (records[index:], total))
+            clock.charge(count)
+            if status == "witness":
+                return ("witness", record.prefix + steps, entry + count, None)
+            if status == "aborted":
+                return ("aborted", None, entry + count, None)
+            total += count
+        if expansion.witness_steps is not None:
+            return (
+                "witness",
+                expansion.witness_steps,
+                expansion.witness_at + total,
+                None,
+            )
+        return ("done", None, expansion.explored + total, None)
+    finally:
+        for future in futures.values():
+            future.cancel()
+
+
+def run_budgeted_search(
+    search, clock, *, checkpoint=None, split_budget=None, executor=None, context=None
+):
+    """Anytime variant of :func:`run_decomposed_search`.
+
+    Runs the same trunk + deterministic fold, but under a started
+    :class:`~repro.core.budget.BudgetClock`: the walk stops at the first
+    record boundary where the budget is spent (or mid-item, when the
+    wall-clock hook fires inside the DFS — that item is abandoned and
+    re-run in full on resume).  Returns
+    ``(steps, explored, exhausted, stats, checkpoint)`` where a non-None
+    *checkpoint* (:class:`repro.automata.emptiness.ChainCheckpoint`)
+    means the search was interrupted; pass it back via ``checkpoint=`` —
+    on a **fresh** search object built from the same payload — to
+    continue exactly where it stopped.  Resume-to-completion is
+    field-identical to the uninterrupted run: completed records were
+    charged at their boundaries, the interrupted record re-runs in full,
+    and a round whose trunk expansion had not finished restarts from its
+    beginning (trunk memoization never prunes across rounds, so the
+    re-run reproduces the original counts).
+    """
+    from repro.automata.emptiness import ChainCheckpoint, RoundExpansion
+    from repro.core.budget import BudgetExpired
+
+    budget = int(split_budget) if split_budget else subtree_split_budget()
+    if executor is not None and context is not None:
+        executor.bind(context, budget)
+    bound_executor = executor
+    if executor is not None and not executor.usable:
+        executor = None
+    extra_stats: Dict[str, int] = {}
+    max_paths = search.max_paths
+    base = checkpoint.base_explored if checkpoint is not None else 0
+    start_depth = checkpoint.depth_limit if checkpoint is not None else 1
+
+    def _interrupted(depth_limit, pending, total, expansion):
+        return (
+            None,
+            base + total,
+            False,
+            _final_stats(search, extra_stats, bound_executor),
+            ChainCheckpoint(
+                depth_limit=depth_limit,
+                pending=None if pending is None else tuple(pending),
+                round_total=total,
+                round_witness_steps=(
+                    None if expansion is None else expansion.witness_steps
+                ),
+                round_witness_at=0 if expansion is None else expansion.witness_at,
+                round_explored=0 if expansion is None else expansion.explored,
+                base_explored=base,
+            ),
+        )
+
+    search.interrupt = clock.interrupt_check
+    try:
+        for depth_limit in range(start_depth, search.max_length + 1):
+            expansion = None
+            initial_total = 0
+            if (
+                checkpoint is not None
+                and depth_limit == checkpoint.depth_limit
+                and checkpoint.pending is not None
+            ):
+                expansion = RoundExpansion(
+                    records=checkpoint.pending,
+                    witness_steps=checkpoint.round_witness_steps,
+                    witness_at=checkpoint.round_witness_at,
+                    explored=checkpoint.round_explored,
+                )
+                initial_total = checkpoint.round_total
+            checkpoint = None
+            if expansion is None:
+                # ``pending=None`` marks a round whose trunk expansion has
+                # not completed; resume re-expands it from the beginning.
+                if clock.expired():
+                    return _interrupted(depth_limit, None, 0, None)
+                try:
+                    expansion = search.run_round_exporting(depth_limit)
+                except BudgetExpired:
+                    return _interrupted(depth_limit, None, 0, None)
+            status, steps, count, interrupted = _fold_expansion_budgeted(
+                search,
+                expansion,
+                budget,
+                executor,
+                extra_stats,
+                max_paths - base,
+                clock,
+                initial_total,
+            )
+            if status == "interrupted":
+                pending, total = interrupted
+                return _interrupted(depth_limit, pending, total, expansion)
+            if status == "witness":
+                absolute = base + count
+                if absolute <= max_paths:
+                    return (
+                        steps,
+                        absolute,
+                        False,
+                        _final_stats(search, extra_stats, bound_executor),
+                        None,
+                    )
+                return (
+                    None,
+                    max_paths + 1,
+                    False,
+                    _final_stats(search, extra_stats, bound_executor),
+                    None,
+                )
+            if status == "aborted" or base + count > max_paths:
+                return (
+                    None,
+                    max_paths + 1,
+                    False,
+                    _final_stats(search, extra_stats, bound_executor),
+                    None,
+                )
+            clock.charge(expansion.explored)
+            base += count
+        return (
+            None,
+            base,
+            True,
+            _final_stats(search, extra_stats, bound_executor),
+            None,
+        )
+    finally:
+        search.interrupt = None

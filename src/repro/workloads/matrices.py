@@ -16,11 +16,18 @@ whole workload of decisions.  This module builds the workloads themselves:
   modelling the same query arriving from many clients;
 * :func:`instance_prefixes` — an answerability sweep's growing hidden
   instances (how much of the database must be revealed before a query
-  becomes exactly answerable).
+  becomes exactly answerable);
+* :func:`stream_relevance_matrix` — the relevance matrix consumed through
+  the engine's streaming interface, measuring first-verdict latency
+  alongside total batch time (the anytime serving shape: cached verdicts
+  arrive before any solver runs, and a batch
+  :class:`~repro.core.budget.Budget` bounds the whole sweep).
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.access.methods import Access, AccessSchema
@@ -79,6 +86,79 @@ def query_workload(
                     )
                 )
     return workload
+
+
+@dataclass(frozen=True)
+class StreamedMatrix:
+    """A streamed batch's values plus its latency profile.
+
+    ``values`` is input-ordered (``None`` for tasks the batch budget
+    expired before — provenance ``"deadline"``); ``first_verdict_s`` is
+    the wall-clock delay until the *first* result was yielded (memo hits
+    make this near-zero on warm engines) and ``total_s`` the full batch
+    time.
+    """
+
+    values: List[object]
+    first_verdict_s: float
+    total_s: float
+
+
+def stream_relevance_matrix(
+    engine,
+    access_schema: AccessSchema,
+    accesses: Sequence[Access],
+    query: ConjunctiveQuery,
+    initial: Optional[Instance] = None,
+    grounded: bool = False,
+    require_boolean_access: bool = True,
+    budget=None,
+    clock=time.perf_counter,
+) -> StreamedMatrix:
+    """Run a relevance matrix through ``engine.iter_results``.
+
+    Task construction mirrors :meth:`DecisionEngine.relevance_matrix`
+    (one shared schema/query fingerprint, per-access key concatenation),
+    but results are consumed as they land: the first-verdict latency is
+    the serving metric the anytime layer optimises, and *budget* bounds
+    the whole sweep (budget-aware back-ends receive the unspent portion,
+    everything after expiry comes back ``None``).
+    """
+    from repro.engine.engine import _query_size, relevance_shared_key, relevance_task
+    from repro.engine.reduction import instance_key
+
+    snap = instance_key(initial)
+    shared = relevance_shared_key(
+        access_schema, query, snap, grounded, require_boolean_access
+    )
+    size = snap.size() if snap is not None else 0
+    cost = (1 + size) * (1 + _query_size(query))
+    tasks = [
+        relevance_task(
+            access_schema,
+            access,
+            query,
+            initial=snap,
+            grounded=grounded,
+            require_boolean_access=require_boolean_access,
+            shared_key=shared,
+            cost_hint=cost,
+        )
+        for access in accesses
+    ]
+    values: List[object] = [None] * len(tasks)
+    start = clock()
+    first_verdict_s: Optional[float] = None
+    for index, result in engine.iter_results(tasks, budget=budget):
+        if first_verdict_s is None:
+            first_verdict_s = clock() - start
+        values[index] = result.value
+    total_s = clock() - start
+    return StreamedMatrix(
+        values=values,
+        first_verdict_s=first_verdict_s if first_verdict_s is not None else 0.0,
+        total_s=total_s,
+    )
 
 
 def instance_prefixes(hidden: Instance, steps: int = 4) -> List[Instance]:
