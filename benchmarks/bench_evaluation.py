@@ -731,7 +731,16 @@ def bench_anytime(
 
 
 def bench_pipeline(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
-    """The bench_pipeline_vs_bruteforce workload, timed end to end."""
+    """The bench_pipeline_vs_bruteforce workload, timed end to end.
+
+    Three rows share the workload: ``pipeline_end_to_end`` is the
+    historical row the regression guard pins; ``pipeline_trace_off`` runs
+    it with tracing explicitly disabled (the production default — this is
+    the disabled-path cost the observability layer must keep near zero)
+    and ``pipeline_trace_on`` with span recording enabled and the
+    finished spans drained after every run.  Identical verdicts across
+    all three are asserted: recording must never change a decision.
+    """
     schema = directory_access_schema()
     vocabulary = AccLTLSolver(schema).vocabulary
     pairs = [
@@ -780,7 +789,30 @@ def bench_pipeline(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
             )
         return verdicts
 
-    return {"pipeline_end_to_end": _median_of(repeats, run)}
+    from repro.obs import trace
+
+    def run_trace_off():
+        trace.set_enabled(False)
+        return run()
+
+    def run_trace_on():
+        trace.set_enabled(True)
+        trace.reset()
+        try:
+            verdicts = run()
+        finally:
+            trace.take_spans()
+            trace.set_enabled(False)
+        return verdicts
+
+    results = {
+        "pipeline_end_to_end": _median_of(repeats, run),
+        "pipeline_trace_off": _median_of(repeats, run_trace_off),
+        "pipeline_trace_on": _median_of(repeats, run_trace_on),
+    }
+    checksums = {row["checksum"] for row in results.values()}
+    assert len(checksums) == 1, "span recording changed a pipeline verdict"
+    return results
 
 
 def run_benchmarks(
@@ -816,6 +848,8 @@ def run_benchmarks(
     relevance_batched = results["relevance_matrix_batched"]["median_s"]
     containment_seq = results["containment_matrix_seq"]["median_s"]
     containment_batched = results["containment_matrix_batched"]["median_s"]
+    trace_off = results["pipeline_trace_off"]["median_s"]
+    trace_on = results["pipeline_trace_on"]["median_s"]
     return {
         "benchmark": "bench_evaluation",
         "mode": "smoke" if smoke else "full",
@@ -846,6 +880,9 @@ def run_benchmarks(
             containment_seq / containment_batched, 2
         )
         if containment_batched
+        else None,
+        "trace_overhead_ratio": round(trace_on / trace_off, 3)
+        if trace_off
         else None,
         "matrix_engine_stats": matrix_stats,
         "anytime_stats": anytime_stats,
@@ -906,6 +943,10 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
     print(
         "containment matrix batched speedup:",
         report["speedup_containment_matrix_batched"],
+    )
+    print(
+        "trace overhead ratio (on/off):",
+        report["trace_overhead_ratio"],
     )
     print(
         "matrix engine stats:",

@@ -41,6 +41,8 @@ from repro.automata.aautomaton import AAutomaton
 from repro.automata.progressive import chain_restrictions
 from repro.core.bounded_check import candidate_accesses_for_search, fact_pool_from_sentences
 from repro.core.budget import Budget, BudgetClock
+from repro.obs import metrics as _metrics
+from repro.obs import trace
 from repro.core.transition import (
     TransitionStructure,
     prepost_names,
@@ -195,13 +197,16 @@ class SubtreeOutcome:
     was hit first — the caller re-splits the item one level deeper), or
     ``"aborted"`` (the global ``max_paths`` cap was hit — the sequential
     search would have aborted too).  ``stats`` carries the worker's
-    instrumentation deltas when the item ran in another process.
+    instrumentation deltas when the item ran in another process, and
+    ``spans`` its recorded trace spans (:mod:`repro.obs.trace`) for the
+    coordinator to fold into the parent trace.
     """
 
     status: str
     steps: Optional[Tuple[PathStep, ...]]
     explored: int
     stats: Optional[Dict[str, int]] = None
+    spans: Optional[Tuple["trace.SpanRecord", ...]] = None
 
 
 @dataclass(frozen=True)
@@ -1001,13 +1006,19 @@ def _search_accepted_path(
 
 @dataclass(frozen=True)
 class ChainOutcome:
-    """The verdict of one Lemma 4.9 chain restriction."""
+    """The verdict of one Lemma 4.9 chain restriction.
+
+    ``spans`` carries the trace spans a pool worker recorded while
+    checking this chain (:mod:`repro.obs.trace`); the coordinator folds
+    them into the parent trace when collecting the outcome.
+    """
 
     prechecked_empty: bool
     witness: Optional[AccessPath]
     explored: int
     exhausted: bool
     stats: Optional[Dict[str, int]] = None
+    spans: Optional[Tuple["trace.SpanRecord", ...]] = None
 
 
 def check_restriction(
@@ -1028,14 +1039,22 @@ def check_restriction(
     chain whose search should fan its own DFS subtrees out
     (:mod:`repro.store.workqueue`); workers never pass one.
     """
-    if use_datalog_precheck:
-        if datalog_emptiness_precheck(restriction, vocabulary) is True:
-            return ChainOutcome(
-                prechecked_empty=True, witness=None, explored=0, exhausted=True
-            )
-    witness, explored, exhausted, stats = _search_accepted_path(
-        restriction, vocabulary, initial, executor=executor, **search_kwargs
-    )
+    with trace.trace_span("emptiness.chain", states=len(restriction.states)):
+        if use_datalog_precheck:
+            with trace.trace_span("emptiness.precheck"):
+                prechecked = datalog_emptiness_precheck(restriction, vocabulary)
+            if prechecked is True:
+                trace.annotate(outcome="prechecked_empty")
+                return ChainOutcome(
+                    prechecked_empty=True, witness=None, explored=0, exhausted=True
+                )
+        witness, explored, exhausted, stats = _search_accepted_path(
+            restriction, vocabulary, initial, executor=executor, **search_kwargs
+        )
+        trace.annotate(
+            outcome="witness" if witness is not None else "no_witness",
+            explored=explored,
+        )
     return ChainOutcome(
         prechecked_empty=False,
         witness=witness,
@@ -1069,31 +1088,46 @@ def _check_restriction_budgeted(
     passed it already.  The precheck itself is not interruptible, so a
     deadline can overshoot by at most one containment check.
     """
-    if checkpoint is None and use_datalog_precheck:
-        if datalog_emptiness_precheck(restriction, vocabulary) is True:
-            return (
-                ChainOutcome(
-                    prechecked_empty=True, witness=None, explored=0, exhausted=True
-                ),
-                None,
-            )
-    kwargs = dict(search_kwargs)
-    kwargs.pop("subtree_mode", None)
-    split_budget = kwargs.pop("split_budget", None)
-    search = _WitnessSearch(restriction, vocabulary, initial, **kwargs)
-    context = None
-    if executor is not None:
-        context = (restriction, vocabulary, search.initial_snapshot, search.params())
-    from repro.store.workqueue import run_budgeted_search
+    with trace.trace_span(
+        "emptiness.chain",
+        states=len(restriction.states),
+        budgeted=True,
+        resumed=checkpoint is not None,
+    ):
+        if checkpoint is None and use_datalog_precheck:
+            with trace.trace_span("emptiness.precheck"):
+                prechecked = datalog_emptiness_precheck(restriction, vocabulary)
+            if prechecked is True:
+                trace.annotate(outcome="prechecked_empty")
+                return (
+                    ChainOutcome(
+                        prechecked_empty=True, witness=None, explored=0, exhausted=True
+                    ),
+                    None,
+                )
+        kwargs = dict(search_kwargs)
+        kwargs.pop("subtree_mode", None)
+        split_budget = kwargs.pop("split_budget", None)
+        search = _WitnessSearch(restriction, vocabulary, initial, **kwargs)
+        context = None
+        if executor is not None:
+            context = (restriction, vocabulary, search.initial_snapshot, search.params())
+        from repro.store.workqueue import run_budgeted_search
 
-    steps, explored, exhausted, stats, new_checkpoint = run_budgeted_search(
-        search,
-        clock,
-        checkpoint=checkpoint,
-        split_budget=split_budget,
-        executor=executor,
-        context=context,
-    )
+        steps, explored, exhausted, stats, new_checkpoint = run_budgeted_search(
+            search,
+            clock,
+            checkpoint=checkpoint,
+            split_budget=split_budget,
+            executor=executor,
+            context=context,
+        )
+        trace.annotate(
+            outcome="interrupted"
+            if new_checkpoint is not None
+            else ("witness" if steps is not None else "no_witness"),
+            explored=explored,
+        )
     witness = AccessPath(steps) if steps is not None else None
     return (
         ChainOutcome(
@@ -1143,6 +1177,8 @@ def _unknown_result(
         if outcome.stats:
             for key, value in outcome.stats.items():
                 stats[key] = stats.get(key, 0) + value
+    _metrics.counter("emptiness.unknown_results")
+    _metrics.absorb("emptiness", stats)
     return EmptinessResult(
         empty=False,
         witness=None,
@@ -1251,10 +1287,13 @@ def _fold_chain_outcomes(
 
     for outcome in outcomes:
         if outcome.prechecked_empty:
+            _metrics.counter("emptiness.prechecked_chains")
             continue
         total_explored += outcome.explored
         merge_stats(outcome.stats)
         if outcome.witness is not None:
+            _metrics.counter("emptiness.nonempty_results")
+            _metrics.absorb("emptiness", stats)
             return EmptinessResult(
                 empty=False,
                 witness=outcome.witness,
@@ -1264,6 +1303,8 @@ def _fold_chain_outcomes(
                 stats=stats or None,
             )
         all_exhausted = all_exhausted and outcome.exhausted
+    _metrics.counter("emptiness.empty_results")
+    _metrics.absorb("emptiness", stats)
     return EmptinessResult(
         empty=True,
         witness=None,
@@ -1405,6 +1446,13 @@ def automaton_emptiness(
             raise ValueError(
                 "resume_from frontier does not match this emptiness call "
                 "(different automaton or search parameters)"
+            )
+        if resume_from is not None:
+            _metrics.counter("emptiness.resume_hops")
+            trace.event(
+                "emptiness.resume_hop",
+                chain_index=resume_from.chain_index,
+                completed=len(resume_from.completed),
             )
         clock = (budget if budget is not None else Budget()).start()
         return _anytime_emptiness(

@@ -37,6 +37,19 @@ web-directory schema (or any named workload scenario):
     pairwise containment over a query set, or an answerability sweep)
     through the unified reduction engine (:mod:`repro.engine`) and report
     the verdicts together with the engine's dedup/memo statistics.
+    ``--trace out.json`` records the run as nested spans (engine batch
+    phases, emptiness chains, pool workers) and writes a Chrome
+    trace-event file loadable in ``chrome://tracing``.
+
+``repro stats``
+    Run a small matrix workload and dump the metrics registry snapshot
+    (counters, histograms, live component views) as JSON — the
+    serving-grade per-request statistics behind ``repro matrix``.
+
+``repro env``
+    List every ``REPRO_*`` environment knob the library reads: name,
+    type, default, current value and whether it came from the
+    environment or the default.
 
 Run ``repro <command> --help`` for the options of each command.
 """
@@ -205,6 +218,13 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         query_workload,
     )
 
+    tracing = getattr(args, "trace", None) is not None
+    if tracing:
+        from repro.obs import trace
+
+        trace.set_enabled(True)
+        trace.reset()
+
     if getattr(args, "scenario", None):
         scenario = _scenario_by_name(args.scenario)
         schema = scenario.access_schema
@@ -289,6 +309,23 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         f"{stats['batch_dedup_hits']} dedup hits, {stats['memo_hits']} memo hits "
         f"(cross-request hit rate {stats['cross_request_hit_rate']})"
     )
+    summary = engine.last_batch_summary()
+    if summary["requests"]:
+        provenance = ", ".join(
+            f"{count} {tag}" for tag, count in sorted(summary["by_provenance"].items())
+        )
+        print(
+            f"last batch: {summary['requests']} results ({provenance}); "
+            f"first verdict {summary['first_verdict_s'] * 1000:.1f} ms, "
+            f"total {summary['total_s'] * 1000:.1f} ms"
+        )
+    if tracing:
+        from repro.obs import export, trace
+
+        spans = trace.take_spans()
+        export.write_chrome_trace(spans, args.trace)
+        flat = sum(1 for root in spans for _ in root.walk())
+        print(f"trace: {flat} spans written to {args.trace} (Chrome trace-event format)")
     return 0
 
 
@@ -297,6 +334,51 @@ def scenario_initial(args: argparse.Namespace) -> tuple:
     if getattr(args, "scenario", None):
         return tuple(_scenario_by_name(args.scenario).initial_values)
     return ("Smith",)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine import DecisionEngine
+    from repro.obs import metrics
+    from repro.workloads.matrices import probe_accesses
+
+    metrics.reset()
+    schema = _select_schema(args)
+    hidden = _select_hidden(args)
+    if getattr(args, "scenario", None):
+        query = _scenario_by_name(args.scenario).query_one
+    else:
+        from repro.workloads.directory import join_query
+
+        query = join_query()
+    engine = DecisionEngine(parallel=args.parallel or None)
+    accesses = probe_accesses(schema, hidden, limit=args.limit)
+    engine.relevance_matrix(
+        schema, accesses, query, grounded=False, require_boolean_access=False
+    )
+    print(json.dumps(metrics.snapshot(), indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def cmd_env(args: argparse.Namespace) -> int:
+    from repro.obs import env as envknobs
+
+    rows = [knob.current() for knob in envknobs.all_knobs()]
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2, default=str))
+        return 0
+    name_width = max(len(str(row["name"])) for row in rows)
+    value_width = max(len(str(row["value"])) for row in rows)
+    print(f"{'knob':<{name_width}}  {'value':<{value_width}}  source  (kind, default)")
+    for row in rows:
+        print(
+            f"{row['name']:<{name_width}}  {str(row['value']):<{value_width}}  "
+            f"{row['source']:<7} ({row['kind']}, default {row['default']})"
+        )
+    return 0
 
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
@@ -418,8 +500,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     matrix.add_argument("--verbose", action="store_true", help="per-request verdicts")
     matrix.add_argument("--size", default="small", help="hidden instance size (small/medium/large)")
+    matrix.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record the run as spans and write a chrome://tracing JSON file",
+    )
     add_scenario_option(matrix)
     matrix.set_defaults(func=cmd_matrix)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="run a small relevance workload and dump the metrics registry as JSON",
+    )
+    stats.add_argument("--limit", type=int, default=None, help="cap the candidate access list")
+    stats.add_argument("--parallel", action="store_true", help="allow cost-gated pool dispatch")
+    stats.add_argument("--size", default="small", help="hidden instance size (small/medium/large)")
+    add_scenario_option(stats)
+    stats.set_defaults(func=cmd_stats)
+
+    env = subparsers.add_parser(
+        "env", help="list every REPRO_* environment knob, its value and source"
+    )
+    env.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    env.set_defaults(func=cmd_env)
 
     return parser
 

@@ -379,6 +379,45 @@ def bounded_satisfiability_legacy(
     budget: Optional[Budget] = None,
 ) -> BoundedCheckResult:
     """The direct bounded search behind :func:`bounded_satisfiability`."""
+    from repro.obs import metrics as _metrics
+    from repro.obs import trace as _trace
+
+    _metrics.counter("bounded_check.runs")
+    with _trace.trace_span(
+        "bounded_check.run", max_paths=bounds.max_paths, budgeted=budget is not None
+    ):
+        result = _bounded_satisfiability_impl(
+            vocabulary,
+            formula,
+            bounds,
+            initial=initial,
+            fact_pool=fact_pool,
+            value_pool=value_pool,
+            grounded_only=grounded_only,
+            enforce_schema_sanity=enforce_schema_sanity,
+            budget=budget,
+        )
+        _trace.annotate(
+            satisfiable=result.satisfiable,
+            explored=result.paths_explored,
+            interrupted=result.interrupted,
+        )
+    if result.interrupted:
+        _metrics.counter("budget.bounded_check_interrupted")
+    return result
+
+
+def _bounded_satisfiability_impl(
+    vocabulary: AccessVocabulary,
+    formula: AccFormula,
+    bounds: Bounds,
+    initial: Optional[Instance] = None,
+    fact_pool: Optional[Sequence[Fact]] = None,
+    value_pool: Optional[Sequence[object]] = None,
+    grounded_only: bool = False,
+    enforce_schema_sanity: bool = True,
+    budget: Optional[Budget] = None,
+) -> BoundedCheckResult:
     from repro.core.budget import INTERRUPT_STRIDE
 
     clock = (budget if budget is not None else Budget()).start()

@@ -35,6 +35,8 @@ from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.datalog.program import DatalogProgram, Rule
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.evaluation import (
     satisfying_assignments,
@@ -228,41 +230,52 @@ def evaluate_program(
         generation_log.append(state.snapshot())
     rounds = 0
     converged = False
-    while True:
-        if max_rounds is not None and rounds >= max_rounds:
-            break
-        rounds += 1
-        new_facts: Set[Fact] = set()
-        for rule in program.rules:
-            if semi_naive and _rule_supports_delta(rule):
-                derivations = _rule_delta_derivations(rule, state, old, delta)
-            else:
-                derivations = _rule_derivations(rule, state)
-            for fact in derivations:
-                if fact not in state:
-                    new_facts.add(fact)
-        if not new_facts:
-            converged = True
-            break
-        if semi_naive:
-            # Advance the previous-generation side before mutating the
-            # state (naive mode reads neither ``old`` nor ``delta``).
-            if store_backed:
-                old = state.snapshot().view()
-            else:
-                for name, bucket in delta.items():
-                    for tup in bucket:
-                        old.add_unchecked(name, tup)
-        for fact in new_facts:
-            state.add_fact(fact)
-        if generation_log is not None:
-            generation_log.append(state.snapshot())
-        if semi_naive:
-            delta = {}
-            for name, tup in new_facts:
-                delta.setdefault(name, set()).add(tup)
-    if not converged and not allow_truncation:
-        raise FixedpointTruncated(rounds, state)
+    fixedpoint_span = _trace.begin(
+        "datalog.fixedpoint", rules=len(program.rules), semi_naive=semi_naive
+    )
+    try:
+        while True:
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            rounds += 1
+            new_facts: Set[Fact] = set()
+            for rule in program.rules:
+                if semi_naive and _rule_supports_delta(rule):
+                    derivations = _rule_delta_derivations(rule, state, old, delta)
+                else:
+                    derivations = _rule_derivations(rule, state)
+                for fact in derivations:
+                    if fact not in state:
+                        new_facts.add(fact)
+            _trace.event("datalog.round", round=rounds, new_facts=len(new_facts))
+            if not new_facts:
+                converged = True
+                break
+            if semi_naive:
+                # Advance the previous-generation side before mutating the
+                # state (naive mode reads neither ``old`` nor ``delta``).
+                if store_backed:
+                    old = state.snapshot().view()
+                else:
+                    for name, bucket in delta.items():
+                        for tup in bucket:
+                            old.add_unchecked(name, tup)
+            for fact in new_facts:
+                state.add_fact(fact)
+            if generation_log is not None:
+                generation_log.append(state.snapshot())
+            if semi_naive:
+                delta = {}
+                for name, tup in new_facts:
+                    delta.setdefault(name, set()).add(tup)
+    finally:
+        _trace.end(fixedpoint_span, rounds=rounds, converged=converged)
+    _metrics.counter("datalog.fixedpoint_runs")
+    _metrics.counter("datalog.fixedpoint_rounds", rounds)
+    if not converged:
+        _metrics.counter("datalog.fixedpoint_truncated")
+        if not allow_truncation:
+            raise FixedpointTruncated(rounds, state)
     return state
 
 

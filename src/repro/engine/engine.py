@@ -31,8 +31,13 @@ against.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs import env as envknobs
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.engine.reduction import (
     BOUNDED_CHECK,
     EMPTINESS,
@@ -51,7 +56,7 @@ from repro.engine.reduction import (
 
 #: Environment toggle consulted when ``DecisionEngine(parallel=None)``:
 #: allow batch dispatch through the shared worker pool (still cost-gated).
-PARALLEL_TASKS_ENV = "REPRO_PARALLEL_TASKS"
+PARALLEL_TASKS_ENV = envknobs.PARALLEL_TASKS_ENV
 
 #: Upper bound on batch workers (mirrors the chain fan-out's cap: each
 #: worker pays interpreter warm-up, and batches are rarely that wide).
@@ -454,12 +459,39 @@ def execute_task(task: ReductionTask):
     return executor(task.args)
 
 
-def _pooled_execute(task: ReductionTask):
-    """Worker-side entry of a pooled reduction task (fault point ``task``)."""
+@dataclass(frozen=True)
+class _ShippedTaskResult:
+    """A pooled task's value plus its worker-side observability payload.
+
+    Picklable by name: built in the worker, unwrapped by
+    :meth:`DecisionEngine._drain_pooled`, which folds ``spans`` into the
+    coordinator trace and ``counters`` (the worker registry's delta for
+    this task) into the coordinator metrics registry.
+    """
+
+    value: object
+    spans: Optional[Tuple] = None
+    counters: Optional[Dict[str, float]] = None
+
+
+def _pooled_execute(task: ReductionTask, trace_on: bool = False):
+    """Worker-side entry of a pooled reduction task (fault point ``task``).
+
+    *trace_on* ships the coordinator's tracing flag with the submission
+    (persistent workers inherit stale state otherwise); the worker's
+    spans and metric deltas ride back on the :class:`_ShippedTaskResult`
+    envelope.
+    """
     from repro.store import faults
 
+    _trace.configure_worker(trace_on)
+    base = _metrics.REGISTRY.counters_snapshot()
     faults.fire("task")
-    return execute_task(task)
+    with _trace.trace_span(f"task:{task.kind}", pooled=True):
+        value = execute_task(task)
+    spans = tuple(_trace.take_spans()) if trace_on else None
+    counters = _metrics.REGISTRY.counters_delta(base)
+    return _ShippedTaskResult(value, spans or None, counters or None)
 
 
 def _bump(stats: Dict[str, int], key: str, amount: int = 1) -> None:
@@ -568,6 +600,12 @@ class DecisionEngine:
             "pool_timeouts": 0,
             "pool_inprocess_fallbacks": 0,
         }
+        #: Per-request latency/provenance records of the most recent
+        #: batch (one ``{"index", "kind", "provenance", "latency_s"}``
+        #: dict per yielded result, in yield order); see
+        #: :meth:`last_batch_summary`.
+        self.last_batch_profile: List[Dict[str, object]] = []
+        _metrics.track("engine", self, lambda engine: engine._stats)
 
     # ------------------------------------------------------------------
     # Core execution
@@ -616,74 +654,112 @@ class DecisionEngine:
         clock = (
             budget.start() if budget is not None and not budget.unbounded else None
         )
-        dedup = Deduper()
-        pending: List[Tuple[int, ReductionTask, Optional[Tuple]]] = []
-        followers: Dict[int, List[int]] = {}
-        for index, task in enumerate(tasks):
-            fingerprint = task.fingerprint()
-            if fingerprint is None:
-                stats["uncacheable"] += 1
-                pending.append((index, task, None))
-                continue
-            if memoize and fingerprint in self._memo:
-                stats["memo_hits"] += 1
-                yield index, ReductionResult(
-                    _refresh(task.kind, self._memo[fingerprint]),
-                    task.kind,
-                    task.backend,
-                    "memo",
-                    fingerprint,
-                )
-                continue
-            first = dedup.register(fingerprint, index)
-            if first is not None:
-                stats["batch_dedup_hits"] += 1
-                followers.setdefault(first, []).append(index)
-                continue
-            pending.append((index, task, fingerprint))
-        for (index, task, fingerprint), value, provenance in self._compute_stream(
-            pending, clock
-        ):
-            if provenance == "deadline":
-                _bump(stats, "deadline_tasks")
-            else:
-                stats["computed"] += 1
-            if provenance in ("pooled", "pooled_retry"):
-                stats["pooled_tasks"] += 1
-            shared = False
-            if (
-                memoize
-                and fingerprint is not None
-                and value is not None
-                and provenance != "deadline"
-                and not _is_partial(value)
-            ):
-                # The memo keeps the pristine value; every requester —
-                # including this first one — receives its own copy of any
-                # caller-owned mutable state (see _REFRESHERS).
-                self._memo[fingerprint] = value
-                shared = True
-            duplicates = followers.get(index, ())
-            yield index, ReductionResult(
-                _refresh(task.kind, value)
-                if value is not None and (shared or duplicates)
-                else value,
-                task.kind,
-                task.backend,
-                provenance,
-                fingerprint,
+        started = time.perf_counter()
+        profile: List[Dict[str, object]] = []
+        self.last_batch_profile = profile
+
+        def _profiled(index: int, kind: str, provenance: str):
+            latency = time.perf_counter() - started
+            profile.append(
+                {
+                    "index": index,
+                    "kind": kind,
+                    "provenance": provenance,
+                    "latency_s": latency,
+                }
             )
-            for follower in duplicates:
-                follower_task = tasks[follower]
-                yield follower, ReductionResult(
-                    _refresh(follower_task.kind, value)
-                    if value is not None
-                    else None,
-                    follower_task.kind,
-                    follower_task.backend,
-                    "deadline" if provenance == "deadline" else "dedup",
-                    fingerprint,
-                )
+            _metrics.observe("engine.request_latency_s", latency)
+
+        batch_span = _trace.begin("engine.batch", tasks=len(tasks))
+        try:
+            dedup = Deduper()
+            pending: List[Tuple[int, ReductionTask, Optional[Tuple]]] = []
+            followers: Dict[int, List[int]] = {}
+            classify_span = _trace.begin("engine.memo_dedup")
+            for index, task in enumerate(tasks):
+                fingerprint = task.fingerprint()
+                if fingerprint is None:
+                    stats["uncacheable"] += 1
+                    pending.append((index, task, None))
+                    continue
+                if memoize and fingerprint in self._memo:
+                    stats["memo_hits"] += 1
+                    _profiled(index, task.kind, "memo")
+                    yield index, ReductionResult(
+                        _refresh(task.kind, self._memo[fingerprint]),
+                        task.kind,
+                        task.backend,
+                        "memo",
+                        fingerprint,
+                    )
+                    continue
+                first = dedup.register(fingerprint, index)
+                if first is not None:
+                    stats["batch_dedup_hits"] += 1
+                    followers.setdefault(first, []).append(index)
+                    continue
+                pending.append((index, task, fingerprint))
+            _trace.end(
+                classify_span,
+                memo_hits=len(profile),
+                pending=len(pending),
+            )
+            drain_span = _trace.begin("engine.drain", pending=len(pending))
+            try:
+                for (
+                    (index, task, fingerprint),
+                    value,
+                    provenance,
+                ) in self._compute_stream(pending, clock):
+                    if provenance == "deadline":
+                        _bump(stats, "deadline_tasks")
+                    else:
+                        stats["computed"] += 1
+                    if provenance in ("pooled", "pooled_retry"):
+                        stats["pooled_tasks"] += 1
+                    shared = False
+                    if (
+                        memoize
+                        and fingerprint is not None
+                        and value is not None
+                        and provenance != "deadline"
+                        and not _is_partial(value)
+                    ):
+                        # The memo keeps the pristine value; every requester —
+                        # including this first one — receives its own copy of any
+                        # caller-owned mutable state (see _REFRESHERS).
+                        self._memo[fingerprint] = value
+                        shared = True
+                    duplicates = followers.get(index, ())
+                    _profiled(index, task.kind, provenance)
+                    yield index, ReductionResult(
+                        _refresh(task.kind, value)
+                        if value is not None and (shared or duplicates)
+                        else value,
+                        task.kind,
+                        task.backend,
+                        provenance,
+                        fingerprint,
+                    )
+                    for follower in duplicates:
+                        follower_task = tasks[follower]
+                        follower_provenance = (
+                            "deadline" if provenance == "deadline" else "dedup"
+                        )
+                        _profiled(follower, follower_task.kind, follower_provenance)
+                        yield follower, ReductionResult(
+                            _refresh(follower_task.kind, value)
+                            if value is not None
+                            else None,
+                            follower_task.kind,
+                            follower_task.backend,
+                            follower_provenance,
+                            fingerprint,
+                        )
+            finally:
+                _trace.end(drain_span)
+        finally:
+            _trace.end(batch_span)
 
     def _compute_stream(self, pending, clock):
         """Yield ``(pending_entry, value, provenance)`` in submission order.
@@ -706,22 +782,15 @@ class DecisionEngine:
             ):
                 yield entry, None, "deadline"
                 continue
-            yield entry, execute_task(_with_budget(task, clock)), "computed"
+            with _trace.trace_span(f"task:{task.kind}"):
+                value = execute_task(_with_budget(task, clock))
+            yield entry, value, "computed"
 
     def _dispatch_allowed(self, pending) -> bool:
         if self.max_workers is not None:
             return True
-        import os
-
         if self.parallel is None:
-            raw = os.environ.get(PARALLEL_TASKS_ENV, "")
-            flag = raw.strip().lower()
-            if flag in ("", "0", "false", "no", "off"):
-                return False
-            if flag not in ("1", "true", "yes", "on"):
-                from repro.store.workqueue import warn_invalid_env
-
-                warn_invalid_env(PARALLEL_TASKS_ENV, raw, "off")
+            if not envknobs.flag_strict(PARALLEL_TASKS_ENV):
                 return False
         elif not self.parallel:
             return False
@@ -751,8 +820,11 @@ class DecisionEngine:
         workers = max(1, min(workers, len(pending)))
         try:
             pool = workqueue.shared_pool(workers)
+            _trace.event("engine.dispatch", workers=workers, tasks=len(pending))
             futures = [
-                pool.submit(_pooled_execute, _with_budget(task, clock))
+                pool.submit(
+                    _pooled_execute, _with_budget(task, clock), _trace.enabled()
+                )
                 for _, task, _ in pending
             ]
         except Exception as error:
@@ -793,6 +865,10 @@ class DecisionEngine:
                         if timeout is None
                         else future.result(timeout=timeout)
                     )
+                    if isinstance(value, _ShippedTaskResult):
+                        _trace.attach_children(value.spans)
+                        _metrics.REGISTRY.merge_counters(value.counters)
+                        value = value.value
                     yield entry, value, ("pooled_retry" if retried else "pooled")
                     break
                 except FuturesTimeout:
@@ -810,6 +886,9 @@ class DecisionEngine:
                     # A stalled worker must not stall the batch: abandon
                     # the future and recompute here (workqueue semantics).
                     _bump(stats, "pool_timeouts")
+                    _trace.event(
+                        "pool.timeout", point="task", kind=task.kind, timeout_s=timeout
+                    )
                     yield entry, self._fallback_value(task, clock), "fallback"
                     break
                 except Exception as error:
@@ -817,6 +896,12 @@ class DecisionEngine:
                         # Deterministic: a payload that cannot cross the
                         # process boundary fails on every resubmit.
                         _bump(stats, "pool_payload_errors")
+                        _trace.event(
+                            "pool.payload_error",
+                            point="task",
+                            kind=task.kind,
+                            error=type(error).__name__,
+                        )
                         yield entry, self._fallback_value(task, clock), "fallback"
                         break
                     _bump(stats, "pool_worker_failures")
@@ -827,11 +912,18 @@ class DecisionEngine:
                     attempt += 1
                     retried = True
                     _bump(stats, "pool_retries")
+                    _trace.event(
+                        "pool.retry",
+                        point="task",
+                        kind=task.kind,
+                        attempt=attempt,
+                        error=type(error).__name__,
+                    )
                     try:
                         workqueue.discard_shared_pool()
                         pool = workqueue.shared_pool(workers)
                         future = pool.submit(
-                            _pooled_execute, _with_budget(task, clock)
+                            _pooled_execute, _with_budget(task, clock), _trace.enabled()
                         )
                     except Exception:
                         _bump(stats, "pool_submit_errors")
@@ -845,7 +937,8 @@ class DecisionEngine:
         contract that pooling never changes outcomes.
         """
         _bump(self._stats, "pool_inprocess_fallbacks")
-        return execute_task(_with_budget(task, clock))
+        with _trace.trace_span("pool.fallback", point="task", kind=task.kind):
+            return execute_task(_with_budget(task, clock))
 
     # ------------------------------------------------------------------
     # Single-shot conveniences (the normalised forms of the old calls)
@@ -1028,6 +1121,26 @@ class DecisionEngine:
             round(saved / requests, 4) if requests else None
         )
         return stats
+
+    def last_batch_summary(self) -> Dict[str, object]:
+        """Latency/provenance aggregate of the most recent batch.
+
+        ``by_provenance`` counts results per provenance tag,
+        ``first_verdict_s`` is the latency of the first yielded result
+        (what a streaming consumer waited), ``total_s`` the latency of
+        the last.  Empty batches return zeroed fields.
+        """
+        profile = self.last_batch_profile
+        by_provenance: Dict[str, int] = {}
+        for record in profile:
+            tag = str(record["provenance"])
+            by_provenance[tag] = by_provenance.get(tag, 0) + 1
+        return {
+            "requests": len(profile),
+            "by_provenance": by_provenance,
+            "first_verdict_s": profile[0]["latency_s"] if profile else 0.0,
+            "total_s": profile[-1]["latency_s"] if profile else 0.0,
+        }
 
     def clear(self) -> None:
         """Drop the cross-request memo (counters are kept)."""

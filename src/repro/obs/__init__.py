@@ -1,0 +1,28 @@
+"""Observability: tracing, metrics, exporters and the env-knob registry.
+
+See ``src/repro/obs/README.md`` for the full span/metric taxonomy.
+
+* :mod:`repro.obs.trace` — nested, monotonic-clocked, picklable spans;
+  off by default (``REPRO_TRACE``), near-zero disabled overhead.
+* :mod:`repro.obs.metrics` — named counter/gauge/histogram registry that
+  absorbs the legacy stats dicts as live views.
+* :mod:`repro.obs.export` — JSON-lines, Chrome trace-event and text-tree
+  exporters for collected spans.
+* :mod:`repro.obs.env` — the central registry of every ``REPRO_*``
+  environment knob (``repro env``).
+
+The whole package is dependency-free within the library (it is imported
+by the earliest-initialising modules) and uses only the standard library.
+"""
+
+from repro.obs import env, export, metrics, trace
+from repro.obs.trace import SpanRecord, trace_span
+
+__all__ = [
+    "env",
+    "export",
+    "metrics",
+    "trace",
+    "SpanRecord",
+    "trace_span",
+]

@@ -1,0 +1,263 @@
+"""Central registry of the ``REPRO_*`` environment knobs.
+
+Every environment variable the library consults is declared here — name,
+type, default, and the exact parsing semantics its call site always had —
+so ``repro env`` can list each knob with its current value and source,
+and so a new knob cannot be added without a type and a default.  The
+accessor functions in :mod:`repro.store.workqueue`,
+:mod:`repro.store.parallel`, :mod:`repro.engine.engine` and
+:mod:`repro.obs.trace` are thin wrappers over the parsers below, which
+keeps their behaviour (including the loud one-time
+:func:`warn_invalid_env` fallback on malformed values) field-identical to
+the pre-registry code.
+
+This module must stay dependency-free within the package: it is imported
+by :mod:`repro.store.workqueue`, which initialises very early.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+# ----------------------------------------------------------------------
+# Knob names and defaults (the canonical definitions; the consuming
+# modules re-export them under their historical names)
+# ----------------------------------------------------------------------
+#: Permissive flag: opt in to parallel chain checking.
+PARALLEL_CHAINS_ENV = "REPRO_PARALLEL_CHAINS"
+#: Permissive flag: opt in to subtree-decomposed witness searches.
+PARALLEL_SUBTREES_ENV = "REPRO_PARALLEL_SUBTREES"
+#: Strict flag: allow engine batch dispatch through the worker pool.
+PARALLEL_TASKS_ENV = "REPRO_PARALLEL_TASKS"
+#: Estimated-work floor for pool dispatch.
+PARALLEL_MIN_COST_ENV = "REPRO_PARALLEL_MIN_COST"
+#: Per-item explored-nodes budget before a subtree item is re-split.
+SPLIT_BUDGET_ENV = "REPRO_SUBTREE_SPLIT_BUDGET"
+#: Bounded retries for transient pool worker failures.
+POOL_RETRIES_ENV = "REPRO_POOL_RETRIES"
+#: Per-item pooled result timeout in seconds (unset = none).
+POOL_ITEM_TIMEOUT_ENV = "REPRO_POOL_ITEM_TIMEOUT"
+#: Scripted fault plan for the pool paths (see :mod:`repro.store.faults`).
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+#: Strict flag: enable the tracing layer (see :mod:`repro.obs.trace`).
+TRACE_ENV = "REPRO_TRACE"
+
+DEFAULT_MIN_DISPATCH_COST = 100_000
+DEFAULT_SPLIT_BUDGET = 20_000
+DEFAULT_POOL_RETRIES = 2
+
+
+# ----------------------------------------------------------------------
+# Parsing (with loud, one-time fallback warnings)
+# ----------------------------------------------------------------------
+_ENV_WARNED: Set[str] = set()
+
+
+def warn_invalid_env(name: str, raw: str, default: object) -> None:
+    """Warn (once per variable per process) about an ignored env value.
+
+    The silent ``except ValueError: pass`` fallbacks these parsers used
+    to have made a typo'd knob indistinguishable from an unset one; the
+    warning names the variable, the rejected value and the default that
+    is used instead.
+    """
+    if name in _ENV_WARNED:
+        return
+    _ENV_WARNED.add(name)
+    warnings.warn(
+        f"ignoring invalid value {raw!r} for {name}; using default {default!r}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+_FALSEY = ("", "0", "false", "no", "off")
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def flag_lenient(name: str) -> bool:
+    """Permissive boolean: anything outside the falsey set opts in.
+
+    The historical semantics of the parallel-chains/subtrees toggles
+    (``REPRO_PARALLEL_CHAINS=banana`` enables them — deliberately kept,
+    operators rely on it).
+    """
+    return os.environ.get(name, "").strip().lower() not in _FALSEY
+
+
+def flag_strict(name: str) -> bool:
+    """Strict boolean: unknown values warn once and fall back to off."""
+    raw = os.environ.get(name, "")
+    flag = raw.strip().lower()
+    if flag in _FALSEY:
+        return False
+    if flag in _TRUTHY:
+        return True
+    warn_invalid_env(name, raw, "off")
+    return False
+
+
+def positive_int(name: str, default: int) -> int:
+    """``int > 0`` or *default* (warning on present-but-invalid values)."""
+    raw = os.environ.get(name, "").strip()
+    if raw:
+        try:
+            value: Optional[int] = int(raw)
+        except ValueError:
+            value = None
+        if value is not None and value > 0:
+            return value
+        warn_invalid_env(name, raw, default)
+    return default
+
+
+def non_negative_int(name: str, default: int) -> int:
+    """``int >= 0`` or *default* (warning on present-but-invalid values)."""
+    raw = os.environ.get(name, "").strip()
+    if raw:
+        try:
+            value: Optional[int] = int(raw)
+        except ValueError:
+            value = None
+        if value is not None and value >= 0:
+            return value
+        warn_invalid_env(name, raw, default)
+    return default
+
+
+def positive_float(name: str, default: Optional[float] = None) -> Optional[float]:
+    """``float > 0`` or *default* (warning on present-but-invalid values)."""
+    raw = os.environ.get(name, "").strip()
+    if raw:
+        try:
+            value: Optional[float] = float(raw)
+        except ValueError:
+            value = None
+        if value is not None and value > 0:
+            return value
+        warn_invalid_env(name, raw, default)
+    return default
+
+
+def raw_string(name: str, default: str = "") -> str:
+    """The variable's raw value (free-form specs parse at their call site)."""
+    return os.environ.get(name, default)
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EnvKnob:
+    """One declared environment knob: typed, defaulted, introspectable."""
+
+    name: str
+    kind: str  # "flag" | "flag(strict)" | "int" | "float" | "str"
+    default: object
+    description: str
+    read: Callable[[], object]
+
+    def current(self) -> Dict[str, object]:
+        """Current effective value plus where it came from."""
+        raw = os.environ.get(self.name)
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "default": self.default,
+            "value": self.read(),
+            "raw": raw,
+            "source": "env" if raw is not None and raw.strip() else "default",
+        }
+
+
+KNOBS: Dict[str, EnvKnob] = {}
+
+
+def _register(
+    name: str,
+    kind: str,
+    default: object,
+    description: str,
+    read: Callable[[], object],
+) -> EnvKnob:
+    knob = EnvKnob(name, kind, default, description, read)
+    KNOBS[name] = knob
+    return knob
+
+
+_register(
+    PARALLEL_CHAINS_ENV,
+    "flag",
+    False,
+    "fan Lemma 4.9 chain restrictions out across the shared worker pool",
+    lambda: flag_lenient(PARALLEL_CHAINS_ENV),
+)
+_register(
+    PARALLEL_SUBTREES_ENV,
+    "flag",
+    False,
+    "decompose each chain's witness search into poolable DFS-subtree items",
+    lambda: flag_lenient(PARALLEL_SUBTREES_ENV),
+)
+_register(
+    PARALLEL_TASKS_ENV,
+    "flag(strict)",
+    False,
+    "allow DecisionEngine batch dispatch through the worker pool (cost-gated)",
+    lambda: flag_strict(PARALLEL_TASKS_ENV),
+)
+_register(
+    PARALLEL_MIN_COST_ENV,
+    "int",
+    DEFAULT_MIN_DISPATCH_COST,
+    "estimated-work floor below which parallel=True stays in process",
+    lambda: non_negative_int(PARALLEL_MIN_COST_ENV, DEFAULT_MIN_DISPATCH_COST),
+)
+_register(
+    SPLIT_BUDGET_ENV,
+    "int",
+    DEFAULT_SPLIT_BUDGET,
+    "explored-nodes budget per subtree item before it is handed back for re-splitting",
+    lambda: positive_int(SPLIT_BUDGET_ENV, DEFAULT_SPLIT_BUDGET),
+)
+_register(
+    POOL_RETRIES_ENV,
+    "int",
+    DEFAULT_POOL_RETRIES,
+    "bounded retries (with backoff, on a rebuilt pool) for transient worker failures",
+    lambda: non_negative_int(POOL_RETRIES_ENV, DEFAULT_POOL_RETRIES),
+)
+_register(
+    POOL_ITEM_TIMEOUT_ENV,
+    "float",
+    None,
+    "per-item pooled result timeout in seconds (unset: none; a healthy pool always terminates)",
+    lambda: positive_float(POOL_ITEM_TIMEOUT_ENV, None),
+)
+_register(
+    FAULT_INJECT_ENV,
+    "str",
+    "",
+    "scripted fault plan action@point:index[:arg],... for the pool determinism suites",
+    lambda: raw_string(FAULT_INJECT_ENV, ""),
+)
+_register(
+    TRACE_ENV,
+    "flag(strict)",
+    False,
+    "enable span tracing across the engine, DFS and pool workers (repro.obs.trace)",
+    lambda: flag_strict(TRACE_ENV),
+)
+
+
+def all_knobs() -> List[EnvKnob]:
+    """Every declared knob, sorted by name."""
+    return [KNOBS[name] for name in sorted(KNOBS)]
+
+
+def knob(name: str) -> EnvKnob:
+    """The declared knob called *name* (``KeyError`` if undeclared)."""
+    return KNOBS[name]

@@ -59,6 +59,8 @@ from typing import (
     Tuple,
 )
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.queries.atoms import Atom, Equality, Inequality
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.terms import Constant, Variable
@@ -499,7 +501,8 @@ def _get_plan_memoized(
         # Unhashable constant somewhere in the query: the value-keyed LRU
         # cannot hold it, but the per-object attach (plain setattr) can.
         _misses += 1
-        plan = compile_plan(query, cardinalities, delta_atom=delta_atom)
+        with _trace.trace_span("plan_cache.compile", delta=delta_atom is not None):
+            plan = compile_plan(query, cardinalities, delta_atom=delta_atom)
         attach(plan)
         return plan
     if plan is not None:
@@ -507,7 +510,8 @@ def _get_plan_memoized(
         _PLAN_CACHE.move_to_end(key)
     else:
         _misses += 1
-        plan = compile_plan(query, cardinalities, delta_atom=delta_atom)
+        with _trace.trace_span("plan_cache.compile", delta=delta_atom is not None):
+            plan = compile_plan(query, cardinalities, delta_atom=delta_atom)
         _PLAN_CACHE[key] = plan
         if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
             _PLAN_CACHE.popitem(last=False)
@@ -534,6 +538,11 @@ def clear_plan_cache() -> None:
 def plan_cache_info() -> Dict[str, int]:
     """Cache statistics: size, hits, misses."""
     return {"size": len(_PLAN_CACHE), "hits": _hits, "misses": _misses}
+
+
+# The cache's live statistics appear in every metrics snapshot
+# (``repro stats``) without a second bookkeeping path.
+_metrics.register_view("plan_cache", plan_cache_info)
 
 
 # ----------------------------------------------------------------------

@@ -49,22 +49,24 @@ import dataclasses
 import os
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs import env as envknobs
+from repro.obs import trace as _trace
 from repro.store import faults, workqueue
 from repro.store.snapshot import Snapshot, SnapshotInstance
 from repro.store.workqueue import SubtreeExecutor, warn_invalid_env
 
 #: Environment toggle consulted when ``automaton_emptiness(parallel=None)``.
-PARALLEL_CHAINS_ENV = "REPRO_PARALLEL_CHAINS"
+PARALLEL_CHAINS_ENV = envknobs.PARALLEL_CHAINS_ENV
 
 #: Environment toggle consulted when
 #: ``automaton_emptiness(subtree_parallel=None)``: decompose each chain's
 #: witness search into subtree work items (deterministic semantics; pool
 #: dispatch still requires ``parallel`` and the cost gate).
-PARALLEL_SUBTREES_ENV = "REPRO_PARALLEL_SUBTREES"
+PARALLEL_SUBTREES_ENV = envknobs.PARALLEL_SUBTREES_ENV
 
 #: Environment override for the dispatch cost gate (see
 #: :func:`min_dispatch_cost`).
-PARALLEL_MIN_COST_ENV = "REPRO_PARALLEL_MIN_COST"
+PARALLEL_MIN_COST_ENV = envknobs.PARALLEL_MIN_COST_ENV
 
 #: Default for :func:`min_dispatch_cost`: estimated-work floor below
 #: which ``parallel=True`` stays in process.  The unit is the
@@ -72,7 +74,7 @@ PARALLEL_MIN_COST_ENV = "REPRO_PARALLEL_MIN_COST"
 #: exploration budget``; the default clears comfortably for the
 #: multi-second workloads parallelism targets and blocks the
 #: millisecond-scale calls where pool latency dominates.
-DEFAULT_MIN_DISPATCH_COST = 100_000
+DEFAULT_MIN_DISPATCH_COST = envknobs.DEFAULT_MIN_DISPATCH_COST
 
 #: Upper bound on workers regardless of core count: chain counts are small
 #: and each worker pays a full search setup, so very wide pools only add
@@ -85,9 +87,9 @@ _MAX_WORKERS_CAP = 8
 _SUBTREE_POOL_UNITS = 8
 
 
-def _env_flag(name: str) -> bool:
-    value = os.environ.get(name, "").strip().lower()
-    return value not in ("", "0", "false", "no", "off")
+#: Back-compat alias; the lenient-flag semantics live in the knob
+#: registry (:func:`repro.obs.env.flag_lenient`).
+_env_flag = envknobs.flag_lenient
 
 
 def parallel_chains_enabled() -> bool:
@@ -102,16 +104,7 @@ def subtree_parallel_enabled() -> bool:
 
 def min_dispatch_cost() -> int:
     """Estimated-work floor for pool dispatch (env override or default)."""
-    raw = os.environ.get(PARALLEL_MIN_COST_ENV, "").strip()
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            value = None
-        if value is not None and value >= 0:
-            return value
-        warn_invalid_env(PARALLEL_MIN_COST_ENV, raw, DEFAULT_MIN_DISPATCH_COST)
-    return DEFAULT_MIN_DISPATCH_COST
+    return envknobs.non_negative_int(PARALLEL_MIN_COST_ENV, DEFAULT_MIN_DISPATCH_COST)
 
 
 def available_cpus() -> int:
@@ -174,15 +167,28 @@ def _should_dispatch(total_cost: int, max_workers: Optional[int]) -> bool:
 
 
 def _check_chain_payload(payload):
-    """Top-level worker entry point (must be picklable by name)."""
-    restriction, vocabulary, initial_snapshot, search_kwargs, use_precheck = payload
+    """Top-level worker entry point (must be picklable by name).
+
+    The payload's optional sixth element is the coordinator's tracing
+    flag; when set, the worker records its ``emptiness.chain`` span tree
+    locally and ships it back on ``ChainOutcome.spans`` for the
+    coordinator to fold into the parent trace.
+    """
+    restriction, vocabulary, initial_snapshot, search_kwargs, use_precheck = payload[:5]
+    trace_on = bool(payload[5]) if len(payload) > 5 else False
     from repro.automata.emptiness import check_restriction
 
+    _trace.configure_worker(trace_on)
     faults.fire("chain")
     initial = SnapshotInstance.from_snapshot(initial_snapshot)
-    return check_restriction(
+    outcome = check_restriction(
         restriction, vocabulary, initial, search_kwargs, use_precheck
     )
+    if trace_on:
+        spans = tuple(_trace.take_spans())
+        if spans:
+            outcome = dataclasses.replace(outcome, spans=spans)
+    return outcome
 
 
 def _sequential(
@@ -222,13 +228,21 @@ def _chain_fanout(
     """Whole-chain fan-out: one pool task per restriction."""
     initial_snapshot = _initial_snapshot(initial)
     payloads = [
-        (restriction, vocabulary, initial_snapshot, search_kwargs, use_datalog_precheck)
+        (
+            restriction,
+            vocabulary,
+            initial_snapshot,
+            search_kwargs,
+            use_datalog_precheck,
+            _trace.enabled(),
+        )
         for restriction in restrictions
     ]
     futures = [pool.submit(_check_chain_payload, payload) for payload in payloads]
     outcomes = []
     for index, future in enumerate(futures):
         outcome = future.result()
+        _trace.attach_children(outcome.spans)
         outcomes.append(outcome)
         if outcome.witness is not None:
             # The fold stops at the first witness in restriction order,
@@ -279,6 +293,7 @@ def _hybrid_fanout(
             initial_snapshot,
             search_kwargs,
             use_datalog_precheck,
+            _trace.enabled(),
         )
         futures[index] = pool.submit(_check_chain_payload, payload)
 
@@ -324,6 +339,8 @@ def _hybrid_fanout(
         outcome = (
             dominant_outcome if index == dominant else futures[index].result()
         )
+        if index != dominant:
+            _trace.attach_children(outcome.spans)
         outcomes.append(outcome)
         if outcome.witness is not None:
             for later in range(index + 1, len(restrictions)):
@@ -405,6 +422,7 @@ def map_chain_outcomes(
         # being swallowed (stats are excluded from result equality, so
         # the determinism guarantees are untouched).
         workqueue.discard_shared_pool()
+        _trace.event("pool.fallback", point="chain")
         outcomes = _sequential(
             restrictions, vocabulary, initial, search_kwargs, use_datalog_precheck
         )

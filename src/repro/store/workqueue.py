@@ -47,110 +47,72 @@ import multiprocessing
 import os
 import pickle
 import time
-import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 # NOTE: repro.store is initialised very early (the query plan cache pulls
 # in the snapshot store), so this module must not import the repro.core
 # package at module level — the budget types are imported lazily inside
-# the budgeted entry points instead.
+# the budgeted entry points instead.  :mod:`repro.obs` is safe: it is
+# dependency-free within the library.
+from repro.obs import env as envknobs
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.store import faults
 
 #: Default explored-nodes budget a worker spends on one subtree item
 #: before handing it back for re-splitting.  Override per call via
 #: ``automaton_emptiness(split_budget=...)`` or globally via the
 #: ``REPRO_SUBTREE_SPLIT_BUDGET`` environment variable.
-DEFAULT_SPLIT_BUDGET = 20_000
+DEFAULT_SPLIT_BUDGET = envknobs.DEFAULT_SPLIT_BUDGET
 
 #: Environment override for :data:`DEFAULT_SPLIT_BUDGET`.
-SPLIT_BUDGET_ENV = "REPRO_SUBTREE_SPLIT_BUDGET"
+SPLIT_BUDGET_ENV = envknobs.SPLIT_BUDGET_ENV
 
 #: Environment override for the transient-failure retry count of the
 #: pool path (:func:`pool_retry_limit`).
-POOL_RETRIES_ENV = "REPRO_POOL_RETRIES"
+POOL_RETRIES_ENV = envknobs.POOL_RETRIES_ENV
 
 #: Default bounded retries for a transient worker failure before the
 #: in-process fallback.  Two retries with exponential backoff cover the
 #: common one-off worker death without stalling a genuinely broken pool.
-DEFAULT_POOL_RETRIES = 2
+DEFAULT_POOL_RETRIES = envknobs.DEFAULT_POOL_RETRIES
 
 #: Environment override for the per-item pooled result timeout in
 #: seconds (:func:`pool_item_timeout`).  Unset/empty means no timeout —
 #: the default, because a healthy pool's items always terminate (the DFS
 #: is budget-bounded) and a spurious timeout costs a full in-process
 #: recomputation.
-POOL_ITEM_TIMEOUT_ENV = "REPRO_POOL_ITEM_TIMEOUT"
+POOL_ITEM_TIMEOUT_ENV = envknobs.POOL_ITEM_TIMEOUT_ENV
 
 #: Base of the exponential retry backoff (seconds): 0.05, 0.1, 0.2, ...
 _RETRY_BACKOFF_S = 0.05
 
 
 # ----------------------------------------------------------------------
-# Environment parsing (with loud, one-time fallback warnings)
+# Environment parsing — the declarations and parsers live in the central
+# knob registry (:mod:`repro.obs.env`); these wrappers keep the
+# historical call sites and import paths working.
 # ----------------------------------------------------------------------
-_ENV_WARNED: Set[str] = set()
-
-
-def warn_invalid_env(name: str, raw: str, default: object) -> None:
-    """Warn (once per variable per process) about an ignored env value.
-
-    The silent ``except ValueError: pass`` fallbacks these parsers used
-    to have made a typo'd knob indistinguishable from an unset one; the
-    warning names the variable, the rejected value and the default that
-    is used instead.
-    """
-    if name in _ENV_WARNED:
-        return
-    _ENV_WARNED.add(name)
-    warnings.warn(
-        f"ignoring invalid value {raw!r} for {name}; using default {default!r}",
-        RuntimeWarning,
-        stacklevel=3,
-    )
+warn_invalid_env = envknobs.warn_invalid_env
+#: Back-compat alias; the live warned-once set is ``repro.obs.env._ENV_WARNED``.
+_ENV_WARNED = envknobs._ENV_WARNED
 
 
 def subtree_split_budget() -> int:
     """The configured per-item work budget (env override or default)."""
-    raw = os.environ.get(SPLIT_BUDGET_ENV, "").strip()
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            value = None
-        if value is not None and value > 0:
-            return value
-        warn_invalid_env(SPLIT_BUDGET_ENV, raw, DEFAULT_SPLIT_BUDGET)
-    return DEFAULT_SPLIT_BUDGET
+    return envknobs.positive_int(SPLIT_BUDGET_ENV, DEFAULT_SPLIT_BUDGET)
 
 
 def pool_retry_limit() -> int:
     """Bounded retries for transient worker failures (env override or default)."""
-    raw = os.environ.get(POOL_RETRIES_ENV, "").strip()
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            value = None
-        if value is not None and value >= 0:
-            return value
-        warn_invalid_env(POOL_RETRIES_ENV, raw, DEFAULT_POOL_RETRIES)
-    return DEFAULT_POOL_RETRIES
+    return envknobs.non_negative_int(POOL_RETRIES_ENV, DEFAULT_POOL_RETRIES)
 
 
 def pool_item_timeout() -> Optional[float]:
     """Per-item pooled result timeout in seconds (``None`` = no timeout)."""
-    raw = os.environ.get(POOL_ITEM_TIMEOUT_ENV, "").strip()
-    if raw:
-        try:
-            value = float(raw)
-        except ValueError:
-            value = None
-        if value is not None and value > 0:
-            return value
-        warn_invalid_env(POOL_ITEM_TIMEOUT_ENV, raw, None)
-    return None
+    return envknobs.positive_float(POOL_ITEM_TIMEOUT_ENV, None)
 
 
 # ----------------------------------------------------------------------
@@ -212,7 +174,7 @@ def discard_shared_pool() -> None:
         try:
             _POOL.shutdown(wait=False, cancel_futures=True)
         except Exception:  # pragma: no cover - best-effort cleanup
-            pass
+            _metrics.counter("pool.shutdown_errors")
     _POOL = None
     _POOL_WORKERS = 0
 
@@ -252,20 +214,38 @@ def _cached_search(token: Tuple[int, int], blob: bytes):
     return search
 
 
-def _subtree_worker(token: Tuple[int, int], blob: bytes, item, node_budget: int):
-    """Top-level worker entry point (must be picklable by name)."""
+def _subtree_worker(
+    token: Tuple[int, int],
+    blob: bytes,
+    item,
+    node_budget: int,
+    trace_on: bool = False,
+):
+    """Top-level worker entry point (must be picklable by name).
+
+    *trace_on* travels with every submission: persistent workers inherit
+    whatever tracing flag the coordinator had at fork time, so the entry
+    reconfigures :mod:`repro.obs.trace` per item and ships the spans it
+    recorded back on the outcome (``SubtreeOutcome.spans``), where the
+    coordinator folds them into the parent trace.
+    """
     import dataclasses
 
+    _trace.configure_worker(trace_on)
     faults.fire("subtree")
     search = _cached_search(token, blob)
     before = dict(search.stats)
-    outcome = search.run_subtree(item, node_budget)
+    with _trace.trace_span(
+        "emptiness.subtree", states=len(item.states), budget=node_budget
+    ):
+        outcome = search.run_subtree(item, node_budget)
     delta = {
         key: value - before.get(key, 0)
         for key, value in search.stats.items()
         if value != before.get(key, 0)
     }
-    return dataclasses.replace(outcome, stats=delta or None)
+    spans = tuple(_trace.take_spans()) if trace_on else None
+    return dataclasses.replace(outcome, stats=delta or None, spans=spans or None)
 
 
 # ----------------------------------------------------------------------
@@ -322,7 +302,12 @@ class SubtreeExecutor:
             return None
         try:
             return self._pool.submit(
-                _subtree_worker, self._token, self._blob, item, self._node_budget
+                _subtree_worker,
+                self._token,
+                self._blob,
+                item,
+                self._node_budget,
+                _trace.enabled(),
             )
         except Exception as error:
             _bump(
@@ -348,7 +333,12 @@ class SubtreeExecutor:
             self._pool = shared_pool(self._workers)
             self._dead = False
             return self._pool.submit(
-                _subtree_worker, self._token, self._blob, item, self._node_budget
+                _subtree_worker,
+                self._token,
+                self._blob,
+                item,
+                self._node_budget,
+                _trace.enabled(),
             )
         except Exception:
             _bump(self.counters, "pool_submit_errors")
@@ -395,6 +385,7 @@ def _pooled_outcome(future, item, executor, extra_stats):
             return future.result(timeout=timeout)
         except FuturesTimeout:
             _bump(extra_stats, "pool_timeouts")
+            _trace.event("pool.timeout", point="subtree", timeout_s=timeout)
             future.cancel()
             if executor is not None:
                 executor.mark_dead()
@@ -402,6 +393,9 @@ def _pooled_outcome(future, item, executor, extra_stats):
         except Exception as error:
             if _is_payload_error(error):
                 _bump(extra_stats, "pool_payload_errors")
+                _trace.event(
+                    "pool.payload_error", point="subtree", error=type(error).__name__
+                )
                 if executor is not None:
                     executor.mark_dead()
                 return None
@@ -414,6 +408,12 @@ def _pooled_outcome(future, item, executor, extra_stats):
             time.sleep(_RETRY_BACKOFF_S * (2 ** attempt))
             attempt += 1
             _bump(extra_stats, "pool_retries")
+            _trace.event(
+                "pool.retry",
+                point="subtree",
+                attempt=attempt,
+                error=type(error).__name__,
+            )
             future = resubmit(item)
             if future is None:
                 return None
@@ -444,9 +444,12 @@ def _resolve_item(search, item, future, budget, executor, extra_stats, horizon):
             # A failed item must not change verdicts: resolve it
             # in-process (below) and record that the pool path lost it.
             _bump(extra_stats, "pool_inprocess_fallbacks")
+            _trace.event("pool.fallback", point="subtree")
     if outcome is None:
-        outcome = search.run_subtree(item, budget, hard_limit=horizon)
+        with _trace.trace_span("emptiness.subtree", inprocess=True, budget=budget):
+            outcome = search.run_subtree(item, budget, hard_limit=horizon)
     else:
+        _trace.attach_children(getattr(outcome, "spans", None))
         _merge_stats(extra_stats, outcome.stats)
         extra_stats["subtree_pooled_items"] = (
             extra_stats.get("subtree_pooled_items", 0) + 1

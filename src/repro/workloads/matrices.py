@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.access.methods import Access, AccessSchema
 from repro.queries.cq import ConjunctiveQuery
@@ -96,12 +96,15 @@ class StreamedMatrix:
     expired before — provenance ``"deadline"``); ``first_verdict_s`` is
     the wall-clock delay until the *first* result was yielded (memo hits
     make this near-zero on warm engines) and ``total_s`` the full batch
-    time.
+    time.  ``by_provenance`` counts the consumed results per provenance
+    tag (``memo``/``dedup``/``computed``/``pooled``/...), the per-request
+    summary the engine records for every batch.
     """
 
     values: List[object]
     first_verdict_s: float
     total_s: float
+    by_provenance: Optional[Dict[str, int]] = None
 
 
 def stream_relevance_matrix(
@@ -149,15 +152,18 @@ def stream_relevance_matrix(
     values: List[object] = [None] * len(tasks)
     start = clock()
     first_verdict_s: Optional[float] = None
+    by_provenance: Dict[str, int] = {}
     for index, result in engine.iter_results(tasks, budget=budget):
         if first_verdict_s is None:
             first_verdict_s = clock() - start
         values[index] = result.value
+        by_provenance[result.provenance] = by_provenance.get(result.provenance, 0) + 1
     total_s = clock() - start
     return StreamedMatrix(
         values=values,
         first_verdict_s=first_verdict_s if first_verdict_s is not None else 0.0,
         total_s=total_s,
+        by_provenance=by_provenance,
     )
 
 

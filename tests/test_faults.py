@@ -302,7 +302,9 @@ class TestEngineTaskFaults:
 class TestEnvWarnings:
     @pytest.fixture(autouse=True)
     def _fresh_warning_state(self, monkeypatch):
-        monkeypatch.setattr(workqueue_module, "_ENV_WARNED", set())
+        from repro.obs import env as envknobs_module
+
+        monkeypatch.setattr(envknobs_module, "_ENV_WARNED", set())
 
     def test_invalid_retry_limit_warns_once_and_uses_default(self, monkeypatch):
         monkeypatch.setenv(workqueue_module.POOL_RETRIES_ENV, "many")

@@ -1,0 +1,83 @@
+"""Repository hygiene checks: tracked artifacts and silent-swallow lint.
+
+These are tier-1 guards over the repository itself rather than the
+library's behaviour:
+
+* compiled Python artifacts (``__pycache__``/``*.pyc``) must never be
+  git-tracked — they are interpreter- and machine-specific and once
+  committed they shadow honest diffs;
+* no ``except Exception: pass`` silent-swallow sites may exist in
+  ``src/``.  Every broad handler must at least record what it swallowed
+  (the pool-shutdown handler, for instance, counts into the metrics
+  registry) so failures stay observable.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def _git_tracked_files() -> list:
+    try:
+        completed = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        pytest.skip("git unavailable")
+    if completed.returncode != 0:
+        pytest.skip("not a git checkout")
+    return completed.stdout.splitlines()
+
+
+def test_no_compiled_artifacts_tracked():
+    offenders = [
+        path
+        for path in _git_tracked_files()
+        if path.endswith((".pyc", ".pyo")) or "__pycache__" in path.split("/")
+    ]
+    assert not offenders, (
+        "compiled artifacts are git-tracked (git rm --cached them and keep "
+        "__pycache__/ in .gitignore): " + ", ".join(offenders)
+    )
+
+
+def _is_broad_exception(node) -> bool:
+    """Whether an except clause catches Exception/BaseException or is bare."""
+    if node is None:
+        return True  # bare ``except:``
+    if isinstance(node, ast.Name):
+        return node.id in ("Exception", "BaseException")
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad_exception(element) for element in node.elts)
+    return False
+
+
+def test_no_silent_exception_swallow_sites():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_exception(node.type):
+                continue
+            if len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
+                offenders.append(
+                    f"{path.relative_to(REPO_ROOT)}:{node.lineno}"
+                )
+    assert not offenders, (
+        "silent `except Exception: pass` sites found (record the failure — "
+        "a metrics counter at minimum — instead of discarding it): "
+        + ", ".join(offenders)
+    )
