@@ -44,7 +44,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from repro.access.methods import AccessSchema
 from repro.engine.reduction import Deduper
 from repro.queries.containment import ucq_contained_in
-from repro.queries.cq import ConjunctiveQuery
+from repro.queries.cq import ConjunctiveQuery, QueryError
 from repro.queries.evaluation import holds
 from repro.queries.terms import Variable
 from repro.queries.ucq import UnionOfConjunctiveQueries, as_ucq
@@ -140,8 +140,8 @@ def _frozen_candidate(
     """
     try:
         identified = disjunct.rename_variables(identification)
-    except Exception:
-        return None
+    except QueryError:
+        return None  # identification forces a head variable onto a constant
     assignment = {v: f"~{v.name}" for v in identified.variables()}
     candidate = SnapshotInstance.from_snapshot(initial_snap)
     facts: List[Tuple[str, Tuple[object, ...]]] = []

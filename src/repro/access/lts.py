@@ -23,6 +23,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional
 from repro.access.methods import Access, AccessMethod, AccessSchema
 from repro.access.path import AccessPath, PathStep, conf
 from repro.relational.instance import FrozenInstance, Instance
+from repro.relational.schema import SchemaError
 
 
 @dataclass(frozen=True)
@@ -181,8 +182,8 @@ def candidate_responses(
             values[position] = value
         try:
             candidate_tuples.append(relation.validate_tuple(tuple(values)))
-        except Exception:
-            continue
+        except SchemaError:
+            continue  # ill-typed for the relation: not a candidate response
     for size in range(0, max_response_size + 1):
         for subset in itertools.combinations(candidate_tuples, size):
             yield frozenset(subset)

@@ -1,0 +1,15 @@
+"""``python -m repro.analysis`` — the CI entry point for the linter.
+
+Identical to ``repro lint``; exists so external CI can invoke the
+contract pass without the console script being installed.  Exit codes:
+0 clean, 1 findings (or stale baseline entries), 2 internal error.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.driver import run
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:], prog="python -m repro.analysis"))

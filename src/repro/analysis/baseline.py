@@ -1,0 +1,155 @@
+"""Committed-baseline mechanism for the contract linter.
+
+A new rule can land while known findings are grandfathered: the baseline
+file records each tolerated finding as ``(rule, path, message)`` — no
+line numbers, so ordinary edits don't invalidate it — plus a mandatory
+human ``justification``.  The comparison is strict in both directions:
+
+* a finding **not** in the baseline is a regression and fails the run;
+* a baseline entry with no matching finding is **stale** (the bug was
+  fixed but the tolerance survived) and also fails the run, keeping the
+  committed file honest.
+
+Duplicate findings need duplicate entries: three identical swallows in
+one file consume three baseline lines, so fixing one of them shows up
+as one stale entry rather than silently keeping the tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (not a linter finding: exit code 2)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding; ``justification`` is required prose."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_json(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Findings split against a baseline: what's new, matched, stale."""
+
+    new_findings: Tuple[Finding, ...]
+    matched: Tuple[Finding, ...]
+    stale_entries: Tuple[BaselineEntry, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings and not self.stale_entries
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file (an empty or missing file is an empty baseline)."""
+    if not path.exists():
+        return []
+    text = path.read_text(encoding="utf-8").strip()
+    if not text:
+        return []
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(raw, list):
+        raise BaselineError(f"baseline {path} must be a JSON list of entries")
+    entries: List[BaselineEntry] = []
+    for index, item in enumerate(raw):
+        if not isinstance(item, dict):
+            raise BaselineError(f"baseline {path} entry {index} is not an object")
+        missing = [
+            field
+            for field in ("rule", "path", "message", "justification")
+            if not isinstance(item.get(field), str) or not item[field].strip()
+        ]
+        if missing:
+            raise BaselineError(
+                f"baseline {path} entry {index} is missing required "
+                f"non-empty fields: {', '.join(missing)} (every grandfathered "
+                "finding must carry a justification)"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                message=item["message"],
+                justification=item["justification"],
+            )
+        )
+    return entries
+
+
+def compare(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> BaselineComparison:
+    """Match findings against baseline entries, occurrence-counted."""
+    available = Counter(entry.key() for entry in entries)
+    new_findings: List[Finding] = []
+    matched: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if available.get(key, 0) > 0:
+            available[key] -= 1
+            matched.append(finding)
+        else:
+            new_findings.append(finding)
+    stale: List[BaselineEntry] = []
+    consumed: Counter = Counter()
+    for entry in entries:
+        key = entry.key()
+        leftover = available.get(key, 0)
+        if consumed[key] < leftover:
+            consumed[key] += 1
+            stale.append(entry)
+    return BaselineComparison(
+        new_findings=tuple(new_findings),
+        matched=tuple(matched),
+        stale_entries=tuple(stale),
+    )
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    """Write the current findings as a fresh baseline skeleton.
+
+    Each entry gets a placeholder justification that the strict loader
+    accepts but a reviewer is expected to replace; sorted for stable
+    diffs.
+    """
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+            "justification": "TODO: justify or fix (added by --update-baseline)",
+        }
+        for finding in sorted(
+            findings, key=lambda f: (f.path, f.rule, f.line, f.message)
+        )
+    ]
+    path.write_text(
+        json.dumps(entries, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

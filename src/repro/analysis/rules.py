@@ -1,0 +1,168 @@
+"""Rule base class, registry and per-module analysis context.
+
+Every contract rule is a subclass of :class:`Rule` registered under a
+stable ID (``ENV001``, ``EXC001``, ...).  IDs are part of the repo's
+public surface: inline suppressions (``# repro: noqa[ENV001]``), the
+committed baseline and ``repro lint --explain`` all refer to them, so an
+ID is never renamed or recycled — a retired rule's ID stays reserved.
+
+Rules are pure AST analyses over one module at a time.  They receive a
+:class:`ModuleContext` (parsed tree + source + repo-relative path) and
+yield :class:`~repro.analysis.findings.Finding` records; the driver owns
+file walking, suppression and baseline handling, so rules stay small and
+independently testable against fixture snippets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.analysis.findings import Finding
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """One parsed module under analysis.
+
+    ``path`` is relative to the scanned source root with posix
+    separators (``repro/engine/engine.py``); rule scoping matches on it,
+    which lets fixture tests exercise path-scoped rules by supplying a
+    fake path for an in-memory snippet.
+    """
+
+    path: str
+    tree: ast.Module
+    lines: Tuple[str, ...]
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        **detail: str,
+    ) -> Finding:
+        return Finding(
+            rule=rule.rule_id,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            detail=dict(detail),
+        )
+
+
+class Rule:
+    """One contract rule: stable ID, catalogue text, AST check."""
+
+    #: Stable identifier, e.g. ``"ENV001"``; never renamed or recycled.
+    rule_id: str = ""
+    #: Short kebab-case name for listings.
+    name: str = ""
+    #: One-line statement of what is flagged.
+    summary: str = ""
+    #: The repo invariant the rule protects.
+    invariant: str = ""
+    #: The past bug/PR class that motivated the rule.
+    motivation: str = ""
+    #: How to fix a finding (or when a ``noqa`` is legitimate).
+    fix: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def explain(cls) -> str:
+        return (
+            f"{cls.rule_id} ({cls.name})\n"
+            f"  flags     : {cls.summary}\n"
+            f"  invariant : {cls.invariant}\n"
+            f"  motivation: {cls.motivation}\n"
+            f"  fix       : {cls.fix}"
+        )
+
+
+#: Registry of every rule, keyed by ID (populated via :func:`register`).
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (IDs must be unique)."""
+    rule_id = rule_class.rule_id
+    if not rule_id:
+        raise ValueError(f"rule {rule_class.__name__} has no rule_id")
+    existing = RULES.get(rule_id)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule ID {rule_id!r}")
+    RULES[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Every registered rule class, sorted by ID."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted names they import.
+
+    ``import time`` maps ``time -> time``; ``import time as t`` maps
+    ``t -> time``; ``from time import perf_counter as pc`` maps
+    ``pc -> time.perf_counter``.  Star imports are ignored (none exist
+    in ``src/`` and resolving them needs runtime information).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never bring in stdlib clocks
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_qualified(
+    node: ast.AST, aliases: Dict[str, str]
+) -> Optional[str]:
+    """The imported dotted name a ``Name``/``Attribute`` chain refers to.
+
+    Returns e.g. ``"time.perf_counter"`` for ``time.perf_counter`` under
+    ``import time``, or ``None`` when the chain's base is not an
+    imported name (locals shadow imports only at runtime; the linter
+    accepts that approximation).
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    base = aliases.get(current.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def is_broad_exception_type(node: Optional[ast.AST]) -> bool:
+    """Whether an except clause catches Exception/BaseException or is bare."""
+    if node is None:
+        return True  # bare ``except:``
+    if isinstance(node, ast.Name):
+        return node.id in ("Exception", "BaseException")
+    if isinstance(node, ast.Tuple):
+        return any(is_broad_exception_type(element) for element in node.elts)
+    return False

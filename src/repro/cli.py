@@ -51,6 +51,13 @@ web-directory schema (or any named workload scenario):
     type, default, current value and whether it came from the
     environment or the default.
 
+``repro lint``
+    Run the contract linter (:mod:`repro.analysis`): AST rules enforcing
+    the repo's determinism, picklability and hygiene invariants over
+    ``src/repro``.  Exit codes follow the CI contract — 0 clean,
+    1 findings (or stale baseline entries), 2 internal error.
+    ``--explain RULE-ID`` prints a rule's invariant, motivation and fix.
+
 Run ``repro <command> --help`` for the options of each command.
 """
 
@@ -381,6 +388,23 @@ def cmd_env(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.driver import run as lint_run
+
+    forwarded = []
+    if args.json:
+        forwarded.append("--json")
+    if args.baseline is not None:
+        forwarded.extend(["--baseline", args.baseline])
+    if args.update_baseline:
+        forwarded.append("--update-baseline")
+    if args.explain is not None:
+        forwarded.extend(["--explain", args.explain])
+    if args.root is not None:
+        forwarded.extend(["--root", args.root])
+    return lint_run(forwarded, prog="repro lint")
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     for scenario in standard_scenarios():
         print(scenario.describe())
@@ -524,6 +548,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     env.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     env.set_defaults(func=cmd_env)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the contract linter over src/repro "
+        "(exit 0 clean, 1 findings, 2 internal error)",
+    )
+    lint.add_argument("--json", action="store_true", help="emit a JSON report")
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline of grandfathered findings "
+        "(default: LINT_BASELINE.json at the repo root)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="RULE-ID",
+        default=None,
+        help="print a rule's catalogue entry ('all' for the whole catalogue)",
+    )
+    lint.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="source root containing the repro package",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

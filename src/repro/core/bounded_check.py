@@ -51,6 +51,7 @@ from repro.core.vocabulary import (
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.terms import Constant, Variable
 from repro.relational.instance import Instance
+from repro.relational.schema import SchemaError
 from repro.store.snapshot import Snapshot, SnapshotInstance
 
 Fact = Tuple[str, Tuple[object, ...]]
@@ -146,7 +147,7 @@ def fact_pool_from_sentences(
             relation = base_schema.relation(relation_name)
             try:
                 variant = (relation_name, relation.validate_tuple(tuple(values)))
-            except Exception:
+            except SchemaError:
                 return  # ill-typed for the relation: not a possible fact
             if variant not in seen:
                 seen.add(variant)

@@ -24,7 +24,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.program import DatalogProgram, Rule
 from repro.queries.atoms import Atom, Equality, Inequality
-from repro.queries.cq import ConjunctiveQuery
+from repro.queries.cq import ConjunctiveQuery, QueryError
 from repro.queries.terms import Constant, Term, Variable
 
 
@@ -149,8 +149,8 @@ def expansions(
                     equalities=equalities,
                     inequalities=inequalities,
                 )
-            except Exception:
-                continue
+            except QueryError:
+                continue  # unfolding produced an unsafe head: not a valid expansion
             yield expansion
             yielded += 1
             if max_expansions is not None and yielded >= max_expansions:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.queries.cq import ConjunctiveQuery
+from repro.queries.cq import ConjunctiveQuery, QueryError
 from repro.queries.evaluation import evaluate_cq, holds, satisfying_assignments
 from repro.queries.homomorphism import canonical_instance, find_homomorphism
 from repro.queries.terms import Constant, Variable
@@ -73,8 +73,8 @@ def cq_contained_in(containee: ConjunctiveQuery, container: ConjunctiveQuery) ->
                 identification[v] = representative
         try:
             identified = containee.rename_variables(identification)
-        except Exception:
-            continue
+        except QueryError:
+            continue  # identification forces a head variable onto a constant
         # The identified query must still satisfy its own inequalities.
         if any(
             ineq.left == ineq.right for ineq in identified.inequalities

@@ -116,7 +116,7 @@ def stream_relevance_matrix(
     grounded: bool = False,
     require_boolean_access: bool = True,
     budget=None,
-    clock=time.perf_counter,
+    clock=time.perf_counter,  # repro: noqa[TIME001] latency reporting only; injectable for tests
 ) -> StreamedMatrix:
     """Run a relevance matrix through ``engine.iter_results``.
 

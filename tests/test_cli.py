@@ -181,6 +181,7 @@ class TestParser:
             "lts",
             "scenarios",
             "matrix",
+            "lint",
         } <= commands
 
 
@@ -214,3 +215,75 @@ class TestMatrix:
         )
         assert code == 0
         assert "relevance matrix:" in out
+
+
+# ----------------------------------------------------------------------
+# Contract linter (repro lint)
+# ----------------------------------------------------------------------
+class TestLint:
+    def test_lint_src_is_clean(self, capsys):
+        code, out = run_cli(capsys, "lint")
+        assert code == 0
+        assert "OK:" in out
+
+    def test_lint_json_shape(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "lint", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) == {
+            "files",
+            "rules",
+            "findings",
+            "baselined",
+            "stale_baseline",
+            "suppressed",
+            "clean",
+        }
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert payload["files"] > 50
+        assert "ENV001" in payload["rules"]
+
+    def test_lint_json_findings_shape(self, capsys, tmp_path):
+        import json
+        import textwrap
+
+        package = tmp_path / "root" / "repro"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text(
+            textwrap.dedent(
+                """
+                import os
+                RAW = os.environ.get("X")
+                """
+            )
+        )
+        code, out = run_cli(
+            capsys,
+            "lint",
+            "--json",
+            "--root",
+            str(tmp_path / "root"),
+            "--baseline",
+            str(tmp_path / "none.json"),
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["clean"] is False
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert finding["rule"] == "ENV001"
+        assert finding["path"] == "repro/bad.py"
+
+    def test_lint_explain(self, capsys):
+        code, out = run_cli(capsys, "lint", "--explain", "EXC001")
+        assert code == 0
+        assert "EXC001" in out
+        assert "invariant" in out
+
+    def test_lint_explain_unknown_rule_is_internal_error(self, capsys):
+        code, out = run_cli(capsys, "lint", "--explain", "BOGUS1")
+        assert code == 2
+        assert "unknown rule" in out

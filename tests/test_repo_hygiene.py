@@ -6,22 +6,31 @@ library's behaviour:
 * compiled Python artifacts (``__pycache__``/``*.pyc``) must never be
   git-tracked — they are interpreter- and machine-specific and once
   committed they shadow honest diffs;
-* no ``except Exception: pass`` silent-swallow sites may exist in
-  ``src/``.  Every broad handler must at least record what it swallowed
-  (the pool-shutdown handler, for instance, counts into the metrics
-  registry) so failures stay observable.
+* no silent broad-exception swallow sites may exist in ``src/``.
+
+The silent-swallow check used to be an ad-hoc AST walk here; it now
+lives in the contract linter (:class:`repro.analysis.hygiene.
+SilentSwallowRule`, rule ``EXC001``) and this file is a thin wrapper
+that keeps the guarantee **at least as strong as the seed check**:
+
+* the generalised rule (``pass``, ``...`` and ``continue`` bodies) must
+  report nothing unsuppressed anywhere in ``src/``;
+* the seed-era strict form — a broad handler whose body is exactly
+  ``pass`` — must not exist even *with* a ``# repro: noqa[EXC001]``
+  marker, because the seed test knew nothing about suppressions.
 """
 
 from __future__ import annotations
 
-import ast
 import subprocess
 from pathlib import Path
 
 import pytest
 
+from repro.analysis import lint_tree
+from repro.analysis.hygiene import SilentSwallowRule
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC_ROOT = REPO_ROOT / "src"
 
 
 def _git_tracked_files() -> list:
@@ -52,32 +61,31 @@ def test_no_compiled_artifacts_tracked():
     )
 
 
-def _is_broad_exception(node) -> bool:
-    """Whether an except clause catches Exception/BaseException or is bare."""
-    if node is None:
-        return True  # bare ``except:``
-    if isinstance(node, ast.Name):
-        return node.id in ("Exception", "BaseException")
-    if isinstance(node, ast.Tuple):
-        return any(_is_broad_exception(element) for element in node.elts)
-    return False
-
-
 def test_no_silent_exception_swallow_sites():
-    offenders = []
-    for path in sorted(SRC_ROOT.rglob("*.py")):
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        for node in ast.walk(tree):
-            if not isinstance(node, ast.ExceptHandler):
-                continue
-            if not _is_broad_exception(node.type):
-                continue
-            if len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
-                offenders.append(
-                    f"{path.relative_to(REPO_ROOT)}:{node.lineno}"
-                )
+    report = lint_tree(rules=[SilentSwallowRule])
+    offenders = [finding.location() for finding in report.findings]
     assert not offenders, (
-        "silent `except Exception: pass` sites found (record the failure — "
-        "a metrics counter at minimum — instead of discarding it): "
+        "silent broad-except swallow sites found (record the failure — a "
+        "metrics counter at minimum — or narrow the exception type): "
         + ", ".join(offenders)
+    )
+
+
+def test_seed_strict_form_not_even_suppressible():
+    """``except Exception: pass`` may not hide behind a noqa marker.
+
+    The pre-linter hygiene test had no suppression mechanism, so to stay
+    no weaker than the seed, the exact body it banned stays banned even
+    when annotated.  (The generalised ``...``/``continue`` forms may be
+    suppressed with justification; the pass form may not.)
+    """
+    report = lint_tree(rules=[SilentSwallowRule])
+    hidden = [
+        finding.location()
+        for finding in report.suppressed
+        if finding.detail.get("body_kind") == "pass"
+    ]
+    assert not hidden, (
+        "`except Exception: pass` sites suppressed via noqa (forbidden — "
+        "the seed hygiene ban is unconditional): " + ", ".join(hidden)
     )
