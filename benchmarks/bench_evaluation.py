@@ -51,6 +51,13 @@ compare against:
   through ``DecisionEngine.iter_results``; the row times the full
   streamed batch and the first-verdict latency is reported alongside as
   ``anytime_stats``;
+* ``memo_persist_cold`` / ``memo_persist_warm`` / ``memo_persist_crossproc``
+  — the crash-safe persistent verdict store
+  (:mod:`repro.store.verdict_cache`): a mixed LTL + Datalog-containment
+  batch computed against an empty store, re-served from segment files by
+  a fresh engine (disk hits asserted), and re-served in a *child
+  interpreter* pointed at the store via ``REPRO_MEMO_PERSIST_PATH``
+  (cross-process reuse asserted; verdict fields identical in all modes);
 * ``pipeline_end_to_end`` — the full containment + relevance pipeline of
   ``bench_pipeline_vs_bruteforce.py`` (automata pipeline and bounded
   brute-force checker side by side) at the largest configured size.
@@ -730,6 +737,230 @@ def bench_anytime(
     return results
 
 
+def _memo_persist_tasks(smoke: bool):
+    """A deterministic mixed batch for the persistent verdict store rows.
+
+    LTL word searches plus Datalog-in-UCQ containment checks — two of the
+    front-door procedures PR 9 routed through the shared engine.  Every
+    task is structurally unique (no intra-batch dedup), so warm/cold hit
+    counts measure the persistent tier and nothing else.  Construction
+    must be reproducible across *processes*: the cross-process row
+    rebuilds this exact batch in a child interpreter and the fingerprints
+    must match the parent's.
+    """
+    from repro.datalog.program import DatalogProgram, Rule
+    from repro.engine.engine import datalog_containment_task, ltl_word_task
+    from repro.ltl.syntax import (
+        And,
+        Eventually,
+        Globally,
+        Next,
+        Not,
+        Or,
+        Prop,
+        Until,
+    )
+    from repro.queries.atoms import Atom
+    from repro.queries.terms import Variable
+    from repro.relational.schema import make_schema
+
+    tasks = []
+    props = [Prop(f"p{index}") for index in range(3)]
+    letters = [
+        frozenset(),
+        frozenset({"p0"}),
+        frozenset({"p1"}),
+        frozenset({"p0", "p1"}),
+        frozenset({"p2"}),
+        frozenset({"p1", "p2"}),
+    ]
+    for index in range(6 if smoke else 12):
+        a = props[index % 3]
+        b = props[(index + 1) % 3]
+        c = props[(index + 2) % 3]
+        shapes = [
+            Until(Or(a, Next(b)), And(Eventually(c), Not(a))),
+            And(Eventually(And(a, Next(b))), Globally(Or(b, Not(c)))),
+            Until(Not(a), And(b, Eventually(c))),
+        ]
+        formula = shapes[index % 3]
+        for _ in range(index // 3):  # make every task unique
+            formula = Next(formula)
+        tasks.append(
+            ltl_word_task(formula, letters=letters, max_length=5 if smoke else 6)
+        )
+
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    schema = make_schema({"Edge": 2})
+    program = DatalogProgram(
+        rules=[
+            Rule(head=Atom("Path", (x, y)), body=(Atom("Edge", (x, y)),)),
+            Rule(
+                head=Atom("Path", (x, z)),
+                body=(Atom("Edge", (x, y)), Atom("Path", (y, z))),
+            ),
+        ],
+        edb_schema=schema,
+        goal="Path",
+    )
+    generator = WorkloadGenerator(seed=37)
+    for _ in range(4 if smoke else 8):
+        query = generator.ucq(
+            schema, num_disjuncts=2, num_atoms=2, num_variables=3
+        )
+        tasks.append(
+            datalog_containment_task(
+                program, query, max_depth=3, max_expansions=40
+            )
+        )
+    return tasks
+
+
+def _memo_persist_fields(values) -> List[List[object]]:
+    """Canonical, JSON-safe verdict fields for cross-process comparison.
+
+    ``repr`` of a frozenset depends on hash ordering, so the LTL word's
+    letters are re-serialised as sorted lists; everything else is plain
+    scalars (plus a deterministic dataclass ``repr`` for the Datalog
+    counterexample CQ).
+    """
+    fields: List[List[object]] = []
+    for value in values:
+        if hasattr(value, "word"):
+            word = value.word
+            fields.append(
+                [
+                    "ltl",
+                    None
+                    if word is None
+                    else [sorted(letter) for letter in word],
+                ]
+            )
+        else:
+            fields.append(
+                [
+                    "datalog",
+                    value.contained,
+                    value.exhaustive,
+                    value.expansions_checked,
+                    repr(value.counterexample),
+                ]
+            )
+    return fields
+
+
+def _run_memo_persist_workload(smoke: bool):
+    """Run the memo-persist batch on a default-policy engine.
+
+    The default :class:`~repro.engine.reduction.CachePolicy` leaves
+    ``persist_path`` to the ``REPRO_MEMO_PERSIST_PATH`` environment knob,
+    which is exactly how the cross-process child is pointed at the shared
+    store.  Returns the canonical verdict fields and the engine's
+    disk-hit counter.
+    """
+    from repro.engine import DecisionEngine
+
+    engine = DecisionEngine()
+    results = engine.run_batch(_memo_persist_tasks(smoke))
+    fields = _memo_persist_fields([result.value for result in results])
+    return fields, engine.stats()["memo_disk_hits"]
+
+
+def bench_memo_persist(
+    smoke: bool, repeats: int, persist_stats_out: Optional[Dict[str, object]] = None
+) -> Dict[str, Dict[str, object]]:
+    """The crash-safe persistent verdict store: cold vs warm vs cross-process.
+
+    ``memo_persist_cold`` clears the store and computes the whole batch
+    (each repeat re-clears, so every repeat pays full computation plus
+    one atomic segment write).  ``memo_persist_warm`` starts a *fresh*
+    engine over the populated store — the in-memory tier is empty, so
+    every verdict is served from disk (``memo_disk_hits`` is asserted
+    positive).  ``memo_persist_crossproc`` re-runs the identical batch in
+    a child interpreter pointed at the store via
+    ``REPRO_MEMO_PERSIST_PATH`` — the row that proves segment files
+    written by one process are reused by another (interpreter startup is
+    included in the timing; the reuse evidence is the asserted disk-hit
+    count, reported in ``memo_persist_stats``).  Verdict fields are
+    asserted identical across all three modes.
+    """
+    import os
+    import shutil
+    import subprocess
+    import sys
+    import tempfile
+
+    from repro.engine import DecisionEngine
+    from repro.engine.reduction import CachePolicy
+    from repro.store.verdict_cache import clear_store, store_stats
+
+    store = tempfile.mkdtemp(prefix="repro-memo-bench-")
+    tasks = _memo_persist_tasks(smoke)
+
+    def run_cold():
+        clear_store(store)
+        engine = DecisionEngine(cache_policy=CachePolicy(persist_path=store))
+        results = engine.run_batch(tasks)
+        assert engine.stats()["memo_disk_hits"] == 0, "cold run hit the store"
+        return _memo_persist_fields([result.value for result in results])
+
+    def run_warm():
+        engine = DecisionEngine(cache_policy=CachePolicy(persist_path=store))
+        results = engine.run_batch(tasks)
+        hits = engine.stats()["memo_disk_hits"]
+        assert hits > 0, "warm run never hit the persistent tier"
+        if persist_stats_out is not None:
+            persist_stats_out["warm_disk_hits"] = hits
+        return _memo_persist_fields([result.value for result in results])
+
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    src_dir = os.path.join(os.path.dirname(bench_dir), "src")
+    child_env = dict(os.environ)
+    child_env["REPRO_MEMO_PERSIST_PATH"] = store
+    child_env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src_dir, child_env.get("PYTHONPATH", "")) if part
+    )
+    script = (
+        "import json, sys\n"
+        f"sys.path.insert(0, {bench_dir!r})\n"
+        "from bench_evaluation import _run_memo_persist_workload\n"
+        f"fields, hits = _run_memo_persist_workload({smoke!r})\n"
+        "print(json.dumps({'fields': fields, 'hits': hits}))\n"
+    )
+
+    def run_crossproc():
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=child_env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        payload = json.loads(proc.stdout.strip().splitlines()[-1])
+        assert payload["hits"] > 0, "cross-process run never hit the shared store"
+        if persist_stats_out is not None:
+            persist_stats_out["crossproc_disk_hits"] = payload["hits"]
+        return payload["fields"]
+
+    try:
+        results = {
+            "memo_persist_cold": _median_of(repeats, run_cold),
+            "memo_persist_warm": _median_of(repeats, run_warm),
+            "memo_persist_crossproc": _median_of(repeats, run_crossproc),
+        }
+        cold, warm, crossproc = run_cold(), run_warm(), run_crossproc()
+        assert cold == warm == crossproc, (
+            "persistent verdict store changed a verdict across tiers"
+        )
+        if persist_stats_out is not None:
+            persist_stats_out["tasks"] = len(tasks)
+            persist_stats_out["store"] = store_stats(store)
+            persist_stats_out["store"]["path"] = "<tempdir>"  # not reproducible
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+    return results
+
+
 def bench_pipeline(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
     """The bench_pipeline_vs_bruteforce workload, timed end to end.
 
@@ -825,6 +1056,7 @@ def run_benchmarks(
     memo_stats: Dict[str, object] = {}
     matrix_stats: Dict[str, object] = {}
     anytime_stats: Dict[str, object] = {}
+    persist_stats: Dict[str, object] = {}
     results.update(bench_cq_evaluation(smoke, repeats))
     results.update(bench_datalog(smoke, repeats))
     results.update(bench_emptiness(smoke, repeats, memo_stats_out=memo_stats))
@@ -833,6 +1065,9 @@ def run_benchmarks(
     results.update(bench_parallel_chains(smoke, repeats))
     results.update(bench_matrices(smoke, repeats, matrix_stats_out=matrix_stats))
     results.update(bench_anytime(smoke, repeats, anytime_stats_out=anytime_stats))
+    results.update(
+        bench_memo_persist(smoke, repeats, persist_stats_out=persist_stats)
+    )
     results.update(bench_pipeline(smoke, repeats))
     compiled = results["cq_compiled"]["median_s"]
     naive = results["cq_naive"]["median_s"]
@@ -850,6 +1085,8 @@ def run_benchmarks(
     containment_batched = results["containment_matrix_batched"]["median_s"]
     trace_off = results["pipeline_trace_off"]["median_s"]
     trace_on = results["pipeline_trace_on"]["median_s"]
+    memo_cold = results["memo_persist_cold"]["median_s"]
+    memo_warm = results["memo_persist_warm"]["median_s"]
     return {
         "benchmark": "bench_evaluation",
         "mode": "smoke" if smoke else "full",
@@ -884,6 +1121,10 @@ def run_benchmarks(
         "trace_overhead_ratio": round(trace_on / trace_off, 3)
         if trace_off
         else None,
+        "speedup_memo_persist_warm": round(memo_cold / memo_warm, 2)
+        if memo_warm
+        else None,
+        "memo_persist_stats": persist_stats,
         "matrix_engine_stats": matrix_stats,
         "anytime_stats": anytime_stats,
         "emptiness_memo_stats": memo_stats,
@@ -947,6 +1188,11 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
     print(
         "trace overhead ratio (on/off):",
         report["trace_overhead_ratio"],
+    )
+    print(
+        "memo persist warm speedup:",
+        report["speedup_memo_persist_warm"],
+        report["memo_persist_stats"],
     )
     print(
         "matrix engine stats:",

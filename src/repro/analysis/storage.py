@@ -1,0 +1,128 @@
+"""Storage rules: cache files change only through the atomic-write helper.
+
+The crash-safety argument of the verdict store (PR 9) rests on a single
+chokepoint: every segment reaches disk via
+:func:`repro.store.verdict_cache.atomic_write_bytes` — unique tmp file,
+``fsync``, ``os.replace``, directory ``fsync`` — so a reader can never
+observe a half-written file.  One ad-hoc ``open(..., "w")`` or bare
+``os.rename`` elsewhere would silently void that argument for every
+record it touches, which is exactly the class of regression a reviewer
+cannot be trusted to catch forever.  Per the ROADMAP convention, the
+invariant lands with a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import (
+    ModuleContext,
+    Rule,
+    import_aliases,
+    register,
+    resolve_qualified,
+)
+
+
+@register
+class AtomicCacheWriteRule(Rule):
+    """IO001: file replacement goes through ``atomic_write_bytes``."""
+
+    rule_id = "IO001"
+    name = "atomic-cache-write"
+    summary = (
+        "os.replace / os.rename / shutil.move outside the verdict store's "
+        "atomic-write helper, or a write-mode open() elsewhere in "
+        "repro/store/verdict_cache.py"
+    )
+    invariant = (
+        "verdict-store files are created and replaced only inside "
+        "repro.store.verdict_cache.atomic_write_bytes (tmp file + fsync + "
+        "os.replace + directory fsync), so a crashed writer can tear a tmp "
+        "file but never a record a reader might trust"
+    )
+    motivation = (
+        "the PR 9 crash-consistency suite proves torn writes, ENOSPC and "
+        "mid-write kills all degrade to recomputation; that proof only "
+        "covers writes routed through the helper, so any other replace "
+        "path reopens the door to serving a half-written verdict"
+    )
+    fix = (
+        "build the full payload in memory and hand it to "
+        "repro.store.verdict_cache.atomic_write_bytes"
+    )
+
+    #: The module hosting the helper; its own write syscalls are checked
+    #: function-by-function rather than path-exempted wholesale.
+    _HELPER_MODULE = "repro/store/verdict_cache.py"
+    _HELPER_FUNCTION = "atomic_write_bytes"
+
+    _REPLACERS: Tuple[str, ...] = ("os.replace", "os.rename", "shutil.move")
+    _WRITE_MODES = frozenset("wax")
+
+    def _enclosing_function(self, ctx: ModuleContext, node: ast.AST) -> str:
+        """Name of the innermost function definition containing *node*."""
+        best = ""
+        best_span = None
+        for candidate in ast.walk(ctx.tree):
+            if not isinstance(candidate, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            end = getattr(candidate, "end_lineno", None)
+            if end is None or not (candidate.lineno <= node.lineno <= end):
+                continue
+            span = end - candidate.lineno
+            if best_span is None or span < best_span:
+                best, best_span = candidate.name, span
+        return best
+
+    def _is_write_open(self, node: ast.Call) -> bool:
+        if not (isinstance(node.func, ast.Name) and node.func.id == "open"):
+            return False
+        mode = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None:
+            return False  # default "r"
+        if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+            return True  # dynamic mode: flag it, the chokepoint is static
+        return bool(self._WRITE_MODES & set(mode.value))
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree)
+        in_helper_module = ctx.path == self._HELPER_MODULE
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                qualified = resolve_qualified(node.func, aliases)
+                if qualified in self._REPLACERS:
+                    if (
+                        in_helper_module
+                        and self._enclosing_function(ctx, node)
+                        == self._HELPER_FUNCTION
+                    ):
+                        continue
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{qualified}() outside "
+                        f"{self._HELPER_MODULE}:{self._HELPER_FUNCTION} — "
+                        "file replacement must go through the atomic-write "
+                        "helper",
+                    )
+                elif in_helper_module and self._is_write_open(node):
+                    if (
+                        self._enclosing_function(ctx, node)
+                        == self._HELPER_FUNCTION
+                    ):
+                        continue
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "write-mode open() in the verdict store outside "
+                        f"{self._HELPER_FUNCTION} — segments are written "
+                        "whole through the atomic-write helper",
+                    )

@@ -51,6 +51,12 @@ web-directory schema (or any named workload scenario):
     type, default, current value and whether it came from the
     environment or the default.
 
+``repro cache``
+    Inspect the persistent verdict store (``repro cache stats``), check
+    every record's framing and checksum (``verify``; exit 0 clean,
+    1 problems found, 2 store unreadable) or delete it (``clear``).
+    The store path comes from ``--path`` or ``REPRO_MEMO_PERSIST_PATH``.
+
 ``repro lint``
     Run the contract linter (:mod:`repro.analysis`): AST rules enforcing
     the repo's determinism, picklability and hygiene invariants over
@@ -405,6 +411,48 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_run(forwarded, prog="repro lint")
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache {stats,verify,clear}`` over the persistent verdict store.
+
+    Exit codes (``verify``): 0 — every record of every segment verified
+    clean; 1 — at least one corrupt/truncated/mis-versioned record or
+    segment; 2 — the store could not be examined at all (no path
+    configured, unreadable directory).
+    """
+    import json
+    import os
+
+    from repro.obs.env import MEMO_PERSIST_PATH_ENV, raw_string
+    from repro.store.verdict_cache import clear_store, store_stats, verify_store
+
+    path = args.path or raw_string(MEMO_PERSIST_PATH_ENV, "").strip()
+    if not path:
+        print(
+            "no verdict store configured: pass --path or set "
+            f"{MEMO_PERSIST_PATH_ENV}"
+        )
+        return 2
+    if args.cache_command == "stats":
+        if not os.path.isdir(path):
+            print(f"no verdict store at {path!r}")
+            return 2
+        print(json.dumps(store_stats(path), indent=2, sort_keys=True))
+        return 0
+    if args.cache_command == "verify":
+        if not os.path.isdir(path):
+            print(f"no verdict store at {path!r}")
+            return 2
+        report = verify_store(path)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    if args.cache_command == "clear":
+        removed = clear_store(path)
+        print(f"removed {removed} file(s) from {path!r}")
+        return 0
+    print("usage: repro cache {stats,verify,clear}")
+    return 2
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     for scenario in standard_scenarios():
         print(scenario.describe())
@@ -580,6 +628,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="source root containing the repro package",
     )
     lint.set_defaults(func=cmd_lint)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect, verify or clear the persistent verdict store "
+        "(verify: exit 0 clean, 1 bad records, 2 no store)",
+    )
+    cache.add_argument(
+        "cache_command",
+        choices=("stats", "verify", "clear"),
+        help="stats: segment/record counts; verify: re-checksum every "
+        "record; clear: remove all segments",
+    )
+    cache.add_argument(
+        "--path",
+        default=None,
+        help="store directory (default: the REPRO_MEMO_PERSIST_PATH knob)",
+    )
+    cache.set_defaults(func=cmd_cache)
 
     return parser
 

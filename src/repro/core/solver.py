@@ -83,7 +83,35 @@ class AccLTLSolver:
         max_paths: int = 40000,
         bounded_path_length: int = 4,
     ) -> SatResult:
-        """Decide satisfiability, dispatching on the formula's fragment."""
+        """Decide satisfiability, dispatching on the formula's fragment.
+
+        Routed through the shared :class:`~repro.engine.engine.DecisionEngine`
+        so repeated queries (and other front-door procedures) share one
+        memo — and the persistent verdict store when one is configured.
+        :meth:`satisfiable_legacy` is the unrouted oracle the tests
+        compare against.
+        """
+        from repro.engine.engine import accltl_sat_task, shared_engine
+
+        task = accltl_sat_task(
+            self.access_schema,
+            formula,
+            initial=initial,
+            grounded_only=grounded_only,
+            max_paths=max_paths,
+            bounded_path_length=bounded_path_length,
+        )
+        return shared_engine().run(task).value
+
+    def satisfiable_legacy(
+        self,
+        formula: AccFormula,
+        initial: Optional[Instance] = None,
+        grounded_only: bool = False,
+        max_paths: int = 40000,
+        bounded_path_length: int = 4,
+    ) -> SatResult:
+        """The direct (engine-free) satisfiability dispatch."""
         report = classify(formula)
         fragment = report.fragment
 

@@ -21,12 +21,17 @@ from repro.engine.reduction import (
 )
 from repro.engine.engine import (
     DecisionEngine,
+    accltl_sat_task,
     answerability_task,
     bounded_check_task,
     containment_task,
+    ctl_check_task,
+    datalog_containment_task,
     emptiness_task,
     execute_task,
+    ltl_word_task,
     relevance_task,
+    shared_engine,
     single_shot_engine,
 )
 
@@ -41,15 +46,20 @@ __all__ = [
     "ReductionResult",
     "ReductionTask",
     "SINGLE_SHOT_POLICY",
+    "accltl_sat_task",
     "answerability_task",
     "bounded_check_task",
     "containment_task",
+    "ctl_check_task",
+    "datalog_containment_task",
     "emptiness_task",
     "execute_task",
     "instance_key",
+    "ltl_word_task",
     "query_key",
     "relevance_task",
     "schema_key",
+    "shared_engine",
     "single_shot_engine",
     "values_key",
     "vocabulary_key",

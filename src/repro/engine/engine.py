@@ -40,6 +40,7 @@ from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.engine.reduction import (
     BOUNDED_CHECK,
+    DIRECT,
     EMPTINESS,
     CachePolicy,
     Deduper,
@@ -53,6 +54,7 @@ from repro.engine.reduction import (
     values_key,
     vocabulary_key,
 )
+from repro.store.verdict_cache import VerdictCache
 
 #: Environment toggle consulted when ``DecisionEngine(parallel=None)``:
 #: allow batch dispatch through the shared worker pool (still cost-gated).
@@ -293,6 +295,126 @@ def bounded_check_task(
     )
 
 
+def accltl_sat_task(
+    access_schema,
+    formula,
+    initial=None,
+    grounded_only: bool = False,
+    max_paths: int = 40000,
+    bounded_path_length: int = 4,
+    build_key: bool = True,
+) -> ReductionTask:
+    """Normalise an AccLTL satisfiability request (the Table 1 dispatcher)."""
+    snap = _instance_payload(initial, build_key)
+    key = (
+        try_key(
+            lambda: (
+                schema_key(access_schema),
+                formula,
+                snap,
+                grounded_only,
+                max_paths,
+                bounded_path_length,
+            )
+        )
+        if build_key
+        else None
+    )
+    return ReductionTask(
+        kind="accltl_sat",
+        backend=DIRECT,
+        args=(
+            access_schema,
+            formula,
+            snap,
+            grounded_only,
+            max_paths,
+            bounded_path_length,
+        ),
+        key=key,
+        cost_hint=max_paths,
+    )
+
+
+def ltl_word_task(
+    formula, letters=None, max_length=None, build_key: bool = True
+) -> ReductionTask:
+    """Normalise a propositional-LTL finite-word search (Theorem 4.12 core)."""
+    normalized = (
+        tuple(frozenset(letter) for letter in letters)
+        if letters is not None
+        else None
+    )
+    key = (
+        try_key(lambda: (formula, normalized, max_length)) if build_key else None
+    )
+    return ReductionTask(
+        kind="ltl_word",
+        backend=DIRECT,
+        args=(formula, normalized, max_length),
+        key=key,
+        cost_hint=100 * (1 + (len(normalized) if normalized else 4)),
+    )
+
+
+def ctl_check_task(
+    vocabulary, lts, formula, build_key: bool = True
+) -> ReductionTask:
+    """Normalise a ``CTL_EX`` model-checking request over an explored LTS."""
+    key = (
+        try_key(
+            lambda: (
+                vocabulary_key(vocabulary),
+                tuple(lts.transitions),
+                formula,
+            )
+        )
+        if build_key
+        else None
+    )
+    return ReductionTask(
+        kind="ctl_check",
+        backend=DIRECT,
+        args=(vocabulary, lts, formula),
+        key=key,
+        cost_hint=(1 + len(lts.transitions)) * formula.size(),
+    )
+
+
+def datalog_containment_task(
+    program,
+    query,
+    max_depth: int = 6,
+    max_expansions: int = 2000,
+    build_key: bool = True,
+) -> ReductionTask:
+    """Normalise a Datalog ⊆ positive-query check (Proposition 4.11)."""
+    key = (
+        try_key(
+            lambda: (
+                tuple(program.rules),
+                tuple(
+                    (relation.name, relation.arity)
+                    for relation in program.edb_schema
+                ),
+                program.goal,
+                query_key(query),
+                max_depth,
+                max_expansions,
+            )
+        )
+        if build_key
+        else None
+    )
+    return ReductionTask(
+        kind="datalog_containment",
+        backend=DIRECT,
+        args=(program, query, max_depth, max_expansions),
+        key=key,
+        cost_hint=max_expansions,
+    )
+
+
 def _query_size(query) -> int:
     from repro.queries.ucq import as_ucq
 
@@ -398,12 +520,77 @@ def _execute_bounded_check(args):
     )
 
 
+@dataclass(frozen=True)
+class _LTLWordValue:
+    """Memo envelope for :func:`repro.ltl.sat.find_satisfying_word`.
+
+    The raw return value is ``Optional[List[Letter]]`` — ``None`` means
+    *unsatisfiable*, which the engine would refuse to memoize (a ``None``
+    value reads as "no result").  Wrapping makes negative verdicts
+    first-class cacheable values, and the immutable tuple lets the public
+    wrapper hand every caller a fresh list.
+    """
+
+    word: Optional[Tuple] = None
+
+
+@dataclass(frozen=True)
+class _CTLWitnessValue:
+    """Memo envelope for :func:`repro.branching.ctl.ctl_satisfiable_in_lts`
+    (``None`` — no satisfying transition — is a cacheable verdict too)."""
+
+    witness: object = None
+
+
+def _execute_accltl_sat(args):
+    from repro.core.solver import AccLTLSolver
+
+    access_schema, formula, snap, grounded_only, max_paths, bounded_length = args
+    return AccLTLSolver(access_schema).satisfiable_legacy(
+        formula,
+        initial=_materialise(snap),
+        grounded_only=grounded_only,
+        max_paths=max_paths,
+        bounded_path_length=bounded_length,
+    )
+
+
+def _execute_ltl_word(args):
+    from repro.ltl.sat import find_satisfying_word_legacy
+
+    formula, letters, max_length = args
+    word = find_satisfying_word_legacy(
+        formula, letters=letters, max_length=max_length
+    )
+    return _LTLWordValue(tuple(word) if word is not None else None)
+
+
+def _execute_ctl_check(args):
+    from repro.branching.ctl import ctl_satisfiable_in_lts_legacy
+
+    vocabulary, lts, formula = args
+    return _CTLWitnessValue(ctl_satisfiable_in_lts_legacy(vocabulary, lts, formula))
+
+
+def _execute_datalog_containment(args):
+    from repro.datalog.containment import datalog_contained_in_ucq_legacy
+
+    program, query, max_depth, max_expansions = args
+    return datalog_contained_in_ucq_legacy(
+        program, query, max_depth=max_depth, max_expansions=max_expansions
+    )
+
+
 _EXECUTORS = {
     "relevance": _execute_relevance,
     "containment_ap": _execute_containment,
     "answerability": _execute_answerability,
     "emptiness": _execute_emptiness,
     "bounded_check": _execute_bounded_check,
+    "accltl_sat": _execute_accltl_sat,
+    "ltl_word": _execute_ltl_word,
+    "ctl_check": _execute_ctl_check,
+    "datalog_containment": _execute_datalog_containment,
 }
 
 
@@ -584,11 +771,21 @@ class DecisionEngine:
         self.cache_policy = cache_policy if cache_policy is not None else CachePolicy()
         self.parallel = parallel
         self.max_workers = max_workers
-        self._memo: Dict[Tuple[object, ...], object] = {}
+        policy = self.cache_policy
+        # Without cross-request memoization there is no cross-request
+        # state to persist either — the persistent tier is pinned off so
+        # the environment cannot opt single-shot engines into the store.
+        self._memo = VerdictCache(
+            capacity=policy.memo_capacity,
+            persist_path=policy.persist_path if policy.memoize_results else "",
+            lock_timeout_s=policy.lock_timeout_s,
+            compact_segments=policy.compact_segments,
+        )
         self._stats: Dict[str, int] = {
             "requests": 0,
             "computed": 0,
             "memo_hits": 0,
+            "memo_disk_hits": 0,
             "batch_dedup_hits": 0,
             "pooled_tasks": 0,
             "uncacheable": 0,
@@ -685,17 +882,24 @@ class DecisionEngine:
                     stats["uncacheable"] += 1
                     pending.append((index, task, None))
                     continue
-                if memoize and fingerprint in self._memo:
-                    stats["memo_hits"] += 1
-                    _profiled(index, task.kind, "memo")
-                    yield index, ReductionResult(
-                        _refresh(task.kind, self._memo[fingerprint]),
-                        task.kind,
-                        task.backend,
-                        "memo",
-                        fingerprint,
-                    )
-                    continue
+                if memoize:
+                    value, tier = self._memo.lookup(fingerprint)
+                    if tier is not None:
+                        if tier == "disk":
+                            stats["memo_disk_hits"] += 1
+                            provenance = "memo_disk"
+                        else:
+                            stats["memo_hits"] += 1
+                            provenance = "memo"
+                        _profiled(index, task.kind, provenance)
+                        yield index, ReductionResult(
+                            _refresh(task.kind, value),
+                            task.kind,
+                            task.backend,
+                            provenance,
+                            fingerprint,
+                        )
+                        continue
                 first = dedup.register(fingerprint, index)
                 if first is not None:
                     stats["batch_dedup_hits"] += 1
@@ -731,7 +935,7 @@ class DecisionEngine:
                         # The memo keeps the pristine value; every requester —
                         # including this first one — receives its own copy of any
                         # caller-owned mutable state (see _REFRESHERS).
-                        self._memo[fingerprint] = value
+                        self._memo.put(fingerprint, value)
                         shared = True
                     duplicates = followers.get(index, ())
                     _profiled(index, task.kind, provenance)
@@ -762,6 +966,11 @@ class DecisionEngine:
             finally:
                 _trace.end(drain_span)
         finally:
+            # Spill this batch's new verdicts to the persistent tier (one
+            # segment per batch); every storage failure inside degrades to
+            # a counted, traced no-op — the batch's results are already
+            # out, so a flush can never change a verdict.
+            self._memo.flush()
             _trace.end(batch_span)
 
     def _compute_stream(self, pending, clock):
@@ -1118,11 +1327,16 @@ class DecisionEngine:
         """Request/compute counters plus the derived cross-request hit rate."""
         stats: Dict[str, object] = dict(self._stats)
         requests = self._stats["requests"]
-        saved = self._stats["memo_hits"] + self._stats["batch_dedup_hits"]
+        saved = (
+            self._stats["memo_hits"]
+            + self._stats["memo_disk_hits"]
+            + self._stats["batch_dedup_hits"]
+        )
         stats["memo_entries"] = len(self._memo)
         stats["cross_request_hit_rate"] = (
             round(saved / requests, 4) if requests else None
         )
+        stats["verdict_cache"] = self._memo.stats()
         return stats
 
     def last_batch_summary(self) -> Dict[str, object]:
@@ -1146,11 +1360,12 @@ class DecisionEngine:
         }
 
     def clear(self) -> None:
-        """Drop the cross-request memo (counters are kept)."""
+        """Drop the in-memory memo tier (counters and the disk tier are kept)."""
         self._memo.clear()
 
 
 _SINGLE_SHOT_ENGINE: Optional[DecisionEngine] = None
+_SHARED_ENGINE: Optional[DecisionEngine] = None
 
 
 def single_shot_engine() -> DecisionEngine:
@@ -1164,3 +1379,18 @@ def single_shot_engine() -> DecisionEngine:
     if _SINGLE_SHOT_ENGINE is None:
         _SINGLE_SHOT_ENGINE = DecisionEngine(cache_policy=SINGLE_SHOT_POLICY)
     return _SINGLE_SHOT_ENGINE
+
+
+def shared_engine() -> DecisionEngine:
+    """The process-wide engine behind the routed front-door procedures.
+
+    :meth:`AccLTLSolver.satisfiable`, the LTL word search, ``CTL_EX``
+    model checking and Datalog containment all route here (ROADMAP
+    memo-tier item (a)), so a mixed workload shares one memo, one pool —
+    and, when ``REPRO_MEMO_PERSIST_PATH`` is set, one crash-safe
+    persistent verdict store with every other process pointed at it.
+    """
+    global _SHARED_ENGINE
+    if _SHARED_ENGINE is None:
+        _SHARED_ENGINE = DecisionEngine()
+    return _SHARED_ENGINE

@@ -50,6 +50,12 @@ EMPTINESS = "emptiness"
 #: of the small-witness enumerations of :mod:`repro.access`).
 BOUNDED_CHECK = "bounded_check"
 
+#: Back-end tag: the task *is* its own decision procedure — a routed
+#: front-door call (LTL tableau search, CTL model checking, Datalog/UCQ
+#: containment) that the engine runs for its memo/dedup/pool services
+#: rather than reducing to another back-end.
+DIRECT = "direct"
+
 
 @dataclass(frozen=True)
 class CachePolicy:
@@ -69,16 +75,38 @@ class CachePolicy:
         speedup), so it is now an engine policy defaulting **off**; a
         workload whose configurations genuinely revisit can opt back in.
         The guard cache is unaffected and stays on with ``memoize``.
+    memo_capacity:
+        LRU capacity of the in-memory memo tier; ``0`` is unbounded and
+        ``None`` defers to the ``REPRO_MEMO_CAPACITY`` knob.
+    persist_path:
+        Directory of the crash-safe persistent verdict tier
+        (:mod:`repro.store.verdict_cache`).  ``None`` defers to
+        ``REPRO_MEMO_PERSIST_PATH``; an empty string disables
+        persistence regardless of the environment.
+    lock_timeout_s:
+        Advisory-lock acquisition timeout for the persistent tier
+        (``None``: the ``REPRO_MEMO_LOCK_TIMEOUT`` knob).
+    compact_segments:
+        Segment-file count above which the persistent tier compacts its
+        append log (``None``: the ``REPRO_MEMO_COMPACT_SEGMENTS`` knob).
     """
 
     memoize_results: bool = True
     node_memo: bool = False
+    memo_capacity: Optional[int] = None
+    persist_path: Optional[str] = None
+    lock_timeout_s: Optional[float] = None
+    compact_segments: Optional[int] = None
 
 
 #: Policy of the single-shot wrappers (``long_term_relevant`` and
 #: friends): no cross-request state at all, node memo off per the PR 4
-#: finding.  Every call computes exactly what the legacy path computes.
-SINGLE_SHOT_POLICY = CachePolicy(memoize_results=False, node_memo=False)
+#: finding, persistence pinned off so the environment cannot opt a
+#: single-shot call into the shared store.  Every call computes exactly
+#: what the legacy path computes.
+SINGLE_SHOT_POLICY = CachePolicy(
+    memoize_results=False, node_memo=False, persist_path=""
+)
 
 
 @dataclass(frozen=True, eq=False)

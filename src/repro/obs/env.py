@@ -44,10 +44,21 @@ POOL_ITEM_TIMEOUT_ENV = "REPRO_POOL_ITEM_TIMEOUT"
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 #: Strict flag: enable the tracing layer (see :mod:`repro.obs.trace`).
 TRACE_ENV = "REPRO_TRACE"
+#: Capacity of the engine's in-memory verdict memo (0 = unbounded).
+MEMO_CAPACITY_ENV = "REPRO_MEMO_CAPACITY"
+#: Directory of the persistent verdict store (unset/empty = memory only).
+MEMO_PERSIST_PATH_ENV = "REPRO_MEMO_PERSIST_PATH"
+#: Advisory-lock acquisition timeout for the persistent verdict store.
+MEMO_LOCK_TIMEOUT_ENV = "REPRO_MEMO_LOCK_TIMEOUT"
+#: Segment count above which the persistent verdict store compacts.
+MEMO_COMPACT_SEGMENTS_ENV = "REPRO_MEMO_COMPACT_SEGMENTS"
 
 DEFAULT_MIN_DISPATCH_COST = 100_000
 DEFAULT_SPLIT_BUDGET = 20_000
 DEFAULT_POOL_RETRIES = 2
+DEFAULT_MEMO_CAPACITY = 0
+DEFAULT_MEMO_LOCK_TIMEOUT = 1.0
+DEFAULT_MEMO_COMPACT_SEGMENTS = 8
 
 
 # ----------------------------------------------------------------------
@@ -250,6 +261,34 @@ _register(
     False,
     "enable span tracing across the engine, DFS and pool workers (repro.obs.trace)",
     lambda: flag_strict(TRACE_ENV),
+)
+_register(
+    MEMO_CAPACITY_ENV,
+    "int",
+    DEFAULT_MEMO_CAPACITY,
+    "LRU capacity of the engine's in-memory verdict memo (0: unbounded)",
+    lambda: non_negative_int(MEMO_CAPACITY_ENV, DEFAULT_MEMO_CAPACITY),
+)
+_register(
+    MEMO_PERSIST_PATH_ENV,
+    "str",
+    "",
+    "directory of the crash-safe persistent verdict store (empty: memory-only memo)",
+    lambda: raw_string(MEMO_PERSIST_PATH_ENV, ""),
+)
+_register(
+    MEMO_LOCK_TIMEOUT_ENV,
+    "float",
+    DEFAULT_MEMO_LOCK_TIMEOUT,
+    "seconds to wait for the verdict store's advisory lock before degrading",
+    lambda: positive_float(MEMO_LOCK_TIMEOUT_ENV, DEFAULT_MEMO_LOCK_TIMEOUT),
+)
+_register(
+    MEMO_COMPACT_SEGMENTS_ENV,
+    "int",
+    DEFAULT_MEMO_COMPACT_SEGMENTS,
+    "segment-file count above which the verdict store compacts its append log",
+    lambda: positive_int(MEMO_COMPACT_SEGMENTS_ENV, DEFAULT_MEMO_COMPACT_SEGMENTS),
 )
 
 

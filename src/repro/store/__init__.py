@@ -5,6 +5,16 @@ See ``src/repro/store/README.md`` for the architecture note.
 
 from repro.store.hamt import EMPTY_PMAP, PMap
 from repro.store.snapshot import Shard, Snapshot, SnapshotInstance
+from repro.store.verdict_cache import (
+    BloomFilter,
+    LRUMemo,
+    VerdictCache,
+    atomic_write_bytes,
+    clear_store,
+    encode_key,
+    store_stats,
+    verify_store,
+)
 from repro.store.workqueue import (
     DEFAULT_SPLIT_BUDGET,
     SubtreeExecutor,
@@ -19,6 +29,14 @@ __all__ = [
     "Shard",
     "Snapshot",
     "SnapshotInstance",
+    "BloomFilter",
+    "LRUMemo",
+    "VerdictCache",
+    "atomic_write_bytes",
+    "clear_store",
+    "encode_key",
+    "store_stats",
+    "verify_store",
     "DEFAULT_SPLIT_BUDGET",
     "SubtreeExecutor",
     "discard_shared_pool",

@@ -27,6 +27,27 @@ A spec is a comma-separated list of ``action@point:index[:arg]``:
 
 Example: ``kill@subtree:2,delay@chain:0:0.2``.
 
+## Storage fault points
+
+The verdict cache (:mod:`repro.store.verdict_cache`) consults a second
+family of points through :func:`storage_fault`, which *returns* the armed
+fault instead of executing it — each point has storage semantics the
+cache implements at the exact syscall boundary:
+
+* ``torn_write`` — the atomic-write helper persists only a truncated
+  prefix (``trip``), or dies mid-write with the tmp file on disk and the
+  destination untouched (``kill``);
+* ``corrupt_record`` — one record's value bytes are flipped before the
+  segment is written, so its checksum fails on read;
+* ``partial_read`` — a segment read returns a truncated byte string;
+* ``lock_timeout`` — the advisory-lock acquisition reports an immediate
+  timeout;
+* ``disk_full`` — the atomic-write helper raises ``ENOSPC``.
+
+The canonical action for storage points is ``trip`` (apply the point's
+storage semantics); ``kill`` at ``torn_write`` scripts the mid-write
+process death.  Example: ``trip@corrupt_record:0,trip@lock_timeout:1``.
+
 ## Activation
 
 Tests install a parsed plan in-process (:func:`install` / :func:`clear`)
@@ -48,8 +69,17 @@ from typing import Dict, Optional, Tuple
 #: Environment variable holding the fault spec (see the module docstring).
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 
-_ACTIONS = ("kill", "delay", "corrupt", "raise")
+_ACTIONS = ("kill", "delay", "corrupt", "raise", "trip")
 _POINTS = ("subtree", "chain", "task")
+#: Storage fault points consulted by :func:`storage_fault` (the verdict
+#: cache implements each point's semantics at its own syscall boundary).
+STORAGE_POINTS = (
+    "torn_write",
+    "corrupt_record",
+    "partial_read",
+    "lock_timeout",
+    "disk_full",
+)
 
 #: Exit code of a scripted worker kill — distinctive in core-dump triage.
 KILL_EXIT_CODE = 86
@@ -104,9 +134,10 @@ def parse_fault_spec(text: str) -> Tuple[Fault, ...]:
             raise ValueError(
                 f"unknown fault action {action!r} (one of {_ACTIONS})"
             )
-        if point not in _POINTS:
+        if point not in _POINTS and point not in STORAGE_POINTS:
             raise ValueError(
-                f"unknown fault point {point!r} (one of {_POINTS})"
+                f"unknown fault point {point!r} "
+                f"(one of {_POINTS + STORAGE_POINTS})"
             )
         if index < 0:
             raise ValueError(f"fault index must be >= 0, got {index}")
@@ -182,3 +213,19 @@ def fire(point: str) -> None:
         raise RuntimeError(
             f"{FAULT_INJECT_ENV}: scripted transient failure at {point}:{fault.index}"
         )
+
+
+def storage_fault(point: str) -> Optional[Fault]:
+    """The fault armed for this hit of a storage *point*, if any.
+
+    Unlike :func:`fire`, this never executes the fault: storage faults
+    have point-specific semantics (a torn write, a short read, an
+    immediate lock timeout) that only the cache's own syscall boundaries
+    can realise, so the caller receives the armed :class:`Fault` and acts
+    on it in place.  With no active plan the hot-path cost is one module
+    attribute read.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.next_fault(point)

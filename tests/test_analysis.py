@@ -45,6 +45,7 @@ EXPECTED_RULE_IDS = {
     "DEF001",
     "FPR001",
     "PRN001",
+    "IO001",
 }
 
 
