@@ -58,6 +58,14 @@ compare against:
   a fresh engine (disk hits asserted), and re-served in a *child
   interpreter* pointed at the store via ``REPRO_MEMO_PERSIST_PATH``
   (cross-process reuse asserted; verdict fields identical in all modes);
+* ``sql_store_{ingest,lookup,join,fixedpoint}`` — the SQL/disk-backed
+  store backend (:mod:`repro.store.sqlstore`) on the streaming scaling
+  workloads of :mod:`repro.workloads.scaling` at 100k and 1M facts (10M
+  behind ``--huge``), with ``mem_store_*`` twins on the in-memory
+  snapshot store up to the RAM-policy cap — above it the memory rows are
+  emitted as ``skipped`` and only the SQL backend keeps scaling (the
+  bigger-than-RAM claim, measured); every row carries ``backend`` and
+  ``facts`` tags;
 * ``pipeline_end_to_end`` — the full containment + relevance pipeline of
   ``bench_pipeline_vs_bruteforce.py`` (automata pipeline and bounded
   brute-force checker side by side) at the largest configured size.
@@ -961,6 +969,229 @@ def bench_memo_persist(
     return results
 
 
+#: Policy cap for the in-memory twins of the ``sql_store_*`` rows: above
+#: this many facts the dict/snapshot backends hold the whole instance in
+#: Python objects (the instances the SQL backend exists for), so their
+#: rows are emitted with ``"status": "skipped"`` instead of timings —
+#: ``check_regression.py`` treats those as informational only.
+MEM_BACKEND_MAX_FACTS = 100_000
+
+
+def bench_sql_store(
+    smoke: bool,
+    repeats: int,
+    huge: bool = False,
+    sql_stats_out: Optional[Dict[str, object]] = None,
+) -> Dict[str, Dict[str, object]]:
+    """The SQL/disk-backed store backend at workload scale.
+
+    Four families — ``sql_store_{ingest,lookup,join,fixedpoint}`` — run
+    the streaming fact generators of :mod:`repro.workloads.scaling`
+    against the embedded-SQLite backend, with ``mem_store_*`` twins on
+    the production in-memory snapshot store at every size the RAM policy
+    allows (:data:`MEM_BACKEND_MAX_FACTS`); above it the memory twins
+    are policy-skipped and the SQL rows keep scaling:
+
+    * ``ingest`` — batched transactional bulk load of the grid-reach EDB
+      plus the durability checkpoint (``snapshot()`` commits);
+    * ``lookup`` — point probes through the per-position indexes plus
+      membership checks, on the chain-join store;
+    * ``join`` — the 1:1 ``R ⋈ S`` chain join through the compiled plan,
+      pushed down as parameterised SQL on the sqlite backend (the
+      ``store.pushdown`` counter is asserted) and run by the in-memory
+      engine on the twin;
+    * ``fixedpoint`` — the grid-reach Datalog program, computed in place
+      on the ingested store (semi-naive deltas as SQL joins).
+
+    Every workload has an analytically known answer count (the join has
+    exactly ``facts // 2`` answers, the fixedpoint reaches exactly one
+    node per EDB fact), and every run asserts it — so wherever both
+    backends run, their agreement is checked, and at the sizes only
+    SQLite runs the verdict is still pinned to ground truth.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.obs.metrics import REGISTRY
+    from repro.store.snapshot import SnapshotInstance
+    from repro.store.sqlstore import SQLStoreInstance
+    from repro.workloads.scaling import (
+        chain_join_facts,
+        chain_join_query,
+        chain_join_schema,
+        grid_reach_facts,
+        grid_reach_program,
+    )
+
+    program = grid_reach_program()
+    combined = program.combined_schema()
+    join_schema = chain_join_schema()
+    query = chain_join_query()
+    if smoke:
+        sizes = [("2k", 2_000)]
+    else:
+        sizes = [("100k", 100_000), ("1m", 1_000_000)]
+        if huge:
+            sizes.append(("10m", 10_000_000))
+
+    def ingest(store, facts_iter) -> int:
+        if hasattr(store, "add_facts"):  # the SQL backend's batched path
+            count = store.add_facts(facts_iter)
+        else:
+            count = 0
+            for name, tup in facts_iter:
+                if store.add_unchecked(name, tup):
+                    count += 1
+        store.snapshot()  # durability checkpoint (commit on sqlite)
+        return count
+
+    def discard(store) -> None:
+        if store is not None and hasattr(store, "close"):
+            store.close()
+
+    results: Dict[str, Dict[str, object]] = {}
+    workdir = tempfile.mkdtemp(prefix="repro-sqlstore-bench-")
+    overall_base = REGISTRY.counters_snapshot()
+    sequence = {"n": 0}
+    try:
+        for tag, facts in sizes:
+            # Large runs are single-shot: those rows exist to prove
+            # scale, not to hunt percent-level drift, and repeating a
+            # million-fact ingest would double the suite's wall clock.
+            n_repeats = 1 if facts > MEM_BACKEND_MAX_FACTS else min(repeats, 3)
+            for backend in ("sqlite", "memory"):
+                prefix = "sql_store" if backend == "sqlite" else "mem_store"
+                if backend == "memory" and facts > MEM_BACKEND_MAX_FACTS:
+                    for kind in ("ingest", "lookup", "join", "fixedpoint"):
+                        results[f"{prefix}_{kind}_{tag}"] = {
+                            "status": "skipped",
+                            "backend": backend,
+                            "facts": facts,
+                            "reason": (
+                                "in-memory backend skipped by policy "
+                                f"above {MEM_BACKEND_MAX_FACTS} facts"
+                            ),
+                        }
+                    continue
+
+                def fresh_store(schema, label):
+                    if backend == "memory":
+                        return SnapshotInstance(schema)
+                    sequence["n"] += 1
+                    path = os.path.join(
+                        workdir, f"{label}-{tag}-{sequence['n']}.db"
+                    )
+                    return SQLStoreInstance(schema, path)
+
+                grid_holder = {"store": None}
+
+                def run_ingest():
+                    discard(grid_holder["store"])
+                    store = fresh_store(combined, "grid")
+                    added = ingest(store, grid_reach_facts(facts))
+                    assert added == facts, "grid-reach ingest lost facts"
+                    grid_holder["store"] = store
+                    return added
+
+                ingest_row = _median_of(n_repeats, run_ingest)
+                grid_store = grid_holder["store"]
+
+                chain_store = fresh_store(join_schema, "chain")
+                ingest(chain_store, chain_join_facts(facts))
+
+                probes = min(2_000, facts // 2)
+
+                # Warm repeated rows outside the timed region (first
+                # iterations otherwise pay one-off plan/SQL compilation
+                # and shard-index builds, inflating the spread the
+                # regression guard then flaps on).  Single-shot rows at
+                # the large sizes stay cold: re-running a 1M-fact
+                # fixedpoint to warm it would double their cost for a
+                # one-off constant that is noise at that scale.
+                warm = n_repeats > 1
+
+                def run_lookup():
+                    hits = 0
+                    for i in range(probes):
+                        hits += len(chain_store.index("R", 0, i))
+                        hits += ("S", (facts + i, 2 * facts + i)) in chain_store
+                    assert hits == 2 * probes, "indexed lookups missed facts"
+                    return hits
+
+                if warm:
+                    run_lookup()
+                lookup_row = _median_of(n_repeats, run_lookup)
+
+                join_base = REGISTRY.counters_snapshot()
+
+                def run_join():
+                    answers = sum(
+                        1 for _ in satisfying_assignments(query, chain_store)
+                    )
+                    assert answers == facts // 2, "chain join lost answers"
+                    return answers
+
+                if warm:
+                    run_join()
+                join_row = _median_of(n_repeats, run_join)
+                if backend == "sqlite" and facts // 2 >= 512:
+                    # The default REPRO_SQL_PUSHDOWN_MIN_ROWS threshold is
+                    # below every configured size, so the join must have
+                    # routed through SQL, not the in-memory engine.
+                    pushed = REGISTRY.counters_delta(join_base).get(
+                        "store.pushdown", 0
+                    )
+                    assert pushed >= n_repeats, "SQL join was never pushed down"
+
+                grid_base = grid_store.snapshot()
+
+                def run_fixedpoint():
+                    if backend == "sqlite":
+                        # In-place adoption: the ingested store *is* the
+                        # fixedpoint state; roll derived facts back between
+                        # repeats so every run starts from the EDB.
+                        grid_store.restore(grid_base)
+                        state = evaluate_program(
+                            program, grid_store, backend="sqlite"
+                        )
+                        assert state is grid_store, "sqlite fixedpoint copied"
+                    else:
+                        state = evaluate_program(
+                            program, grid_store, backend="memory"
+                        )
+                    reached = state.relation_count("Reach")
+                    assert reached == facts, "fixedpoint missed reachable nodes"
+                    return reached
+
+                if warm:
+                    run_fixedpoint()
+                fixedpoint_row = _median_of(n_repeats, run_fixedpoint)
+
+                for kind, row in (
+                    ("ingest", ingest_row),
+                    ("lookup", lookup_row),
+                    ("join", join_row),
+                    ("fixedpoint", fixedpoint_row),
+                ):
+                    row["backend"] = backend
+                    row["facts"] = facts
+                    results[f"{prefix}_{kind}_{tag}"] = row
+                discard(grid_store)
+                discard(chain_store)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    if sql_stats_out is not None:
+        sql_stats_out["sizes"] = {tag: facts for tag, facts in sizes}
+        sql_stats_out["mem_backend_max_facts"] = MEM_BACKEND_MAX_FACTS
+        sql_stats_out["pushdown_counters"] = {
+            name: value
+            for name, value in REGISTRY.counters_delta(overall_base).items()
+            if name.startswith("store.pushdown")
+        }
+    return results
+
+
 def bench_pipeline(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
     """The bench_pipeline_vs_bruteforce workload, timed end to end.
 
@@ -1047,7 +1278,7 @@ def bench_pipeline(smoke: bool, repeats: int) -> Dict[str, Dict[str, object]]:
 
 
 def run_benchmarks(
-    smoke: bool = False, repeats: Optional[int] = None
+    smoke: bool = False, repeats: Optional[int] = None, huge: bool = False
 ) -> Dict[str, object]:
     if repeats is None:
         repeats = 2 if smoke else 5
@@ -1057,6 +1288,7 @@ def run_benchmarks(
     matrix_stats: Dict[str, object] = {}
     anytime_stats: Dict[str, object] = {}
     persist_stats: Dict[str, object] = {}
+    sql_stats: Dict[str, object] = {}
     results.update(bench_cq_evaluation(smoke, repeats))
     results.update(bench_datalog(smoke, repeats))
     results.update(bench_emptiness(smoke, repeats, memo_stats_out=memo_stats))
@@ -1067,6 +1299,9 @@ def run_benchmarks(
     results.update(bench_anytime(smoke, repeats, anytime_stats_out=anytime_stats))
     results.update(
         bench_memo_persist(smoke, repeats, persist_stats_out=persist_stats)
+    )
+    results.update(
+        bench_sql_store(smoke, repeats, huge=huge, sql_stats_out=sql_stats)
     )
     results.update(bench_pipeline(smoke, repeats))
     compiled = results["cq_compiled"]["median_s"]
@@ -1125,6 +1360,7 @@ def run_benchmarks(
         if memo_warm
         else None,
         "memo_persist_stats": persist_stats,
+        "sql_store_stats": sql_stats,
         "matrix_engine_stats": matrix_stats,
         "anytime_stats": anytime_stats,
         "emptiness_memo_stats": memo_stats,
@@ -1139,6 +1375,11 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         "--smoke", action="store_true", help="small sizes / few repeats"
     )
     parser.add_argument(
+        "--huge",
+        action="store_true",
+        help="add the 10M-fact sql_store rows (disk-heavy, SQL backend only)",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=None, help="override repeat count"
     )
     parser.add_argument(
@@ -1150,8 +1391,13 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         help="where to write the JSON report (with --json)",
     )
     args = parser.parse_args(argv)
-    report = run_benchmarks(smoke=args.smoke, repeats=args.repeats)
+    report = run_benchmarks(
+        smoke=args.smoke, repeats=args.repeats, huge=args.huge
+    )
     for name, row in report["results"].items():
+        if row.get("status") == "skipped":
+            print(f"{name:24s} skipped ({row['reason']})")
+            continue
         print(
             f"{name:24s} median {row['median_s']*1000:9.1f} ms "
             f"(min {row['min_s']*1000:.1f}, max {row['max_s']*1000:.1f}, "
@@ -1195,6 +1441,10 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         report["memo_persist_stats"],
     )
     print(
+        "sql store stats:",
+        report["sql_store_stats"],
+    )
+    print(
         "matrix engine stats:",
         report["matrix_engine_stats"],
     )
@@ -1226,6 +1476,8 @@ def test_bench_evaluation_smoke(tmp_path):
     assert target.exists()
     assert report["results"]["pipeline_end_to_end"]["median_s"] > 0
     assert report["speedup_cq_naive_over_compiled"] is not None
+    assert report["results"]["sql_store_fixedpoint_2k"]["backend"] == "sqlite"
+    assert report["results"]["mem_store_join_2k"]["backend"] == "memory"
 
 
 if __name__ == "__main__":

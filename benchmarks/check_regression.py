@@ -10,7 +10,11 @@ are additionally calibrated against the frozen ``cq_naive`` oracle row
 added, or removed) are reported but never fail the check; rows below the
 noise floor are skipped, since micro-benchmarks under a few milliseconds
 flap with machine load, and runs recorded in different modes
-(smoke vs full) are never enforced against each other.
+(smoke vs full) are never enforced against each other.  Rows a benchmark
+declined to run (``"status": "skipped"`` — e.g. the in-memory twins of
+the ``sql_store_*`` families above their RAM-policy cap) carry no
+timings and are reported as ``skipped``, never enforced; extra row tags
+such as ``backend`` and ``facts`` are ignored by the comparison.
 
 Usage::
 
@@ -60,7 +64,8 @@ def compare(
 
     Returns one row per benchmark name (union of both reports) with a
     ``status`` of ``ok``, ``regression``, ``improved``, ``noise``
-    (baseline below the floor), ``new`` or ``removed``.  Only
+    (baseline below the floor), ``new``, ``removed`` or ``skipped``
+    (either side declared the row policy-skipped).  Only
     ``regression`` rows should fail a build.  Ratios are normalised by
     the *calibration_row*'s own ratio when that row exists in both
     reports (see :data:`DEFAULT_CALIBRATION_ROW`); the calibration row
@@ -108,6 +113,14 @@ def compare(
         if cur_row is None:
             rows.append({"name": name, "status": "removed",
                          "baseline_s": _seconds(base_row, "median_s")})
+            continue
+        if "skipped" in (base_row.get("status"), cur_row.get("status")):
+            # A benchmark that declined to run (policy skip, e.g. the
+            # in-memory twin of an over-RAM sql_store row) has no
+            # timings to enforce on that side — informational only.
+            rows.append({"name": name, "status": "skipped",
+                         "baseline_s": _seconds(base_row, "median_s"),
+                         "current_s": _seconds(cur_row, "median_s")})
             continue
         base_median = _seconds(base_row, "median_s")
         cur_median = _seconds(cur_row, "median_s")

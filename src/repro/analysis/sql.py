@@ -1,0 +1,160 @@
+"""SQL002: SQL text lives in one module, and only parameterised.
+
+The SQLite store backend (PR 10) introduced the repo's first SQL.  SQL
+carried as ad-hoc strings decays fast: statement text drifts from the
+actual table layout, and interpolating values (f-strings, ``%``,
+``.format``, ``+``) silently turns encoded-value equality into injection
+and cache-key instability.  The contract is a chokepoint:
+
+* **Outside** :data:`SqlTextChokepointRule._CODEGEN_MODULE` no string
+  constant may be SQL statement text at all — every caller goes through
+  the codegen module's statement builders.
+* **Inside** the codegen module statement text is assembled only from
+  fragment lists (``" ".join([...])``); building SQL with an f-string,
+  ``%``-formatting, ``str.format`` or ``+`` concatenation is flagged, so
+  every runtime value has to travel as a ``?`` binding.
+
+Detection is intentionally syntactic: a string constant counts as SQL
+when it *starts* with an uppercase SQL statement head (``SELECT ...``,
+``INSERT ...``, ``PRAGMA ...``).  Docstrings are exempt — prose about
+SQL is fine, statements are not.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, register
+
+#: Uppercase statement heads that make a string constant "SQL text".
+#: Uppercase-only on purpose: lowercase prose mentioning "select" or
+#: "update" in messages/help text must not trip the rule.
+_SQL_HEAD = re.compile(
+    r"^\s*(SELECT|INSERT|UPDATE|DELETE|CREATE|DROP|ALTER|"
+    r"PRAGMA|BEGIN|COMMIT|ROLLBACK|VACUUM|ATTACH|DETACH)\b"
+)
+
+
+def _is_sql_text(value: object) -> bool:
+    return isinstance(value, str) and _SQL_HEAD.match(value) is not None
+
+
+def _docstring_constants(tree: ast.Module) -> Set[int]:
+    """``id()`` of every Constant node sitting in a docstring position."""
+    found: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        body = node.body
+        if not body or not isinstance(body[0], ast.Expr):
+            continue
+        constant = body[0].value
+        if isinstance(constant, ast.Constant) and isinstance(constant.value, str):
+            found.add(id(constant))
+    return found
+
+
+def _contains_sql_constant(node: ast.AST) -> bool:
+    """Whether any string constant under *node* is SQL statement text."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) and _is_sql_text(child.value):
+            return True
+        if isinstance(child, ast.JoinedStr):
+            for part in child.values:
+                if isinstance(part, ast.Constant) and _is_sql_text(part.value):
+                    return True
+    return False
+
+
+@register
+class SqlTextChokepointRule(Rule):
+    rule_id = "SQL002"
+    name = "sql-text-chokepoint"
+    summary = (
+        "SQL statement text outside the store codegen module, or SQL "
+        "assembled by interpolation (f-string/%/.format/+) inside it"
+    )
+    invariant = (
+        "All SQL lives in repro/store/sqlcodegen.py and is parameterised: "
+        "values travel as ? bindings, statement text is joined from "
+        "fragment lists, identifiers pass through quote_ident."
+    )
+    motivation = (
+        "PR 10's SQLite backend keys compiled-join caches and crash "
+        "recovery on statement text being a pure function of the plan; "
+        "interpolated values would break that and reopen injection via "
+        "relation names."
+    )
+    fix = (
+        "Move the statement into a builder in repro/store/sqlcodegen.py; "
+        'assemble it as " ".join([...fragments...]) and bind values with '
+        "?; use quote_ident for identifiers."
+    )
+
+    #: The one module allowed to contain (fragment-assembled) SQL text.
+    _CODEGEN_MODULE = "repro/store/sqlcodegen.py"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.path == self._CODEGEN_MODULE:
+            yield from self._check_codegen(ctx)
+        else:
+            yield from self._check_foreign(ctx)
+
+    def _check_foreign(self, ctx: ModuleContext) -> Iterator[Finding]:
+        docstrings = _docstring_constants(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and id(node) not in docstrings
+                and _is_sql_text(node.value)
+            ):
+                head = _SQL_HEAD.match(node.value).group(1)
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"SQL statement text ({head} ...) outside "
+                    f"{self._CODEGEN_MODULE}; call a statement builder "
+                    "from repro.store.sqlcodegen instead",
+                )
+
+    def _check_codegen(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.JoinedStr):
+                if _contains_sql_constant(node):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "SQL assembled with an f-string; join fragment "
+                        "lists and bind values with ?",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Mod)
+            ):
+                operator = "+" if isinstance(node.op, ast.Add) else "%"
+                for side in (node.left, node.right):
+                    if isinstance(side, ast.Constant) and _is_sql_text(side.value):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"SQL assembled with {operator!r}; join fragment "
+                            "lists and bind values with ?",
+                        )
+                        break
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "format"
+                and isinstance(node.func.value, ast.Constant)
+                and _is_sql_text(node.func.value.value)
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "SQL assembled with str.format; join fragment lists "
+                    "and bind values with ?",
+                )

@@ -64,6 +64,14 @@ web-directory schema (or any named workload scenario):
     1 findings (or stale baseline entries), 2 internal error.
     ``--explain RULE-ID`` prints a rule's invariant, motivation and fix.
 
+``repro store``
+    Manage persistent SQL-backed fact stores
+    (:mod:`repro.store.sqlstore`): ``ingest`` streams a deterministic
+    scaling workload (100k–10M facts) into an on-disk store, ``info``
+    prints a store's schema and per-relation counts, and ``verify``
+    recomputes the content fingerprint row by row against the recorded
+    counters (exit 0 clean, 1 mismatch found, 2 store unreadable).
+
 Run ``repro <command> --help`` for the options of each command.
 """
 
@@ -453,6 +461,103 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 2
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    """``repro store {info,ingest,verify}`` over persistent SQL stores.
+
+    Exit codes: 0 — success (``verify``: every check clean); 1 —
+    ``verify`` found a counter/fingerprint/integrity mismatch; 2 — the
+    store could not be opened (missing path, not a store, corrupt
+    database header).
+    """
+    import json
+    import sqlite3
+
+    from repro.relational.schema import SchemaError
+    from repro.store.sqlstore import SQLStoreInstance
+
+    if args.store_command == "ingest":
+        from repro.workloads import scaling
+
+        if args.workload == "grid-reach":
+            schema = scaling.grid_reach_schema()
+            facts = scaling.grid_reach_facts(args.facts)
+        else:
+            schema = scaling.chain_join_schema()
+            facts = scaling.chain_join_facts(args.facts)
+        try:
+            store = SQLStoreInstance(schema, args.path)
+        except (SchemaError, sqlite3.Error) as error:
+            print(f"cannot ingest into {args.path!r}: {error}")
+            return 2
+        try:
+            added = store.add_facts(facts)
+            store.snapshot()  # the durability point of the whole batch
+            print(
+                json.dumps(
+                    {
+                        "path": args.path,
+                        "workload": args.workload,
+                        "added": added,
+                        "size": store.size(),
+                        "relations": {
+                            name: count
+                            for name, count in store.relation_counts().items()
+                            if count
+                        },
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        finally:
+            store.close()
+        return 0
+
+    try:
+        store = SQLStoreInstance.open(args.path)
+    except (FileNotFoundError, SchemaError, sqlite3.Error) as error:
+        print(f"no SQL store at {args.path!r}: {error}")
+        return 2
+    try:
+        if args.store_command == "info":
+            from repro.obs.env import (
+                DEFAULT_SQL_PUSHDOWN_MIN_ROWS,
+                SQL_PUSHDOWN_MIN_ROWS_ENV,
+                positive_int,
+            )
+
+            print(
+                json.dumps(
+                    {
+                        "path": args.path,
+                        "backend": "sqlite",
+                        "schema": {
+                            name: store.schema.arity(name)
+                            for name in store.schema.names()
+                        },
+                        "size": store.size(),
+                        "relations": {
+                            name: count
+                            for name, count in store.relation_counts().items()
+                            if count
+                        },
+                        "pushdown_min_rows": positive_int(
+                            SQL_PUSHDOWN_MIN_ROWS_ENV,
+                            DEFAULT_SQL_PUSHDOWN_MIN_ROWS,
+                        ),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        report = store.verify()
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    finally:
+        store.close()
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     for scenario in standard_scenarios():
         print(scenario.describe())
@@ -646,6 +751,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="store directory (default: the REPRO_MEMO_PERSIST_PATH knob)",
     )
     cache.set_defaults(func=cmd_cache)
+
+    store = subparsers.add_parser(
+        "store",
+        help="manage persistent SQL-backed fact stores "
+        "(verify: exit 0 clean, 1 mismatch, 2 no store)",
+    )
+    store.add_argument(
+        "store_command",
+        choices=("info", "ingest", "verify"),
+        help="info: schema + per-relation counts; ingest: stream a "
+        "scaling workload into the store; verify: recompute counters "
+        "and fingerprint against the recorded metadata",
+    )
+    store.add_argument(
+        "--path", required=True, help="SQLite database file of the store"
+    )
+    store.add_argument(
+        "--workload",
+        choices=("grid-reach", "chain-join"),
+        default="grid-reach",
+        help="which deterministic fact family to ingest (ingest only)",
+    )
+    store.add_argument(
+        "--facts",
+        type=int,
+        default=100_000,
+        help="number of facts to stream in (ingest only)",
+    )
+    store.set_defaults(func=cmd_store)
 
     return parser
 

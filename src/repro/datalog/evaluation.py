@@ -45,7 +45,9 @@ from repro.queries.evaluation import (
 from repro.queries.plan_cache import get_plan
 from repro.queries.terms import Constant, Variable
 from repro.relational.instance import Instance
+from repro.store import backend as _backend
 from repro.store.snapshot import Snapshot, SnapshotInstance
+from repro.store.sqlstore import SQLStoreInstance
 
 Fact = Tuple[str, Tuple[object, ...]]
 
@@ -164,6 +166,7 @@ def evaluate_program(
     generation_log: Optional[List[Snapshot]] = None,
     store_backed: Optional[bool] = None,
     allow_truncation: bool = False,
+    backend: Optional[str] = None,
 ) -> Union[Instance, SnapshotInstance]:
     """Compute the least fixedpoint ``P(D)`` of *program* on *database*.
 
@@ -173,6 +176,16 @@ def evaluate_program(
     (*store_backed* ``None``/``True``); ``store_backed=False`` runs on
     the dict-backed :class:`~repro.relational.instance.Instance` — the
     oracle backend the property tests compare against.
+
+    *backend* picks the store backend for the fixedpoint state
+    (``"memory"``/``"sqlite"``; ``None`` defers to the
+    ``REPRO_STORE_BACKEND`` knob).  On the ``sqlite`` backend, per-round
+    snapshots are MVCC generation tokens and large rule joins push down
+    as SQL (see :mod:`repro.store.sqlstore`) — the bigger-than-RAM path.
+    As a special case, when *database* is itself an SQLite-backed store
+    over the combined schema, the fixedpoint is computed **in place**
+    (IDB facts are added to the given store and the same object is
+    returned) instead of re-ingesting millions of facts into a copy.
 
     When *generation_log* is given, one O(1)
     :class:`~repro.store.snapshot.Snapshot` per generation (the seeded
@@ -191,8 +204,25 @@ def evaluate_program(
         store_backed = True
     if generation_log is not None and not store_backed:
         raise ValueError("generation_log requires the store backend")
+    if backend is not None and not store_backed:
+        raise ValueError("backend selection requires the store backend")
     combined = program.combined_schema()
-    state = SnapshotInstance(combined) if store_backed else Instance(combined)
+    adopted = False
+    if not store_backed:
+        state = Instance(combined)
+    else:
+        resolved = _backend.resolve_backend(backend)
+        if resolved == _backend.SQLITE_BACKEND:
+            if (
+                isinstance(database, SQLStoreInstance)
+                and database.schema == combined
+            ):
+                state = database  # in place: the bigger-than-RAM path
+                adopted = True
+            else:
+                state = SQLStoreInstance(combined)
+        else:
+            state = SnapshotInstance(combined)
     # ``old`` is the previous-generation side of the delta plans: on the
     # store it is a shared view of the last pre-round snapshot; on the
     # dict backend it is a second instance lagging exactly one delta
@@ -220,6 +250,10 @@ def evaluate_program(
             and combined.relation(name) == database.schema.relation(name)
         )
         bucket = delta.setdefault(name, set())
+        if adopted:
+            # The database *is* the state; seed only the round-1 delta.
+            bucket.update(tuples)
+            continue
         for tup in tuples:
             if compatible:
                 state.add_unchecked(name, tup)

@@ -254,6 +254,11 @@ def instance_key(instance) -> Optional[Snapshot]:
         return instance
     if isinstance(instance, SnapshotInstance):
         return instance.snapshot()
+    if getattr(instance, "_sql_backend", False):
+        # SQL-backed stores/views/snapshots: the MVCC generation token
+        # hashes and compares equal to a memory Snapshot of the same
+        # facts, so the memo carries across backends.
+        return instance.fingerprint()
     return SnapshotInstance.from_instance(instance).snapshot()
 
 

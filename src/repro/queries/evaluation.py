@@ -145,11 +145,22 @@ def satisfying_assignments(
     :mod:`repro.queries.plan_cache`).  Falls back to the naive oracle for
     the rare queries the slot compiler does not cover (comparisons over
     variables that occur in no relational atom).
+
+    On an SQL-backed store (:mod:`repro.store.sqlstore`) the same plan
+    may instead run as a pushed-down SQL join when the instance is large
+    enough (``REPRO_SQL_PUSHDOWN_MIN_ROWS``); the store decides, and a
+    ``None`` answer routes back to the in-memory executor over the SQL
+    facade — both engines enumerate identical assignment sets.
     """
     plan = get_plan(query, instance)
     if plan.fallback:
         yield from naive_satisfying_assignments(query, instance)
         return
+    if getattr(instance, "_sql_backend", False):
+        rows = instance.sql_assignments(plan)
+        if rows is not None:
+            yield from rows
+            return
     yield from execute_plan(plan, query, instance)
 
 
@@ -182,6 +193,11 @@ def satisfying_assignments_delta(
             "query cannot be slot-compiled; no delta variant exists: "
             f"{query}"
         )
+    if getattr(instance, "_sql_backend", False):
+        rows = instance.sql_assignments_delta(plan, old_instance, delta)
+        if rows is not None:
+            yield from rows
+            return
     yield from execute_delta_plan(plan, query, instance, old_instance, delta)
 
 

@@ -363,8 +363,11 @@ _hits = 0
 _misses = 0
 
 
-#: Statistics-driven planning engages only on the persistent store (whose
-#: shards *record* per-relation cardinalities as O(1) statistics) and only
+#: Statistics-driven planning engages only on the persistent stores
+#: (the shard facade and the SQL backend both *record* per-relation
+#: cardinalities as O(1) statistics — ``getattr(instance,
+#: "_sql_backend", False)`` keeps this module import-free of the SQL
+#: backend) and only
 #: once the instance holds enough facts for join order to matter; below
 #: the threshold the signature stays ``None`` and the fast path costs
 #: exactly what it did without statistics.
@@ -458,7 +461,10 @@ def _get_plan_memoized(
     global _hits, _misses
     sig = (
         _stats_signature(query, instance)
-        if type(instance) is SnapshotInstance
+        if (
+            type(instance) is SnapshotInstance
+            or getattr(instance, "_sql_backend", False)
+        )
         and instance.size() >= _STATS_MIN_COUNT
         else None
     )

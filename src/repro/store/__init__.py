@@ -3,8 +3,18 @@
 See ``src/repro/store/README.md`` for the architecture note.
 """
 
+from repro.store.backend import (
+    BACKENDS,
+    MEMORY_BACKEND,
+    SQLITE_BACKEND,
+    StoreBackend,
+    configured_store_backend,
+    create_store,
+    resolve_backend,
+)
 from repro.store.hamt import EMPTY_PMAP, PMap
 from repro.store.snapshot import Shard, Snapshot, SnapshotInstance
+from repro.store.sqlstore import SQLSnapshot, SQLStoreInstance, SQLStoreView
 from repro.store.verdict_cache import (
     BloomFilter,
     LRUMemo,
@@ -24,11 +34,21 @@ from repro.store.workqueue import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "MEMORY_BACKEND",
+    "SQLITE_BACKEND",
+    "StoreBackend",
+    "configured_store_backend",
+    "create_store",
+    "resolve_backend",
     "EMPTY_PMAP",
     "PMap",
     "Shard",
     "Snapshot",
     "SnapshotInstance",
+    "SQLSnapshot",
+    "SQLStoreInstance",
+    "SQLStoreView",
     "BloomFilter",
     "LRUMemo",
     "VerdictCache",

@@ -1,0 +1,129 @@
+"""The store backend interface and factory.
+
+Two backends satisfy :class:`StoreBackend`:
+
+- ``memory`` — :class:`~repro.store.snapshot.SnapshotInstance`: adaptive
+  frozenset/HAMT shards, O(#relations) snapshot/restore *and* O(1)
+  branching (``copy`` shares structure).  The default; fastest below the
+  memory wall and the only sensible choice for deep branching searches.
+- ``sqlite`` — :class:`~repro.store.sqlstore.SQLStoreInstance`: facts
+  live in an embedded SQLite database (anonymous scratch file or a
+  persistent path), snapshots are MVCC generation tokens, and large
+  joins push down as parameterized SQL (see
+  :mod:`repro.store.sqlcodegen`).  Instances bigger than RAM; branching
+  (``copy``) is O(n).
+
+Both expose the same facade surface (the ``_data`` mapping, the
+``index``/``tuples``/``tuples_view`` probes, ``add``/``add_unchecked``/
+``discard``, ``snapshot``/``restore``/``fingerprint``), so the compiled
+plan executor, the Datalog evaluator and the decision engine are
+backend-agnostic.  Cross-backend snapshots hash and compare equal on
+equal facts — engine memo keys and the persistent verdict cache carry
+across.
+
+The default backend is selected by the ``REPRO_STORE_BACKEND`` knob
+(registered in :mod:`repro.obs.env`); call sites that want an explicit
+choice pass ``backend=`` to :func:`create_store`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.obs import env as _env
+from repro.relational.schema import Schema
+from repro.store.snapshot import SnapshotInstance
+from repro.store.sqlstore import SQLStoreInstance
+
+MEMORY_BACKEND = "memory"
+SQLITE_BACKEND = "sqlite"
+
+#: Every recognised ``REPRO_STORE_BACKEND`` value.
+BACKENDS = (MEMORY_BACKEND, SQLITE_BACKEND)
+
+
+class StoreBackend(ABC):
+    """The facade surface both store backends satisfy.
+
+    An abstract interface (with virtual registration, so the concrete
+    classes pay no MRO cost): the contract is the
+    :class:`~repro.store.snapshot.SnapshotInstance` API — reads
+    (``tuples``/``tuples_view``/``index``/``contains``/``size``/
+    ``facts``/``freeze``), mutations (``add``/``add_unchecked``/
+    ``discard``), and O(cheap) state tokens (``snapshot``/``restore``/
+    ``fingerprint``) whose hashes agree across backends on equal facts.
+    """
+
+    @abstractmethod
+    def snapshot(self):
+        """The current state as an immutable, O(1)-hashable token."""
+
+    @abstractmethod
+    def restore(self, snap) -> None:
+        """Return to a previously taken snapshot of this store."""
+
+    @abstractmethod
+    def fingerprint(self):
+        """An exact content key: equal facts ⇒ equal key, across backends."""
+
+    @abstractmethod
+    def add_unchecked(self, relation_name, tup) -> bool:
+        """Insert a validated tuple; True iff it was new."""
+
+    @abstractmethod
+    def discard(self, relation_name, tup) -> bool:
+        """Remove a tuple if present; True iff it was removed."""
+
+    @abstractmethod
+    def tuples_view(self, relation_name):
+        """The relation's current tuple set (empty for unknown names)."""
+
+    @abstractmethod
+    def index(self, relation_name, position, value):
+        """The tuples whose *position*-th value equals *value*."""
+
+    @abstractmethod
+    def size(self) -> int:
+        """Total fact count."""
+
+
+StoreBackend.register(SnapshotInstance)
+StoreBackend.register(SQLStoreInstance)
+
+
+def configured_store_backend() -> str:
+    """The backend name selected by ``REPRO_STORE_BACKEND`` (warn-once)."""
+    return _env.choice(
+        _env.STORE_BACKEND_ENV, BACKENDS, _env.DEFAULT_STORE_BACKEND
+    )
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """*backend* if given, else the environment-configured default."""
+    if backend is None:
+        return configured_store_backend()
+    if backend not in BACKENDS:
+        raise ValueError(
+            "unknown store backend " + repr(backend) + "; expected one of "
+            + ", ".join(BACKENDS)
+        )
+    return backend
+
+
+def create_store(
+    schema: Schema,
+    backend: Optional[str] = None,
+    path: Optional[str] = None,
+) -> StoreBackend:
+    """A fresh empty store on the requested (or configured) backend.
+
+    *path* persists a ``sqlite`` store on disk (reopenable with
+    :meth:`SQLStoreInstance.open`); the memory backend rejects it.
+    """
+    name = resolve_backend(backend)
+    if name == SQLITE_BACKEND:
+        return SQLStoreInstance(schema, path)
+    if path is not None:
+        raise ValueError("the memory backend does not take a path")
+    return SnapshotInstance(schema)

@@ -44,6 +44,17 @@ cache implements at the exact syscall boundary:
   timeout;
 * ``disk_full`` — the atomic-write helper raises ``ENOSPC``.
 
+The SQL store backend (:mod:`repro.store.sqlstore`) consults two more:
+
+* ``sql_commit`` — the snapshot checkpoint fails before ``COMMIT``:
+  ``trip`` rolls the transaction back (a torn transaction — the store
+  resynchronises to the last committed snapshot and raises), ``kill``
+  dies hard pre-commit so a reopened store proves SQLite's journal
+  recovers the previous snapshot;
+* ``sql_pushdown`` — the SQL join pushdown degrades to the in-memory
+  executor over the same facade (counted in ``store.pushdown_fault``,
+  verdict-identical).
+
 The canonical action for storage points is ``trip`` (apply the point's
 storage semantics); ``kill`` at ``torn_write`` scripts the mid-write
 process death.  Example: ``trip@corrupt_record:0,trip@lock_timeout:1``.
@@ -79,6 +90,8 @@ STORAGE_POINTS = (
     "partial_read",
     "lock_timeout",
     "disk_full",
+    "sql_commit",
+    "sql_pushdown",
 )
 
 #: Exit code of a scripted worker kill — distinctive in core-dump triage.

@@ -206,6 +206,12 @@ def encode_key(obj: object) -> bytes:
             + _lp(f"{kind.__module__}.{kind.__qualname__}".encode("utf-8"))
             + _lp(obj.name.encode("utf-8"))
         )
+    # Foreign store backends (e.g. the SQL store's snapshots) provide the
+    # Snapshot-branch payload themselves — duck-typed so this module never
+    # imports them; equal facts encode to identical bytes across backends.
+    payload_builder = getattr(obj, "_verdict_key_payload", None)
+    if payload_builder is not None:
+        return b"\x0c" + encode_key(payload_builder())
     # Snapshot content (imported lazily: snapshot.py must not depend on us).
     from repro.store.snapshot import Snapshot
 

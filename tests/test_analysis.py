@@ -46,6 +46,7 @@ EXPECTED_RULE_IDS = {
     "FPR001",
     "PRN001",
     "IO001",
+    "SQL002",
 }
 
 
@@ -773,6 +774,108 @@ class TestBarePrintRule:
         )
         assert report.findings == []
         assert rule_ids_suppressed(report) == ["PRN001"]
+
+
+# ----------------------------------------------------------------------
+# SQL002 — SQL text outside the codegen chokepoint / interpolated SQL
+# ----------------------------------------------------------------------
+class TestSqlChokepointRule:
+    CODEGEN = "repro/store/sqlcodegen.py"
+
+    def test_sql_text_outside_codegen_flagged(self):
+        report = findings_of(
+            """
+            def fetch(conn, name):
+                return conn.execute("SELECT c0 FROM t WHERE c0 = ?", (name,))
+            """,
+            "repro/store/sqlstore.py",
+        )
+        assert rule_ids(report) == ["SQL002"]
+
+    def test_fstring_sql_outside_codegen_flagged(self):
+        report = findings_of(
+            """
+            def drop(conn, table):
+                conn.execute(f"DROP TABLE {table}")
+            """,
+            "repro/engine/engine.py",
+        )
+        assert rule_ids(report) == ["SQL002"]
+
+    def test_docstring_sql_clean(self):
+        report = findings_of(
+            '''
+            def layout():
+                """SELECT statements are compiled in sqlcodegen; see there."""
+                return None
+            ''',
+            "repro/store/sqlstore.py",
+        )
+        assert report.findings == []
+
+    def test_lowercase_prose_clean(self):
+        report = findings_of(
+            """
+            MESSAGE = "select a backend with REPRO_STORE_BACKEND"
+            HINT = "update the baseline before committing"
+            """,
+            "repro/obs/env.py",
+        )
+        assert report.findings == []
+
+    def test_join_assembly_inside_codegen_clean(self):
+        report = findings_of(
+            """
+            def select_sql(table):
+                return " ".join(["SELECT c0 FROM", table, "WHERE c0 = ?"])
+            """,
+            self.CODEGEN,
+        )
+        assert report.findings == []
+
+    def test_fstring_sql_inside_codegen_flagged(self):
+        report = findings_of(
+            """
+            def select_sql(table):
+                return f"SELECT c0 FROM {table}"
+            """,
+            self.CODEGEN,
+        )
+        assert rule_ids(report) == ["SQL002"]
+
+    def test_concat_and_format_sql_inside_codegen_flagged(self):
+        report = findings_of(
+            """
+            def bad(table, value):
+                a = "SELECT c0 FROM " + table
+                b = "DELETE FROM %s" % table
+                c = "UPDATE {} SET c0 = 1".format(table)
+                return a, b, c
+            """,
+            self.CODEGEN,
+        )
+        assert rule_ids(report) == ["SQL002", "SQL002", "SQL002"]
+
+    def test_non_sql_concat_inside_codegen_clean(self):
+        report = findings_of(
+            """
+            def quote_ident(name):
+                return '"' + name.replace('"', '""') + '"'
+            """,
+            self.CODEGEN,
+        )
+        assert report.findings == []
+
+    def test_noqa_suppression_honoured(self):
+        report = findings_of(
+            """
+            def fetch(conn):
+                return conn.execute("SELECT 1")  # repro: noqa[SQL002]
+            """,
+            "repro/store/verdict_cache.py",
+        )
+        assert report.findings == []
+        assert rule_ids_suppressed(report) == ["SQL002"]
 
 
 # ----------------------------------------------------------------------

@@ -50,6 +50,39 @@ class TestCompare:
         )
         assert rows[0]["status"] == "noise"
 
+    def test_skipped_and_tagged_rows_never_fail(self):
+        # The sql_store families tag rows with backend/facts and emit the
+        # over-RAM in-memory twins as policy-skipped; neither may trip
+        # the guard.
+        baseline = {"results": {
+            "sql_store_join_1m": {"median_s": 1.0, "min_s": 1.0,
+                                  "backend": "sqlite", "facts": 1_000_000},
+            "mem_store_join_1m": {"status": "skipped", "backend": "memory",
+                                  "reason": "RAM policy"},
+        }}
+        current = {"results": {
+            "sql_store_join_1m": {"median_s": 1.1, "min_s": 1.1,
+                                  "backend": "sqlite", "facts": 1_000_000},
+            "mem_store_join_1m": {"status": "skipped", "backend": "memory",
+                                  "reason": "RAM policy"},
+        }}
+        rows = {
+            row["name"]: row
+            for row in check_regression.compare(baseline, current)
+        }
+        assert rows["sql_store_join_1m"]["status"] == "ok"
+        assert rows["mem_store_join_1m"]["status"] == "skipped"
+        assert "mem_store_join_1m" in check_regression.render(rows.values())
+
+    def test_row_skipped_on_one_side_only_is_informational(self):
+        baseline = {"results": {"row": {"median_s": 1.0, "min_s": 1.0}}}
+        current = {"results": {"row": {"status": "skipped",
+                                       "reason": "policy"}}}
+        rows = check_regression.compare(baseline, current)
+        assert rows[0]["status"] == "skipped"
+        rows = check_regression.compare(current, baseline)
+        assert rows[0]["status"] == "skipped"
+
     def test_new_and_removed_rows_never_fail(self):
         rows = check_regression.compare(
             _report(old_only=1.0), _report(new_only=1.0)

@@ -1,0 +1,610 @@
+"""Property tests for the SQLite store backend (:mod:`repro.store.sqlstore`).
+
+Convention of the store subsystem: the dict-backed
+:class:`~repro.relational.instance.Instance` and the in-memory
+:class:`~repro.store.snapshot.SnapshotInstance` are the oracles.  The
+SQL backend must agree with them field by field — same tuples under
+random mutation/snapshot/restore interleavings, same compiled-join
+assignments below and above the pushdown threshold, same datalog
+fixedpoints and per-round generations, same fingerprints, hashes and
+verdict-cache key bytes — and its fault behaviour must degrade to the
+last committed snapshot (or to the in-memory executor), never to a
+half-applied state or a wrong answer.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import subprocess
+import sys
+from collections import Counter
+
+import pytest
+
+from repro.datalog.evaluation import evaluate_program
+from repro.engine.reduction import instance_key
+from repro.obs.metrics import REGISTRY
+from repro.queries.evaluation import (
+    naive_satisfying_assignments,
+    satisfying_assignments,
+)
+from repro.relational.instance import Instance
+from repro.relational.schema import Relation, Schema, make_schema
+from repro.store import faults
+from repro.store.backend import (
+    MEMORY_BACKEND,
+    SQLITE_BACKEND,
+    configured_store_backend,
+    create_store,
+    resolve_backend,
+)
+from repro.store.snapshot import SnapshotInstance
+from repro.store.sqlstore import (
+    SQLSnapshot,
+    SQLStoreInstance,
+    decode_value,
+    encode_value,
+)
+from repro.store.verdict_cache import encode_key
+from repro.workloads import scaling
+from repro.workloads.generators import WorkloadGenerator
+
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+
+
+def _multiset(assignments):
+    return Counter(frozenset(a.items()) for a in assignments)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture
+def pushdown_always(monkeypatch):
+    """Force every eligible plan through the SQL pushdown path."""
+    monkeypatch.setenv("REPRO_SQL_PUSHDOWN_MIN_ROWS", "1")
+
+
+@pytest.fixture
+def pushdown_never(monkeypatch):
+    """Route every plan through the in-memory executor over the facade."""
+    monkeypatch.setenv("REPRO_SQL_PUSHDOWN_MIN_ROWS", "1000000000")
+
+
+def _pushdown_delta(base):
+    return REGISTRY.counters_delta(base)
+
+
+# ----------------------------------------------------------------------
+# Value encoding
+# ----------------------------------------------------------------------
+class TestValueEncoding:
+    def test_round_trips(self):
+        values = ["", "abc", 'quo"te', 0, 1, -7, 10**20, 2.5, -0.125, None]
+        for value in values:
+            assert decode_value(encode_value(value)) == value
+
+    def test_numeric_collapse_matches_python_set_semantics(self):
+        # True, 1 and 1.0 are one element of a Python set, so the store's
+        # encoding must collapse them too (the oracles are Python sets).
+        assert encode_value(True) == encode_value(1) == encode_value(1.0)
+        assert decode_value(encode_value(True)) == 1
+        assert encode_value(False) == encode_value(0)
+
+    def test_string_and_int_never_collide(self):
+        assert encode_value("1") != encode_value(1)
+        assert encode_value("None") != encode_value(None)
+
+    def test_unencodable_values_raise(self):
+        with pytest.raises(TypeError):
+            encode_value(float("nan"))
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+
+# ----------------------------------------------------------------------
+# The SQL store against the dict-backed oracle
+# ----------------------------------------------------------------------
+_VALUE_POOL = ["v0", "v1", "v2", "v3", 0, 1, 2, True, 1.0, 2.5, None]
+
+
+def _random_tuple(rng: random.Random, arity: int):
+    return tuple(rng.choice(_VALUE_POOL) for _ in range(arity))
+
+
+class TestSqlStoreAgreesWithOracle:
+    def test_random_interleavings(self):
+        """Store == oracle throughout random add/discard/snapshot
+        interleavings, and every snapshot restores (in arbitrary order,
+        forwards and backwards across generations) to exactly the state
+        it captured."""
+        schema = Schema([Relation("R", 2), Relation("S", 3), Relation("Z", 0)])
+        arities = {"R": 2, "S": 3, "Z": 0}
+        rng = random.Random(20260808)
+        store = SQLStoreInstance(schema)
+        oracle = Instance(schema)
+        snapshots = []
+        for step in range(500):
+            name = rng.choice(["R", "S", "Z"])
+            tup = _random_tuple(rng, arities[name])
+            if rng.random() < 0.6:
+                assert store.add_unchecked(name, tup) == oracle.add_unchecked(
+                    name, tup
+                )
+            else:
+                assert store.discard(name, tup) == oracle.discard(name, tup)
+            if rng.random() < 0.08:
+                snapshots.append((store.snapshot(), oracle.freeze()))
+            if step % 50 == 0:
+                assert store.freeze() == oracle.freeze()
+                assert store.size() == oracle.size()
+                assert store.active_domain() == oracle.active_domain()
+                for relation in schema:
+                    assert store.tuples(relation.name) == oracle.tuples(
+                        relation.name
+                    )
+                    for position in range(relation.arity):
+                        for value in ("v0", 1, None):
+                            assert set(
+                                store.index(relation.name, position, value)
+                            ) == set(oracle.index(relation.name, position, value))
+                assert store.relation_counts() == oracle.relation_counts()
+        assert store == oracle  # freeze-level equality across backends
+        rng.shuffle(snapshots)
+        for snap, frozen in snapshots:
+            store.restore(snap)
+            assert store.freeze() == frozen
+            branch = SQLStoreInstance.from_snapshot(snap)
+            assert branch.freeze() == frozen
+            branch.close()
+        assert store.verify()["ok"]
+        store.close()
+
+    def test_branches_are_independent(self):
+        schema = make_schema({"R": 2})
+        store = SQLStoreInstance(schema)
+        store.add("R", ("a", "b"))
+        snap = store.snapshot()
+        branch = SQLStoreInstance.from_snapshot(snap)
+        branch.add("R", ("c", "d"))
+        store.add("R", ("e", "f"))
+        assert branch.contains("R", ("c", "d"))
+        assert not branch.contains("R", ("e", "f"))
+        assert not store.contains("R", ("c", "d"))
+        rebuilt = SQLStoreInstance.from_snapshot(snap)
+        assert rebuilt.tuples("R") == frozenset({("a", "b")})
+        for s in (store, branch, rebuilt):
+            s.close()
+
+    def test_unencodable_probes_answer_empty(self):
+        # No stored fact can equal a value the encoding rejects, so
+        # membership and index probes degrade to False/empty, not errors.
+        schema = make_schema({"R": 2})
+        store = SQLStoreInstance(schema)
+        store.add("R", ("a", "b"))
+        assert not store.contains("R", (float("nan"), "b"))
+        assert store.index("R", 0, float("nan")) == frozenset()
+        store.close()
+
+    def test_restore_rejects_foreign_snapshots(self):
+        schema = make_schema({"R": 1})
+        one = SQLStoreInstance(schema)
+        two = SQLStoreInstance(schema)
+        snap = one.snapshot()
+        with pytest.raises(ValueError):
+            two.restore(snap)
+        one.close()
+        two.close()
+
+
+# ----------------------------------------------------------------------
+# Fingerprint / verdict-key parity across backends
+# ----------------------------------------------------------------------
+#: Values already in the store's canonical numeric form (no bools, no
+#: integral floats).  Snapshot equality and hashes agree across backends
+#: for *any* values; verdict-key **bytes** additionally agree exactly on
+#: canonical values — the SQL backend canonicalises ``True``/``1.0`` to
+#: ``1`` at ingest, where the memory store keeps the original object, so
+#: a non-canonical fact degrades the shared cache to a miss (never a
+#: wrong hit: readers compare full key bytes).
+_CANONICAL_POOL = ["v0", "v1", "v2", "v3", 0, 1, 2, -5, 2.5, None]
+
+
+def _twin_stores():
+    schema = Schema([Relation("R", 2), Relation("S", 1)])
+    mem = SnapshotInstance(schema)
+    sql = SQLStoreInstance(schema)
+    rng = random.Random(11)
+    for _ in range(60):
+        name = rng.choice(["R", "S"])
+        arity = 2 if name == "R" else 1
+        tup = tuple(rng.choice(_CANONICAL_POOL) for _ in range(arity))
+        mem.add_unchecked(name, tup)
+        sql.add_unchecked(name, tup)
+    return mem, sql
+
+
+class TestCrossBackendParity:
+    def test_snapshots_compare_and_hash_equal(self):
+        mem, sql = _twin_stores()
+        mem_snap, sql_snap = mem.snapshot(), sql.snapshot()
+        assert mem_snap == sql_snap
+        assert sql_snap == mem_snap
+        assert hash(mem_snap) == hash(sql_snap)
+        sql.add("R", ("fresh", "fact"))
+        assert sql.snapshot() != mem_snap
+        sql.close()
+
+    def test_verdict_cache_keys_are_byte_identical(self):
+        # The persistent verdict cache keys on encode_key(snapshot): a
+        # verdict computed against one backend must be served to the
+        # other, so the key bytes have to match exactly.
+        mem, sql = _twin_stores()
+        assert encode_key(mem.snapshot()) == encode_key(sql.snapshot())
+        sql.close()
+
+    def test_non_canonical_values_still_compare_equal(self):
+        # True/1.0 canonicalise to 1 inside the SQL store.  Snapshot
+        # equality and hashes still agree (Python == collapses them on
+        # the memory side too); only the verdict-key *bytes* may differ,
+        # which is a cache miss, never a wrong hit.
+        schema = make_schema({"R": 2})
+        mem = SnapshotInstance(schema)
+        sql = SQLStoreInstance(schema)
+        for tup in [(True, 1.0), (0, 2.5)]:
+            mem.add_unchecked("R", tup)
+            sql.add_unchecked("R", tup)
+        assert mem.snapshot() == sql.snapshot()
+        assert hash(mem.snapshot()) == hash(sql.snapshot())
+        assert sql.tuples("R") == mem.tuples("R")
+        sql.close()
+
+    def test_engine_instance_key_crosses_backends(self):
+        mem, sql = _twin_stores()
+        assert instance_key(sql) == instance_key(mem)
+        assert instance_key(sql.snapshot().view()) == instance_key(mem)
+        assert hash(instance_key(sql)) == hash(instance_key(mem))
+        sql.close()
+
+    def test_snapshot_pickle_round_trip(self):
+        mem, sql = _twin_stores()
+        loaded = pickle.loads(pickle.dumps(sql.snapshot()))
+        assert loaded == mem.snapshot()
+        store_loaded = pickle.loads(pickle.dumps(sql))
+        assert store_loaded.freeze() == sql.freeze()
+        sql.close()
+        store_loaded.close()
+
+
+# ----------------------------------------------------------------------
+# Compiled joins: SQL pushdown vs the in-memory executor vs the oracle
+# ----------------------------------------------------------------------
+class TestCompiledEngineOnSqlStore:
+    def _trials(self, seed):
+        generator = WorkloadGenerator(seed=seed)
+        rng = random.Random(seed)
+        for trial in range(25):
+            schema = generator.schema(num_relations=rng.randint(1, 3))
+            instance = generator.instance(
+                schema,
+                tuples_per_relation=rng.randint(0, 8),
+                domain_size=rng.randint(2, 6),
+            )
+            query = generator.conjunctive_query(
+                schema,
+                num_atoms=rng.randint(1, 4),
+                num_variables=rng.randint(1, 5),
+                constant_probability=0.25,
+            )
+            yield trial, schema, instance, query
+
+    def test_pushdown_agrees_with_oracle(self, pushdown_always):
+        for trial, schema, instance, query in self._trials(99):
+            store = SQLStoreInstance.from_instance(instance)
+            assert _multiset(satisfying_assignments(query, store)) == _multiset(
+                naive_satisfying_assignments(query, instance)
+            ), f"trial {trial}: {query}"
+            store.close()
+
+    def test_below_threshold_agrees_with_oracle(self, pushdown_never):
+        for trial, schema, instance, query in self._trials(77):
+            store = SQLStoreInstance.from_instance(instance)
+            assert _multiset(satisfying_assignments(query, store)) == _multiset(
+                naive_satisfying_assignments(query, instance)
+            ), f"trial {trial}: {query}"
+            store.close()
+
+    def test_routing_counters(self, pushdown_always, monkeypatch):
+        from repro.queries.atoms import Atom
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.queries.terms import Variable
+
+        schema = make_schema({"R": 2, "S": 2})
+        store = SQLStoreInstance(schema)
+        for i in range(40):
+            store.add("R", (f"a{i}", f"b{i % 5}"))
+            store.add("S", (f"b{i % 5}", f"c{i}"))
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        query = ConjunctiveQuery(atoms=(Atom("R", (x, y)), Atom("S", (y, z))))
+
+        base = REGISTRY.counters_snapshot()
+        pushed = _multiset(satisfying_assignments(query, store))
+        assert _pushdown_delta(base).get("store.pushdown", 0) >= 1
+
+        monkeypatch.setenv("REPRO_SQL_PUSHDOWN_MIN_ROWS", "1000000000")
+        base = REGISTRY.counters_snapshot()
+        routed = _multiset(satisfying_assignments(query, store))
+        assert _pushdown_delta(base).get("store.pushdown_skipped", 0) >= 1
+        assert routed == pushed
+        store.close()
+
+    def test_snapshot_view_pins_its_generation(self, pushdown_always):
+        from repro.queries.atoms import Atom
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.queries.terms import Variable
+
+        schema = make_schema({"R": 1})
+        store = SQLStoreInstance(schema)
+        for i in range(8):
+            store.add("R", (f"v{i}",))
+        view = store.snapshot().view()
+        store.add("R", ("late",))
+        x = Variable("x")
+        scan = ConjunctiveQuery(atoms=(Atom("R", (x,)),))
+        pinned = {a[x] for a in satisfying_assignments(scan, view)}
+        head = {a[x] for a in satisfying_assignments(scan, store)}
+        assert "late" not in pinned
+        assert "late" in head
+        assert head - pinned == {"late"}
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Datalog fixedpoints on the sqlite backend
+# ----------------------------------------------------------------------
+class TestDatalogOnSqlBackend:
+    def _workload(self, total_facts=300):
+        program = scaling.grid_reach_program()
+        database = Instance(scaling.grid_reach_schema())
+        for fact in scaling.grid_reach_facts(total_facts):
+            database.add_fact(fact)
+        return program, database
+
+    def test_fixedpoint_and_generations_match_memory(self, pushdown_always):
+        program, database = self._workload()
+        oracle = evaluate_program(program, database, store_backed=False)
+        mem_log, sql_log = [], []
+        mem = evaluate_program(
+            program, database, backend="memory", generation_log=mem_log
+        )
+        sql = evaluate_program(
+            program, database, backend="sqlite", generation_log=sql_log
+        )
+        assert sql.freeze() == oracle.freeze()
+        assert mem.freeze() == sql.freeze()
+        # Round-by-round: the semi-naive delta chains are identical.
+        assert len(mem_log) == len(sql_log)
+        for mem_gen, sql_gen in zip(mem_log, sql_log):
+            assert mem_gen == sql_gen
+        sql.close()
+
+    def test_naive_mode_matches(self, pushdown_always):
+        program, database = self._workload(120)
+        oracle = evaluate_program(
+            program, database, store_backed=False, semi_naive=False
+        )
+        sql = evaluate_program(
+            program, database, backend="sqlite", semi_naive=False
+        )
+        assert sql.freeze() == oracle.freeze()
+        sql.close()
+
+    def test_in_place_adoption(self, pushdown_always):
+        # An SQLite database over the combined schema is adopted: the
+        # fixedpoint lands in the same store, with no re-ingest copy.
+        program, database = self._workload(200)
+        combined = program.combined_schema()
+        store = SQLStoreInstance(combined)
+        for fact in database.facts():
+            store.add_fact(fact)
+        result = evaluate_program(program, store, backend="sqlite")
+        assert result is store
+        oracle = evaluate_program(program, database, store_backed=False)
+        assert store.freeze() == oracle.freeze()
+        store.close()
+
+    def test_chain_join_query_matches(self, pushdown_always):
+        schema = scaling.chain_join_schema()
+        database = Instance(schema)
+        for fact in scaling.chain_join_facts(200):
+            database.add_fact(fact)
+        store = SQLStoreInstance.from_instance(database)
+        query = scaling.chain_join_query()
+        assert _multiset(satisfying_assignments(query, store)) == _multiset(
+            naive_satisfying_assignments(query, database)
+        )
+        assert len(_multiset(satisfying_assignments(query, store))) == 100
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Fault injection: torn transactions, crashes, pushdown failures
+# ----------------------------------------------------------------------
+class TestFaultInjection:
+    def test_tripped_commit_rolls_back_to_last_snapshot(self):
+        schema = make_schema({"R": 1})
+        store = SQLStoreInstance(schema)
+        for i in range(10):
+            store.add("R", (f"keep{i}",))
+        committed = store.snapshot()
+        frozen = store.freeze()
+        for i in range(5):
+            store.add("R", (f"lost{i}",))
+        faults.install("trip@sql_commit:0")
+        with pytest.raises(OSError):
+            store.snapshot()
+        faults.clear()
+        # The failed checkpoint left the head at the last committed state.
+        assert store.freeze() == frozen
+        assert store.snapshot() == committed
+        assert store.verify()["ok"]
+        # The store keeps working after the fault.
+        store.add("R", ("after",))
+        assert store.snapshot() != committed
+        store.close()
+
+    def test_tripped_pushdown_degrades_to_memory_executor(
+        self, pushdown_always
+    ):
+        from repro.queries.atoms import Atom
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.queries.terms import Variable
+
+        schema = make_schema({"R": 2})
+        store = SQLStoreInstance(schema)
+        oracle = Instance(schema)
+        for i in range(30):
+            tup = (f"a{i % 3}", f"b{i}")
+            store.add("R", tup)
+            oracle.add("R", tup)
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery(atoms=(Atom("R", (x, y)),))
+        faults.install("trip@sql_pushdown:0")
+        base = REGISTRY.counters_snapshot()
+        answers = _multiset(satisfying_assignments(query, store))
+        assert answers == _multiset(naive_satisfying_assignments(query, oracle))
+        assert _pushdown_delta(base).get("store.pushdown_fault", 0) >= 1
+        store.close()
+
+    def test_mid_commit_kill_recovers_to_last_snapshot(self, tmp_path):
+        """A process killed inside the commit leaves a store that reopens
+        to exactly the last durable snapshot."""
+        path = str(tmp_path / "crash.db")
+        script = (
+            "import sys\n"
+            f"sys.path.insert(0, {SRC_DIR!r})\n"
+            "from repro.relational.schema import make_schema\n"
+            "from repro.store import faults\n"
+            "from repro.store.sqlstore import SQLStoreInstance\n"
+            f"store = SQLStoreInstance(make_schema({{'R': 1}}), {path!r})\n"
+            "for i in range(50):\n"
+            "    store.add('R', ('keep%d' % i,))\n"
+            "store.snapshot()  # durable\n"
+            "for i in range(20):\n"
+            "    store.add('R', ('lost%d' % i,))\n"
+            "faults.install('kill@sql_commit:0')\n"
+            "store.snapshot()  # killed mid-commit\n"
+            "sys.exit(3)  # unreachable\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True
+        )
+        assert proc.returncode == faults.KILL_EXIT_CODE, proc.stderr.decode()
+        reopened = SQLStoreInstance.open(path)
+        assert reopened.size() == 50
+        assert reopened.tuples("R") == frozenset(
+            {(f"keep{i}",) for i in range(50)}
+        )
+        assert reopened.verify()["ok"]
+        reopened.close()
+
+
+# ----------------------------------------------------------------------
+# Persistence: close/reopen, durability boundary, cross-process hashes
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def test_reopen_sees_exactly_the_committed_state(self, tmp_path):
+        path = str(tmp_path / "facts.db")
+        schema = make_schema({"R": 2})
+        store = SQLStoreInstance(schema, path)
+        for i in range(25):
+            store.add("R", (f"a{i}", i))
+        store.snapshot()
+        store.add("R", ("uncommitted", 0))  # never checkpointed
+        store.close()
+
+        reopened = SQLStoreInstance.open(path)
+        assert reopened.schema.names() == schema.names()
+        assert reopened.size() == 25
+        assert not reopened.contains("R", ("uncommitted", 0))
+        # Fingerprints are recomputed from rows on open, so the reopened
+        # store compares equal to a fresh in-memory twin.
+        mem = SnapshotInstance(schema)
+        for i in range(25):
+            mem.add("R", (f"a{i}", i))
+        assert reopened.snapshot() == mem.snapshot()
+        assert reopened.verify()["ok"]
+        reopened.close()
+
+    def test_restore_across_generations_then_reopen(self, tmp_path):
+        path = str(tmp_path / "gens.db")
+        schema = make_schema({"R": 1})
+        store = SQLStoreInstance(schema, path)
+        store.add("R", ("one",))
+        first = store.snapshot()
+        store.add("R", ("two",))
+        store.snapshot()
+        store.restore(first)
+        store.snapshot()  # make the rollback durable
+        store.close()
+        reopened = SQLStoreInstance.open(path)
+        assert reopened.tuples("R") == frozenset({("one",)})
+        assert reopened.verify()["ok"]
+        reopened.close()
+
+
+# ----------------------------------------------------------------------
+# Backend selection (the REPRO_STORE_BACKEND knob)
+# ----------------------------------------------------------------------
+class TestBackendFactory:
+    def test_default_is_memory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_BACKEND", raising=False)
+        assert configured_store_backend() == MEMORY_BACKEND
+        store = create_store(make_schema({"R": 1}))
+        assert isinstance(store, SnapshotInstance)
+
+    def test_env_knob_selects_sqlite(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "sqlite")
+        assert configured_store_backend() == SQLITE_BACKEND
+        store = create_store(make_schema({"R": 1}))
+        assert isinstance(store, SQLStoreInstance)
+        store.close()
+
+    def test_invalid_env_value_warns_once_and_falls_back(self, monkeypatch):
+        from repro.obs import env as envknobs_module
+
+        monkeypatch.setattr(envknobs_module, "_ENV_WARNED", set())
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "postgres")
+        with pytest.warns(RuntimeWarning, match="REPRO_STORE_BACKEND"):
+            assert configured_store_backend() == MEMORY_BACKEND
+        # Warn-once: the second read is silent and still the default.
+        assert configured_store_backend() == MEMORY_BACKEND
+
+    def test_explicit_backend_with_path(self, tmp_path):
+        path = str(tmp_path / "explicit.db")
+        store = create_store(
+            make_schema({"R": 1}), backend=SQLITE_BACKEND, path=path
+        )
+        assert isinstance(store, SQLStoreInstance)
+        assert store.path == path
+        store.close()
+
+    def test_memory_backend_rejects_a_path(self, tmp_path):
+        with pytest.raises(ValueError):
+            create_store(
+                make_schema({"R": 1}),
+                backend=MEMORY_BACKEND,
+                path=str(tmp_path / "x.db"),
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("duckdb")
